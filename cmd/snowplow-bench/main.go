@@ -1,0 +1,95 @@
+// Command snowplow-bench regenerates the paper's evaluation tables and
+// figures on the synthetic-kernel substrate.
+//
+// Usage:
+//
+//	snowplow-bench -experiment all
+//	snowplow-bench -experiment fig6 -scale full
+//	snowplow-bench -experiment table1,table5
+//
+// Experiments: stats, table1, fig6, table2 (includes tables 3 and 4),
+// table5, perf, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/repro/snowplow/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,ablations,all")
+		scale = flag.String("scale", "quick", "experiment scale: quick or full")
+		seed  = flag.Uint64("seed", 1, "suite seed")
+		quiet = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *scale == "full" {
+		opts = experiments.Full()
+	}
+	opts.Seed = *seed
+	h := experiments.NewHarness(opts)
+	if !*quiet {
+		h.Log = os.Stderr
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	ran := 0
+	start := time.Now()
+
+	if all || want["stats"] {
+		experiments.Stats(h).Render(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if all || want["table1"] {
+		experiments.Table1(h).Render(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if all || want["fig6"] {
+		experiments.Fig6(h).Render(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if all || want["table2"] || want["table3"] || want["table4"] {
+		experiments.Campaign(h, "6.8").Render(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if all || want["table5"] {
+		experiments.Table5(h).Render(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if all || want["perf"] {
+		experiments.Perf(h).Render(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if all || want["ablations"] {
+		fmt.Println("== Ablations (DESIGN.md §5) ==")
+		experiments.AblationDeterminism(h).Render(os.Stdout)
+		experiments.AblationSwitchEdges(h).Render(os.Stdout)
+		experiments.AblationTargetNoise(h).Render(os.Stdout)
+		experiments.AblationFallbackSweep(h).Render(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "snowplow-bench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+	fmt.Printf("completed %d experiment group(s) in %v\n", ran, time.Since(start).Round(time.Second))
+}

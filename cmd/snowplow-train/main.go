@@ -1,0 +1,98 @@
+// Command snowplow-train trains the Program Mutation Model on a dataset
+// harvested by snowplow-collect, optionally running a hyperparameter search
+// (§5.1), and writes the best checkpoint.
+//
+// Usage:
+//
+//	snowplow-train -kernel 6.8 -dataset dataset.txt -o pmm.model -epochs 15
+//	snowplow-train -kernel 6.8 -dataset dataset.txt -o pmm.model -tune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/dataset"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+func main() {
+	var (
+		version  = flag.String("kernel", "6.8", "kernel version the dataset was collected on")
+		dsPath   = flag.String("dataset", "dataset.txt", "dataset path")
+		out      = flag.String("o", "pmm.model", "output checkpoint path")
+		epochs   = flag.Int("epochs", 15, "training epochs")
+		lr       = flag.Float64("lr", 3e-3, "learning rate")
+		posw     = flag.Float64("posweight", 2, "loss weight of MUTATE labels")
+		seed     = flag.Uint64("seed", 1, "training seed")
+		tune     = flag.Bool("tune", false, "run a hyperparameter search over model configs")
+		pretrain = flag.Bool("pretrain", false, "masked-token pretraining of the assembly encoder first")
+	)
+	flag.Parse()
+	if err := run(*version, *dsPath, *out, *epochs, *lr, *posw, *seed, *tune, *pretrain); err != nil {
+		fmt.Fprintln(os.Stderr, "snowplow-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(version, dsPath, out string, epochs int, lr, posw float64, seed uint64, tune, pretrain bool) error {
+	k, err := kernel.Build(version)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(dsPath)
+	if err != nil {
+		return err
+	}
+	ds, err := dataset.Load(f, k)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	train, val, eval := ds.Split(0.8, 0.1)
+	fmt.Printf("dataset: %d examples (train %d / val %d / eval %d)\n",
+		ds.Len(), train.Len(), val.Len(), eval.Len())
+
+	b := qgraph.NewBuilder(k, cfa.New(k))
+	tcfg := pmm.TrainConfig{LR: lr, Epochs: epochs, PosWeight: posw, ClipNorm: 1, Seed: seed, Log: os.Stdout, Pretrain: pretrain}
+
+	cfg := pmm.DefaultConfig()
+	if tune {
+		candidates := []pmm.Config{}
+		for _, dim := range []int{16, 24, 32} {
+			for _, layers := range []int{1, 2, 3} {
+				c := pmm.DefaultConfig()
+				c.Dim, c.Layers = dim, layers
+				candidates = append(candidates, c)
+			}
+		}
+		fmt.Printf("hyperparameter search over %d configurations...\n", len(candidates))
+		results := pmm.SearchHyperparams(b, candidates, tcfg, train, val)
+		for _, res := range results {
+			fmt.Printf("  dim=%d layers=%d: val F1 %.3f\n", res.Cfg.Dim, res.Cfg.Layers, res.ValF1)
+		}
+		cfg = results[0].Cfg
+		fmt.Printf("best: dim=%d layers=%d\n", cfg.Dim, cfg.Layers)
+	}
+
+	m, report := pmm.Train(b, cfg, tcfg, train, val)
+	fmt.Printf("threshold: %.2f\n", report.Threshold)
+	fmt.Printf("eval (PMM):    %v\n", pmm.Evaluate(m, b, eval))
+	fmt.Printf("eval (Rand.8): %v\n", pmm.EvaluateRandomK(rng.New(seed+7), b, eval, 8))
+
+	of, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := m.Save(of); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

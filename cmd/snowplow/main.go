@@ -1,0 +1,112 @@
+// Command snowplow fuzzes a synthetic kernel in either the Syzkaller
+// baseline mode or the PMM-guided Snowplow mode, printing the coverage time
+// series and any crashes found.
+//
+// Usage:
+//
+//	snowplow -mode snowplow -kernel 6.8 -model pmm.model -budget 2000000
+//	snowplow -mode syzkaller -kernel 6.9 -budget 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/serve"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "syzkaller", "fuzzer mode: syzkaller or snowplow")
+		version   = flag.String("kernel", "6.8", "kernel version to fuzz (6.8, 6.9, 6.10)")
+		modelPath = flag.String("model", "", "trained PMM checkpoint (required for -mode snowplow)")
+		budget    = flag.Int64("budget", 2_000_000, "simulated execution budget (blocks)")
+		seed      = flag.Uint64("seed", 1, "campaign seed")
+		seeds     = flag.Int("seeds", 20, "number of generated seed programs")
+		workers   = flag.Int("workers", 4, "inference worker goroutines")
+		fallback  = flag.Float64("fallback", 0.1, "random-localization fallback probability")
+	)
+	flag.Parse()
+	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *fallback); err != nil {
+		fmt.Fprintln(os.Stderr, "snowplow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers int, fallback float64) error {
+	k, err := kernel.Build(version)
+	if err != nil {
+		return err
+	}
+	fmt.Println(k)
+	an := cfa.New(k)
+
+	cfg := fuzzer.Config{
+		Kernel: k, An: an, Seed: seed, Budget: budget,
+		FallbackProb: fallback,
+	}
+	switch mode {
+	case "syzkaller":
+		cfg.Mode = fuzzer.ModeSyzkaller
+	case "snowplow":
+		cfg.Mode = fuzzer.ModeSnowplow
+		if modelPath == "" {
+			return fmt.Errorf("-mode snowplow requires -model")
+		}
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		m, err := pmm.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		srv := serve.NewServer(m, qgraph.NewBuilder(k, an), workers)
+		defer srv.Close()
+		cfg.Server = srv
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	g := prog.NewGenerator(k.Target)
+	r := rng.New(seed + 0x5eed)
+	for i := 0; i < nseeds; i++ {
+		cfg.SeedCorpus = append(cfg.SeedCorpus, g.Generate(r, 2+r.Intn(3)))
+	}
+
+	stats, err := fuzzer.New(cfg).Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode=%s kernel=%s budget=%d\n", stats.Mode, version, budget)
+	fmt.Printf("%12s %10s\n", "cost", "edges")
+	step := len(stats.Series) / 20
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(stats.Series); i += step {
+		p := stats.Series[i]
+		fmt.Printf("%12d %10d\n", p.Cost, p.Edges)
+	}
+	fmt.Printf("final: %d edges, %d executions, corpus %d\n",
+		stats.FinalEdges, stats.Executions, stats.CorpusSize)
+	if cfg.Mode == fuzzer.ModeSnowplow {
+		fmt.Printf("PMM: %d queries, %d predictions\n", stats.PMMQueries, stats.PMMPredictions)
+	}
+	if len(stats.Crashes) > 0 {
+		fmt.Printf("\ncrashes (%d unique):\n", len(stats.Crashes))
+		for _, c := range stats.Crashes {
+			fmt.Printf("  [cost %d] %s\n", c.Cost, c.Spec.Title)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Trainmodel: the end-to-end PMM pipeline at demo scale — harvest a
+// mutation dataset from the kernel (§3.1), train the Program Mutation Model
+// (§3.3), and compare its argument-selection accuracy against the random
+// baseline (Table 1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/dataset"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+func main() {
+	k := kernel.MustBuild("6.8")
+	an := cfa.New(k)
+	fmt.Println(k)
+
+	// 1. Harvest successful argument mutations by random search.
+	g := prog.NewGenerator(k.Target)
+	r := rng.New(11)
+	bases := make([]*prog.Prog, 60)
+	for i := range bases {
+		bases[i] = g.Generate(r, 2+r.Intn(3))
+	}
+	c := dataset.NewCollector(k, an)
+	c.MutationsPerBase = 150
+	fmt.Printf("harvesting: %d bases x %d mutations...\n", len(bases), c.MutationsPerBase)
+	ds, stats := c.Collect(rng.New(12), bases)
+	fmt.Printf("successful mutations: %d/%d (%.1f per 1000; paper ~45)\n",
+		stats.Successful, stats.Mutations, 1000*float64(stats.Successful)/float64(stats.Mutations))
+	fmt.Printf("training examples: %d\n", ds.Len())
+
+	// 2. Train PMM.
+	train, val, eval := ds.Split(0.8, 0.1)
+	if eval.Len() == 0 {
+		eval = val
+	}
+	b := qgraph.NewBuilder(k, an)
+	tcfg := pmm.DefaultTrainConfig()
+	tcfg.Epochs = 6
+	tcfg.Quiet = false
+	tcfg.Log = os.Stdout
+	fmt.Printf("training on %d examples...\n", train.Len())
+	m, report := pmm.Train(b, pmm.DefaultConfig(), tcfg, train, val)
+	fmt.Printf("tuned decision threshold: %.2f\n", report.Threshold)
+
+	// 3. Evaluate against the Rand.8 baseline (Table 1).
+	fmt.Printf("\nPMM:    %v\n", pmm.Evaluate(m, b, eval))
+	fmt.Printf("Rand.8: %v\n", pmm.EvaluateRandomK(rng.New(13), b, eval, 8))
+	fmt.Println("(paper: PMM F1 84.2% vs Rand.8 30.3%; at demo scale expect a smaller gap, same ordering)")
+
+	// 4. Persist and reload the checkpoint.
+	f, err := os.CreateTemp("", "pmm-*.model")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	if err := m.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	rf, err := os.Open(f.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	if _, err := pmm.Load(rf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncheckpoint round-trip OK: %s\n", f.Name())
+}

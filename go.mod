@@ -1,0 +1,3 @@
+module github.com/repro/snowplow
+
+go 1.22

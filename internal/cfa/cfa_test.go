@@ -1,0 +1,157 @@
+package cfa
+
+import (
+	"testing"
+
+	"github.com/repro/snowplow/internal/exec"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/trace"
+)
+
+var (
+	testKernel   = kernel.MustBuild("6.8")
+	testAnalysis = New(testKernel)
+)
+
+func TestPredecessorsInvertSuccessors(t *testing.T) {
+	for i := range testKernel.Blocks {
+		id := kernel.BlockID(i)
+		for _, s := range testAnalysis.Successors(id) {
+			found := false
+			for _, p := range testAnalysis.Predecessors(s) {
+				if p == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("block %d -> %d not in predecessor index", id, s)
+			}
+		}
+	}
+}
+
+func coverageOf(t *testing.T, text string) trace.BlockSet {
+	t.Helper()
+	e := exec.New(testKernel)
+	p := prog.MustParse(testKernel.Target, text)
+	res, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.NewBlockSet(trace.BlocksOf(res))
+}
+
+func TestFrontierOneBranchAway(t *testing.T) {
+	covered := coverageOf(t, "r0 = open(\"./file0\", 0x42, 0x1ff)\nread(r0, &b\"00ff\", 0x2)\n")
+	alts := testAnalysis.Frontier(covered)
+	if len(alts) == 0 {
+		t.Fatal("no alternative path entries for a real execution")
+	}
+	for _, alt := range alts {
+		if covered.Has(alt.Entry) {
+			t.Fatalf("alternative %d is covered", alt.Entry)
+		}
+		if !covered.Has(alt.From) {
+			t.Fatalf("frontier source %d not covered", alt.From)
+		}
+		from := testKernel.Block(alt.From)
+		if from.Kind != kernel.BlockBranch {
+			t.Fatalf("frontier source %d is not a branch", alt.From)
+		}
+		want := from.NotTaken
+		if alt.Taken {
+			want = from.Taken
+		}
+		if want != alt.Entry {
+			t.Fatalf("alternative edge mismatch: %+v", alt)
+		}
+	}
+}
+
+func TestFrontierDeterministicOrder(t *testing.T) {
+	covered := coverageOf(t, "r0 = open(\"./file0\", 0x42, 0x1ff)\n")
+	a := testAnalysis.Frontier(covered)
+	b := testAnalysis.Frontier(covered)
+	if len(a) != len(b) {
+		t.Fatal("frontier sizes differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("frontier order not deterministic")
+		}
+	}
+}
+
+func TestDistancesTo(t *testing.T) {
+	h := testKernel.Handler("open")
+	dist := testAnalysis.DistancesTo(h.Exit)
+	if dist[h.Exit] != 0 {
+		t.Fatal("distance to self != 0")
+	}
+	if dist[h.Entry] == Unreached {
+		t.Fatal("exit unreachable from entry")
+	}
+	if dist[h.Entry] <= 0 {
+		t.Fatalf("entry->exit distance %d", dist[h.Entry])
+	}
+	// A block in another handler cannot reach open's exit.
+	other := testKernel.Handler("socket")
+	if dist[other.Entry] != Unreached {
+		t.Fatalf("socket entry reaches open exit: %d", dist[other.Entry])
+	}
+}
+
+func TestMinDistance(t *testing.T) {
+	h := testKernel.Handler("open")
+	dist := testAnalysis.DistancesTo(h.Exit)
+	covered := trace.NewBlockSet([]kernel.BlockID{h.Entry})
+	if got := MinDistance(dist, covered); got != dist[h.Entry] {
+		t.Fatalf("MinDistance = %d, want %d", got, dist[h.Entry])
+	}
+	empty := trace.NewBlockSet(nil)
+	if got := MinDistance(dist, empty); got != Unreached {
+		t.Fatalf("MinDistance over empty set = %d", got)
+	}
+}
+
+func TestReachableFromCoversHandler(t *testing.T) {
+	h := testKernel.Handler("read")
+	reach := testAnalysis.ReachableFrom(h.Entry)
+	set := trace.NewBlockSet(reach)
+	if !set.Has(h.Exit) {
+		t.Fatal("exit not reachable from entry")
+	}
+	// Reachability stays within the handler (handlers are disjoint CFGs).
+	for _, id := range reach {
+		inHandler := false
+		for _, hb := range h.Blocks {
+			if hb == id {
+				inHandler = true
+				break
+			}
+		}
+		if !inHandler {
+			t.Fatalf("block %d reachable from read entry but outside handler", id)
+		}
+	}
+}
+
+func TestDeepBlocksAreDeep(t *testing.T) {
+	deep := testAnalysis.DeepBlocks(4)
+	if len(deep) == 0 {
+		t.Fatal("no deep blocks in kernel (bug chains should guarantee some)")
+	}
+	shallow := testAnalysis.DeepBlocks(0)
+	if len(shallow) <= len(deep) {
+		t.Fatal("depth filter not monotone")
+	}
+}
+
+func TestHandlerOf(t *testing.T) {
+	h := testKernel.Handler("open")
+	if got := testAnalysis.HandlerOf(h.Entry); got != "open" {
+		t.Fatalf("HandlerOf(open entry) = %q", got)
+	}
+}

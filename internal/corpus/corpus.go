@@ -1,0 +1,131 @@
+// Package corpus manages the fuzzer's corpus of interesting test programs:
+// programs whose execution covered edges no earlier corpus program covered.
+package corpus
+
+import (
+	"sync"
+
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/trace"
+)
+
+// Entry is one corpus program with its recorded coverage.
+type Entry struct {
+	Prog   *prog.Prog
+	Cover  *trace.Cover       // edge coverage of the program
+	Blocks trace.BlockSet     // block coverage of the program
+	Traces [][]kernel.BlockID // per-call block traces (for query graphs)
+	Text   string             // serialized form (deduplication key)
+}
+
+// Corpus accumulates interesting programs and total coverage. It is safe
+// for concurrent use.
+type Corpus struct {
+	mu      sync.RWMutex
+	entries []*Entry
+	byText  map[string]bool
+	total   *trace.Cover
+}
+
+// New returns an empty corpus.
+func New() *Corpus {
+	return &Corpus{byText: map[string]bool{}, total: trace.NewCover()}
+}
+
+// Add inserts the program if its coverage includes edges not yet in the
+// corpus total (the update_corpus policy of Figure 1). It returns the
+// number of new edges contributed (0 means not added).
+func (c *Corpus) Add(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) int {
+	text := p.Serialize()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byText[text] {
+		return 0
+	}
+	n := c.total.Merge(cover)
+	if n == 0 {
+		return 0
+	}
+	c.byText[text] = true
+	c.entries = append(c.entries, &Entry{Prog: p, Cover: cover, Blocks: blocks, Traces: traces, Text: text})
+	return n
+}
+
+// Seed inserts a program unconditionally (initial seeding), deduplicated by
+// text. It reports whether the program was inserted.
+func (c *Corpus) Seed(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) bool {
+	text := p.Serialize()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byText[text] {
+		return false
+	}
+	c.total.Merge(cover)
+	c.byText[text] = true
+	c.entries = append(c.entries, &Entry{Prog: p, Cover: cover, Blocks: blocks, Traces: traces, Text: text})
+	return true
+}
+
+// Choose returns a random corpus entry (the choose_test policy), or nil if
+// the corpus is empty.
+func (c *Corpus) Choose(r *rng.Rand) *Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.entries) == 0 {
+		return nil
+	}
+	return c.entries[r.Intn(len(c.entries))]
+}
+
+// Len returns the number of corpus programs.
+func (c *Corpus) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// TotalEdges returns the total number of unique edges covered.
+func (c *Corpus) TotalEdges() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.total.Len()
+}
+
+// TotalCover returns a snapshot copy of the accumulated edge coverage.
+func (c *Corpus) TotalCover() *trace.Cover {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.total.Clone()
+}
+
+// Entries returns a snapshot of the corpus entries.
+func (c *Corpus) Entries() []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Entry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// NewEdges reports how many of cover's edges are not yet in the corpus
+// total, without modifying anything.
+func (c *Corpus) NewEdges(cover *trace.Cover) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, e := range cover.Edges() {
+		if !c.total.Has(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether an identical program is already in the corpus.
+func (c *Corpus) Has(p *prog.Prog) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byText[p.Serialize()]
+}

@@ -1,0 +1,123 @@
+package corpus
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/spec"
+	"github.com/repro/snowplow/internal/trace"
+)
+
+var target = spec.Base()
+
+func coverOf(edges ...trace.Edge) *trace.Cover {
+	c := trace.NewCover()
+	for _, e := range edges {
+		c.Add(e)
+	}
+	return c
+}
+
+func progN(t *testing.T, seed uint64) *prog.Prog {
+	t.Helper()
+	return prog.NewGenerator(target).Generate(rng.New(seed), 2)
+}
+
+func TestAddRequiresNewEdges(t *testing.T) {
+	c := New()
+	p1 := progN(t, 1)
+	if n := c.Add(p1, coverOf(trace.MakeEdge(1, 2)), nil, nil); n != 1 {
+		t.Fatalf("first add contributed %d", n)
+	}
+	// Same coverage, different program: rejected.
+	p2 := progN(t, 2)
+	if n := c.Add(p2, coverOf(trace.MakeEdge(1, 2)), nil, nil); n != 0 {
+		t.Fatalf("duplicate coverage accepted: %d", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("corpus len %d", c.Len())
+	}
+	// New edge: accepted.
+	if n := c.Add(p2, coverOf(trace.MakeEdge(1, 2), trace.MakeEdge(2, 3)), nil, nil); n != 1 {
+		t.Fatalf("new edge contributed %d", n)
+	}
+	if c.TotalEdges() != 2 {
+		t.Fatalf("total edges %d", c.TotalEdges())
+	}
+}
+
+func TestAddDeduplicatesByText(t *testing.T) {
+	c := New()
+	p := progN(t, 3)
+	c.Add(p, coverOf(trace.MakeEdge(1, 2)), nil, nil)
+	if n := c.Add(p.Clone(), coverOf(trace.MakeEdge(9, 9)), nil, nil); n != 0 {
+		t.Fatal("identical program re-added")
+	}
+}
+
+func TestSeedUnconditional(t *testing.T) {
+	c := New()
+	p := progN(t, 4)
+	if !c.Seed(p, coverOf(), nil, nil) {
+		t.Fatal("seed rejected")
+	}
+	if c.Seed(p.Clone(), coverOf(), nil, nil) {
+		t.Fatal("duplicate seed accepted")
+	}
+	if c.Len() != 1 {
+		t.Fatal("seed not stored")
+	}
+}
+
+func TestChoose(t *testing.T) {
+	c := New()
+	if c.Choose(rng.New(1)) != nil {
+		t.Fatal("choose on empty corpus")
+	}
+	for i := uint64(0); i < 5; i++ {
+		c.Seed(progN(t, 10+i), coverOf(trace.MakeEdge(trace.Edge(i).From(), 1)), nil, nil)
+	}
+	r := rng.New(2)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[c.Choose(r).Text] = true
+	}
+	if len(seen) != c.Len() {
+		t.Fatalf("choose visited %d of %d entries", len(seen), c.Len())
+	}
+}
+
+func TestTotalCoverSnapshot(t *testing.T) {
+	c := New()
+	c.Seed(progN(t, 20), coverOf(trace.MakeEdge(1, 2)), nil, nil)
+	snap := c.TotalCover()
+	c.Add(progN(t, 21), coverOf(trace.MakeEdge(3, 4)), nil, nil)
+	if snap.Len() != 1 {
+		t.Fatal("snapshot mutated by later add")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(100 + w))
+			g := prog.NewGenerator(target)
+			for i := 0; i < 50; i++ {
+				p := g.Generate(r, 2)
+				c.Add(p, coverOf(trace.MakeEdge(trace.Edge(w).From(), trace.Edge(i).From())), nil, nil)
+				c.Choose(r)
+				c.TotalEdges()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Fatal("no entries after concurrent adds")
+	}
+}

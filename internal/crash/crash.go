@@ -1,0 +1,245 @@
+// Package crash implements the crash-triage pipeline of §5.3.2: filtering
+// ambiguous crash descriptions, checking the simulated Syzbot known-crash
+// list, reproducing crashes and minimizing reproducers (syz-repro), mapping
+// crashes to kernel code locations (syz-symbolize), and categorizing them
+// by manifestation for Table 3.
+package crash
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/repro/snowplow/internal/exec"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/prog"
+)
+
+// Categories of Table 3, in the paper's row order.
+var Categories = []string{
+	"Null pointer dereference",
+	"Paging fault",
+	"Explicit assertion violation",
+	"General protection fault",
+	"Out of bounds access",
+	"Warning",
+	"Other",
+}
+
+// Categorize maps a crash description to its Table-3 manifestation class.
+func Categorize(title string) string {
+	switch {
+	case strings.Contains(title, "null-ptr-deref"):
+		return "Null pointer dereference"
+	case strings.Contains(title, "unable to handle page fault"):
+		return "Paging fault"
+	case strings.Contains(title, "kernel BUG"):
+		return "Explicit assertion violation"
+	case strings.Contains(title, "general protection fault"):
+		return "General protection fault"
+	case strings.Contains(title, "out-of-bounds") || strings.Contains(title, "use-after-free"):
+		return "Out of bounds access"
+	case strings.Contains(title, "WARNING") || strings.Contains(title, "grows the stack"):
+		return "Warning"
+	default:
+		return "Other"
+	}
+}
+
+// Filtered reports whether a crash description should be excluded from
+// bug counting under §5.3.2's rules (ambiguous or low-severity classes).
+func Filtered(title string) bool {
+	for _, kw := range []string{"INFO:", "SYZFAIL", "lost connection to the VM"} {
+		if strings.Contains(title, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// Triage triages crashes found on one kernel.
+type Triage struct {
+	K *kernel.Kernel
+	// Known is the simulated Syzbot list: crash titles reported since 2018.
+	Known map[string]bool
+	// ReproAttempts is how many replays syz-repro performs (flaky crashes
+	// may fail to re-manifest).
+	ReproAttempts int
+}
+
+// NewTriage builds the triage context, deriving the known list from the
+// kernel's planted bugs.
+func NewTriage(k *kernel.Kernel) *Triage {
+	known := map[string]bool{}
+	for _, bug := range k.Bugs() {
+		if bug.KnownSince != "" {
+			known[bug.Title] = true
+		}
+	}
+	return &Triage{K: k, Known: known, ReproAttempts: 3}
+}
+
+// IsKnown reports whether the crash title is on the simulated Syzbot list.
+func (t *Triage) IsKnown(title string) bool { return t.Known[title] }
+
+// AddKnown extends the known list with crashes found by a prior fuzzing
+// campaign — the Syzbot process itself: anything Syzkaller has ever found
+// on these kernels is on the public list (§5.3.2 fetches "all kernel
+// crashes found by Syzbot since 2018").
+func (t *Triage) AddKnown(titles []string) {
+	for _, title := range titles {
+		if !Filtered(title) {
+			t.Known[title] = true
+		}
+	}
+}
+
+// Reproduce implements syz-repro: replay the crashing program, confirm the
+// same crash re-manifests, then minimize the reproducer by removing calls
+// while the crash persists. It returns the minimized reproducer, or nil if
+// the crash did not reproduce.
+func (t *Triage) Reproduce(title, progText string) (*prog.Prog, error) {
+	p, err := prog.Parse(t.K.Target, progText)
+	if err != nil {
+		return nil, fmt.Errorf("crash: bad crashing program: %w", err)
+	}
+	exe := exec.New(t.K)
+	if !t.crashes(exe, p, title) {
+		return nil, nil
+	}
+	// Minimize: repeatedly try dropping calls (later calls first so
+	// resource producers survive until their consumers go).
+	minimized := p.Clone()
+	for i := len(minimized.Calls) - 1; i >= 0; i-- {
+		if len(minimized.Calls) == 1 {
+			break
+		}
+		candidate := minimized.Clone()
+		candidate.RemoveCall(i)
+		if t.crashes(exe, candidate, title) {
+			minimized = candidate
+		}
+	}
+	return minimized, nil
+}
+
+// crashes replays p up to ReproAttempts times looking for the same crash.
+func (t *Triage) crashes(exe *exec.Executor, p *prog.Prog, title string) bool {
+	for i := 0; i < t.ReproAttempts; i++ {
+		res, err := exe.Run(p)
+		if err != nil {
+			return false
+		}
+		if res.Crash != nil && res.Crash.Title == title {
+			return true
+		}
+	}
+	return false
+}
+
+// Location is a symbolized crash site.
+type Location struct {
+	Fn        string // crashing function, e.g. "ata_pio_sector"
+	Subsystem string // kernel subsystem, e.g. "scsi"
+	Path      string // source-tree style path, e.g. "drivers/ata/"
+}
+
+// Symbolize implements syz-symbolize: map a crash title to the kernel code
+// location of its crash block.
+func (t *Triage) Symbolize(title string) (Location, bool) {
+	for i := range t.K.Blocks {
+		b := &t.K.Blocks[i]
+		if b.Kind == kernel.BlockCrash && b.Crash != nil && b.Crash.Title == title {
+			return Location{Fn: b.Fn, Subsystem: b.Subsystem, Path: subsystemPath(b.Subsystem, b.Fn)}, true
+		}
+	}
+	return Location{}, false
+}
+
+// subsystemPath renders a plausible source path for a subsystem.
+func subsystemPath(sub, fn string) string {
+	switch sub {
+	case "fs":
+		if strings.HasPrefix(fn, "ext4_") {
+			return "fs/ext4/"
+		}
+		return "fs/"
+	case "mm":
+		return "mm/"
+	case "net":
+		return "net/"
+	case "scsi":
+		if strings.HasPrefix(fn, "ata_") {
+			return "drivers/ata/"
+		}
+		return "drivers/scsi/"
+	case "time":
+		return "kernel/"
+	case "ipc":
+		return "ipc/"
+	case "io_uring":
+		if strings.HasPrefix(fn, "native_") {
+			return "arch/x86/kernel/"
+		}
+		return "io_uring/"
+	case "core":
+		return "kernel/"
+	default:
+		return "drivers/" + sub + "/"
+	}
+}
+
+// Summary classifies a set of crash titles for Table 2.
+type Summary struct {
+	New      []string
+	KnownOld []string
+	Filtered []string
+}
+
+// Classify partitions crash titles into the Table-2 buckets, deduplicated.
+func (t *Triage) Classify(titles []string) Summary {
+	var s Summary
+	seen := map[string]bool{}
+	for _, title := range titles {
+		if seen[title] {
+			continue
+		}
+		seen[title] = true
+		switch {
+		case Filtered(title):
+			s.Filtered = append(s.Filtered, title)
+		case t.IsKnown(title):
+			s.KnownOld = append(s.KnownOld, title)
+		default:
+			s.New = append(s.New, title)
+		}
+	}
+	return s
+}
+
+// CategoryCount is a Table-3 row: a manifestation category with
+// reproducible and non-reproducible crash counts.
+type CategoryCount struct {
+	Category  string
+	WithRepro int
+	NoRepro   int
+}
+
+// Tabulate produces the Table-3 categorization for crashes with their
+// reproduction outcome.
+func Tabulate(crashTitles map[string]bool /* title -> has reproducer */) []CategoryCount {
+	idx := map[string]int{}
+	rows := make([]CategoryCount, len(Categories))
+	for i, c := range Categories {
+		rows[i] = CategoryCount{Category: c}
+		idx[c] = i
+	}
+	for title, hasRepro := range crashTitles {
+		i := idx[Categorize(title)]
+		if hasRepro {
+			rows[i].WithRepro++
+		} else {
+			rows[i].NoRepro++
+		}
+	}
+	return rows
+}

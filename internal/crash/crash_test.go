@@ -1,0 +1,294 @@
+package crash
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/repro/snowplow/internal/exec"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/prog"
+)
+
+var testKernel = kernel.MustBuild("6.8")
+
+const ataCrashProg = "r0 = open(\"./file0\", 0x0, 0x0)\n" +
+	"r1 = openat$scsi(r0, \"./sg0\", 0x2, 0x0)\n" +
+	"ioctl$SCSI_IOCTL_SEND_COMMAND(r1, 0x1, &{0x85, &{0x1, 0x0, 0x0, 0x0, 0x0, 0x0, 0x0}, 0x400, 0x0, &b\"00\"})\n"
+
+const ataTitle = "KASAN: out-of-bounds Write in ata_pio_sector"
+
+func TestCategorize(t *testing.T) {
+	cases := map[string]string{
+		"KASAN: null-ptr-deref Read in foo":                  "Null pointer dereference",
+		"BUG: unable to handle page fault for address in x":  "Paging fault",
+		"kernel BUG in ext4_do_writepages":                   "Explicit assertion violation",
+		"general protection fault in bar":                    "General protection fault",
+		"KASAN: out-of-bounds Write in ata_pio_sector":       "Out of bounds access",
+		"KASAN: slab-use-after-free Read in ext4_search_dir": "Out of bounds access",
+		"WARNING in ext4_iomap_begin":                        "Warning",
+		"GUP (Get User Pages) no longer grows the stack":     "Warning",
+		"RCU stall in __sanitizer_cov_trace_pc":              "Other",
+	}
+	for title, want := range cases {
+		if got := Categorize(title); got != want {
+			t.Fatalf("Categorize(%q) = %q, want %q", title, got, want)
+		}
+	}
+}
+
+func TestCategorizeConsistentWithPlantedBugs(t *testing.T) {
+	for _, bug := range testKernel.Bugs() {
+		if got := Categorize(bug.Title); got != bug.Category {
+			t.Fatalf("planted bug %q: Categorize says %q, spec says %q", bug.Title, got, bug.Category)
+		}
+	}
+}
+
+func TestFiltered(t *testing.T) {
+	for _, title := range []string{
+		"INFO: task hung in foo",
+		"SYZFAIL: something",
+		"lost connection to the VM",
+	} {
+		if !Filtered(title) {
+			t.Fatalf("%q not filtered", title)
+		}
+	}
+	if Filtered(ataTitle) {
+		t.Fatal("real crash filtered")
+	}
+}
+
+func TestKnownListFromKernel(t *testing.T) {
+	tr := NewTriage(testKernel)
+	if len(tr.Known) < 30 {
+		t.Fatalf("known list has %d entries", len(tr.Known))
+	}
+	if !tr.IsKnown("WARNING in generic_file_read_iter") {
+		t.Fatal("planted known bug not on list")
+	}
+	if tr.IsKnown(ataTitle) {
+		t.Fatal("new bug marked known")
+	}
+}
+
+func TestReproduceAndMinimize(t *testing.T) {
+	tr := NewTriage(testKernel)
+	repro, err := tr.Reproduce(ataTitle, ataCrashProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro == nil {
+		t.Fatal("deterministic crash did not reproduce")
+	}
+	// Minimization must keep the crash and not grow the program.
+	if len(repro.Calls) > 3 {
+		t.Fatalf("minimized reproducer has %d calls", len(repro.Calls))
+	}
+	res, err := exec.New(testKernel).Run(repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crash == nil || res.Crash.Title != ataTitle {
+		t.Fatalf("minimized reproducer does not crash: %s", repro.Serialize())
+	}
+	// The ioctl call must survive minimization.
+	if !strings.Contains(repro.Serialize(), "ioctl$SCSI_IOCTL_SEND_COMMAND") {
+		t.Fatalf("minimization removed the crashing call:\n%s", repro.Serialize())
+	}
+}
+
+func TestReproduceFailsForNonCrashing(t *testing.T) {
+	tr := NewTriage(testKernel)
+	repro, err := tr.Reproduce(ataTitle, "r0 = open(\"./file0\", 0x0, 0x0)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro != nil {
+		t.Fatal("non-crashing program 'reproduced'")
+	}
+}
+
+func TestReproduceRejectsBadProgram(t *testing.T) {
+	tr := NewTriage(testKernel)
+	if _, err := tr.Reproduce(ataTitle, "nonsense(\n"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSymbolize(t *testing.T) {
+	tr := NewTriage(testKernel)
+	loc, ok := tr.Symbolize(ataTitle)
+	if !ok {
+		t.Fatal("ATA crash not symbolized")
+	}
+	if loc.Fn != "ata_pio_sector" {
+		t.Fatalf("Fn = %q", loc.Fn)
+	}
+	if loc.Path != "drivers/ata/" {
+		t.Fatalf("Path = %q", loc.Path)
+	}
+	loc, ok = tr.Symbolize("kernel BUG in ext4_do_writepages")
+	if !ok || loc.Path != "fs/ext4/" {
+		t.Fatalf("ext4 bug symbolized to %+v (ok=%v)", loc, ok)
+	}
+	if _, ok := tr.Symbolize("no such crash"); ok {
+		t.Fatal("unknown crash symbolized")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tr := NewTriage(testKernel)
+	titles := []string{
+		ataTitle,
+		ataTitle,                            // duplicate — must count once
+		"WARNING in generic_file_read_iter", // known
+		"INFO: task hung in foo",            // filtered
+		"totally novel crash in qux",
+	}
+	s := tr.Classify(titles)
+	if len(s.New) != 2 {
+		t.Fatalf("new = %v", s.New)
+	}
+	if len(s.KnownOld) != 1 {
+		t.Fatalf("known = %v", s.KnownOld)
+	}
+	if len(s.Filtered) != 1 {
+		t.Fatalf("filtered = %v", s.Filtered)
+	}
+}
+
+func TestTabulate(t *testing.T) {
+	rows := Tabulate(map[string]bool{
+		"general protection fault in a": true,
+		"general protection fault in b": false,
+		"WARNING in c":                  true,
+	})
+	byCat := map[string]CategoryCount{}
+	total := 0
+	for _, r := range rows {
+		byCat[r.Category] = r
+		total += r.WithRepro + r.NoRepro
+	}
+	if total != 3 {
+		t.Fatalf("tabulated %d crashes", total)
+	}
+	gpf := byCat["General protection fault"]
+	if gpf.WithRepro != 1 || gpf.NoRepro != 1 {
+		t.Fatalf("GPF row %+v", gpf)
+	}
+	if byCat["Warning"].WithRepro != 1 {
+		t.Fatalf("Warning row %+v", byCat["Warning"])
+	}
+}
+
+func TestMinimizePreservesResources(t *testing.T) {
+	// The reproducer's resource chain (open -> openat$scsi -> ioctl) cannot
+	// shrink below the producing calls: validate the minimized program.
+	tr := NewTriage(testKernel)
+	repro, err := tr.Reproduce(ataTitle, ataCrashProg)
+	if err != nil || repro == nil {
+		t.Fatal("no reproducer")
+	}
+	if err := repro.Validate(); err != nil {
+		t.Fatalf("minimized reproducer invalid: %v", err)
+	}
+}
+
+func TestReproduceCounterBug(t *testing.T) {
+	// The counter-gated writepages bug needs its fsync pressure preserved.
+	text := "r0 = open(\"./file0\", 0x0, 0x0)\n"
+	for i := 0; i < 14; i++ {
+		text += "fsync(r0)\n"
+	}
+	tr := NewTriage(testKernel)
+	repro, err := tr.Reproduce("kernel BUG in ext4_do_writepages", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro == nil {
+		t.Fatal("counter bug did not reproduce")
+	}
+	// Minimization may remove some fsyncs but must keep enough pressure.
+	res, err := exec.New(testKernel).Run(repro)
+	if err != nil || res.Crash == nil {
+		t.Fatalf("minimized counter reproducer does not crash:\n%s", repro.Serialize())
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	tr := NewTriage(testKernel)
+	rep, err := tr.BuildReport(ataTitle, ataCrashProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Title != ataTitle || rep.Detector != "KASAN" {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if len(rep.CallTrace) == 0 {
+		t.Fatal("empty call trace")
+	}
+	// Innermost frame is the crashing function.
+	if rep.CallTrace[0].Fn != "ata_pio_sector" {
+		t.Fatalf("innermost frame %q", rep.CallTrace[0].Fn)
+	}
+	if rep.Repro == "" {
+		t.Fatal("deterministic crash lost its reproducer")
+	}
+	text := rep.Render()
+	for _, want := range []string{"Call Trace:", "ata_pio_sector+0x", "drivers/ata/", "syz reproducer:", "ioctl$SCSI_IOCTL_SEND_COMMAND"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBuildReportRejectsNonCrashing(t *testing.T) {
+	tr := NewTriage(testKernel)
+	if _, err := tr.BuildReport(ataTitle, "r0 = open(\"./file0\", 0x0, 0x0)\n"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuildReportKnownFlag(t *testing.T) {
+	tr := NewTriage(testKernel)
+	// Trigger a known shallow bug: read with a big buffer.
+	text := "r0 = open(\"./file0\", 0x0, 0x0)\nread(r0, &b\"" + strings.Repeat("ab", 4090) + "\", 0x1ffa)\n"
+	res, err := exec.New(testKernel).Run(progMust(t, text))
+	if err != nil || res.Crash == nil {
+		t.Skipf("fixture did not crash (err=%v)", err)
+	}
+	rep, err := tr.BuildReport(res.Crash.Title, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Known {
+		t.Fatalf("known bug %q not flagged", res.Crash.Title)
+	}
+	if !strings.Contains(rep.Render(), "already reported") {
+		t.Fatal("render missing known-status line")
+	}
+}
+
+func progMust(t *testing.T, text string) *prog.Prog {
+	t.Helper()
+	p, err := prog.Parse(testKernel.Target, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAddKnown(t *testing.T) {
+	tr := NewTriage(testKernel)
+	if tr.IsKnown("brand new crash in zz") {
+		t.Fatal("unknown title already known")
+	}
+	tr.AddKnown([]string{"brand new crash in zz", "INFO: should be filtered"})
+	if !tr.IsKnown("brand new crash in zz") {
+		t.Fatal("AddKnown did not register title")
+	}
+	if tr.IsKnown("INFO: should be filtered") {
+		t.Fatal("filtered title added to known list")
+	}
+}

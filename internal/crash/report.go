@@ -1,0 +1,107 @@
+package crash
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/repro/snowplow/internal/exec"
+
+	"github.com/repro/snowplow/internal/prog"
+)
+
+// Report is a rendered, Syzbot-style crash report: description line,
+// detector detail, reconstructed call trace, and the reproducer.
+type Report struct {
+	Title     string
+	Detector  string
+	Category  string
+	CallTrace []Frame
+	Repro     string // serialized reproducer ("" if none)
+	Known     bool
+}
+
+// Frame is one call-trace entry.
+type Frame struct {
+	Fn   string
+	Path string
+}
+
+// BuildReport re-executes the crashing program, reconstructs the kernel
+// call trace from the executed blocks of the crashing call (innermost
+// frame first), and assembles the report. It returns an error if the
+// program does not crash with the given title within the triage's
+// reproduction attempts.
+func (t *Triage) BuildReport(title, progText string) (*Report, error) {
+	p, err := prog.Parse(t.K.Target, progText)
+	if err != nil {
+		return nil, fmt.Errorf("crash: report program: %w", err)
+	}
+	exe := exec.New(t.K)
+	var res *exec.Result
+	for i := 0; i < t.ReproAttempts; i++ {
+		r, err := exe.Run(p)
+		if err != nil {
+			return nil, err
+		}
+		if r.Crash != nil && r.Crash.Title == title {
+			res = r
+			break
+		}
+	}
+	if res == nil {
+		return nil, fmt.Errorf("crash: %q did not re-manifest", title)
+	}
+	rep := &Report{
+		Title:    title,
+		Detector: res.Crash.Detector,
+		Category: Categorize(title),
+		Known:    t.IsKnown(title),
+	}
+	// The crashing call's trace, innermost function first, consecutive
+	// duplicates collapsed — the shape of a real kernel backtrace.
+	tr := res.CallTraces[res.CrashCall]
+	var frames []Frame
+	lastFn := ""
+	for i := len(tr) - 1; i >= 0; i-- {
+		b := t.K.Block(tr[i])
+		if b.Fn == lastFn {
+			continue
+		}
+		lastFn = b.Fn
+		frames = append(frames, Frame{Fn: b.Fn, Path: subsystemPath(b.Subsystem, b.Fn)})
+		if len(frames) >= 12 {
+			break
+		}
+	}
+	rep.CallTrace = frames
+	if repro, err := t.Reproduce(title, progText); err == nil && repro != nil {
+		rep.Repro = repro.Serialize()
+	}
+	return rep, nil
+}
+
+// Render formats the report in the familiar kernel-oops style.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	if r.Detector != "" {
+		fmt.Fprintf(&b, "detected by: %s\n", r.Detector)
+	}
+	fmt.Fprintf(&b, "category: %s\n", r.Category)
+	fmt.Fprintf(&b, "CPU: 0 PID: 4242 Comm: syz-executor Not tainted\n")
+	b.WriteString("Call Trace:\n")
+	for i, f := range r.CallTrace {
+		fmt.Fprintf(&b, " %s+0x%x/0x%x %s\n", f.Fn, 0x40+i*0x1c, 0x200, f.Path)
+	}
+	b.WriteString(" entry_SYSCALL_64_after_hwframe+0x44/0xae\n")
+	if r.Known {
+		b.WriteString("status: already reported to syzbot\n")
+	}
+	if r.Repro != "" {
+		b.WriteString("\nsyz reproducer:\n")
+		b.WriteString(r.Repro)
+	} else {
+		b.WriteString("\nno reproducer (crash did not re-manifest reliably)\n")
+	}
+	return b.String()
+}

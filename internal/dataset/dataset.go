@@ -1,0 +1,303 @@
+// Package dataset implements the mutation dataset generation of §3.1:
+// harvesting successful argument mutations by random search, merging
+// mutations that reach the same new coverage, constructing noisy target
+// sets, capping over-popular target blocks, and splitting by base test.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/exec"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/mutation"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/trace"
+)
+
+// Example is one training example ⟨sᵢ, cᵢ, aᵢⱼ, ĉᵢⱼ⟩: a base test, its
+// coverage, the argument slots whose mutation reached new coverage, and the
+// noisy desired-target set.
+type Example struct {
+	// BaseIdx identifies the base test; dataset splits keep all examples of
+	// one base together (§5.1).
+	BaseIdx int
+	// Prog is the base test (not the mutant — §3.1 deliberately discards
+	// the mutated program).
+	Prog *prog.Prog
+	// Traces is the base test's per-call block trace.
+	Traces [][]kernel.BlockID
+	// Slots is aᵢⱼ: the argument slots to label MUTATE.
+	Slots []prog.GlobalSlot
+	// Targets is ĉᵢⱼ: the noisy desired coverage (alternative path entries).
+	Targets []kernel.BlockID
+}
+
+// Dataset is an ordered collection of examples.
+type Dataset struct {
+	Examples []*Example
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Examples) }
+
+// Split partitions the dataset by base test into train/validation/eval
+// subsets with approximately the given fractions. All examples of one base
+// land in the same split, as §5.1 requires.
+func (d *Dataset) Split(trainFrac, valFrac float64) (train, val, eval *Dataset) {
+	bases := map[int]int{} // base idx -> split (0 train, 1 val, 2 eval)
+	var order []int
+	for _, ex := range d.Examples {
+		if _, ok := bases[ex.BaseIdx]; !ok {
+			bases[ex.BaseIdx] = -1
+			order = append(order, ex.BaseIdx)
+		}
+	}
+	sort.Ints(order)
+	nTrain := int(float64(len(order)) * trainFrac)
+	nVal := int(float64(len(order)) * valFrac)
+	for i, b := range order {
+		switch {
+		case i < nTrain:
+			bases[b] = 0
+		case i < nTrain+nVal:
+			bases[b] = 1
+		default:
+			bases[b] = 2
+		}
+	}
+	train, val, eval = &Dataset{}, &Dataset{}, &Dataset{}
+	for _, ex := range d.Examples {
+		switch bases[ex.BaseIdx] {
+		case 0:
+			train.Examples = append(train.Examples, ex)
+		case 1:
+			val.Examples = append(val.Examples, ex)
+		default:
+			eval.Examples = append(eval.Examples, ex)
+		}
+	}
+	return train, val, eval
+}
+
+// CollectStats reports what the harvest found (§5.1's reporting).
+type CollectStats struct {
+	Bases               int // base tests processed
+	SkippedBases        int // crashed or empty-trace bases excluded
+	Mutations           int // total mutations executed
+	Successful          int // mutations with new coverage
+	MergedSamples       int // after same-coverage merging
+	Examples            int // final examples after noise + capping
+	DiscardedPopularity int // examples dropped by the popularity cap
+	TotalSlots          int // sum of per-base mutation surface (avg args/test)
+}
+
+// Collector harvests successful argument mutations from a kernel.
+type Collector struct {
+	K   *kernel.Kernel
+	An  *cfa.Analysis
+	Mut *mutation.Mutator
+
+	// MutationsPerBase is the number of random argument mutations tried per
+	// base test (the paper uses 1000).
+	MutationsPerBase int
+	// NoiseFractions are the target-set sampling fractions of §3.1's design
+	// option (c); 0 means "exactly one target".
+	NoiseFractions []float64
+	// PopularityCap bounds how many examples any single block may appear in
+	// as a target (0 disables the cap).
+	PopularityCap int
+	// ExactTargets switches to §3.1's design option (a): targets are exactly
+	// the newly covered frontier blocks, no distractors (ablation).
+	ExactTargets bool
+}
+
+// NewCollector returns a Collector with the paper's defaults.
+func NewCollector(k *kernel.Kernel, an *cfa.Analysis) *Collector {
+	return &Collector{
+		K:                k,
+		An:               an,
+		Mut:              mutation.NewMutator(k.Target),
+		MutationsPerBase: 1000,
+		NoiseFractions:   []float64{0, 0.25, 0.50, 0.75, 1.0},
+		PopularityCap:    64,
+	}
+}
+
+// Collect runs the harvest over the base corpus and assembles the dataset.
+// Execution is deterministic given r.
+func (c *Collector) Collect(r *rng.Rand, bases []*prog.Prog) (*Dataset, CollectStats) {
+	var stats CollectStats
+	ds := &Dataset{}
+	exe := exec.New(c.K)
+	popularity := map[kernel.BlockID]int{}
+	for baseIdx, base := range bases {
+		stats.Bases++
+		res, err := exe.Run(base)
+		if err != nil || res.Crash != nil || res.Cost == 0 {
+			// §5.1: bases that crash or do not complete are excluded.
+			stats.SkippedBases++
+			continue
+		}
+		covered := trace.NewBlockSet(trace.BlocksOf(res))
+		stats.TotalSlots += base.NumSlots()
+		frontier := c.An.Frontier(covered)
+		frontierSet := map[kernel.BlockID]bool{}
+		var frontierBlocks []kernel.BlockID
+		seen := map[kernel.BlockID]bool{}
+		for _, alt := range frontier {
+			if !seen[alt.Entry] {
+				seen[alt.Entry] = true
+				frontierSet[alt.Entry] = true
+				frontierBlocks = append(frontierBlocks, alt.Entry)
+			}
+		}
+
+		// Random mutation search: key = signature of new coverage,
+		// value = union of slots that reached it.
+		merged := map[string]*mergedSample{}
+		for j := 0; j < c.MutationsPerBase; j++ {
+			slots := mutation.RandomLocalizer{K: 1}.Localize(r, base)
+			rec := c.Mut.MutateArgs(r, base, slots)
+			stats.Mutations++
+			mres, err := exe.Run(rec.Prog)
+			if err != nil {
+				continue
+			}
+			mCovered := trace.NewBlockSet(trace.BlocksOf(mres))
+			newBlocks := mCovered.Diff(covered)
+			if len(newBlocks) == 0 {
+				continue
+			}
+			stats.Successful++
+			key := blocksKey(newBlocks)
+			ms, ok := merged[key]
+			if !ok {
+				ms = &mergedSample{newBlocks: newBlocks}
+				merged[key] = ms
+			}
+			ms.addSlots(rec.Slots)
+		}
+		stats.MergedSamples += len(merged)
+
+		// Assemble examples with noisy targets.
+		keys := make([]string, 0, len(merged))
+		for k := range merged {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			ms := merged[key]
+			// The achievable part: newly covered blocks that are one branch
+			// away from the base coverage.
+			var near []kernel.BlockID
+			for _, b := range ms.newBlocks {
+				if frontierSet[b] {
+					near = append(near, b)
+				}
+			}
+			if len(near) == 0 {
+				continue // no local knowledge to train on
+			}
+			targets := c.buildTargets(r, near, frontierBlocks)
+			if len(targets) == 0 {
+				continue
+			}
+			// Popularity cap: discard examples whose targets are dominated
+			// by blocks we have already used many times.
+			if c.PopularityCap > 0 {
+				over := 0
+				for _, t := range targets {
+					if popularity[t] >= c.PopularityCap {
+						over++
+					}
+				}
+				if over == len(targets) {
+					stats.DiscardedPopularity++
+					continue
+				}
+			}
+			for _, t := range targets {
+				popularity[t]++
+			}
+			ds.Examples = append(ds.Examples, &Example{
+				BaseIdx: baseIdx,
+				Prog:    base,
+				Traces:  res.CallTraces,
+				Slots:   ms.slots(),
+				Targets: targets,
+			})
+			stats.Examples++
+		}
+	}
+	return ds, stats
+}
+
+// buildTargets implements the §3.1 target construction: sample from the
+// noisy set (all frontier blocks) at one of the noise fractions, always
+// keeping at least one actually-achievable block in the sample. With
+// ExactTargets (ablation), it returns exactly the achievable blocks.
+func (c *Collector) buildTargets(r *rng.Rand, near, frontier []kernel.BlockID) []kernel.BlockID {
+	if c.ExactTargets {
+		return append([]kernel.BlockID(nil), near...)
+	}
+	frac := c.NoiseFractions[r.Intn(len(c.NoiseFractions))]
+	// Always include one achievable block.
+	targets := []kernel.BlockID{near[r.Intn(len(near))]}
+	if frac > 0 {
+		n := int(float64(len(frontier)) * frac)
+		perm := r.Perm(len(frontier))
+		for _, pi := range perm {
+			if len(targets) > n {
+				break
+			}
+			b := frontier[pi]
+			if b != targets[0] {
+				targets = append(targets, b)
+			}
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	return targets
+}
+
+// mergedSample accumulates slots across mutations reaching identical new
+// coverage.
+type mergedSample struct {
+	newBlocks []kernel.BlockID
+	slotSet   map[prog.GlobalSlot]bool
+}
+
+func (m *mergedSample) addSlots(slots []prog.GlobalSlot) {
+	if m.slotSet == nil {
+		m.slotSet = map[prog.GlobalSlot]bool{}
+	}
+	for _, s := range slots {
+		m.slotSet[s] = true
+	}
+}
+
+func (m *mergedSample) slots() []prog.GlobalSlot {
+	out := make([]prog.GlobalSlot, 0, len(m.slotSet))
+	for s := range m.slotSet {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Call != out[j].Call {
+			return out[i].Call < out[j].Call
+		}
+		return out[i].Slot < out[j].Slot
+	})
+	return out
+}
+
+func blocksKey(blocks []kernel.BlockID) string {
+	var b strings.Builder
+	for _, id := range blocks {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package directed
+
+import (
+	"testing"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/serve"
+)
+
+var (
+	testKernel = kernel.MustBuild("6.8")
+	testAn     = cfa.New(testKernel)
+)
+
+// shallowTarget returns a block right at a handler entry (reached by merely
+// invoking the syscall), like Table 5's easy targets.
+func shallowTarget(name string) kernel.BlockID {
+	return testKernel.Handler(name).Entry
+}
+
+// deepTarget returns a block gated behind the ATA bug's argument chain: the
+// branch block one step before the crash, requiring 4 satisfied argument
+// constraints to reach. plantChain appends the innermost branch first, so
+// the first matching branch in handler order is the deepest.
+func deepTarget(t *testing.T) kernel.BlockID {
+	t.Helper()
+	h := testKernel.Handler("ioctl$SCSI_IOCTL_SEND_COMMAND")
+	for _, id := range h.Blocks {
+		b := testKernel.Block(id)
+		if b.Fn == "ata_pio_sector" && b.Kind == kernel.BlockBranch {
+			return id
+		}
+	}
+	t.Fatal("ATA chain not found")
+	return 0
+}
+
+func TestReachShallowTarget(t *testing.T) {
+	res, err := New(Config{
+		Kernel: testKernel,
+		An:     testAn,
+		Target: shallowTarget("open"),
+		Seed:   1,
+		Budget: 100_000,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatal("shallow target not reached")
+	}
+	if res.Cost > 10_000 {
+		t.Fatalf("shallow target took %d cost (expected near-immediate)", res.Cost)
+	}
+}
+
+func TestReachMidTarget(t *testing.T) {
+	// The resource-validity gate's success side: requires a wired scsi fd.
+	h := testKernel.Handler("ioctl$SG_IO")
+	var gateSucc kernel.BlockID = -1
+	for _, id := range h.Blocks {
+		b := testKernel.Block(id)
+		if b.Kind == kernel.BlockBranch && b.Pred.Kind == kernel.PredResourceValid {
+			gateSucc = b.Taken
+			break
+		}
+	}
+	if gateSucc < 0 {
+		t.Skip("no validity gate on this handler")
+	}
+	res, err := New(Config{
+		Kernel: testKernel, An: testAn, Target: gateSucc, Seed: 2, Budget: 500_000,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatal("gated target not reached: resource wiring heuristic broken")
+	}
+}
+
+func TestUnreachableTargetExhaustsBudget(t *testing.T) {
+	// A crash block of a known shallow bug in another subsystem will
+	// usually be reached; instead target a block whose predicate chain is
+	// contradictory: use the deep ATA chain but with a tiny budget, so the
+	// run must terminate cleanly without reaching it.
+	res, err := New(Config{
+		Kernel: testKernel, An: testAn, Target: deepTarget(t), Seed: 3, Budget: 3_000,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Skip("deep target reached even with tiny budget (lucky seed)")
+	}
+	if res.Cost < 3_000 {
+		t.Fatalf("budget not consumed: %d", res.Cost)
+	}
+}
+
+func TestDirectedDeterministic(t *testing.T) {
+	cfg := Config{Kernel: testKernel, An: testAn, Target: shallowTarget("socket"), Seed: 4, Budget: 50_000}
+	a, err := New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reached != b.Reached || a.Cost != b.Cost || a.Executions != b.Executions {
+		t.Fatalf("directed runs diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestSnowplowDMode(t *testing.T) {
+	m := pmm.NewModel(rng.New(5), pmm.DefaultConfig(), pmm.BuildVocab(testKernel))
+	srv := serve.NewServer(m, qgraph.NewBuilder(testKernel, testAn), 2)
+	defer srv.Close()
+	res, err := New(Config{
+		Kernel: testKernel, An: testAn,
+		Target: shallowTarget("mmap"),
+		Seed:   6, Budget: 100_000,
+		Server: srv,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatal("Snowplow-D did not reach shallow target")
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// CurveBand is the min/mean/max band of repeated coverage runs, sampled on
+// a common cost grid.
+type CurveBand struct {
+	Cost           []int64
+	Min, Mean, Max []float64
+}
+
+// Fig6Version is one subfigure (6a/6b/6c): both fuzzers on one kernel.
+type Fig6Version struct {
+	Version   string
+	Snowplow  CurveBand
+	Syzkaller CurveBand
+	// ImprovementPct is Figure 6d: mean final coverage improvement.
+	ImprovementPct float64
+	// Speedup is how many times faster Snowplow's mean curve reaches
+	// Syzkaller's mean final coverage (paper: 5.2x / >4.8x).
+	Speedup float64
+	// BandsOverlapAtEnd reports whether the two bands still overlap at the
+	// final sample (the paper's bands separate early).
+	BandsOverlapAtEnd bool
+}
+
+// Fig6Result is the full Figure 6.
+type Fig6Result struct {
+	Versions []Fig6Version
+}
+
+// Fig6 runs the repeated side-by-side coverage comparison on kernels 6.8
+// (trained-on), 6.9 and 6.10 (generalization).
+func Fig6(h *Harness) Fig6Result {
+	var res Fig6Result
+	for _, version := range []string{"6.8", "6.9", "6.10"} {
+		res.Versions = append(res.Versions, fig6Version(h, version))
+	}
+	return res
+}
+
+func fig6Version(h *Harness, version string) Fig6Version {
+	opts := h.Opts
+	k := h.Kernel(version)
+	an := h.Analysis(version)
+	srv := h.Server(version)
+	defer srv.Close()
+
+	sampleEvery := opts.FuzzBudget / 60
+	var snowRuns, syzRuns [][]fuzzer.Point
+	for rep := 0; rep < opts.Repeats; rep++ {
+		seed := opts.Seed + uint64(rep)*101
+		seeds := seedPrograms(h, version, seed)
+		h.logf("fig6 %s rep %d: syzkaller...\n", version, rep)
+		syz := mustRun(fuzzer.New(fuzzer.Config{
+			Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+			Seed: seed, Budget: opts.FuzzBudget, SampleEvery: sampleEvery,
+			SeedCorpus: seeds,
+		}))
+		h.logf("fig6 %s rep %d: snowplow...\n", version, rep)
+		snow := mustRun(fuzzer.New(fuzzer.Config{
+			Mode: fuzzer.ModeSnowplow, Kernel: k, An: an,
+			Seed: seed, Budget: opts.FuzzBudget, SampleEvery: sampleEvery,
+			SeedCorpus: seeds, Server: srv,
+		}))
+		syzRuns = append(syzRuns, syz.Series)
+		snowRuns = append(snowRuns, snow.Series)
+	}
+
+	v := Fig6Version{Version: version}
+	v.Syzkaller = band(syzRuns, opts.FuzzBudget, sampleEvery)
+	v.Snowplow = band(snowRuns, opts.FuzzBudget, sampleEvery)
+	syzFinal := lastOf(v.Syzkaller.Mean)
+	snowFinal := lastOf(v.Snowplow.Mean)
+	if syzFinal > 0 {
+		v.ImprovementPct = 100 * (snowFinal - syzFinal) / syzFinal
+	}
+	v.Speedup = speedup(v.Snowplow, syzFinal, opts.FuzzBudget)
+	v.BandsOverlapAtEnd = lastOf(v.Snowplow.Min) <= lastOf(v.Syzkaller.Max)
+	return v
+}
+
+// seedPrograms builds the common initial seed corpus for one repeat.
+func seedPrograms(h *Harness, version string, seed uint64) []*prog.Prog {
+	k := h.Kernel(version)
+	g := prog.NewGenerator(k.Target)
+	r := rng.New(seed + 0x5eed)
+	out := make([]*prog.Prog, 20)
+	for i := range out {
+		out[i] = g.Generate(r, 3+r.Intn(4))
+	}
+	return out
+}
+
+func mustRun(f *fuzzer.Fuzzer) *fuzzer.Stats {
+	stats, err := f.Run()
+	if err != nil {
+		panic(err)
+	}
+	return stats
+}
+
+// band resamples runs onto a common grid and computes min/mean/max.
+func band(runs [][]fuzzer.Point, budget, sampleEvery int64) CurveBand {
+	var b CurveBand
+	for c := sampleEvery; c <= budget; c += sampleEvery {
+		b.Cost = append(b.Cost, c)
+		min, max, sum := 1e18, -1e18, 0.0
+		for _, run := range runs {
+			v := float64(coverageAt(run, c))
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		b.Min = append(b.Min, min)
+		b.Max = append(b.Max, max)
+		b.Mean = append(b.Mean, sum/float64(len(runs)))
+	}
+	return b
+}
+
+// coverageAt returns the last coverage value at or before cost c.
+func coverageAt(series []fuzzer.Point, c int64) int {
+	cov := 0
+	for _, p := range series {
+		if p.Cost > c {
+			break
+		}
+		cov = p.Edges
+	}
+	return cov
+}
+
+// speedup finds how much earlier the snowplow mean curve reaches the
+// baseline's final coverage.
+func speedup(snow CurveBand, syzFinal float64, budget int64) float64 {
+	for i, v := range snow.Mean {
+		if v >= syzFinal {
+			if snow.Cost[i] == 0 {
+				return float64(budget)
+			}
+			return float64(budget) / float64(snow.Cost[i])
+		}
+	}
+	return 1
+}
+
+func lastOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}
+
+// Render prints Figure 6 as text curves plus the 6d summary rows.
+func (r Fig6Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Figure 6: edge coverage, Snowplow vs Syzkaller ==\n")
+	for _, v := range r.Versions {
+		fmt.Fprintf(w, "\n-- Linux %s --\n", v.Version)
+		fmt.Fprintf(w, "%12s  %22s  %22s\n", "cost", "snowplow (min/mean/max)", "syzkaller (min/mean/max)")
+		n := len(v.Snowplow.Cost)
+		step := n / 8
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < n; i += step {
+			fmt.Fprintf(w, "%12d  %6.0f/%6.0f/%6.0f  %6.0f/%6.0f/%6.0f\n",
+				v.Snowplow.Cost[i],
+				v.Snowplow.Min[i], v.Snowplow.Mean[i], v.Snowplow.Max[i],
+				v.Syzkaller.Min[i], v.Syzkaller.Mean[i], v.Syzkaller.Max[i])
+		}
+		fmt.Fprintf(w, "final improvement: %+.1f%%  (paper: +7.0%% on 6.8, +8.6%% on 6.9, +7.7%% on 6.10)\n", v.ImprovementPct)
+		fmt.Fprintf(w, "time-to-baseline-final speedup: %.1fx  (paper: 5.2x on 6.8, >4.8x on others)\n", v.Speedup)
+		fmt.Fprintf(w, "bands overlap at end: %v (paper: no overlap after early hours)\n", v.BandsOverlapAtEnd)
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/exec"
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/mutation"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/serve"
+	"github.com/repro/snowplow/internal/trace"
+)
+
+type fuzzerMode struct {
+	name string
+	srv  *serve.Server
+}
+
+func runOneScratch(h *Harness, k *kernel.Kernel, an *cfa.Analysis, mode fuzzerMode) *fuzzer.Stats {
+	cfg := fuzzer.Config{
+		Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+		Seed: h.Opts.Seed, Budget: h.Opts.FuzzBudget,
+		SeedCorpus: seedPrograms(h, "6.8", h.Opts.Seed),
+	}
+	if mode.srv != nil {
+		cfg.Mode = fuzzer.ModeSnowplow
+		cfg.Server = mode.srv
+	}
+	return mustRun(fuzzer.New(cfg))
+}
+
+// TestScratchHeadline is a manual exploration harness (EXP_SCRATCH=1): it
+// trains the model and runs the Figure-6 comparison on kernel 6.8 only,
+// printing the result, so fuzzing dynamics can be tuned quickly.
+func TestScratchHeadline(t *testing.T) {
+	if os.Getenv("EXP_SCRATCH") == "" {
+		t.Skip("set EXP_SCRATCH=1 to run")
+	}
+	opts := Quick()
+	opts.Bases = 120
+	opts.MutationsPerBase = 200
+	opts.TrainEpochs = 8
+	opts.FuzzBudget = 1_000_000
+	opts.Repeats = 2
+	h := NewHarness(opts)
+	h.Log = os.Stderr
+
+	t1 := Table1(h)
+	t1.Render(os.Stderr)
+
+	v := fig6Version(h, "6.8")
+	res := Fig6Result{Versions: []Fig6Version{v}}
+	res.Render(os.Stderr)
+}
+
+// TestScratchIsolated measures localization value in isolation
+// (EXP_ISO=1): for corpus entries with fresh argument-gated frontier
+// targets, how often do N guided vs N random argument mutations cover one
+// of the targets?
+func TestScratchIsolated(t *testing.T) {
+	if os.Getenv("EXP_ISO") == "" {
+		t.Skip("set EXP_ISO=1 to run")
+	}
+	opts := Quick()
+	opts.Bases = 120
+	opts.MutationsPerBase = 200
+	opts.TrainEpochs = 8
+	h := NewHarness(opts)
+	h.Log = os.Stderr
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	m, _ := h.Model()
+	b := qgraph.NewBuilder(k, an)
+	m.Freeze()
+
+	// Build a mid-campaign corpus.
+	f := fuzzer.New(fuzzer.Config{
+		Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+		Seed: 99, Budget: 300_000, SeedCorpus: seedPrograms(h, "6.8", 99),
+	})
+	stats, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("corpus after warmup: %d entries, %d edges", stats.CorpusSize, stats.FinalEdges)
+
+	covered := trace.BlockSet{}
+	for _, e := range f.Corpus().Entries() {
+		for blk := range e.Blocks {
+			covered.Add(blk)
+		}
+	}
+	mut := mutation.NewMutator(k.Target)
+	exe := exec.New(k)
+	r := rng.New(4242)
+	const tries = 20
+	var guidedHits, randomHits, cases int
+	for _, e := range f.Corpus().Entries() {
+		// Fresh argument-gated frontier targets of this entry.
+		var targets []kernel.BlockID
+		for _, alt := range an.Frontier(e.Blocks) {
+			if covered.Has(alt.Entry) {
+				continue
+			}
+			switch k.Block(alt.From).Pred.Kind {
+			case kernel.PredCounterGT, kernel.PredCounterEQ:
+				continue
+			}
+			targets = append(targets, alt.Entry)
+			if len(targets) >= 16 {
+				break
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		cases++
+		if cases > 40 {
+			break
+		}
+		tgtSet := trace.NewBlockSet(targets)
+		hit := func(res *exec.Result) bool {
+			for _, tr := range res.CallTraces {
+				for _, blk := range tr {
+					if tgtSet.Has(blk) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		// Guided: predict once, spread tries over predicted slots.
+		g := b.Build(e.Prog, e.Traces, targets)
+		slots, _ := m.Predict(g)
+		for i := 0; i < tries; i++ {
+			slot := slots[i%len(slots)]
+			rec := mut.MutateArgs(r, e.Prog, []prog.GlobalSlot{slot})
+			res, err := exe.Run(rec.Prog)
+			if err == nil && hit(res) {
+				guidedHits++
+				break
+			}
+		}
+		// Random localization, same try budget.
+		for i := 0; i < tries; i++ {
+			rec := mut.MutateType(r, e.Prog, mutation.ArgMutation)
+			res, err := exe.Run(rec.Prog)
+			if err == nil && hit(res) {
+				randomHits++
+				break
+			}
+		}
+	}
+	t.Logf("isolated localization: %d cases, guided hit %d, random hit %d (within %d tries)",
+		cases, guidedHits, randomHits, tries)
+}
+
+// TestScratchYield diagnoses per-class mutation yield (EXP_YIELD=1).
+func TestScratchYield(t *testing.T) {
+	if os.Getenv("EXP_YIELD") == "" {
+		t.Skip("set EXP_YIELD=1 to run")
+	}
+	opts := Quick()
+	opts.Bases = 120
+	opts.MutationsPerBase = 200
+	opts.TrainEpochs = 8
+	opts.FuzzBudget = 1_000_000
+	h := NewHarness(opts)
+	h.Log = os.Stderr
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	srv := h.Server("6.8")
+	defer srv.Close()
+
+	for _, mode := range []fuzzerMode{
+		{name: "syzkaller"},
+		{name: "snowplow", srv: srv},
+	} {
+		stats := runOneScratch(h, k, an, mode)
+		y := stats.Yield
+		t.Logf("%s: final edges %d, execs %d", mode.name, stats.FinalEdges, stats.Executions)
+		rate := func(e, x int64) float64 {
+			if x == 0 {
+				return 0
+			}
+			return float64(e) / float64(x)
+		}
+		t.Logf("  guided:  %6d execs, %6d edges (%.3f/exec)", y.GuidedExecs, y.GuidedEdges, rate(y.GuidedEdges, y.GuidedExecs))
+		t.Logf("  randarg: %6d execs, %6d edges (%.3f/exec)", y.RandArgExecs, y.RandArgEdges, rate(y.RandArgEdges, y.RandArgExecs))
+		t.Logf("  other:   %6d execs, %6d edges (%.3f/exec)", y.OtherMutExecs, y.OtherMutEdges, rate(y.OtherMutEdges, y.OtherMutExecs))
+		t.Logf("  gen:     %6d execs, %6d edges (%.3f/exec)", y.GenerateExecs, y.GenerateEdges, rate(y.GenerateEdges, y.GenerateExecs))
+		t.Logf("  pmm: %d queries %d predictions", stats.PMMQueries, stats.PMMPredictions)
+	}
+}
+
+// TestScratchTable5 validates the directed-fuzzing experiment end to end
+// (EXP_T5=1).
+func TestScratchTable5(t *testing.T) {
+	if os.Getenv("EXP_T5") == "" {
+		t.Skip("set EXP_T5=1 to run")
+	}
+	opts := Quick()
+	opts.Bases = 120
+	opts.MutationsPerBase = 200
+	opts.TrainEpochs = 8
+	opts.DirectedBudget = 300_000
+	opts.Repeats = 3
+	h := NewHarness(opts)
+	h.Log = os.Stderr
+	res := Table5(h)
+	res.Render(os.Stderr)
+}

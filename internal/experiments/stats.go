@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/repro/snowplow/internal/qgraph"
+)
+
+// StatsResult reproduces the §5.1 dataset-scale statistics.
+type StatsResult struct {
+	Bases              int
+	AvgSlotsPerBase    float64 // paper: >60 arguments per test
+	Mutations          int
+	Successful         int
+	SuccessPerThousand float64 // paper: ~45 per 1000
+	Examples           int
+	AvgVertices        float64 // paper: 2372
+	AvgEdges           float64 // paper: 2989
+	AvgArgs            float64 // paper: 62
+	AvgCovered         float64 // paper: 1631
+	AvgAlternatives    float64 // paper: 674
+	AvgCtxSwitch       float64 // paper: 10
+}
+
+// Stats computes the §5.1 statistics over the harvested dataset.
+func Stats(h *Harness) StatsResult {
+	ds, cs := h.Dataset()
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	b := qgraph.NewBuilder(k, an)
+	var res StatsResult
+	res.Bases = cs.Bases - cs.SkippedBases
+	if res.Bases > 0 {
+		res.AvgSlotsPerBase = float64(cs.TotalSlots) / float64(res.Bases)
+	}
+	res.Mutations = cs.Mutations
+	res.Successful = cs.Successful
+	if cs.Mutations > 0 {
+		res.SuccessPerThousand = 1000 * float64(cs.Successful) / float64(cs.Mutations)
+	}
+	res.Examples = ds.Len()
+	n := ds.Len()
+	if n > 50 {
+		n = 50 // graph stats over a sample
+	}
+	for i := 0; i < n; i++ {
+		ex := ds.Examples[i]
+		g := b.Build(ex.Prog, ex.Traces, ex.Targets)
+		st := g.Stats()
+		res.AvgVertices += float64(len(g.Vertices))
+		res.AvgEdges += float64(len(g.Edges))
+		res.AvgArgs += float64(st.Args)
+		res.AvgCovered += float64(st.Covered)
+		res.AvgAlternatives += float64(st.Alternatives + st.Targets)
+		res.AvgCtxSwitch += float64(st.CtxSwitch)
+	}
+	if n > 0 {
+		f := float64(n)
+		res.AvgVertices /= f
+		res.AvgEdges /= f
+		res.AvgArgs /= f
+		res.AvgCovered /= f
+		res.AvgAlternatives /= f
+		res.AvgCtxSwitch /= f
+	}
+	return res
+}
+
+// Render prints the statistics with the paper's values alongside.
+func (r StatsResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== §5.1 dataset statistics (measured vs paper) ==\n")
+	fmt.Fprintf(w, "bases processed:             %d\n", r.Bases)
+	fmt.Fprintf(w, "avg mutable args per test:   %.1f   (paper: >60; scale differs with program length)\n", r.AvgSlotsPerBase)
+	fmt.Fprintf(w, "successful mutations/1000:   %.1f   (paper: ~45)\n", r.SuccessPerThousand)
+	fmt.Fprintf(w, "training examples:           %d\n", r.Examples)
+	fmt.Fprintf(w, "avg graph vertices:          %.0f   (paper: 2372)\n", r.AvgVertices)
+	fmt.Fprintf(w, "  argument vertices:         %.0f   (paper: 62)\n", r.AvgArgs)
+	fmt.Fprintf(w, "  covered block vertices:    %.0f   (paper: 1631)\n", r.AvgCovered)
+	fmt.Fprintf(w, "  alternative/target nodes:  %.0f   (paper: 674)\n", r.AvgAlternatives)
+	fmt.Fprintf(w, "avg graph edges:             %.0f   (paper: 2989)\n", r.AvgEdges)
+	fmt.Fprintf(w, "  kernel-user switch edges:  %.0f   (paper: 10)\n", r.AvgCtxSwitch)
+}

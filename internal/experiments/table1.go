@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// Table1Result holds the §5.2 selector-performance comparison.
+type Table1Result struct {
+	PMM   pmm.Metrics
+	Rand8 pmm.Metrics
+	// Ratios PMM/Rand.8 (paper: F1 2.7x, Jaccard 3.8x).
+	F1Ratio, JaccardRatio float64
+}
+
+// Table1 trains PMM (cached on the harness) and evaluates it against the
+// Rand.8 baseline on the held-out evaluation split.
+func Table1(h *Harness) Table1Result {
+	m, _ := h.Model()
+	_, _, eval := h.Splits()
+	k := h.Kernel("6.8")
+	b := qgraph.NewBuilder(k, h.Analysis("6.8"))
+	var res Table1Result
+	res.PMM = pmm.Evaluate(m, b, eval)
+	res.Rand8 = pmm.EvaluateRandomK(rng.New(h.Opts.Seed+0xba5e), b, eval, 8)
+	if res.Rand8.F1 > 0 {
+		res.F1Ratio = res.PMM.F1 / res.Rand8.F1
+	}
+	if res.Rand8.Jaccard > 0 {
+		res.JaccardRatio = res.PMM.Jaccard / res.Rand8.Jaccard
+	}
+	return res
+}
+
+// Render prints the Table-1 rows with the paper's values alongside.
+func (r Table1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Table 1: promising-argument selector performance ==\n")
+	fmt.Fprintf(w, "%-10s %8s %10s %8s %9s\n", "Selector", "F1", "Precision", "Recall", "Jaccard")
+	fmt.Fprintf(w, "%-10s %7.1f%% %9.1f%% %7.1f%% %8.1f%%\n", "PMModel",
+		r.PMM.F1*100, r.PMM.Precision*100, r.PMM.Recall*100, r.PMM.Jaccard*100)
+	fmt.Fprintf(w, "%-10s %7.1f%% %9.1f%% %7.1f%% %8.1f%%\n", "Rand.8",
+		r.Rand8.F1*100, r.Rand8.Precision*100, r.Rand8.Recall*100, r.Rand8.Jaccard*100)
+	fmt.Fprintf(w, "paper:     PMM 84.2/91.2/81.2/76.1 vs Rand.8 30.3/36.6/37.0/19.9\n")
+	fmt.Fprintf(w, "ratio PMM/Rand.8: F1 %.1fx (paper 2.8x), Jaccard %.1fx (paper 3.8x)\n",
+		r.F1Ratio, r.JaccardRatio)
+}

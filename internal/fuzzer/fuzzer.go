@@ -1,0 +1,561 @@
+// Package fuzzer implements the fuzzing loop of the paper's Figure 1 in two
+// configurations: the Syzkaller baseline (semi-random argument localization)
+// and Snowplow (PMM-guided argument localization with asynchronous
+// inference and a low-probability random fallback, §3.4).
+//
+// Time is simulated: each executed test costs its trace length in blocks,
+// and the coverage time series is sampled against that cost budget, so the
+// comparison between modes is independent of host speed. Inference runs on
+// the serve package's worker pool and — as in the paper's deployment —
+// consumes no fuzzing budget: while a prediction is pending the fuzzer
+// performs its other mutation work, catching up with the PMM-selected
+// argument mutations when the reply arrives.
+package fuzzer
+
+import (
+	"fmt"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/corpus"
+	"github.com/repro/snowplow/internal/exec"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/mutation"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/serve"
+	"github.com/repro/snowplow/internal/trace"
+)
+
+// Mode selects the fuzzer configuration.
+type Mode int
+
+// The fuzzer modes.
+const (
+	ModeSyzkaller Mode = iota // baseline: random argument localization
+	ModeSnowplow              // PMM-guided argument localization
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeSnowplow {
+		return "snowplow"
+	}
+	return "syzkaller"
+}
+
+// Config parameterizes a fuzzing campaign.
+type Config struct {
+	Mode   Mode
+	Kernel *kernel.Kernel
+	An     *cfa.Analysis
+	Seed   uint64
+	// Budget is the total simulated execution cost (blocks executed).
+	Budget int64
+	// SampleEvery records a coverage time-series point each time this much
+	// budget is consumed.
+	SampleEvery int64
+	// Server performs PMM inference (required in ModeSnowplow).
+	Server *serve.Server
+	// FallbackProb is the probability of random argument localization in
+	// Snowplow mode (§3.4's fallback mechanism).
+	FallbackProb float64
+	// GenerateProb is the chance of generating a fresh program instead of
+	// mutating a corpus entry.
+	GenerateProb float64
+	// SeedCorpus are initial programs (executed and added unconditionally).
+	SeedCorpus []*prog.Prog
+	// MutationsPerPrediction scales how many argument mutations each
+	// PMM-predicted slot receives (§3.4: more predicted arguments mean
+	// more mutation attempts for the base program).
+	MutationsPerPrediction int
+	// MaxQueryTargets bounds the desired-target sample per query.
+	MaxQueryTargets int
+	// MaxPending bounds in-flight inference queries. When the window is
+	// full the fuzzer blocks for the oldest prediction instead of doing
+	// more random work: inference runs on separate serving hardware, so
+	// waiting costs no simulated fuzzing budget — only wall-clock, which
+	// the async window already overlaps with mutation work.
+	MaxPending int
+	// SyncInference disables the asynchronous integration (§3.4 ablation):
+	// every guided mutation blocks on a fresh inference call, stalling the
+	// mutator for the full round trip.
+	SyncInference bool
+	// MinimizeCorpus enables Syzkaller-style triage minimization: before a
+	// program joins the corpus, calls that do not contribute to its new
+	// coverage are removed (the extra executions are charged to the
+	// budget, as triage work is on the real fuzzing machine).
+	MinimizeCorpus bool
+}
+
+// Point is one coverage time-series sample.
+type Point struct {
+	Cost  int64 // simulated time
+	Edges int   // accumulated edge coverage
+}
+
+// CrashReport is one deduplicated crash observation.
+type CrashReport struct {
+	Spec     *kernel.CrashSpec
+	ProgText string // serialized crashing program
+	Cost     int64  // simulated time of first observation
+}
+
+// Stats is the campaign outcome.
+type Stats struct {
+	Mode       Mode
+	Series     []Point
+	Crashes    []*CrashReport
+	Executions int64
+	CorpusSize int
+	FinalEdges int
+	// PMMQueries and PMMPredictions count inference traffic (Snowplow).
+	PMMQueries     int64
+	PMMPredictions int64
+	// Yield breaks down executions and resulting new edges by work class,
+	// for diagnosing where coverage comes from.
+	Yield YieldStats
+}
+
+// YieldStats attributes executions and new edges to work classes.
+type YieldStats struct {
+	GuidedExecs, GuidedEdges     int64 // PMM-localized argument mutations
+	RandArgExecs, RandArgEdges   int64 // randomly localized argument mutations
+	OtherMutExecs, OtherMutEdges int64 // call insertion/removal
+	GenerateExecs, GenerateEdges int64 // freshly generated programs
+}
+
+// Fuzzer is one configured campaign.
+type Fuzzer struct {
+	cfg  Config
+	r    *rng.Rand
+	exe  *exec.Executor
+	mut  *mutation.Mutator
+	gen  *prog.Generator
+	corp *corpus.Corpus
+
+	globalBlocks trace.BlockSet
+	crashSeen    map[string]*CrashReport
+	stats        Stats
+	cost         int64
+	nextSample   int64
+
+	preds map[*corpus.Entry]*entryPrediction
+}
+
+// entryPrediction caches PMM's localization for one corpus entry. A
+// prediction goes stale once the campaign covers most of the targets it was
+// computed for; stale predictions are dropped and re-queried, since guiding
+// mutations toward already-covered code wastes budget.
+type entryPrediction struct {
+	pred    *serve.Prediction
+	reply   <-chan serve.Prediction
+	targets []kernel.BlockID // desired targets the prediction was computed for
+}
+
+// New creates a fuzzer. It panics if Snowplow mode lacks a server.
+func New(cfg Config) *Fuzzer {
+	if cfg.Mode == ModeSnowplow && cfg.Server == nil {
+		panic("fuzzer: Snowplow mode requires an inference server")
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = cfg.Budget / 100
+		if cfg.SampleEvery <= 0 {
+			cfg.SampleEvery = 1
+		}
+	}
+	if cfg.FallbackProb == 0 {
+		cfg.FallbackProb = 0.1
+	}
+	if cfg.GenerateProb == 0 {
+		cfg.GenerateProb = 0.15
+	}
+	if cfg.MutationsPerPrediction == 0 {
+		cfg.MutationsPerPrediction = 4
+	}
+	if cfg.MaxQueryTargets == 0 {
+		cfg.MaxQueryTargets = 16
+	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = 8
+	}
+	f := &Fuzzer{
+		cfg:          cfg,
+		r:            rng.New(cfg.Seed),
+		exe:          exec.New(cfg.Kernel),
+		mut:          mutation.NewMutator(cfg.Kernel.Target),
+		gen:          prog.NewGenerator(cfg.Kernel.Target),
+		corp:         corpus.New(),
+		globalBlocks: trace.BlockSet{},
+		crashSeen:    map[string]*CrashReport{},
+		preds:        map[*corpus.Entry]*entryPrediction{},
+	}
+	f.stats.Mode = cfg.Mode
+	return f
+}
+
+// Corpus exposes the fuzzer's corpus (for directed fuzzing and tests).
+func (f *Fuzzer) Corpus() *corpus.Corpus { return f.corp }
+
+// Run executes the campaign until the budget is exhausted and returns the
+// statistics.
+func (f *Fuzzer) Run() (*Stats, error) {
+	f.nextSample = f.cfg.SampleEvery
+	for _, p := range f.cfg.SeedCorpus {
+		if err := f.seed(p); err != nil {
+			return nil, err
+		}
+	}
+	for f.cost < f.cfg.Budget {
+		if err := f.step(); err != nil {
+			return nil, err
+		}
+	}
+	f.drainPending()
+	f.stats.CorpusSize = f.corp.Len()
+	f.stats.FinalEdges = f.corp.TotalEdges()
+	if len(f.stats.Series) == 0 || f.stats.Series[len(f.stats.Series)-1].Cost < f.cost {
+		f.stats.Series = append(f.stats.Series, Point{Cost: f.cost, Edges: f.corp.TotalEdges()})
+	}
+	return &f.stats, nil
+}
+
+// step performs one iteration of the Figure 1 loop. The two modes differ
+// only inside the ARGUMENT_MUTATION branch — type selection, instantiation,
+// call insertion/removal and fresh generation are shared — exactly as in
+// the paper's deployment, which swaps the localizer and nothing else.
+func (f *Fuzzer) step() error {
+	entry := f.corp.Choose(f.r)
+	if entry == nil || f.r.Chance(f.cfg.GenerateProb) {
+		p := f.gen.Generate(f.r, 2+f.r.Intn(5))
+		_, err := f.execute(p, classGenerate)
+		return err
+	}
+
+	t := f.mut.SelectType(f.r, entry.Prog)
+	if t == mutation.ArgMutation && f.cfg.Mode == ModeSnowplow && !f.r.Chance(f.cfg.FallbackProb) {
+		return f.guidedArgMutation(entry)
+	}
+	class := classOther
+	if t == mutation.ArgMutation {
+		class = classRandArg
+	}
+	rec := f.mut.MutateType(f.r, entry.Prog, t)
+	_, err := f.execute(rec.Prog, class)
+	return err
+}
+
+// guidedArgMutation performs PMM-localized argument mutations on the entry.
+// The first time an entry is picked its query is submitted asynchronously
+// and the fuzzer falls back to random localization until the prediction
+// arrives (hiding inference latency behind mutation work, §3.4). Each
+// prediction is consumed exactly once — one burst of argument mutations
+// proportional to the number of predicted arguments — and a fresh query is
+// issued the next time the entry is picked, so guidance always reflects the
+// current coverage frontier.
+func (f *Fuzzer) guidedArgMutation(entry *corpus.Entry) error {
+	if f.cfg.SyncInference {
+		return f.syncGuidedArgMutation(entry)
+	}
+	st := f.predictionFor(entry)
+	if st == nil || st.pred == nil {
+		// Prediction not ready (or no fresh argument-gated frontier to ask
+		// about): random-localizer mutation this round, hiding the
+		// inference latency behind ordinary mutation work (§3.4).
+		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
+		_, err := f.execute(rec.Prog, classRandArg)
+		return err
+	}
+	slots := st.pred.Slots
+	st.pred = nil // consume: next pick re-queries with fresh targets
+	if len(slots) == 0 {
+		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
+		_, err := f.execute(rec.Prog, classRandArg)
+		return err
+	}
+	return f.guidedBurst(entry, slots)
+}
+
+// guidedBurst performs the PMM-localized argument mutations for one
+// prediction: MutationsPerPrediction instantiations per predicted slot
+// (§3.4: more predicted arguments -> more mutations of this base), plus
+// pairwise slot combinations that probe multi-constraint ladders a
+// single-slot mutation cannot cross. Bursts only happen when a prediction
+// has actually arrived — the fuzzer never waits for the model — so the
+// guided share of the budget is bounded by the serving throughput, exactly
+// as in the paper's deployment.
+func (f *Fuzzer) guidedBurst(entry *corpus.Entry, slots []prog.GlobalSlot) error {
+	if len(slots) > 8 {
+		slots = slots[:8]
+	}
+	for _, slot := range slots {
+		for j := 0; j < f.cfg.MutationsPerPrediction; j++ {
+			if f.cost >= f.cfg.Budget {
+				return nil
+			}
+			rec := f.mut.MutateArgs(f.r, entry.Prog, []prog.GlobalSlot{slot})
+			if _, err := f.execute(rec.Prog, classGuided); err != nil {
+				return err
+			}
+		}
+	}
+	if len(slots) >= 2 {
+		for j := 0; j < f.cfg.MutationsPerPrediction; j++ {
+			if f.cost >= f.cfg.Budget {
+				return nil
+			}
+			a := slots[f.r.Intn(len(slots))]
+			b := slots[f.r.Intn(len(slots))]
+			if a == b {
+				continue
+			}
+			rec := f.mut.MutateArgs(f.r, entry.Prog, []prog.GlobalSlot{a, b})
+			if _, err := f.execute(rec.Prog, classGuided); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// syncGuidedArgMutation is the ablated integration: block on inference for
+// every guided round. The simulated budget is unaffected (inference is
+// off-box), but wall-clock throughput collapses — the effect §5.5 measures.
+func (f *Fuzzer) syncGuidedArgMutation(entry *corpus.Entry) error {
+	targets := f.queryTargets(entry)
+	if len(targets) == 0 {
+		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
+		_, err := f.execute(rec.Prog, classRandArg)
+		return err
+	}
+	pred, err := f.cfg.Server.Infer(serve.Query{Prog: entry.Prog, Traces: entry.Traces, Targets: targets})
+	if err != nil {
+		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
+		_, execErr := f.execute(rec.Prog, classRandArg)
+		return execErr
+	}
+	f.stats.PMMQueries++
+	f.stats.PMMPredictions++
+	return f.guidedBurst(entry, pred.Slots)
+}
+
+// predictionFor returns the entry's cached prediction state, submitting or
+// refreshing the asynchronous query as needed and harvesting a completed
+// reply if one is available.
+func (f *Fuzzer) predictionFor(entry *corpus.Entry) *entryPrediction {
+	st := f.preds[entry]
+	if st == nil {
+		st = &entryPrediction{}
+		f.preds[entry] = st
+		f.submitQuery(entry, st)
+		return st
+	}
+	if st.reply != nil {
+		select {
+		case pred := <-st.reply:
+			st.pred = &pred
+			st.reply = nil
+			f.stats.PMMPredictions++
+		default:
+		}
+	}
+	// Consumed (or never-answered) prediction with no query in flight:
+	// resubmit against the current frontier.
+	if st.pred == nil && st.reply == nil {
+		f.submitQuery(entry, st)
+	}
+	return st
+}
+
+// submitQuery asks PMM which arguments of the base to mutate, targeting
+// uncovered frontier blocks near the base's coverage.
+func (f *Fuzzer) submitQuery(entry *corpus.Entry, st *entryPrediction) {
+	targets := f.queryTargets(entry)
+	if len(targets) == 0 {
+		return
+	}
+	reply, err := f.cfg.Server.InferAsync(serve.Query{
+		Prog:    entry.Prog,
+		Traces:  entry.Traces,
+		Targets: targets,
+	})
+	if err != nil {
+		return // queue full: the random fallback already covers this base
+	}
+	f.stats.PMMQueries++
+	st.reply = reply
+	st.targets = targets
+}
+
+// queryTargets picks desired targets for a base: frontier blocks of its
+// coverage that the whole campaign has not covered yet and that sit behind
+// argument-dependent branches. State-gated branches (counters) cannot be
+// flipped by argument mutation, so asking PMM about them only produces
+// unusable localizations; the gating predicate's class is static CFG
+// information the fuzzer already has.
+func (f *Fuzzer) queryTargets(entry *corpus.Entry) []kernel.BlockID {
+	alts := f.cfg.An.Frontier(entry.Blocks)
+	var fresh []kernel.BlockID
+	seen := map[kernel.BlockID]bool{}
+	for _, alt := range alts {
+		if seen[alt.Entry] || f.globalBlocks.Has(alt.Entry) {
+			continue
+		}
+		switch f.cfg.Kernel.Block(alt.From).Pred.Kind {
+		case kernel.PredCounterGT, kernel.PredCounterEQ:
+			continue
+		}
+		seen[alt.Entry] = true
+		fresh = append(fresh, alt.Entry)
+	}
+	if len(fresh) > f.cfg.MaxQueryTargets {
+		f.r.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
+		fresh = fresh[:f.cfg.MaxQueryTargets]
+	}
+	return fresh
+}
+
+// yieldClass attributes an execution to a work class for YieldStats.
+type yieldClass int
+
+const (
+	classGenerate yieldClass = iota
+	classGuided
+	classRandArg
+	classOther
+)
+
+func (f *Fuzzer) recordYield(class yieldClass, newEdges int) {
+	y := &f.stats.Yield
+	switch class {
+	case classGenerate:
+		y.GenerateExecs++
+		y.GenerateEdges += int64(newEdges)
+	case classGuided:
+		y.GuidedExecs++
+		y.GuidedEdges += int64(newEdges)
+	case classRandArg:
+		y.RandArgExecs++
+		y.RandArgEdges += int64(newEdges)
+	default:
+		y.OtherMutExecs++
+		y.OtherMutEdges += int64(newEdges)
+	}
+}
+
+// execute runs a program, charges its cost, triages the result, and
+// updates corpus and crash records.
+func (f *Fuzzer) execute(p *prog.Prog, class yieldClass) (*exec.Result, error) {
+	res, err := f.exe.Run(p)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzer: %w", err)
+	}
+	f.stats.Executions++
+	f.charge(int64(res.Cost))
+	if res.Crash != nil {
+		if _, seen := f.crashSeen[res.Crash.Title]; !seen {
+			report := &CrashReport{Spec: res.Crash, ProgText: p.Serialize(), Cost: f.cost}
+			f.crashSeen[res.Crash.Title] = report
+			f.stats.Crashes = append(f.stats.Crashes, report)
+		}
+		f.recordYield(class, 0)
+		return res, nil
+	}
+	cover := trace.EdgesOf(res)
+	blocks := trace.NewBlockSet(trace.BlocksOf(res))
+	if f.cfg.MinimizeCorpus && len(p.Calls) > 1 && f.corp.NewEdges(cover) > 0 {
+		p, res, cover, blocks = f.minimize(p, res, cover)
+	}
+	newEdges := f.corp.Add(p, cover, blocks, res.CallTraces)
+	if newEdges > 0 {
+		for b := range blocks {
+			f.globalBlocks.Add(b)
+		}
+	}
+	f.recordYield(class, newEdges)
+	return res, nil
+}
+
+// minimize implements Syzkaller's triage minimization: drop calls (last to
+// first) while the program still contributes every new edge it was about to
+// add. Each trial execution is charged to the budget.
+func (f *Fuzzer) minimize(p *prog.Prog, res *exec.Result, cover *trace.Cover) (*prog.Prog, *exec.Result, *trace.Cover, trace.BlockSet) {
+	must := trace.NewCover()
+	total := f.corp.TotalCover()
+	for _, e := range cover.Edges() {
+		if !total.Has(e) {
+			must.Add(e)
+		}
+	}
+	best, bestRes, bestCover := p, res, cover
+	for i := len(best.Calls) - 1; i >= 0; i-- {
+		if len(best.Calls) == 1 {
+			break
+		}
+		cand := best.Clone()
+		cand.RemoveCall(i)
+		candRes, err := f.exe.Run(cand)
+		if err != nil || candRes.Crash != nil {
+			continue
+		}
+		f.stats.Executions++
+		f.charge(int64(candRes.Cost))
+		candCover := trace.EdgesOf(candRes)
+		keeps := true
+		for _, e := range must.Edges() {
+			if !candCover.Has(e) {
+				keeps = false
+				break
+			}
+		}
+		if keeps {
+			best, bestRes, bestCover = cand, candRes, candCover
+		}
+	}
+	return best, bestRes, bestCover, trace.NewBlockSet(trace.BlocksOf(bestRes))
+}
+
+// seed executes and unconditionally retains an initial program.
+func (f *Fuzzer) seed(p *prog.Prog) error {
+	res, err := f.exe.Run(p)
+	if err != nil {
+		return err
+	}
+	f.stats.Executions++
+	f.charge(int64(res.Cost))
+	if res.Crash != nil {
+		return nil
+	}
+	cover := trace.EdgesOf(res)
+	blocks := trace.NewBlockSet(trace.BlocksOf(res))
+	if f.corp.Seed(p, cover, blocks, res.CallTraces) {
+		for b := range blocks {
+			f.globalBlocks.Add(b)
+		}
+	}
+	return nil
+}
+
+// charge advances simulated time and samples the coverage series.
+func (f *Fuzzer) charge(cost int64) {
+	f.cost += cost
+	for f.cost >= f.nextSample {
+		f.stats.Series = append(f.stats.Series, Point{Cost: f.nextSample, Edges: f.corp.TotalEdges()})
+		f.nextSample += f.cfg.SampleEvery
+	}
+}
+
+// drainPending consumes predictions still in flight at budget exhaustion so
+// the server's reply channels do not leak.
+func (f *Fuzzer) drainPending() {
+	for _, st := range f.preds {
+		if st.reply != nil {
+			select {
+			case <-st.reply:
+				f.stats.PMMPredictions++
+			default:
+				go func(ch <-chan serve.Prediction) { <-ch }(st.reply)
+			}
+			st.reply = nil
+		}
+	}
+}

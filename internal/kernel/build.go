@@ -1,0 +1,408 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/spec"
+)
+
+// subsysDef names one generated subsystem and the seed its specification and
+// handler CFGs derive from. Two kernel versions that share a subsysDef have
+// structurally identical code for that subsystem.
+type subsysDef struct {
+	Name string
+	Seed uint64
+}
+
+// Config controls kernel generation. Most callers use Build with a version
+// string; Config is exposed for tests and ablations.
+type Config struct {
+	Version    string
+	Subsystems []subsysDef
+	// HandlerBudget is the approximate number of blocks per generated
+	// handler (base-spec handlers use the same budget).
+	HandlerBudget int
+	// GeneratedNewBugs is the number of previously-unknown deep bugs to
+	// plant across generated handlers.
+	GeneratedNewBugs int
+	// GeneratedKnownBugs is the number of shallow, Syzbot-known bugs.
+	GeneratedKnownBugs int
+	// BugSeed decorrelates bug placement from CFG structure.
+	BugSeed uint64
+}
+
+// sharedSubsystems is the generated-subsystem pool for kernel 6.8. Later
+// versions inherit it (with perturbations) and append new subsystems.
+func sharedSubsystems() []subsysDef {
+	names := []string{
+		"kvm", "btrfs", "xfs", "nl80211", "tipc", "sctp",
+		"rds", "vsock", "snd", "drm", "vhost", "fuse",
+	}
+	defs := make([]subsysDef, len(names))
+	for i, n := range names {
+		defs[i] = subsysDef{Name: n, Seed: hashSeed("gen", n)}
+	}
+	return defs
+}
+
+// VersionConfig returns the canonical Config for a supported kernel version.
+func VersionConfig(version string) (Config, error) {
+	cfg := Config{
+		Version:            version,
+		HandlerBudget:      64,
+		GeneratedNewBugs:   150,
+		GeneratedKnownBugs: 40,
+		BugSeed:            hashSeed("bugs", version),
+	}
+	subs := sharedSubsystems()
+	switch version {
+	case "6.8":
+	case "6.9":
+		reseed(subs, "tipc", hashSeed("gen69", "tipc"))
+		subs = append(subs,
+			subsysDef{Name: "landlock", Seed: hashSeed("gen69", "landlock")},
+			subsysDef{Name: "bcachefs", Seed: hashSeed("gen69", "bcachefs")})
+	case "6.10":
+		reseed(subs, "tipc", hashSeed("gen69", "tipc"))
+		reseed(subs, "rds", hashSeed("gen610", "rds"))
+		subs = append(subs,
+			subsysDef{Name: "landlock", Seed: hashSeed("gen69", "landlock")},
+			subsysDef{Name: "bcachefs", Seed: hashSeed("gen69", "bcachefs")},
+			subsysDef{Name: "ntsync", Seed: hashSeed("gen610", "ntsync")},
+			subsysDef{Name: "panthor", Seed: hashSeed("gen610", "panthor")})
+	default:
+		return Config{}, fmt.Errorf("kernel: unsupported version %q (want 6.8, 6.9 or 6.10)", version)
+	}
+	cfg.Subsystems = subs
+	return cfg, nil
+}
+
+func reseed(subs []subsysDef, name string, seed uint64) {
+	for i := range subs {
+		if subs[i].Name == name {
+			subs[i].Seed = seed
+		}
+	}
+}
+
+// hashSeed derives a stable 64-bit seed from strings (FNV-1a).
+func hashSeed(parts ...string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Build constructs the canonical kernel for a version ("6.8", "6.9", "6.10").
+func Build(version string) (*Kernel, error) {
+	cfg, err := VersionConfig(version)
+	if err != nil {
+		return nil, err
+	}
+	return BuildConfig(cfg)
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(version string) *Kernel {
+	k, err := Build(version)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// BuildConfig constructs a kernel from an explicit configuration.
+func BuildConfig(cfg Config) (*Kernel, error) {
+	var sb strings.Builder
+	sb.WriteString(spec.BaseSpecText)
+	for _, sub := range cfg.Subsystems {
+		genSubsystemSpec(&sb, sub)
+	}
+	target, err := spec.Parse(sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("kernel: generated spec invalid: %w", err)
+	}
+	k := &Kernel{Version: cfg.Version, Target: target, Handlers: map[string]*Handler{}}
+	b := &builder{k: k, budget: cfg.HandlerBudget}
+	for _, call := range target.Calls {
+		seed := hashSeed("handler", call.Subsystem, call.Name)
+		// Generated subsystems key their structure on the subsystem seed so
+		// reseeding a subsystem regenerates all its handlers.
+		if def := findSub(cfg.Subsystems, call.Subsystem); def != nil {
+			seed = hashSeed("handler", fmt.Sprint(def.Seed), call.Name)
+		}
+		b.buildHandler(call, rng.New(seed))
+	}
+	plantBaseBugs(b)
+	plantGeneratedBugs(b, cfg)
+	return k, nil
+}
+
+func findSub(subs []subsysDef, name string) *subsysDef {
+	for i := range subs {
+		if subs[i].Name == name {
+			return &subs[i]
+		}
+	}
+	return nil
+}
+
+// builder accumulates blocks into a kernel under construction.
+type builder struct {
+	k      *Kernel
+	budget int
+}
+
+// newBlock appends a block and returns a pointer into the kernel's slice.
+// The pointer is only valid until the next newBlock call; use IDs for links.
+func (b *builder) newBlock(sub, fn string, kind BlockKind) BlockID {
+	id := BlockID(len(b.k.Blocks))
+	b.k.Blocks = append(b.k.Blocks, Block{
+		ID:        id,
+		Addr:      0xffffffff81000000 + uint64(id)*0x40,
+		Subsystem: sub,
+		Fn:        fn,
+		Kind:      kind,
+		Taken:     NoBlock,
+		NotTaken:  NoBlock,
+		Next:      NoBlock,
+	})
+	return id
+}
+
+// buildHandler compiles one syscall variant into a CFG.
+func (b *builder) buildHandler(call *spec.Syscall, r *rng.Rand) {
+	sub := call.Subsystem
+	if sub == "" {
+		sub = "core"
+	}
+	fn := "sys_" + strings.ReplaceAll(call.Name, "$", "_")
+	h := &Handler{Call: call}
+
+	exit := b.newBlock(sub, fn, BlockReturn)
+	b.k.Blocks[exit].Tokens = returnTokens()
+	// Error-path return: a distinct block so failed validity checks cover
+	// different code than success paths.
+	errExit := b.newBlock(sub, fn, BlockReturn)
+	b.k.Blocks[errExit].Tokens = []string{"mov", "rax", "imm_u64", "pop", "rbp", "ret"}
+
+	// Close-like calls release their resource on the success path.
+	if isCloseLike(call) {
+		b.k.Blocks[exit].Effect = &Effect{Kind: EffectCloseResource, Slot: 0}
+	}
+
+	// Prologue: entry body block counting invocations, plus filler.
+	entry := b.newBlock(sub, fn, BlockBody)
+	b.k.Blocks[entry].Tokens = append([]string{"push", "rbp", "mov", "rbp", "rsp"}, bodyTokens(r, sub)...)
+	b.k.Blocks[entry].Effect = &Effect{Kind: EffectIncCounter, Key: "ops_" + sub}
+
+	cursor := entry
+	for i := 0; i < 1+r.Intn(2); i++ {
+		nb := b.newBlock(sub, fn, BlockBody)
+		b.k.Blocks[nb].Tokens = bodyTokens(r, sub)
+		b.k.Blocks[cursor].Next = nb
+		cursor = nb
+	}
+
+	// Resource-validity gate: if the first slot is a resource, an invalid
+	// handle takes the error return before any deeper logic.
+	slots := call.Slots()
+	bodyBudget := b.budget
+	body := func() BlockID { return b.genBody(call, r, &bodyBudget, exit, errExit, sub, fn) }
+	if len(slots) > 0 && slots[0].Type.Kind == spec.KindResource {
+		gate := b.newBlock(sub, fn, BlockBranch)
+		pred := &Predicate{Kind: PredResourceValid, Slot: 0}
+		b.k.Blocks[gate].Pred = pred
+		b.k.Blocks[gate].Tokens = predTokens(call, pred)
+		b.k.Blocks[gate].NotTaken = errExit
+		b.k.Blocks[cursor].Next = gate
+		b.k.Blocks[gate].Taken = body()
+	} else {
+		b.k.Blocks[cursor].Next = body()
+	}
+
+	h.Entry = entry
+	h.Exit = exit
+	for id := exit; id < BlockID(len(b.k.Blocks)); id++ {
+		h.Blocks = append(h.Blocks, id)
+	}
+	b.k.Handlers[call.Name] = h
+}
+
+// genBody emits a handler's main logic. Handlers whose call carries an enum
+// slot get a command-dispatch switch — the ioctl/sendmsg pattern that makes
+// kernel coverage argument-gated: merely invoking the call covers one case,
+// and reaching the others requires mutating the command argument. Handlers
+// without enums fall back to a plain conditional region.
+func (b *builder) genBody(call *spec.Syscall, r *rng.Rand, budget *int, exit, errExit BlockID, sub, fn string) BlockID {
+	var enumSlot *spec.Slot
+	slots := call.Slots()
+	for i := range slots {
+		if slots[i].Type.Kind == spec.KindEnum {
+			enumSlot = &slots[i]
+			break
+		}
+	}
+	if enumSlot == nil || len(enumSlot.Type.Values) < 2 {
+		return b.genRegion(call, r, budget, exit, errExit, sub, fn, 0)
+	}
+	// Switch over the enum's values: case blocks chain through SlotEQ
+	// branches; each case body is its own conditional region; an unmatched
+	// command takes the error return.
+	values := enumSlot.Type.Values
+	perCase := *budget / len(values)
+	if perCase < 4 {
+		perCase = 4
+	}
+	next := errExit
+	for i := len(values) - 1; i >= 0; i-- {
+		pred := &Predicate{Kind: PredSlotEQ, Slot: enumSlot.Index, Value: values[i]}
+		blk := b.newBlock(sub, fn, BlockBranch)
+		b.k.Blocks[blk].Pred = pred
+		b.k.Blocks[blk].Tokens = predTokens(call, pred)
+		caseBudget := perCase
+		b.k.Blocks[blk].Taken = b.genRegion(call, r, &caseBudget, exit, errExit, sub, fn, 0)
+		b.k.Blocks[blk].NotTaken = next
+		next = blk
+	}
+	return next
+}
+
+// genRegion emits a region of the handler CFG and returns its entry block.
+// All paths eventually reach exit (or errExit for failed checks).
+func (b *builder) genRegion(call *spec.Syscall, r *rng.Rand, budget *int, exit, errExit BlockID, sub, fn string, depth int) BlockID {
+	if *budget <= 0 || depth > 8 {
+		return exit
+	}
+	*budget--
+	// Conjunction ladders: a run of branches over distinct slots that must
+	// all hold to enter a sub-region — the multi-constraint pattern (cf.
+	// the ATA bug) where localizing the right argument at each rung matters
+	// most.
+	if depth <= 2 && r.Chance(0.18) && len(call.Slots()) >= 2 {
+		rungs := 2 + r.Intn(2)
+		inner := b.genRegion(call, r, budget, exit, errExit, sub, fn, depth+rungs)
+		next := inner
+		for i := 0; i < rungs; i++ {
+			pred := b.genPred(call, r, sub)
+			blk := b.newBlock(sub, fn, BlockBranch)
+			b.k.Blocks[blk].Pred = pred
+			b.k.Blocks[blk].Tokens = predTokens(call, pred)
+			b.k.Blocks[blk].Taken = next
+			b.k.Blocks[blk].NotTaken = exit
+			next = blk
+		}
+		return next
+	}
+	if r.Chance(0.55) && len(call.Slots()) > 0 {
+		// Conditional region.
+		pred := b.genPred(call, r, sub)
+		blk := b.newBlock(sub, fn, BlockBranch)
+		b.k.Blocks[blk].Pred = pred
+		b.k.Blocks[blk].Tokens = predTokens(call, pred)
+		taken := b.genRegion(call, r, budget, exit, errExit, sub, fn, depth+1)
+		var notTaken BlockID
+		switch {
+		case r.Chance(0.15):
+			// Failed check aborts the call.
+			notTaken = errExit
+		case r.Chance(0.5):
+			notTaken = b.genRegion(call, r, budget, exit, errExit, sub, fn, depth+1)
+		default:
+			// Reconverge: skip straight to the taken region's continuation.
+			notTaken = exit
+		}
+		b.k.Blocks[blk].Taken = taken
+		b.k.Blocks[blk].NotTaken = notTaken
+		return blk
+	}
+	// Straight-line region.
+	blk := b.newBlock(sub, fn, BlockBody)
+	b.k.Blocks[blk].Tokens = bodyTokens(r, sub)
+	b.k.Blocks[blk].Next = b.genRegion(call, r, budget, exit, errExit, sub, fn, depth+1)
+	return blk
+}
+
+// genPred synthesizes a satisfiable predicate over a random slot of the
+// call, with operand choice matched to the slot's type so that random
+// instantiation has a plausible (but not certain) chance of flipping it.
+func (b *builder) genPred(call *spec.Syscall, r *rng.Rand, sub string) *Predicate {
+	// Occasionally branch on subsystem state rather than arguments.
+	if r.Chance(0.07) {
+		return &Predicate{Kind: PredCounterGT, Key: "ops_" + sub, Value: uint64(1 + r.Intn(6))}
+	}
+	slots := call.Slots()
+	for tries := 0; tries < 16; tries++ {
+		s := slots[r.Intn(len(slots))]
+		t := s.Type
+		switch t.Kind {
+		case spec.KindFlags:
+			mask := t.Values[r.Intn(len(t.Values))]
+			if mask == 0 {
+				continue
+			}
+			kind := PredSlotMaskSet
+			if r.Chance(0.3) {
+				kind = PredSlotMaskClear
+			}
+			return &Predicate{Kind: kind, Slot: s.Index, Mask: mask}
+		case spec.KindEnum:
+			return &Predicate{Kind: PredSlotEQ, Slot: s.Index, Value: t.Values[r.Intn(len(t.Values))]}
+		case spec.KindInt:
+			span := t.Max - t.Min
+			if span == 0 {
+				return &Predicate{Kind: PredSlotEQ, Slot: s.Index, Value: t.Min}
+			}
+			if span <= 16 && r.Chance(0.5) {
+				return &Predicate{Kind: PredSlotEQ, Slot: s.Index, Value: t.Min + r.Uint64()%(span+1)}
+			}
+			v := t.Min + r.Uint64()%span
+			kind := PredSlotGT
+			if r.Chance(0.5) {
+				kind = PredSlotLT
+			}
+			return &Predicate{Kind: kind, Slot: s.Index, Value: v}
+		case spec.KindLen:
+			return &Predicate{Kind: PredSlotGT, Slot: s.Index, Value: uint64(r.Intn(64))}
+		case spec.KindBuffer:
+			kind := PredSlotLenGT
+			if r.Chance(0.4) {
+				kind = PredSlotLenLT
+			}
+			limit := 64
+			if t.MaxSize < limit {
+				limit = t.MaxSize
+			}
+			if limit == 0 {
+				continue
+			}
+			return &Predicate{Kind: kind, Slot: s.Index, Value: uint64(1 + r.Intn(limit))}
+		case spec.KindString:
+			return &Predicate{Kind: PredSlotLenGT, Slot: s.Index, Value: uint64(1 + r.Intn(8))}
+		case spec.KindPtr:
+			return &Predicate{Kind: PredSlotNonNull, Slot: s.Index}
+		case spec.KindResource:
+			return &Predicate{Kind: PredResourceValid, Slot: s.Index}
+		case spec.KindProc:
+			return &Predicate{Kind: PredSlotLT, Slot: s.Index, Value: uint64(1 + r.Intn(31))}
+		}
+	}
+	// Fallback: branch on state.
+	return &Predicate{Kind: PredCounterGT, Key: "ops_" + sub, Value: 1}
+}
+
+func isCloseLike(call *spec.Syscall) bool {
+	switch call.CallName {
+	case "close", "timer_delete", "munmap":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// genSubsystemSpec appends a generated subsystem's syzlang declarations to
+// sb. The subsystem gets its own resource kind, a flag set, an enum set, two
+// (possibly nested) request structs, an open call producing the resource,
+// and a family of ctl/transfer calls consuming it. Everything derives
+// deterministically from the subsystem seed, so kernels sharing a subsysDef
+// share its specification exactly.
+func genSubsystemSpec(sb *strings.Builder, sub subsysDef) {
+	r := rng.New(sub.Seed)
+	n := sub.Name
+	fmt.Fprintf(sb, "\n# Generated subsystem %s (seed %#x).\n", n, sub.Seed)
+	fmt.Fprintf(sb, "resource %s_handle\n", n)
+
+	// Flag set: 6-9 single-bit flags.
+	nflags := 6 + r.Intn(4)
+	fmt.Fprintf(sb, "flags %s_flags = ", n)
+	for i := 0; i < nflags; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "%s_F%d:0x%x", strings.ToUpper(n), i, 1<<uint(i))
+	}
+	sb.WriteByte('\n')
+
+	// Enum set: 6-12 command values (real ioctl command spaces are wide).
+	ncmds := 6 + r.Intn(7)
+	fmt.Fprintf(sb, "enum %s_cmd = ", n)
+	for i := 0; i < ncmds; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "%s_CMD%d:0x%x", strings.ToUpper(n), i, 0x10+i*4)
+	}
+	sb.WriteByte('\n')
+
+	// Config struct, then a request struct that may nest it.
+	fmt.Fprintf(sb, "struct %s_conf = mode int[0:15], mask flags[%s_flags], val int[0:65535]\n", n, n)
+	fmt.Fprintf(sb, "struct %s_req = cmd enum[%s_cmd], flags flags[%s_flags], size int[0:4096], payload ptr[buffer[128]], plen len[payload]", n, n, n)
+	if r.Chance(0.7) {
+		fmt.Fprintf(sb, ", conf ptr[struct[%s_conf]]", n)
+	}
+	if r.Chance(0.5) {
+		sb.WriteString(", id proc")
+	}
+	sb.WriteByte('\n')
+
+	// Producer.
+	fmt.Fprintf(sb, "open$%s(path string, flags flags[%s_flags]) %s_handle @%s\n", n, n, n, n)
+
+	// Consumer family.
+	ncalls := 5 + r.Intn(5)
+	for i := 0; i < ncalls; i++ {
+		fmt.Fprintf(sb, "ctl$%s_%d(h %s_handle", n, i, n)
+		nargs := 2 + r.Intn(3)
+		for j := 0; j < nargs; j++ {
+			switch r.Intn(7) {
+			case 0:
+				fmt.Fprintf(sb, ", cmd%d enum[%s_cmd]", j, n)
+			case 1:
+				fmt.Fprintf(sb, ", flags%d flags[%s_flags]", j, n)
+			case 2:
+				fmt.Fprintf(sb, ", size%d int[0:4096]", j)
+			case 3:
+				fmt.Fprintf(sb, ", addr%d int[0:0xffffffff]", j)
+			case 4:
+				fmt.Fprintf(sb, ", req%d ptr[struct[%s_req]]", j, n)
+			case 5:
+				fmt.Fprintf(sb, ", buf%d ptr[buffer[256]], blen%d len[buf%d]", j, j, j)
+			case 6:
+				fmt.Fprintf(sb, ", mode%d int[0:7]", j)
+			}
+		}
+		fmt.Fprintf(sb, ") @%s\n", n)
+	}
+	// A transfer-style call with a data buffer.
+	fmt.Fprintf(sb, "xfer$%s(h %s_handle, dir int[0:1], buf ptr[buffer[512]], count len[buf], flags flags[%s_flags]) @%s\n", n, n, n, n)
+}

@@ -1,0 +1,387 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/repro/snowplow/internal/spec"
+)
+
+func build(t testing.TB, version string) *Kernel {
+	t.Helper()
+	k, err := Build(version)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", version, err)
+	}
+	return k
+}
+
+func TestBuildVersions(t *testing.T) {
+	for _, v := range []string{"6.8", "6.9", "6.10"} {
+		k := build(t, v)
+		if k.NumBlocks() < 1000 {
+			t.Fatalf("%s: only %d blocks", v, k.NumBlocks())
+		}
+		if len(k.Handlers) != len(k.Target.Calls) {
+			t.Fatalf("%s: %d handlers for %d calls", v, len(k.Handlers), len(k.Target.Calls))
+		}
+		if len(k.Bugs()) < 100 {
+			t.Fatalf("%s: only %d planted bugs", v, len(k.Bugs()))
+		}
+	}
+}
+
+func TestBuildRejectsUnknownVersion(t *testing.T) {
+	if _, err := Build("5.15"); err == nil {
+		t.Fatal("expected error for unsupported version")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := build(t, "6.8")
+	b := build(t, "6.8")
+	if a.NumBlocks() != b.NumBlocks() {
+		t.Fatalf("block counts differ: %d vs %d", a.NumBlocks(), b.NumBlocks())
+	}
+	for i := range a.Blocks {
+		ba, bb := a.Blocks[i], b.Blocks[i]
+		if ba.Kind != bb.Kind || ba.Taken != bb.Taken || ba.NotTaken != bb.NotTaken || ba.Next != bb.Next {
+			t.Fatalf("block %d structure differs between builds", i)
+		}
+		if strings.Join(ba.Tokens, " ") != strings.Join(bb.Tokens, " ") {
+			t.Fatalf("block %d tokens differ", i)
+		}
+	}
+}
+
+func TestVersionsGrow(t *testing.T) {
+	k68, k69, k610 := build(t, "6.8"), build(t, "6.9"), build(t, "6.10")
+	if len(k69.Target.Calls) <= len(k68.Target.Calls) {
+		t.Fatal("6.9 does not add syscalls over 6.8")
+	}
+	if len(k610.Target.Calls) <= len(k69.Target.Calls) {
+		t.Fatal("6.10 does not add syscalls over 6.9")
+	}
+	// New subsystems appear only in later versions.
+	if k68.Target.Lookup("open$landlock") != nil {
+		t.Fatal("6.8 has landlock")
+	}
+	if k69.Target.Lookup("open$landlock") == nil {
+		t.Fatal("6.9 missing landlock")
+	}
+	if k610.Target.Lookup("open$ntsync") == nil {
+		t.Fatal("6.10 missing ntsync")
+	}
+}
+
+func TestVersionsShareStructure(t *testing.T) {
+	// A subsystem shared between versions must have structurally identical
+	// handlers (same shape, same predicates), modulo global block numbering.
+	k68, k69 := build(t, "6.8"), build(t, "6.9")
+	h68 := k68.Handlers["ctl$kvm_0"]
+	h69 := k69.Handlers["ctl$kvm_0"]
+	if h68 == nil || h69 == nil {
+		t.Fatal("kvm handler missing")
+	}
+	if len(h68.Blocks) != len(h69.Blocks) {
+		t.Fatalf("kvm handler sizes differ: %d vs %d", len(h68.Blocks), len(h69.Blocks))
+	}
+	for i := range h68.Blocks {
+		a, b := k68.Block(h68.Blocks[i]), k69.Block(h69.Blocks[i])
+		if a.Kind != b.Kind {
+			t.Fatalf("kvm handler block %d kind differs", i)
+		}
+		if a.Pred != nil && b.Pred != nil && a.Pred.String() != b.Pred.String() {
+			t.Fatalf("kvm handler block %d predicate differs: %v vs %v", i, a.Pred, b.Pred)
+		}
+	}
+	// A reseeded subsystem (tipc) must differ.
+	t68 := k68.Handlers["ctl$tipc_0"]
+	t69 := k69.Handlers["ctl$tipc_0"]
+	if t68 == nil || t69 == nil {
+		t.Fatal("tipc handler missing")
+	}
+	same := len(t68.Blocks) == len(t69.Blocks)
+	if same {
+		for i := range t68.Blocks {
+			a, b := k68.Block(t68.Blocks[i]), k69.Block(t69.Blocks[i])
+			if a.Kind != b.Kind {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("tipc handlers have identical shapes; reseed may still differ in predicates")
+	}
+}
+
+func TestCFGWellFormed(t *testing.T) {
+	k := build(t, "6.8")
+	n := BlockID(k.NumBlocks())
+	for i := range k.Blocks {
+		b := &k.Blocks[i]
+		check := func(id BlockID, what string) {
+			if id < 0 || id >= n {
+				t.Fatalf("block %d (%s %s): %s successor %d out of range", i, b.Subsystem, b.Fn, what, id)
+			}
+		}
+		switch b.Kind {
+		case BlockBody:
+			check(b.Next, "next")
+		case BlockBranch:
+			check(b.Taken, "taken")
+			check(b.NotTaken, "not-taken")
+			if b.Pred == nil {
+				t.Fatalf("branch block %d has no predicate", i)
+			}
+		case BlockReturn, BlockCrash:
+			// terminals
+		}
+		if len(b.Tokens) == 0 {
+			t.Fatalf("block %d has no tokens", i)
+		}
+	}
+}
+
+func TestHandlersTerminate(t *testing.T) {
+	// Every path through every handler must reach a terminal block without
+	// cycles (the builder generates DAGs).
+	k := build(t, "6.8")
+	for name, h := range k.Handlers {
+		seen := map[BlockID]int{} // 0 unvisited, 1 in-stack, 2 done
+		var visit func(id BlockID) bool
+		visit = func(id BlockID) bool {
+			switch seen[id] {
+			case 1:
+				return false // cycle
+			case 2:
+				return true
+			}
+			seen[id] = 1
+			b := k.Block(id)
+			ok := true
+			switch b.Kind {
+			case BlockBody:
+				ok = visit(b.Next)
+			case BlockBranch:
+				ok = visit(b.Taken) && visit(b.NotTaken)
+			}
+			seen[id] = 2
+			return ok
+		}
+		if !visit(h.Entry) {
+			t.Fatalf("handler %s contains a cycle", name)
+		}
+	}
+}
+
+func TestPredicateBranchesReferenceValidSlots(t *testing.T) {
+	k := build(t, "6.8")
+	for name, h := range k.Handlers {
+		nslots := len(h.Call.Slots())
+		for _, id := range h.Blocks {
+			b := k.Block(id)
+			if b.Kind != BlockBranch {
+				continue
+			}
+			switch b.Pred.Kind {
+			case PredCounterGT, PredCounterEQ:
+				if b.Pred.Key == "" {
+					t.Fatalf("%s: counter predicate without key", name)
+				}
+			default:
+				if b.Pred.Slot < 0 || b.Pred.Slot >= nslots {
+					t.Fatalf("%s: predicate references slot %d of %d", name, b.Pred.Slot, nslots)
+				}
+			}
+		}
+	}
+}
+
+func TestPlantedBugsPresent(t *testing.T) {
+	k := build(t, "6.8")
+	titles := map[string]bool{}
+	for _, bug := range k.Bugs() {
+		if titles[bug.Title] {
+			t.Fatalf("duplicate bug title %q", bug.Title)
+		}
+		titles[bug.Title] = true
+	}
+	for _, want := range []string{
+		"KASAN: out-of-bounds Write in ata_pio_sector",
+		"general protection fault in native_tss_update_io_bitmap",
+		"RCU stall in __sanitizer_cov_trace_pc",
+		"GUP (Get User Pages) no longer grows the stack",
+		"WARNING in ext4_iomap_begin",
+		"kernel BUG in ext4_do_writepages",
+		"KASAN: slab-use-after-free Read in ext4_search_dir",
+	} {
+		if !titles[want] {
+			t.Fatalf("Table-4 bug missing: %q", want)
+		}
+	}
+	var known, fresh int
+	for _, bug := range k.Bugs() {
+		if bug.KnownSince != "" {
+			known++
+		} else {
+			fresh++
+		}
+	}
+	if known < 30 || fresh < 100 {
+		t.Fatalf("bug mix known=%d new=%d, want >=30 known and >=100 new", known, fresh)
+	}
+}
+
+func TestATABugChainTokens(t *testing.T) {
+	// The crash chain blocks for the ATA bug must expose the argument
+	// registers/offsets of the constrained slots in their tokens — the
+	// white-box signal PMM learns.
+	k := build(t, "6.8")
+	h := k.Handlers["ioctl$SCSI_IOCTL_SEND_COMMAND"]
+	var chainToks []string
+	for _, id := range h.Blocks {
+		b := k.Block(id)
+		if b.Fn == "ata_pio_sector" && b.Kind == BlockBranch {
+			chainToks = append(chainToks, b.Tokens...)
+		}
+	}
+	joined := strings.Join(chainToks, " ")
+	// cmd is arg 1 → rsi; arg (the hdr pointer) is arg 2 → rdx.
+	if !strings.Contains(joined, "rsi") || !strings.Contains(joined, "rdx") {
+		t.Fatalf("ATA chain tokens missing argument registers: %s", joined)
+	}
+	if !strings.Contains(joined, "off_") {
+		t.Fatalf("ATA chain tokens missing struct offsets: %s", joined)
+	}
+}
+
+func TestStateSnapshotIsolation(t *testing.T) {
+	s := NewState()
+	h := s.AllocHandle("fd")
+	s.Counters["ops_fs"] = 7
+	snap := s.Snapshot()
+	s.CloseHandle(h)
+	s.Counters["ops_fs"] = 99
+	s.AllocHandle("sock")
+	if !snap.ValidHandle(h, "fd") {
+		t.Fatal("snapshot lost handle")
+	}
+	if snap.Counters["ops_fs"] != 7 {
+		t.Fatal("snapshot shares counters")
+	}
+	if len(snap.Handles) != 1 {
+		t.Fatalf("snapshot has %d handles", len(snap.Handles))
+	}
+}
+
+func TestStateHandleLifecycle(t *testing.T) {
+	s := NewState()
+	h := s.AllocHandle("sock")
+	if !s.ValidHandle(h, "sock") || !s.ValidHandle(h, "") {
+		t.Fatal("fresh handle invalid")
+	}
+	if s.ValidHandle(h, "fd") {
+		t.Fatal("handle valid under wrong kind")
+	}
+	s.CloseHandle(h)
+	if s.ValidHandle(h, "") {
+		t.Fatal("closed handle still valid")
+	}
+	s.CloseHandle(h) // double close is a no-op
+	if s.ValidHandle(12345, "") {
+		t.Fatal("unknown handle valid")
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	st := NewState()
+	st.Counters["c"] = 5
+	slots := []SlotView{
+		{Present: true, Val: 0x42},
+		{Present: true, Val: 0b1010},
+		{Present: true, Len: 10},
+		{Present: false, Val: 0x42},
+		{Present: true, Val: 7, IsResource: true},
+	}
+	h := st.AllocHandle("fd")
+	slots = append(slots, SlotView{Present: true, Val: h, IsResource: true})
+	cases := []struct {
+		pred Predicate
+		want bool
+	}{
+		{Predicate{Kind: PredSlotEQ, Slot: 0, Value: 0x42}, true},
+		{Predicate{Kind: PredSlotEQ, Slot: 0, Value: 0x43}, false},
+		{Predicate{Kind: PredSlotNEQ, Slot: 0, Value: 0x43}, true},
+		{Predicate{Kind: PredSlotLT, Slot: 0, Value: 0x43}, true},
+		{Predicate{Kind: PredSlotGT, Slot: 0, Value: 0x41}, true},
+		{Predicate{Kind: PredSlotMaskSet, Slot: 1, Mask: 0b1000}, true},
+		{Predicate{Kind: PredSlotMaskSet, Slot: 1, Mask: 0b0100}, false},
+		{Predicate{Kind: PredSlotMaskClear, Slot: 1, Mask: 0b0101}, true},
+		{Predicate{Kind: PredSlotLenGT, Slot: 2, Value: 9}, true},
+		{Predicate{Kind: PredSlotLenLT, Slot: 2, Value: 9}, false},
+		{Predicate{Kind: PredSlotNonNull, Slot: 0}, true},
+		// Absent slot (behind null pointer): all predicates false.
+		{Predicate{Kind: PredSlotEQ, Slot: 3, Value: 0x42}, false},
+		{Predicate{Kind: PredSlotNonNull, Slot: 3}, false},
+		// Resource validity.
+		{Predicate{Kind: PredResourceValid, Slot: 4}, false},
+		{Predicate{Kind: PredResourceValid, Slot: 5}, true},
+		// Counters.
+		{Predicate{Kind: PredCounterGT, Key: "c", Value: 4}, true},
+		{Predicate{Kind: PredCounterGT, Key: "c", Value: 5}, false},
+		{Predicate{Kind: PredCounterEQ, Key: "c", Value: 5}, true},
+		// Out-of-range slot index.
+		{Predicate{Kind: PredSlotEQ, Slot: 99, Value: 0}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.pred.Eval(slots, st); got != tc.want {
+			t.Fatalf("case %d (%v): got %v, want %v", i, tc.pred.String(), got, tc.want)
+		}
+	}
+}
+
+func TestPredTokensEncodeArgPath(t *testing.T) {
+	reg := spec.Base()
+	call := reg.Lookup("ioctl$SCSI_IOCTL_SEND_COMMAND")
+	// Find the deep slot arg.*.tf.*.command.
+	var slot spec.Slot
+	found := false
+	for _, s := range call.Slots() {
+		if s.Name == "arg.*.tf.*.command" {
+			slot, found = s, true
+		}
+	}
+	if !found {
+		t.Fatalf("slot not found; have %v", slotNames(call))
+	}
+	p := &Predicate{Kind: PredSlotEQ, Slot: slot.Index, Value: 0}
+	toks := strings.Join(predTokens(call, p), " ")
+	if !strings.Contains(toks, "rdx") {
+		t.Fatalf("deep slot tokens missing top-level register rdx: %s", toks)
+	}
+	if !strings.Contains(toks, "off_") || !strings.Contains(toks, "je") {
+		t.Fatalf("deep slot tokens missing offsets/jump: %s", toks)
+	}
+}
+
+func TestImmTokenBuckets(t *testing.T) {
+	cases := map[uint64]string{
+		0: "imm_0", 63: "imm_63", 64: "imm_u8", 255: "imm_u8",
+		256: "imm_u16", 1 << 16: "imm_u32", 1 << 32: "imm_u64",
+	}
+	for v, want := range cases {
+		if got := immToken(v); got != want {
+			t.Fatalf("immToken(%d) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+func TestKernelStringSummary(t *testing.T) {
+	k := build(t, "6.8")
+	s := k.String()
+	if !strings.Contains(s, "6.8") || !strings.Contains(s, "blocks") {
+		t.Fatalf("summary %q", s)
+	}
+}

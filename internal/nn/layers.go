@@ -1,0 +1,245 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// Layer is any component exposing its trainable parameters.
+type Layer interface {
+	// Params returns the trainable tensors, in a stable order.
+	Params() []*Tensor
+}
+
+// Linear is a fully connected layer: y = xW + b.
+type Linear struct {
+	W *Tensor // (in, out)
+	B *Tensor // (1, out)
+}
+
+// NewLinear creates a Linear layer with Kaiming-uniform initialized weights.
+func NewLinear(r *rng.Rand, in, out int) *Linear {
+	l := &Linear{W: New(in, out).RequireGrad(), B: New(1, out).RequireGrad()}
+	bound := math.Sqrt(6.0 / float64(in))
+	for i := range l.W.Data {
+		l.W.Data[i] = (2*r.Float64() - 1) * bound
+	}
+	return l
+}
+
+// Forward applies the layer to x of shape (m, in).
+func (l *Linear) Forward(x *Tensor) *Tensor {
+	return AddRowVector(MatMul(x, l.W), l.B)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// Embedding maps integer ids to learned dense vectors.
+type Embedding struct {
+	Table *Tensor // (vocab, dim)
+}
+
+// NewEmbedding creates an embedding table with N(0, 0.1) initialization.
+func NewEmbedding(r *rng.Rand, vocab, dim int) *Embedding {
+	e := &Embedding{Table: New(vocab, dim).RequireGrad()}
+	for i := range e.Table.Data {
+		e.Table.Data[i] = r.NormFloat64() * 0.1
+	}
+	return e
+}
+
+// Forward looks up one row per id.
+func (e *Embedding) Forward(ids []int) *Tensor { return Gather(e.Table, ids) }
+
+// Params implements Layer.
+func (e *Embedding) Params() []*Tensor { return []*Tensor{e.Table} }
+
+// LayerNorm normalizes each row to zero mean and unit variance, then applies
+// a learned affine transform.
+type LayerNorm struct {
+	Gamma *Tensor // (1, dim)
+	Beta  *Tensor // (1, dim)
+	eps   float64
+}
+
+// NewLayerNorm creates a LayerNorm over the given feature dimension.
+func NewLayerNorm(dim int) *LayerNorm {
+	ln := &LayerNorm{Gamma: New(1, dim).RequireGrad(), Beta: New(1, dim).RequireGrad(), eps: 1e-5}
+	for i := range ln.Gamma.Data {
+		ln.Gamma.Data[i] = 1
+	}
+	return ln
+}
+
+// Forward normalizes x of shape (m, dim) row-wise.
+func (ln *LayerNorm) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != ln.Gamma.Shape[1] {
+		panic(fmt.Sprintf("nn: LayerNorm dim mismatch %v vs %v", x.Shape, ln.Gamma.Shape))
+	}
+	m, n := x.Shape[0], x.Shape[1]
+	out := newResult(x.Shape, x, ln.Gamma, ln.Beta)
+	means := make([]float64, m)
+	invStds := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := x.Data[i*n : (i+1)*n]
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(n)
+		var variance float64
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(n)
+		invStd := 1 / math.Sqrt(variance+ln.eps)
+		means[i], invStds[i] = mean, invStd
+		for j, v := range row {
+			out.Data[i*n+j] = (v-mean)*invStd*ln.Gamma.Data[j] + ln.Beta.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := 0; i < m; i++ {
+				row := x.Data[i*n : (i+1)*n]
+				grow := out.Grad[i*n : (i+1)*n]
+				mean, invStd := means[i], invStds[i]
+				if ln.Gamma.requiresGrad {
+					for j := 0; j < n; j++ {
+						xhat := (row[j] - mean) * invStd
+						ln.Gamma.Grad[j] += grow[j] * xhat
+						ln.Beta.Grad[j] += grow[j]
+					}
+				}
+				if x.requiresGrad {
+					// d xhat_j = g_j * gamma_j ; standard layernorm backward.
+					var sumG, sumGX float64
+					gh := make([]float64, n)
+					for j := 0; j < n; j++ {
+						gh[j] = grow[j] * ln.Gamma.Data[j]
+						xhat := (row[j] - mean) * invStd
+						sumG += gh[j]
+						sumGX += gh[j] * xhat
+					}
+					for j := 0; j < n; j++ {
+						xhat := (row[j] - mean) * invStd
+						x.Grad[i*n+j] += invStd * (gh[j] - sumG/float64(n) - xhat*sumGX/float64(n))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (ln *LayerNorm) Params() []*Tensor { return []*Tensor{ln.Gamma, ln.Beta} }
+
+// SelfAttention is a single-head scaled dot-product self-attention block
+// with a residual connection and layer normalization. It is the core of the
+// token encoder that embeds kernel basic-block instruction sequences.
+type SelfAttention struct {
+	Q, K, V *Linear
+	Out     *Linear
+	Norm    *LayerNorm
+	dim     int
+}
+
+// NewSelfAttention creates a self-attention block over dim features.
+func NewSelfAttention(r *rng.Rand, dim int) *SelfAttention {
+	return &SelfAttention{
+		Q:    NewLinear(r, dim, dim),
+		K:    NewLinear(r, dim, dim),
+		V:    NewLinear(r, dim, dim),
+		Out:  NewLinear(r, dim, dim),
+		Norm: NewLayerNorm(dim),
+		dim:  dim,
+	}
+}
+
+// Forward applies attention across the rows of x (sequence length m,
+// features dim) and returns a tensor of the same shape.
+func (sa *SelfAttention) Forward(x *Tensor) *Tensor {
+	q := sa.Q.Forward(x)
+	k := sa.K.Forward(x)
+	v := sa.V.Forward(x)
+	scores := Scale(MatMul(q, Transpose(k)), 1/math.Sqrt(float64(sa.dim)))
+	attn := SoftmaxRows(scores)
+	ctx := MatMul(attn, v)
+	return sa.Norm.Forward(Add(x, sa.Out.Forward(ctx)))
+}
+
+// Params implements Layer.
+func (sa *SelfAttention) Params() []*Tensor {
+	var ps []*Tensor
+	for _, l := range []Layer{sa.Q, sa.K, sa.V, sa.Out, sa.Norm} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Transpose returns the transpose of a 2D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: Transpose requires a 2D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := newResult([]int{n, m}, a)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					a.Grad[i*n+j] += out.Grad[j*m+i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MLP is a stack of Linear layers with ReLU between them (none after the
+// last layer).
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP creates an MLP with the given layer widths, e.g. (r, 64, 32, 1).
+func NewMLP(r *rng.Rand, widths ...int) *MLP {
+	if len(widths) < 2 {
+		panic("nn: NewMLP needs at least input and output widths")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(widths); i++ {
+		m.Layers = append(m.Layers, NewLinear(r, widths[i], widths[i+1]))
+	}
+	return m
+}
+
+// Forward applies the stack to x.
+func (m *MLP) Forward(x *Tensor) *Tensor {
+	for i, l := range m.Layers {
+		x = l.Forward(x)
+		if i+1 < len(m.Layers) {
+			x = ReLU(x)
+		}
+	}
+	return x
+}
+
+// Params implements Layer.
+func (m *MLP) Params() []*Tensor {
+	var ps []*Tensor
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,694 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a × b for 2D tensors of shapes (m,k) and (k,n).
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("nn: MatMul shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := newResult([]int{m, n}, a, b)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			// dA = dOut × Bᵀ ; dB = Aᵀ × dOut
+			if a.requiresGrad {
+				for i := 0; i < m; i++ {
+					grow := out.Grad[i*n : (i+1)*n]
+					agrow := a.Grad[i*k : (i+1)*k]
+					for p := 0; p < k; p++ {
+						brow := b.Data[p*n : (p+1)*n]
+						var s float64
+						for j := 0; j < n; j++ {
+							s += grow[j] * brow[j]
+						}
+						agrow[p] += s
+					}
+				}
+			}
+			if b.requiresGrad {
+				for i := 0; i < m; i++ {
+					arow := a.Data[i*k : (i+1)*k]
+					grow := out.Grad[i*n : (i+1)*n]
+					for p := 0; p < k; p++ {
+						av := arow[p]
+						if av == 0 {
+							continue
+						}
+						bgrow := b.Grad[p*n : (p+1)*n]
+						for j := 0; j < n; j++ {
+							bgrow[j] += av * grow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise. Shapes must match exactly.
+func Add(a, b *Tensor) *Tensor {
+	if !sameShape(a, b) {
+		panic(fmt.Sprintf("nn: Add shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := newResult(a.Shape, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if b.requiresGrad {
+				for i := range out.Grad {
+					b.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddRowVector adds a length-n vector v (shape (n) or (1,n)) to every row of
+// a 2D tensor a of shape (m,n). This is the standard bias broadcast.
+func AddRowVector(a, v *Tensor) *Tensor {
+	n := a.Shape[len(a.Shape)-1]
+	if len(a.Shape) != 2 || v.Size() != n {
+		panic(fmt.Sprintf("nn: AddRowVector shape mismatch %v + %v", a.Shape, v.Shape))
+	}
+	m := a.Shape[0]
+	out := newResult(a.Shape, a, v)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[i*n+j] = a.Data[i*n+j] + v.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if v.requiresGrad {
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						v.Grad[j] += out.Grad[i*n+j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	return Add(a, Scale(b, -1))
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	if !sameShape(a, b) {
+		panic(fmt.Sprintf("nn: Mul shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := newResult(a.Shape, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i] * b.Data[i]
+				}
+			}
+			if b.requiresGrad {
+				for i := range out.Grad {
+					b.Grad[i] += out.Grad[i] * a.Data[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns a * c for scalar c.
+func Scale(a *Tensor, c float64) *Tensor {
+	out := newResult(a.Shape, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * c
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i] * c
+			}
+		}
+	}
+	return out
+}
+
+// ReLU returns max(x, 0) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	out := newResult(a.Shape, a)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := range out.Grad {
+				if a.Data[i] > 0 {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^-x) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	out := newResult(a.Shape, a)
+	for i, v := range a.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := range out.Grad {
+				s := out.Data[i]
+				a.Grad[i] += out.Grad[i] * s * (1 - s)
+			}
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(x) elementwise.
+func Tanh(a *Tensor) *Tensor {
+	out := newResult(a.Shape, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := range out.Grad {
+				y := out.Data[i]
+				a.Grad[i] += out.Grad[i] * (1 - y*y)
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies softmax independently to each row of a 2D tensor.
+func SoftmaxRows(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: SoftmaxRows requires a 2D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := newResult(a.Shape, a)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := 0; i < m; i++ {
+				orow := out.Data[i*n : (i+1)*n]
+				grow := out.Grad[i*n : (i+1)*n]
+				var dot float64
+				for j := 0; j < n; j++ {
+					dot += orow[j] * grow[j]
+				}
+				for j := 0; j < n; j++ {
+					a.Grad[i*n+j] += orow[j] * (grow[j] - dot)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Concat concatenates 2D tensors along dimension 1 (columns). All inputs
+// must have the same number of rows.
+func Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("nn: Concat of nothing")
+	}
+	rows := ts[0].Shape[0]
+	cols := 0
+	for _, t := range ts {
+		if len(t.Shape) != 2 || t.Shape[0] != rows {
+			panic("nn: Concat requires 2D tensors with equal row counts")
+		}
+		cols += t.Shape[1]
+	}
+	out := newResult([]int{rows, cols}, ts...)
+	off := 0
+	for _, t := range ts {
+		c := t.Shape[1]
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*cols+off:i*cols+off+c], t.Data[i*c:(i+1)*c])
+		}
+		off += c
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			off := 0
+			for _, t := range ts {
+				c := t.Shape[1]
+				if t.requiresGrad {
+					for i := 0; i < rows; i++ {
+						src := out.Grad[i*cols+off : i*cols+off+c]
+						dst := t.Grad[i*c : (i+1)*c]
+						for j := range src {
+							dst[j] += src[j]
+						}
+					}
+				}
+				off += c
+			}
+		}
+	}
+	return out
+}
+
+// ConcatRows stacks 2D tensors along dimension 0 (rows). All inputs must
+// have the same number of columns.
+func ConcatRows(ts []*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("nn: ConcatRows of nothing")
+	}
+	cols := ts[0].Shape[1]
+	rows := 0
+	for _, t := range ts {
+		if len(t.Shape) != 2 || t.Shape[1] != cols {
+			panic("nn: ConcatRows requires 2D tensors with equal column counts")
+		}
+		rows += t.Shape[0]
+	}
+	out := newResult([]int{rows, cols}, ts...)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:off+len(t.Data)], t.Data)
+		off += len(t.Data)
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			off := 0
+			for _, t := range ts {
+				if t.requiresGrad {
+					src := out.Grad[off : off+len(t.Data)]
+					for j := range src {
+						t.Grad[j] += src[j]
+					}
+				}
+				off += len(t.Data)
+			}
+		}
+	}
+	return out
+}
+
+// RepeatRow tiles a (1, n) tensor into (rows, n); gradients sum over the
+// copies.
+func RepeatRow(v *Tensor, rows int) *Tensor {
+	if len(v.Shape) != 2 || v.Shape[0] != 1 {
+		panic("nn: RepeatRow requires a (1, n) tensor")
+	}
+	n := v.Shape[1]
+	out := newResult([]int{rows, n}, v)
+	for i := 0; i < rows; i++ {
+		copy(out.Data[i*n:(i+1)*n], v.Data)
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := 0; i < rows; i++ {
+				row := out.Grad[i*n : (i+1)*n]
+				for j := range row {
+					v.Grad[j] += row[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RepeatEachRow repeats every row of a 2D tensor `times` consecutive times:
+// rows (a,b) with times=2 become (a,a,b,b).
+func RepeatEachRow(v *Tensor, times int) *Tensor {
+	if len(v.Shape) != 2 {
+		panic("nn: RepeatEachRow requires a 2D tensor")
+	}
+	m, n := v.Shape[0], v.Shape[1]
+	out := newResult([]int{m * times, n}, v)
+	for i := 0; i < m; i++ {
+		src := v.Data[i*n : (i+1)*n]
+		for r := 0; r < times; r++ {
+			copy(out.Data[(i*times+r)*n:(i*times+r+1)*n], src)
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := 0; i < m; i++ {
+				dst := v.Grad[i*n : (i+1)*n]
+				for r := 0; r < times; r++ {
+					row := out.Grad[(i*times+r)*n : (i*times+r+1)*n]
+					for j := range row {
+						dst[j] += row[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TileRows repeats the whole 2D tensor `times` times along dimension 0:
+// rows (a,b) with times=2 become (a,b,a,b).
+func TileRows(v *Tensor, times int) *Tensor {
+	if len(v.Shape) != 2 {
+		panic("nn: TileRows requires a 2D tensor")
+	}
+	m, n := v.Shape[0], v.Shape[1]
+	out := newResult([]int{m * times, n}, v)
+	for r := 0; r < times; r++ {
+		copy(out.Data[r*m*n:(r+1)*m*n], v.Data)
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for r := 0; r < times; r++ {
+				blk := out.Grad[r*m*n : (r+1)*m*n]
+				for j := range blk {
+					v.Grad[j] += blk[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPerGroup reduces a (groups*per, 1) tensor to (groups, 1) by taking the
+// maximum within each consecutive group of `per` rows. Gradient flows to the
+// argmax row of each group.
+func MaxPerGroup(a *Tensor, groups, per int) *Tensor {
+	if len(a.Shape) != 2 || a.Shape[1] != 1 || a.Shape[0] != groups*per {
+		panic(fmt.Sprintf("nn: MaxPerGroup shape %v incompatible with %d groups of %d", a.Shape, groups, per))
+	}
+	out := newResult([]int{groups, 1}, a)
+	argmax := make([]int, groups)
+	for g := 0; g < groups; g++ {
+		best := g * per
+		for i := g*per + 1; i < (g+1)*per; i++ {
+			if a.Data[i] > a.Data[best] {
+				best = i
+			}
+		}
+		argmax[g] = best
+		out.Data[g] = a.Data[best]
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for g := 0; g < groups; g++ {
+				a.Grad[argmax[g]] += out.Grad[g]
+			}
+		}
+	}
+	return out
+}
+
+// Gather selects rows of a 2D table by index, producing one output row per
+// index. It is the embedding-lookup primitive.
+func Gather(table *Tensor, indices []int) *Tensor {
+	if len(table.Shape) != 2 {
+		panic("nn: Gather requires a 2D table")
+	}
+	rows, cols := len(indices), table.Shape[1]
+	out := newResult([]int{rows, cols}, table)
+	for i, idx := range indices {
+		if idx < 0 || idx >= table.Shape[0] {
+			panic(fmt.Sprintf("nn: Gather index %d out of range [0,%d)", idx, table.Shape[0]))
+		}
+		copy(out.Data[i*cols:(i+1)*cols], table.Data[idx*cols:(idx+1)*cols])
+	}
+	if out.requiresGrad {
+		idxCopy := append([]int(nil), indices...)
+		out.backward = func() {
+			for i, idx := range idxCopy {
+				src := out.Grad[i*cols : (i+1)*cols]
+				dst := table.Grad[idx*cols : (idx+1)*cols]
+				for j := range src {
+					dst[j] += src[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ScatterMean aggregates src rows into dstRows buckets: output row d is the
+// mean of all src rows i with dst[i] == d. Buckets that receive no rows stay
+// zero. This is the message-aggregation primitive of the GNN.
+func ScatterMean(src *Tensor, dst []int, dstRows int) *Tensor {
+	if len(src.Shape) != 2 || len(dst) != src.Shape[0] {
+		panic("nn: ScatterMean shape mismatch")
+	}
+	cols := src.Shape[1]
+	out := newResult([]int{dstRows, cols}, src)
+	counts := make([]float64, dstRows)
+	for i, d := range dst {
+		if d < 0 || d >= dstRows {
+			panic(fmt.Sprintf("nn: ScatterMean destination %d out of range [0,%d)", d, dstRows))
+		}
+		counts[d]++
+		srow := src.Data[i*cols : (i+1)*cols]
+		orow := out.Data[d*cols : (d+1)*cols]
+		for j := range srow {
+			orow[j] += srow[j]
+		}
+	}
+	for d := 0; d < dstRows; d++ {
+		if counts[d] > 1 {
+			orow := out.Data[d*cols : (d+1)*cols]
+			inv := 1 / counts[d]
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+	}
+	if out.requiresGrad {
+		dstCopy := append([]int(nil), dst...)
+		out.backward = func() {
+			for i, d := range dstCopy {
+				inv := 1.0
+				if counts[d] > 1 {
+					inv = 1 / counts[d]
+				}
+				grow := out.Grad[d*cols : (d+1)*cols]
+				sgrow := src.Grad[i*cols : (i+1)*cols]
+				for j := range grow {
+					sgrow[j] += grow[j] * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SelectRows picks the given rows of a 2D tensor into a new tensor, with
+// gradient routed back to the selected rows.
+func SelectRows(a *Tensor, indices []int) *Tensor {
+	return Gather(a, indices)
+}
+
+// MeanRows returns a (1,n) tensor holding the column means of a 2D tensor.
+func MeanRows(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: MeanRows requires a 2D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := newResult([]int{1, n}, a)
+	if m == 0 {
+		return out
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j] += a.Data[i*n+j]
+		}
+	}
+	inv := 1 / float64(m)
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					a.Grad[i*n+j] += out.Grad[j] * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the scalar sum of all elements as a (1) tensor.
+func Sum(a *Tensor) *Tensor {
+	out := newResult([]int{1}, a)
+	for _, v := range a.Data {
+		out.Data[0] += v
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			g := out.Grad[0]
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the scalar mean of all elements as a (1) tensor.
+func Mean(a *Tensor) *Tensor {
+	n := a.Size()
+	if n == 0 {
+		return newResult([]int{1}, a)
+	}
+	return Scale(Sum(a), 1/float64(n))
+}
+
+// CrossEntropyRows computes mean softmax cross-entropy: row i of logits is
+// scored against integer class labels[i].
+func CrossEntropyRows(logits *Tensor, labels []int) *Tensor {
+	if len(logits.Shape) != 2 || len(labels) != logits.Shape[0] {
+		panic("nn: CrossEntropyRows shape mismatch")
+	}
+	m, n := logits.Shape[0], logits.Shape[1]
+	out := newResult([]int{1}, logits)
+	probs := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		row := logits.Data[i*n : (i+1)*n]
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			probs[i*n+j] = e
+			sum += e
+		}
+		for j := range row {
+			probs[i*n+j] /= sum
+		}
+		l := labels[i]
+		if l < 0 || l >= n {
+			panic("nn: CrossEntropyRows label out of range")
+		}
+		out.Data[0] -= math.Log(probs[i*n+l] + 1e-12)
+	}
+	out.Data[0] /= float64(m)
+	if out.requiresGrad {
+		labelCopy := append([]int(nil), labels...)
+		out.backward = func() {
+			g := out.Grad[0] / float64(m)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					delta := probs[i*n+j]
+					if j == labelCopy[i] {
+						delta -= 1
+					}
+					logits.Grad[i*n+j] += g * delta
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BCEWithLogits computes the mean binary cross-entropy between logits and
+// 0/1 targets, with optional per-element weights (nil for uniform). The
+// formulation max(x,0) - x*y + log(1+exp(-|x|)) is numerically stable.
+func BCEWithLogits(logits *Tensor, targets []float64, weights []float64) *Tensor {
+	if len(targets) != logits.Size() {
+		panic("nn: BCEWithLogits target length mismatch")
+	}
+	if weights != nil && len(weights) != len(targets) {
+		panic("nn: BCEWithLogits weight length mismatch")
+	}
+	out := newResult([]int{1}, logits)
+	var totalW float64
+	for i, x := range logits.Data {
+		y := targets[i]
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		loss := math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
+		out.Data[0] += w * loss
+		totalW += w
+	}
+	if totalW > 0 {
+		out.Data[0] /= totalW
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if totalW == 0 {
+				return
+			}
+			g := out.Grad[0] / totalW
+			for i, x := range logits.Data {
+				y := targets[i]
+				w := 1.0
+				if weights != nil {
+					w = weights[i]
+				}
+				s := 1 / (1 + math.Exp(-x))
+				logits.Grad[i] += g * w * (s - y)
+			}
+		}
+	}
+	return out
+}

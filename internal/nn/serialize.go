@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// magic identifies the snowplow model checkpoint format.
+const magic = "SNPW0001"
+
+// SaveParams writes a named set of tensors to w in a simple self-describing
+// binary format (magic, count, then name/shape/data records). Names are
+// written in sorted order so checkpoints are byte-stable.
+func SaveParams(w io.Writer, params map[string]*Tensor) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		t := params[name]
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(t.Shape))); err != nil {
+			return err
+		}
+		for _, d := range t.Shape {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 8*len(t.Data))
+		for i, v := range t.Data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint written by SaveParams into the provided
+// tensors. Every checkpoint record must match a tensor of identical shape in
+// params, and every tensor in params must be present in the checkpoint.
+func LoadParams(r io.Reader, params map[string]*Tensor) error {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return fmt.Errorf("nn: reading checkpoint header: %w", err)
+	}
+	if string(head) != magic {
+		return errors.New("nn: not a snowplow checkpoint")
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	loaded := map[string]bool{}
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return err
+		}
+		var ndim uint32
+		if err := binary.Read(r, binary.LittleEndian, &ndim); err != nil {
+			return err
+		}
+		shape := make([]int, ndim)
+		size := 1
+		for j := range shape {
+			var d uint32
+			if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+				return err
+			}
+			shape[j] = int(d)
+			size *= int(d)
+		}
+		t, ok := params[name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint has unknown parameter %q", name)
+		}
+		if t.Size() != size {
+			return fmt.Errorf("nn: parameter %q shape mismatch: checkpoint %v vs model %v", name, shape, t.Shape)
+		}
+		buf := make([]byte, 8*size)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for j := 0; j < size; j++ {
+			t.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+		loaded[name] = true
+	}
+	for name := range params {
+		if !loaded[name] {
+			return fmt.Errorf("nn: checkpoint missing parameter %q", name)
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", errors.New("nn: unreasonable string length in checkpoint")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,470 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// numericalGrad estimates d(loss)/d(p[idx]) by central differences.
+func numericalGrad(p *Tensor, idx int, loss func() float64) float64 {
+	const h = 1e-5
+	orig := p.Data[idx]
+	p.Data[idx] = orig + h
+	up := loss()
+	p.Data[idx] = orig - h
+	down := loss()
+	p.Data[idx] = orig
+	return (up - down) / (2 * h)
+}
+
+// checkGrads verifies analytic gradients of loss() (which must rebuild the
+// graph, call Backward, and return the loss value) against numeric ones for
+// every element of every parameter.
+func checkGrads(t *testing.T, params []*Tensor, loss func() float64, tol float64) {
+	t.Helper()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	loss()
+	analytic := make([][]float64, len(params))
+	for i, p := range params {
+		analytic[i] = append([]float64(nil), p.Grad...)
+	}
+	lossOnly := func() float64 {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		return loss()
+	}
+	for i, p := range params {
+		for j := range p.Data {
+			num := numericalGrad(p, j, lossOnly)
+			got := analytic[i][j]
+			if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %d elem %d: analytic %v vs numeric %v", i, j, got, num)
+			}
+		}
+	}
+}
+
+func randomTensor(r *rng.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = r.NormFloat64()
+	}
+	return t
+}
+
+func TestMatMulForward(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulGrad(t *testing.T) {
+	r := rng.New(1)
+	a := randomTensor(r, 3, 4).RequireGrad()
+	b := randomTensor(r, 4, 2).RequireGrad()
+	checkGrads(t, []*Tensor{a, b}, func() float64 {
+		l := Sum(MatMul(a, b))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestAddSubMulGrad(t *testing.T) {
+	r := rng.New(2)
+	a := randomTensor(r, 2, 3).RequireGrad()
+	b := randomTensor(r, 2, 3).RequireGrad()
+	checkGrads(t, []*Tensor{a, b}, func() float64 {
+		l := Sum(Mul(Add(a, b), Sub(a, b)))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestAddRowVectorGrad(t *testing.T) {
+	r := rng.New(3)
+	a := randomTensor(r, 4, 3).RequireGrad()
+	v := randomTensor(r, 1, 3).RequireGrad()
+	checkGrads(t, []*Tensor{a, v}, func() float64 {
+		l := Sum(Sigmoid(AddRowVector(a, v)))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestActivationGrads(t *testing.T) {
+	r := rng.New(4)
+	for name, act := range map[string]func(*Tensor) *Tensor{
+		"relu":    ReLU,
+		"sigmoid": Sigmoid,
+		"tanh":    Tanh,
+	} {
+		a := randomTensor(r, 3, 3).RequireGrad()
+		// Shift away from 0 so ReLU's kink does not break the numeric check.
+		for i := range a.Data {
+			if math.Abs(a.Data[i]) < 0.1 {
+				a.Data[i] += 0.5
+			}
+		}
+		checkGrads(t, []*Tensor{a}, func() float64 {
+			l := Sum(Mul(act(a), act(a)))
+			l.Backward()
+			return l.Item()
+		}, 1e-5)
+		_ = name
+	}
+}
+
+func TestSoftmaxRowsForward(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 1000, 1000, 1000}, 2, 3)
+	s := SoftmaxRows(a)
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			v := s.At(i, j)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax[%d][%d] = %v", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxGrad(t *testing.T) {
+	r := rng.New(5)
+	a := randomTensor(r, 2, 4).RequireGrad()
+	w := randomTensor(r, 2, 4)
+	checkGrads(t, []*Tensor{a}, func() float64 {
+		l := Sum(Mul(SoftmaxRows(a), w))
+		l.Backward()
+		return l.Item()
+	}, 1e-5)
+}
+
+func TestConcatGrad(t *testing.T) {
+	r := rng.New(6)
+	a := randomTensor(r, 2, 3).RequireGrad()
+	b := randomTensor(r, 2, 2).RequireGrad()
+	c := Concat(a, b)
+	if c.Shape[0] != 2 || c.Shape[1] != 5 {
+		t.Fatalf("Concat shape %v", c.Shape)
+	}
+	checkGrads(t, []*Tensor{a, b}, func() float64 {
+		l := Sum(Mul(Concat(a, b), Concat(a, b)))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestGatherGrad(t *testing.T) {
+	r := rng.New(7)
+	table := randomTensor(r, 5, 3).RequireGrad()
+	idx := []int{0, 2, 2, 4}
+	checkGrads(t, []*Tensor{table}, func() float64 {
+		g := Gather(table, idx)
+		l := Sum(Mul(g, g))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestScatterMeanForward(t *testing.T) {
+	src := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	out := ScatterMean(src, []int{0, 0, 2}, 3)
+	want := []float64{2, 3, 0, 0, 5, 6} // mean of rows 0,1 into bucket 0; row 2 into bucket 2
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("ScatterMean[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestScatterMeanGrad(t *testing.T) {
+	r := rng.New(8)
+	src := randomTensor(r, 4, 3).RequireGrad()
+	dst := []int{1, 1, 0, 1}
+	checkGrads(t, []*Tensor{src}, func() float64 {
+		s := ScatterMean(src, dst, 2)
+		l := Sum(Mul(s, s))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestMeanRowsGrad(t *testing.T) {
+	r := rng.New(9)
+	a := randomTensor(r, 5, 3).RequireGrad()
+	checkGrads(t, []*Tensor{a}, func() float64 {
+		m := MeanRows(a)
+		l := Sum(Mul(m, m))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestTransposeGrad(t *testing.T) {
+	r := rng.New(10)
+	a := randomTensor(r, 3, 2).RequireGrad()
+	checkGrads(t, []*Tensor{a}, func() float64 {
+		tr := Transpose(a)
+		l := Sum(Mul(tr, tr))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestRepeatEachRowGrad(t *testing.T) {
+	r := rng.New(31)
+	v := randomTensor(r, 3, 2).RequireGrad()
+	out := RepeatEachRow(v.Detach(), 2)
+	if out.Shape[0] != 6 {
+		t.Fatalf("shape %v", out.Shape)
+	}
+	// Row pattern: a,a,b,b,c,c.
+	if out.At(0, 0) != out.At(1, 0) || out.At(0, 0) == out.At(2, 0) && out.At(0, 1) == out.At(2, 1) {
+		t.Fatalf("RepeatEachRow wrong layout: %v", out.Data)
+	}
+	checkGrads(t, []*Tensor{v}, func() float64 {
+		o := RepeatEachRow(v, 3)
+		l := Sum(Mul(o, o))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestTileRowsGrad(t *testing.T) {
+	r := rng.New(32)
+	v := randomTensor(r, 2, 3).RequireGrad()
+	out := TileRows(v.Detach(), 2)
+	if out.Shape[0] != 4 {
+		t.Fatalf("shape %v", out.Shape)
+	}
+	// Row pattern: a,b,a,b.
+	for j := 0; j < 3; j++ {
+		if out.At(0, j) != out.At(2, j) || out.At(1, j) != out.At(3, j) {
+			t.Fatal("TileRows wrong layout")
+		}
+	}
+	checkGrads(t, []*Tensor{v}, func() float64 {
+		o := TileRows(v, 3)
+		l := Sum(Mul(o, o))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestMaxPerGroupForwardBackward(t *testing.T) {
+	a := FromSlice([]float64{1, 5, 3, 2, 9, 4}, 6, 1).RequireGrad()
+	out := MaxPerGroup(a, 2, 3)
+	if out.Data[0] != 5 || out.Data[1] != 9 {
+		t.Fatalf("MaxPerGroup = %v", out.Data)
+	}
+	Sum(out).Backward()
+	want := []float64{0, 1, 0, 0, 1, 0}
+	for i, w := range want {
+		if a.Grad[i] != w {
+			t.Fatalf("grad[%d] = %v, want %v", i, a.Grad[i], w)
+		}
+	}
+}
+
+func TestRepeatRowGrad(t *testing.T) {
+	r := rng.New(33)
+	v := randomTensor(r, 1, 4).RequireGrad()
+	checkGrads(t, []*Tensor{v}, func() float64 {
+		o := RepeatRow(v, 5)
+		l := Sum(Mul(o, o))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestConcatRowsGrad(t *testing.T) {
+	r := rng.New(34)
+	a := randomTensor(r, 2, 3).RequireGrad()
+	b := randomTensor(r, 1, 3).RequireGrad()
+	out := ConcatRows([]*Tensor{a.Detach(), b.Detach()})
+	if out.Shape[0] != 3 || out.Shape[1] != 3 {
+		t.Fatalf("shape %v", out.Shape)
+	}
+	checkGrads(t, []*Tensor{a, b}, func() float64 {
+		o := ConcatRows([]*Tensor{a, b})
+		l := Sum(Mul(o, o))
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestBCEWithLogitsGrad(t *testing.T) {
+	r := rng.New(11)
+	logits := randomTensor(r, 6).RequireGrad()
+	targets := []float64{1, 0, 1, 1, 0, 0}
+	weights := []float64{1, 2, 1, 0.5, 1, 3}
+	checkGrads(t, []*Tensor{logits}, func() float64 {
+		l := BCEWithLogits(logits, targets, weights)
+		l.Backward()
+		return l.Item()
+	}, 1e-6)
+}
+
+func TestBCEWithLogitsValue(t *testing.T) {
+	// logit 0 → p = 0.5 → loss = ln 2 regardless of target.
+	logits := New(2)
+	l := BCEWithLogits(logits, []float64{0, 1}, nil)
+	if math.Abs(l.Item()-math.Log(2)) > 1e-12 {
+		t.Fatalf("BCE at logit 0 = %v, want ln2", l.Item())
+	}
+}
+
+func TestLayerNormGrad(t *testing.T) {
+	r := rng.New(12)
+	x := randomTensor(r, 3, 4).RequireGrad()
+	ln := NewLayerNorm(4)
+	params := append([]*Tensor{x}, ln.Params()...)
+	checkGrads(t, params, func() float64 {
+		y := ln.Forward(x)
+		l := Sum(Mul(y, y))
+		l.Backward()
+		return l.Item()
+	}, 1e-4)
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	r := rng.New(13)
+	x := randomTensor(r, 4, 8)
+	// Scale rows wildly to confirm normalization.
+	for i := range x.Data {
+		x.Data[i] = x.Data[i]*100 + 7
+	}
+	ln := NewLayerNorm(8)
+	y := ln.Forward(x)
+	for i := 0; i < 4; i++ {
+		row := y.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= 8
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("row %d mean %v after LayerNorm", i, mean)
+		}
+	}
+}
+
+func TestSelfAttentionGrad(t *testing.T) {
+	r := rng.New(14)
+	sa := NewSelfAttention(r, 4)
+	x := randomTensor(r, 3, 4).RequireGrad()
+	params := append([]*Tensor{x}, sa.Params()...)
+	checkGrads(t, params, func() float64 {
+		y := sa.Forward(x)
+		l := Sum(Mul(y, y))
+		l.Backward()
+		return l.Item()
+	}, 1e-3)
+}
+
+func TestBackwardSharedSubgraph(t *testing.T) {
+	// A tensor consumed by two ops must accumulate both gradient paths.
+	a := FromSlice([]float64{2}, 1).RequireGrad()
+	b := Mul(a, a)           // a^2
+	c := Add(b, Scale(a, 3)) // a^2 + 3a
+	c.Backward()
+	// d/da (a^2+3a) = 2a+3 = 7
+	if math.Abs(a.Grad[0]-7) > 1e-12 {
+		t.Fatalf("shared-subgraph grad %v, want 7", a.Grad[0])
+	}
+}
+
+func TestNoGradRecordingWithoutRequireGrad(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{3, 4}, 2)
+	c := Mul(a, b)
+	if c.RequiresGrad() || c.backward != nil || c.parents != nil {
+		t.Fatal("op over frozen tensors recorded a tape")
+	}
+}
+
+func TestBackwardPanicsWithoutGrad(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Backward()
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMul(New(2, 3), New(2, 3)) },
+		func() { Add(New(2, 3), New(3, 2)) },
+		func() { Mul(New(2), New(3)) },
+		func() { AddRowVector(New(2, 3), New(1, 2)) },
+		func() { Gather(New(2, 3), []int{5}) },
+		func() { ScatterMean(New(2, 3), []int{0, 5}, 2) },
+		func() { FromSlice([]float64{1}, 2, 2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDetachStopsGradient(t *testing.T) {
+	a := FromSlice([]float64{3}, 1).RequireGrad()
+	d := a.Detach()
+	if d.RequiresGrad() {
+		t.Fatal("Detach result requires grad")
+	}
+	l := Mul(Add(a, d), Add(a, d)) // (a + const)^2
+	Sum(l).Backward()
+	// d/da (a+3)^2 = 2(a+3) = 12
+	if math.Abs(a.Grad[0]-12) > 1e-12 {
+		t.Fatalf("grad through Detach %v, want 12", a.Grad[0])
+	}
+}
+
+func TestCrossEntropyRowsGrad(t *testing.T) {
+	r := rng.New(35)
+	logits := randomTensor(r, 4, 5).RequireGrad()
+	labels := []int{0, 3, 2, 4}
+	checkGrads(t, []*Tensor{logits}, func() float64 {
+		l := CrossEntropyRows(logits, labels)
+		l.Backward()
+		return l.Item()
+	}, 1e-5)
+}
+
+func TestCrossEntropyRowsValue(t *testing.T) {
+	// Uniform logits: loss = ln(n).
+	logits := New(2, 4)
+	l := CrossEntropyRows(logits, []int{1, 2})
+	if math.Abs(l.Item()-math.Log(4)) > 1e-9 {
+		t.Fatalf("uniform CE = %v, want ln4", l.Item())
+	}
+	// Confident correct prediction: loss near 0.
+	strong := FromSlice([]float64{100, 0, 0, 0}, 1, 4)
+	l2 := CrossEntropyRows(strong, []int{0})
+	if l2.Item() > 1e-6 {
+		t.Fatalf("confident CE = %v", l2.Item())
+	}
+}

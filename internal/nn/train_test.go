@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// TestAdamConvergesQuadratic checks that Adam minimizes a simple quadratic.
+func TestAdamConvergesQuadratic(t *testing.T) {
+	p := FromSlice([]float64{5, -3, 8}, 3).RequireGrad()
+	opt := NewAdam([]*Tensor{p}, 0.1)
+	for step := 0; step < 500; step++ {
+		opt.ZeroGrad()
+		loss := Sum(Mul(p, p))
+		loss.Backward()
+		opt.Step()
+	}
+	for i, v := range p.Data {
+		if math.Abs(v) > 0.01 {
+			t.Fatalf("param %d = %v after optimization, want ~0", i, v)
+		}
+	}
+}
+
+// TestMLPLearnsXOR verifies that the full stack (layers, autodiff, Adam)
+// can fit a nonlinear function.
+func TestMLPLearnsXOR(t *testing.T) {
+	r := rng.New(99)
+	mlp := NewMLP(r, 2, 8, 1)
+	opt := NewAdam(mlp.Params(), 0.05)
+	inputs := FromSlice([]float64{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	targets := []float64{0, 1, 1, 0}
+	var loss float64
+	for step := 0; step < 2000; step++ {
+		opt.ZeroGrad()
+		logits := mlp.Forward(inputs)
+		l := BCEWithLogits(logits, targets, nil)
+		l.Backward()
+		opt.Step()
+		loss = l.Item()
+	}
+	if loss > 0.05 {
+		t.Fatalf("XOR loss %v after training, want < 0.05", loss)
+	}
+	probs := Sigmoid(mlp.Forward(inputs))
+	for i, want := range targets {
+		got := probs.Data[i]
+		if (want == 1 && got < 0.8) || (want == 0 && got > 0.2) {
+			t.Fatalf("XOR input %d predicted %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestEmbeddingLearnsSeparation checks embedding gradients flow: two token
+// classes must become linearly separable.
+func TestEmbeddingLearnsSeparation(t *testing.T) {
+	r := rng.New(7)
+	emb := NewEmbedding(r, 10, 4)
+	head := NewLinear(r, 4, 1)
+	params := append(emb.Params(), head.Params()...)
+	opt := NewAdam(params, 0.05)
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	targets := make([]float64, 10)
+	for i := range targets {
+		if i%2 == 0 {
+			targets[i] = 1
+		}
+	}
+	for step := 0; step < 500; step++ {
+		opt.ZeroGrad()
+		l := BCEWithLogits(head.Forward(emb.Forward(ids)), targets, nil)
+		l.Backward()
+		opt.Step()
+	}
+	probs := Sigmoid(head.Forward(emb.Forward(ids)))
+	for i, want := range targets {
+		got := probs.Data[i]
+		if (want == 1) != (got > 0.5) {
+			t.Fatalf("token %d: prob %v, want class %v", i, got, want)
+		}
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := FromSlice([]float64{0, 0}, 2).RequireGrad()
+	p.Grad[0], p.Grad[1] = 3, 4 // norm 5
+	norm := ClipGradNorm([]*Tensor{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("reported norm %v, want 5", norm)
+	}
+	got := math.Hypot(p.Grad[0], p.Grad[1])
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("clipped norm %v, want 1", got)
+	}
+	// Below-threshold gradients untouched.
+	p.Grad[0], p.Grad[1] = 0.3, 0.4
+	ClipGradNorm([]*Tensor{p}, 1)
+	if p.Grad[0] != 0.3 || p.Grad[1] != 0.4 {
+		t.Fatal("below-threshold gradients were modified")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := rng.New(21)
+	a := randomTensor(r, 3, 4)
+	b := randomTensor(r, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, map[string]*Tensor{"a": a, "b": b}); err != nil {
+		t.Fatal(err)
+	}
+	a2, b2 := New(3, 4), New(2)
+	if err := LoadParams(&buf, map[string]*Tensor{"a": a2, "b": b2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != a2.Data[i] {
+			t.Fatalf("a[%d] mismatch after round trip", i)
+		}
+	}
+	for i := range b.Data {
+		if b.Data[i] != b2.Data[i] {
+			t.Fatalf("b[%d] mismatch after round trip", i)
+		}
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	r := rng.New(22)
+	params := map[string]*Tensor{"w1": randomTensor(r, 2, 2), "w2": randomTensor(r, 3)}
+	var b1, b2 bytes.Buffer
+	if err := SaveParams(&b1, params); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveParams(&b2, params); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two saves of the same params differ")
+	}
+}
+
+func TestLoadRejectsMismatch(t *testing.T) {
+	r := rng.New(23)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, map[string]*Tensor{"w": randomTensor(r, 2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong shape.
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), map[string]*Tensor{"w": New(3, 3)}); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+	// Missing parameter in checkpoint.
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), map[string]*Tensor{"w": New(2, 2), "extra": New(1)}); err == nil {
+		t.Fatal("expected missing-parameter error")
+	}
+	// Garbage header.
+	if err := LoadParams(bytes.NewReader([]byte("NOTAMODEL....")), map[string]*Tensor{"w": New(2, 2)}); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	r := rng.New(1)
+	x := randomTensor(r, 64, 64)
+	y := randomTensor(r, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(x, y)
+	}
+}
+
+func BenchmarkMLPForwardBackward(b *testing.B) {
+	r := rng.New(2)
+	mlp := NewMLP(r, 32, 64, 32, 1)
+	x := randomTensor(r, 16, 32)
+	targets := make([]float64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range mlp.Params() {
+			p.ZeroGrad()
+		}
+		l := BCEWithLogits(mlp.Forward(x), targets, nil)
+		l.Backward()
+	}
+}

@@ -1,0 +1,379 @@
+package pmm
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/repro/snowplow/internal/nn"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// Config holds the model hyperparameters (the subject of §5.1's
+// hyperparameter search).
+type Config struct {
+	// Dim is the hidden width of every component.
+	Dim int
+	// Layers is the number of message-passing rounds.
+	Layers int
+	// CallBuckets sizes the hashed syscall-name embedding (open vocabulary
+	// across kernel versions).
+	CallBuckets int
+	// MaxTopArg and MaxDepth cap the argument position/depth embeddings.
+	MaxTopArg int
+	MaxDepth  int
+	// UseAttention selects the self-attention token encoder; false falls
+	// back to a mean-pooled token MLP (encoder ablation).
+	UseAttention bool
+	// Threshold is the MUTATE decision threshold on the sigmoid output;
+	// tuned on the validation split.
+	Threshold float64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Dim:          24,
+		Layers:       2,
+		CallBuckets:  128,
+		MaxTopArg:    8,
+		MaxDepth:     6,
+		UseAttention: true,
+		Threshold:    0.5,
+	}
+}
+
+// Model is the Program Mutation Model.
+type Model struct {
+	Cfg   Config
+	Vocab *Vocab
+
+	// θ_TRANSFORMER: token encoder.
+	tokEmb  *nn.Embedding
+	tokAttn *nn.SelfAttention
+	tokMLP  *nn.MLP
+
+	// θ_Emb: vertex and edge feature embeddings.
+	kindEmb   *nn.Embedding // vertex kind
+	callEmb   *nn.Embedding // hashed syscall variant name
+	typeEmb   *nn.Embedding // argument type kind
+	topEmb    *nn.Embedding // top-level argument position
+	depthEmb  *nn.Embedding // nesting depth
+	absentEmb *nn.Embedding // 0 = present, 1 = absent
+
+	// θ_GNN: per-layer, per-edge-kind, per-direction message transforms.
+	edgeW [][]*nn.Linear // [layer][edgeKind*2]
+	selfW []*nn.Linear
+	norms []*nn.LayerNorm
+
+	// Head: scores [h_arg ‖ h_targets] -> MUTATE logit.
+	head *nn.MLP
+}
+
+// NewModel builds a randomly initialized model.
+func NewModel(r *rng.Rand, cfg Config, vocab *Vocab) *Model {
+	d := cfg.Dim
+	m := &Model{
+		Cfg:       cfg,
+		Vocab:     vocab,
+		tokEmb:    nn.NewEmbedding(r, vocab.Size(), d),
+		tokAttn:   nn.NewSelfAttention(r, d),
+		tokMLP:    nn.NewMLP(r, d, d),
+		kindEmb:   nn.NewEmbedding(r, 5, d),
+		callEmb:   nn.NewEmbedding(r, cfg.CallBuckets, d),
+		typeEmb:   nn.NewEmbedding(r, 10, d),
+		topEmb:    nn.NewEmbedding(r, cfg.MaxTopArg+1, d),
+		depthEmb:  nn.NewEmbedding(r, cfg.MaxDepth+1, d),
+		absentEmb: nn.NewEmbedding(r, 2, d),
+		head:      nn.NewMLP(r, 3*d, d, 1),
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		var kinds []*nn.Linear
+		for k := 0; k < qgraph.NumEdgeKinds*2; k++ {
+			kinds = append(kinds, nn.NewLinear(r, d, d))
+		}
+		m.edgeW = append(m.edgeW, kinds)
+		m.selfW = append(m.selfW, nn.NewLinear(r, d, d))
+		m.norms = append(m.norms, nn.NewLayerNorm(d))
+	}
+	return m
+}
+
+// Params returns the named parameter map (for optimizers and checkpoints).
+func (m *Model) Params() map[string]*nn.Tensor {
+	params := map[string]*nn.Tensor{}
+	add := func(prefix string, l nn.Layer) {
+		for i, p := range l.Params() {
+			params[fmt.Sprintf("%s.%d", prefix, i)] = p
+		}
+	}
+	add("tok_emb", m.tokEmb)
+	add("tok_attn", m.tokAttn)
+	add("tok_mlp", m.tokMLP)
+	add("kind_emb", m.kindEmb)
+	add("call_emb", m.callEmb)
+	add("type_emb", m.typeEmb)
+	add("top_emb", m.topEmb)
+	add("depth_emb", m.depthEmb)
+	add("absent_emb", m.absentEmb)
+	for l := range m.edgeW {
+		for k, lin := range m.edgeW[l] {
+			add(fmt.Sprintf("edge.%d.%d", l, k), lin)
+		}
+		add(fmt.Sprintf("self.%d", l), m.selfW[l])
+		add(fmt.Sprintf("norm.%d", l), m.norms[l])
+	}
+	add("head", m.head)
+	return params
+}
+
+// ParamList returns the parameters in stable order for the optimizer.
+func (m *Model) ParamList() []*nn.Tensor {
+	params := m.Params()
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*nn.Tensor, len(names))
+	for i, n := range names {
+		out[i] = params[n]
+	}
+	return out
+}
+
+// Freeze disables gradient tracking on all parameters (inference mode);
+// forward passes then record no tape and are safe for concurrent use.
+func (m *Model) Freeze() {
+	for _, p := range m.Params() {
+		p.UnrequireGrad()
+	}
+}
+
+// encodeBlock embeds a block's token sequence into a (1, Dim) tensor.
+func (m *Model) encodeBlock(tokens []string) *nn.Tensor {
+	ids := m.Vocab.Encode(tokens)
+	if len(ids) == 0 {
+		ids = []int{UnkID}
+	}
+	emb := m.tokEmb.Forward(ids)
+	if m.Cfg.UseAttention {
+		emb = m.tokAttn.Forward(emb)
+	}
+	return m.tokMLP.Forward(nn.MeanRows(emb))
+}
+
+// Forward computes MUTATE logits for every argument vertex of the graph.
+// The returned tensor has shape (len(g.ArgVertices), 1).
+func (m *Model) Forward(g *qgraph.Graph) *nn.Tensor {
+	n := len(g.Vertices)
+	// Initial vertex states.
+	rows := make([]*nn.Tensor, n)
+	var targetIdx []int
+	for vi := range g.Vertices {
+		v := &g.Vertices[vi]
+		kind := m.kindEmb.Forward([]int{int(v.Kind)})
+		var h *nn.Tensor
+		switch v.Kind {
+		case qgraph.VSyscall:
+			h = nn.Add(kind, m.callEmb.Forward([]int{hashString(v.Name, m.Cfg.CallBuckets)}))
+		case qgraph.VArg:
+			top := v.TopArg
+			if top > m.Cfg.MaxTopArg {
+				top = m.Cfg.MaxTopArg
+			}
+			depth := v.Depth
+			if depth > m.Cfg.MaxDepth {
+				depth = m.Cfg.MaxDepth
+			}
+			absent := 0
+			if v.Absent {
+				absent = 1
+			}
+			h = nn.Add(kind, m.typeEmb.Forward([]int{int(v.TypeKind)}))
+			h = nn.Add(h, m.topEmb.Forward([]int{top}))
+			h = nn.Add(h, m.depthEmb.Forward([]int{depth}))
+			h = nn.Add(h, m.absentEmb.Forward([]int{absent}))
+			if len(v.Tokens) > 0 {
+				// Access-path tokens share the kernel token embedding.
+				h = nn.Add(h, m.encodeBlock(v.Tokens))
+			}
+		default:
+			h = nn.Add(kind, m.encodeBlock(v.Tokens))
+			if v.Kind == qgraph.VTarget {
+				targetIdx = append(targetIdx, vi)
+			}
+		}
+		rows[vi] = h
+	}
+	state := nn.ConcatRows(rows)
+
+	// Pre-index edges by kind+direction once.
+	type edgeList struct{ src, dst []int }
+	buckets := make([]edgeList, qgraph.NumEdgeKinds*2)
+	for _, e := range g.Edges {
+		k := int(e.Kind)
+		buckets[k].src = append(buckets[k].src, e.From)
+		buckets[k].dst = append(buckets[k].dst, e.To)
+		rk := k + qgraph.NumEdgeKinds
+		buckets[rk].src = append(buckets[rk].src, e.To)
+		buckets[rk].dst = append(buckets[rk].dst, e.From)
+	}
+
+	// Message passing.
+	for l := 0; l < m.Cfg.Layers; l++ {
+		agg := m.selfW[l].Forward(state)
+		for k := range buckets {
+			if len(buckets[k].src) == 0 {
+				continue
+			}
+			msgs := m.edgeW[l][k].Forward(nn.Gather(state, buckets[k].src))
+			agg = nn.Add(agg, nn.ScatterMean(msgs, buckets[k].dst, n))
+		}
+		state = m.norms[l].Forward(nn.Add(state, nn.ReLU(agg)))
+	}
+
+	// Pairwise readout: score every (argument, target) pair and keep each
+	// argument's best match. This lets the head align an argument's
+	// position features directly against the register/offset tokens of the
+	// specific target block that mentions them, instead of a diluted mean
+	// over all targets.
+	args := nn.Gather(state, g.ArgVertices)
+	nArgs := len(g.ArgVertices)
+	if len(targetIdx) == 0 {
+		// No desired target: score arguments against a zero context.
+		zero := nn.New(nArgs, 2*m.Cfg.Dim)
+		return m.head.Forward(nn.Concat(args, zero))
+	}
+	tgts := nn.Gather(state, targetIdx)
+	bigArg := nn.RepeatEachRow(args, len(targetIdx))
+	bigTgt := nn.TileRows(tgts, nArgs)
+	// The elementwise product gives the head a direct similarity channel
+	// between an argument's access-path embedding and the target context.
+	prod := nn.Mul(bigArg, bigTgt)
+	pairScores := m.head.Forward(nn.Concat(bigArg, bigTgt, prod))
+	return nn.MaxPerGroup(pairScores, nArgs, len(targetIdx))
+}
+
+// Predict returns the slots whose MUTATE probability exceeds the decision
+// threshold, sorted by decreasing probability, along with all per-slot
+// probabilities. If nothing crosses the threshold, the single
+// highest-probability slot is returned (the fuzzer always needs a
+// localization).
+func (m *Model) Predict(g *qgraph.Graph) ([]prog.GlobalSlot, []float64) {
+	if len(g.ArgVertices) == 0 {
+		return nil, nil
+	}
+	logits := m.Forward(g)
+	probs := make([]float64, len(g.ArgVertices))
+	var pickedIdx []int
+	best, bestP := 0, -1.0
+	for i := range probs {
+		probs[i] = sigmoid(logits.Data[i])
+		if probs[i] > bestP {
+			best, bestP = i, probs[i]
+		}
+		if probs[i] >= m.Cfg.Threshold {
+			pickedIdx = append(pickedIdx, i)
+		}
+	}
+	if len(pickedIdx) == 0 {
+		pickedIdx = append(pickedIdx, best)
+	}
+	sort.SliceStable(pickedIdx, func(a, b int) bool {
+		return probs[pickedIdx[a]] > probs[pickedIdx[b]]
+	})
+	picked := make([]prog.GlobalSlot, len(pickedIdx))
+	for i, idx := range pickedIdx {
+		picked[i] = g.Slots[idx]
+	}
+	return picked, probs
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Save writes config, vocabulary and weights.
+func (m *Model) Save(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "snowplow-pmm v1 dim=%d layers=%d callbuckets=%d maxtop=%d maxdepth=%d attn=%t threshold=%g\n",
+		m.Cfg.Dim, m.Cfg.Layers, m.Cfg.CallBuckets, m.Cfg.MaxTopArg, m.Cfg.MaxDepth, m.Cfg.UseAttention, m.Cfg.Threshold); err != nil {
+		return err
+	}
+	if err := m.Vocab.Save(w); err != nil {
+		return err
+	}
+	return nn.SaveParams(w, m.Params())
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var cfg Config
+	var attn bool
+	// Read the single header line byte by byte (the vocab section follows
+	// immediately and uses its own scanner).
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(line, "snowplow-pmm v1 dim=%d layers=%d callbuckets=%d maxtop=%d maxdepth=%d attn=%t threshold=%g",
+		&cfg.Dim, &cfg.Layers, &cfg.CallBuckets, &cfg.MaxTopArg, &cfg.MaxDepth, &attn, &cfg.Threshold); err != nil {
+		return nil, fmt.Errorf("pmm: bad model header %q: %w", line, err)
+	}
+	cfg.UseAttention = attn
+	vocab, err := loadVocabFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	m := NewModel(rng.New(0), cfg, vocab)
+	if err := nn.LoadParams(r, m.Params()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func readLine(r io.Reader) (string, error) {
+	var buf []byte
+	one := make([]byte, 1)
+	for {
+		if _, err := r.Read(one); err != nil {
+			return "", err
+		}
+		if one[0] == '\n' {
+			return string(buf), nil
+		}
+		buf = append(buf, one[0])
+	}
+}
+
+// loadVocabFrom reads the vocab section without consuming past its end.
+func loadVocabFrom(r io.Reader) (*Vocab, error) {
+	header, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	var size int
+	if _, err := fmt.Sscanf(header, "snowplow-vocab v1 size=%d", &size); err != nil {
+		return nil, fmt.Errorf("pmm: bad vocab header %q", header)
+	}
+	v := &Vocab{ids: make(map[string]int, size)}
+	for i := 0; i < size; i++ {
+		tok, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		v.ids[tok] = len(v.tokens)
+		v.tokens = append(v.tokens, tok)
+	}
+	if len(v.tokens) == 0 || v.tokens[0] != "<unk>" {
+		return nil, fmt.Errorf("pmm: vocab missing <unk> sentinel")
+	}
+	return v, nil
+}

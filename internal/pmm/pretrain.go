@@ -1,0 +1,153 @@
+package pmm
+
+import (
+	"io"
+
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/nn"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// PretrainConfig controls the masked-token pretraining of the assembly
+// encoder, mirroring (at laptop scale) the paper's BERT-recipe pretraining
+// of its Transformer on all x86 assembly of a compiled kernel (§3.3).
+type PretrainConfig struct {
+	Epochs    int
+	LR        float64
+	MaskProb  float64 // fraction of tokens masked per block (BERT uses 0.15)
+	BatchSize int     // blocks per reported step (steps are per-block)
+	Seed      uint64
+	// MaxBlocks caps the pretraining corpus (0 = all kernel blocks).
+	MaxBlocks int
+	// Log receives progress lines (nil discards).
+	Log io.Writer
+}
+
+// DefaultPretrainConfig returns the settings used by the experiments.
+func DefaultPretrainConfig() PretrainConfig {
+	return PretrainConfig{Epochs: 2, LR: 3e-3, MaskProb: 0.15, Seed: 1, MaxBlocks: 4000}
+}
+
+// PretrainReport summarizes a pretraining run.
+type PretrainReport struct {
+	EpochLoss []float64
+	// Accuracy is the final masked-token top-1 reconstruction accuracy.
+	Accuracy float64
+}
+
+// Pretrain runs masked-token modeling over the kernel's basic blocks,
+// updating the model's token embedding and attention encoder in place. The
+// classification head used for reconstruction ties its weights to the token
+// embedding (standard masked-LM practice), so no extra parameters survive
+// pretraining.
+func Pretrain(m *Model, k *kernel.Kernel, cfg PretrainConfig) PretrainReport {
+	r := rng.New(cfg.Seed + 0x8e47)
+	var blocks [][]int
+	for _, i := range r.Perm(k.NumBlocks()) {
+		if cfg.MaxBlocks > 0 && len(blocks) >= cfg.MaxBlocks {
+			break
+		}
+		toks := k.Blocks[i].Tokens
+		if len(toks) < 2 {
+			continue
+		}
+		blocks = append(blocks, m.Vocab.Encode(toks))
+	}
+	params := append(m.tokEmb.Params(), m.tokAttn.Params()...)
+	opt := nn.NewAdam(params, cfg.LR)
+	var report PretrainReport
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := r.Perm(len(blocks))
+		var total float64
+		n := 0
+		for _, bi := range perm {
+			ids := blocks[bi]
+			if len(ids) < 2 {
+				continue
+			}
+			loss := m.maskedStep(r, ids, cfg.MaskProb, opt)
+			total += loss
+			n++
+		}
+		if n > 0 {
+			report.EpochLoss = append(report.EpochLoss, total/float64(n))
+		}
+	}
+	report.Accuracy = m.maskedAccuracy(rng.New(cfg.Seed+0xacc), blocks, cfg.MaskProb)
+	return report
+}
+
+// maskedStep runs one masked-prediction step on a single block.
+func (m *Model) maskedStep(r *rng.Rand, ids []int, maskProb float64, opt *nn.Adam) float64 {
+	masked, positions, labels := maskTokens(r, ids, maskProb, m.Vocab.Size())
+	if len(positions) == 0 {
+		return 0
+	}
+	opt.ZeroGrad()
+	emb := m.tokEmb.Forward(masked)
+	enc := m.tokAttn.Forward(emb)
+	// Tied-weight reconstruction: logits = enc[positions] x tokEmbᵀ.
+	sel := nn.Gather(enc, positions)
+	logits := nn.MatMul(sel, nn.Transpose(m.tokEmb.Table))
+	loss := nn.CrossEntropyRows(logits, labels)
+	loss.Backward()
+	nn.ClipGradNorm(append(m.tokEmb.Params(), m.tokAttn.Params()...), 1)
+	opt.Step()
+	return loss.Item()
+}
+
+// maskedAccuracy measures top-1 reconstruction accuracy without updates.
+func (m *Model) maskedAccuracy(r *rng.Rand, blocks [][]int, maskProb float64) float64 {
+	correct, total := 0, 0
+	for bi, ids := range blocks {
+		if bi >= 200 {
+			break
+		}
+		masked, positions, labels := maskTokens(r, ids, maskProb, m.Vocab.Size())
+		if len(positions) == 0 {
+			continue
+		}
+		enc := m.tokAttn.Forward(m.tokEmb.Forward(masked))
+		sel := nn.Gather(enc, positions)
+		logits := nn.MatMul(sel, nn.Transpose(m.tokEmb.Table))
+		for i := range positions {
+			row := logits.Row(i)
+			best := 0
+			for j := 1; j < len(row); j++ {
+				if row[j] > row[best] {
+					best = j
+				}
+			}
+			if best == labels[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// maskTokens replaces ~maskProb of the tokens with UnkID (the mask token)
+// and returns the masked sequence, masked positions and original labels.
+func maskTokens(r *rng.Rand, ids []int, maskProb float64, vocabSize int) (masked []int, positions, labels []int) {
+	masked = append([]int(nil), ids...)
+	for i, id := range ids {
+		if id == UnkID || !r.Chance(maskProb) {
+			continue
+		}
+		positions = append(positions, i)
+		labels = append(labels, id)
+		switch {
+		case r.Chance(0.8):
+			masked[i] = UnkID // [MASK]
+		case r.Chance(0.5):
+			masked[i] = r.Intn(vocabSize) // random token
+		default:
+			// keep original (BERT's 10% identity case)
+		}
+	}
+	return masked, positions, labels
+}

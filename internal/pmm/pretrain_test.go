@@ -1,0 +1,77 @@
+package pmm
+
+import (
+	"testing"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+func TestMaskTokens(t *testing.T) {
+	r := rng.New(1)
+	ids := []int{3, 7, 2, 9, 4, 8, 5, 6, 1, 10}
+	totalMasked := 0
+	for i := 0; i < 200; i++ {
+		masked, positions, labels := maskTokens(r, ids, 0.3, 100)
+		if len(masked) != len(ids) {
+			t.Fatal("masking changed length")
+		}
+		if len(positions) != len(labels) {
+			t.Fatal("positions/labels mismatch")
+		}
+		for j, pos := range positions {
+			if labels[j] != ids[pos] {
+				t.Fatalf("label %d != original token", j)
+			}
+		}
+		// Unmasked positions must be untouched.
+		maskedSet := map[int]bool{}
+		for _, pos := range positions {
+			maskedSet[pos] = true
+		}
+		for j, id := range masked {
+			if !maskedSet[j] && id != ids[j] {
+				t.Fatalf("unmasked position %d changed", j)
+			}
+		}
+		totalMasked += len(positions)
+	}
+	avg := float64(totalMasked) / 200
+	if avg < 1.5 || avg > 4.5 {
+		t.Fatalf("mask rate off: avg %.2f of 10 tokens at p=0.3", avg)
+	}
+}
+
+func TestMaskTokensSkipsUnk(t *testing.T) {
+	r := rng.New(2)
+	ids := []int{UnkID, UnkID, UnkID}
+	for i := 0; i < 50; i++ {
+		_, positions, _ := maskTokens(r, ids, 1.0, 10)
+		if len(positions) != 0 {
+			t.Fatal("masked an <unk> token")
+		}
+	}
+}
+
+func TestPretrainImprovesReconstruction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pretraining test")
+	}
+	m := NewModel(rng.New(3), DefaultConfig(), BuildVocab(testKernel))
+	cfg := DefaultPretrainConfig()
+	cfg.Epochs = 2
+	cfg.MaxBlocks = 600
+	report := Pretrain(m, testKernel, cfg)
+	if len(report.EpochLoss) != 2 {
+		t.Fatalf("loss history %v", report.EpochLoss)
+	}
+	if report.EpochLoss[1] >= report.EpochLoss[0] {
+		t.Fatalf("pretraining loss did not decrease: %v", report.EpochLoss)
+	}
+	// Assembly token statistics are highly regular; even brief pretraining
+	// should reconstruct masked tokens far above chance (~1/vocab).
+	chance := 1.0 / float64(m.Vocab.Size())
+	if report.Accuracy < 10*chance {
+		t.Fatalf("masked accuracy %.4f barely above chance %.4f", report.Accuracy, chance)
+	}
+	t.Logf("masked-token accuracy: %.3f (chance %.4f)", report.Accuracy, chance)
+}

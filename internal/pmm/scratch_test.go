@@ -1,0 +1,47 @@
+package pmm
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// TestTuningScratch is a manual exploration harness, enabled with
+// PMM_SCRATCH=1. It trains on a mid-size dataset and prints metrics so
+// hyperparameters can be compared quickly.
+func TestTuningScratch(t *testing.T) {
+	if os.Getenv("PMM_SCRATCH") == "" {
+		t.Skip("set PMM_SCRATCH=1 to run")
+	}
+	geti := func(name string, def int) int {
+		if v := os.Getenv(name); v != "" {
+			n, _ := strconv.Atoi(v)
+			return n
+		}
+		return def
+	}
+	nbases := geti("NBASES", 80)
+	mut := geti("MUT", 200)
+	epochs := geti("EPOCHS", 10)
+	posw := geti("POSW", 4)
+
+	start := time.Now()
+	ds := smallDataset(t, nbases, mut, 42)
+	t.Logf("dataset: %d examples in %v", ds.Len(), time.Since(start))
+	train, val, eval := ds.Split(0.8, 0.1)
+	t.Logf("split: train %d, val %d, eval %d", train.Len(), val.Len(), eval.Len())
+
+	tcfg := DefaultTrainConfig()
+	tcfg.Epochs = epochs
+	tcfg.PosWeight = float64(posw)
+	tcfg.Quiet = false
+	tcfg.Log = os.Stderr
+	start = time.Now()
+	m, report := Train(testBuilder, DefaultConfig(), tcfg, train, val)
+	t.Logf("training: %v (threshold %.2f)", time.Since(start), report.Threshold)
+	t.Logf("PMM eval:    %v", Evaluate(m, testBuilder, eval))
+	t.Logf("Rand.8 eval: %v", EvaluateRandomK(rng.New(7), testBuilder, eval, 8))
+}

@@ -1,0 +1,282 @@
+package pmm
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/repro/snowplow/internal/dataset"
+	"github.com/repro/snowplow/internal/nn"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// TrainConfig controls training.
+type TrainConfig struct {
+	LR        float64 // Adam learning rate
+	Epochs    int
+	PosWeight float64 // loss weight of MUTATE labels (positives are rare)
+	ClipNorm  float64 // global gradient-norm clip
+	Seed      uint64
+	// Quiet suppresses per-epoch progress output.
+	Quiet bool
+	// Log receives progress lines when not Quiet (defaults to io.Discard).
+	Log io.Writer
+	// Pretrain runs masked-token pretraining of the assembly encoder on the
+	// kernel's basic blocks before supervised training (the paper's BERT
+	// pretraining step).
+	Pretrain bool
+}
+
+// DefaultTrainConfig returns the training settings used by the experiments.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{LR: 3e-3, Epochs: 8, PosWeight: 2, ClipNorm: 1, Seed: 1, Quiet: true}
+}
+
+// compiled is one training example compiled to model inputs.
+type compiled struct {
+	g       *qgraph.Graph
+	targets []float64
+	weights []float64
+}
+
+// compile builds graphs and label vectors for a dataset.
+func compile(b *qgraph.Builder, ds *dataset.Dataset, posWeight float64) []compiled {
+	out := make([]compiled, 0, ds.Len())
+	for _, ex := range ds.Examples {
+		g := b.Build(ex.Prog, ex.Traces, ex.Targets)
+		label := map[prog.GlobalSlot]bool{}
+		for _, s := range ex.Slots {
+			label[s] = true
+		}
+		targets := make([]float64, len(g.Slots))
+		weights := make([]float64, len(g.Slots))
+		for i, s := range g.Slots {
+			weights[i] = 1
+			if label[s] {
+				targets[i] = 1
+				weights[i] = posWeight
+			}
+		}
+		out = append(out, compiled{g: g, targets: targets, weights: weights})
+	}
+	return out
+}
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	EpochLoss []float64
+	ValF1     []float64 // mean F1 on the validation split after each epoch
+	Threshold float64   // tuned decision threshold
+}
+
+// Train fits a fresh model on the train split, tracks validation F1, and
+// tunes the decision threshold on the validation split. The query-graph
+// builder must wrap the kernel the dataset was collected on.
+func Train(b *qgraph.Builder, cfg Config, tcfg TrainConfig, train, val *dataset.Dataset) (*Model, TrainReport) {
+	r := rng.New(tcfg.Seed)
+	m := NewModel(r, cfg, BuildVocab(b.K))
+	report := TrainOn(m, b, tcfg, train, val)
+	return m, report
+}
+
+// TrainOn fits an existing model in place (used by the hyperparameter
+// search and by tests that pre-build the model).
+func TrainOn(m *Model, b *qgraph.Builder, tcfg TrainConfig, train, val *dataset.Dataset) TrainReport {
+	log := tcfg.Log
+	if log == nil {
+		log = io.Discard
+	}
+	if tcfg.Pretrain {
+		pcfg := DefaultPretrainConfig()
+		pcfg.Seed = tcfg.Seed
+		report := Pretrain(m, b.K, pcfg)
+		if !tcfg.Quiet {
+			fmt.Fprintf(log, "pretraining: loss %v, masked accuracy %.3f\n", report.EpochLoss, report.Accuracy)
+		}
+	}
+	r := rng.New(tcfg.Seed + 0x7ead)
+	examples := compile(b, train, tcfg.PosWeight)
+	valExamples := compile(b, val, 1)
+	opt := nn.NewAdam(m.ParamList(), tcfg.LR)
+	var report TrainReport
+	for epoch := 0; epoch < tcfg.Epochs; epoch++ {
+		perm := r.Perm(len(examples))
+		var total float64
+		for _, i := range perm {
+			ex := examples[i]
+			if len(ex.g.ArgVertices) == 0 {
+				continue
+			}
+			opt.ZeroGrad()
+			logits := m.Forward(ex.g)
+			loss := nn.BCEWithLogits(logits, ex.targets, ex.weights)
+			loss.Backward()
+			nn.ClipGradNorm(m.ParamList(), tcfg.ClipNorm)
+			opt.Step()
+			total += loss.Item()
+		}
+		avg := 0.0
+		if len(examples) > 0 {
+			avg = total / float64(len(examples))
+		}
+		report.EpochLoss = append(report.EpochLoss, avg)
+		valF1 := evaluateCompiled(m, valExamples).F1
+		report.ValF1 = append(report.ValF1, valF1)
+		if !tcfg.Quiet {
+			fmt.Fprintf(log, "epoch %d: loss %.4f, val F1 %.3f\n", epoch, avg, valF1)
+		}
+	}
+	report.Threshold = tuneThreshold(m, valExamples)
+	m.Cfg.Threshold = report.Threshold
+	return report
+}
+
+// Metrics are the §5.2 selector-performance measures, averaged per example.
+type Metrics struct {
+	F1, Precision, Recall, Jaccard float64
+	N                              int
+}
+
+// String renders the metrics like Table 1.
+func (mt Metrics) String() string {
+	return fmt.Sprintf("F1 %.1f%%  Precision %.1f%%  Recall %.1f%%  Jaccard %.1f%%",
+		mt.F1*100, mt.Precision*100, mt.Recall*100, mt.Jaccard*100)
+}
+
+// Evaluate computes the metrics of the model on a dataset.
+func Evaluate(m *Model, b *qgraph.Builder, ds *dataset.Dataset) Metrics {
+	return evaluateCompiled(m, compile(b, ds, 1))
+}
+
+func evaluateCompiled(m *Model, examples []compiled) Metrics {
+	var mt Metrics
+	for _, ex := range examples {
+		pred, _ := m.Predict(ex.g)
+		predSet := map[prog.GlobalSlot]bool{}
+		for _, s := range pred {
+			predSet[s] = true
+		}
+		mt.accumulate(predSet, labelSet(ex))
+	}
+	mt.finish()
+	return mt
+}
+
+// EvaluateRandomK computes the metrics of the Rand.K baseline (Table 1):
+// select K uniformly random distinct slots per example.
+func EvaluateRandomK(r *rng.Rand, b *qgraph.Builder, ds *dataset.Dataset, k int) Metrics {
+	var mt Metrics
+	for _, ex := range ds.Examples {
+		all := ex.Prog.AllSlots()
+		predSet := map[prog.GlobalSlot]bool{}
+		if len(all) > 0 {
+			perm := r.Perm(len(all))
+			for i := 0; i < k && i < len(all); i++ {
+				predSet[all[perm[i]]] = true
+			}
+		}
+		label := map[prog.GlobalSlot]bool{}
+		for _, s := range ex.Slots {
+			label[s] = true
+		}
+		mt.accumulate(predSet, label)
+	}
+	mt.finish()
+	return mt
+}
+
+func labelSet(ex compiled) map[prog.GlobalSlot]bool {
+	label := map[prog.GlobalSlot]bool{}
+	for i, t := range ex.targets {
+		if t == 1 {
+			label[ex.g.Slots[i]] = true
+		}
+	}
+	return label
+}
+
+func (mt *Metrics) accumulate(pred, label map[prog.GlobalSlot]bool) {
+	inter := 0
+	for s := range pred {
+		if label[s] {
+			inter++
+		}
+	}
+	union := len(pred) + len(label) - inter
+	var p, rc, f1, j float64
+	if len(pred) > 0 {
+		p = float64(inter) / float64(len(pred))
+	}
+	if len(label) > 0 {
+		rc = float64(inter) / float64(len(label))
+	}
+	if p+rc > 0 {
+		f1 = 2 * p * rc / (p + rc)
+	}
+	if union > 0 {
+		j = float64(inter) / float64(union)
+	}
+	mt.Precision += p
+	mt.Recall += rc
+	mt.F1 += f1
+	mt.Jaccard += j
+	mt.N++
+}
+
+func (mt *Metrics) finish() {
+	if mt.N == 0 {
+		return
+	}
+	n := float64(mt.N)
+	mt.Precision /= n
+	mt.Recall /= n
+	mt.F1 /= n
+	mt.Jaccard /= n
+}
+
+// tuneThreshold sweeps decision thresholds on the validation set and
+// returns the best mean-F1 threshold.
+func tuneThreshold(m *Model, valExamples []compiled) float64 {
+	grid := []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	best, bestF1 := m.Cfg.Threshold, -1.0
+	orig := m.Cfg.Threshold
+	for _, th := range grid {
+		m.Cfg.Threshold = th
+		f1 := evaluateCompiled(m, valExamples).F1
+		if f1 > bestF1 {
+			best, bestF1 = th, f1
+		}
+	}
+	m.Cfg.Threshold = orig
+	return best
+}
+
+// HyperparamResult records one point of the §5.1 hyperparameter search.
+type HyperparamResult struct {
+	Cfg   Config
+	Train TrainConfig
+	ValF1 float64
+}
+
+// SearchHyperparams trains one model per candidate configuration and
+// returns the results sorted best-first, mirroring (at laptop scale) the
+// paper's 112-configuration sweep.
+func SearchHyperparams(b *qgraph.Builder, candidates []Config, tcfg TrainConfig, train, val *dataset.Dataset) []HyperparamResult {
+	results := make([]HyperparamResult, 0, len(candidates))
+	for i, cfg := range candidates {
+		tc := tcfg
+		tc.Seed = tcfg.Seed + uint64(i)
+		m, _ := Train(b, cfg, tc, train, val)
+		f1 := Evaluate(m, b, val).F1
+		results = append(results, HyperparamResult{Cfg: cfg, Train: tc, ValF1: f1})
+	}
+	for i := 0; i < len(results); i++ {
+		for j := i + 1; j < len(results); j++ {
+			if results[j].ValF1 > results[i].ValF1 {
+				results[i], results[j] = results[j], results[i]
+			}
+		}
+	}
+	return results
+}

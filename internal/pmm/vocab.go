@@ -1,0 +1,126 @@
+// Package pmm implements the Program Mutation Model of §3.3: a graph neural
+// network over argument-mutation query graphs (internal/qgraph) that labels
+// each argument vertex MUTATE or NOT-MUTATE given the desired target
+// coverage.
+//
+// The architecture mirrors the paper's three learnable components: a token
+// encoder over kernel basic-block "assembly" (θ_TRANSFORMER — here a small
+// self-attention encoder), embedding tables for system-call and argument
+// vertices and for edge types (θ_Emb), and a relational message-passing GNN
+// (θ_GNN). The paper pre-trains its encoder with a BERT recipe on a compiled
+// kernel; Pretrain provides the equivalent masked-token pretraining over the
+// synthetic kernel's blocks (optional — at this scale the encoder also
+// learns fine jointly with the rest of the model).
+package pmm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/repro/snowplow/internal/kernel"
+)
+
+// UnkID is the vocabulary id of the unknown token. Kernel versions after
+// the training kernel introduce new subsystem/symbol tokens; they map here,
+// which is exactly the out-of-vocabulary situation a generalizing model must
+// tolerate.
+const UnkID = 0
+
+// Vocab maps block tokens to dense ids.
+type Vocab struct {
+	ids    map[string]int
+	tokens []string
+}
+
+// BuildVocab collects every token appearing in the kernel's basic blocks.
+func BuildVocab(k *kernel.Kernel) *Vocab {
+	set := map[string]bool{}
+	for i := range k.Blocks {
+		for _, tok := range k.Blocks[i].Tokens {
+			set[tok] = true
+		}
+	}
+	tokens := make([]string, 0, len(set))
+	for tok := range set {
+		tokens = append(tokens, tok)
+	}
+	sort.Strings(tokens)
+	v := &Vocab{ids: make(map[string]int, len(tokens)+1), tokens: append([]string{"<unk>"}, tokens...)}
+	for i, tok := range v.tokens {
+		v.ids[tok] = i
+	}
+	return v
+}
+
+// Size returns the vocabulary size including <unk>.
+func (v *Vocab) Size() int { return len(v.tokens) }
+
+// ID returns the token's id, or UnkID for unknown tokens.
+func (v *Vocab) ID(tok string) int {
+	if id, ok := v.ids[tok]; ok {
+		return id
+	}
+	return UnkID
+}
+
+// Encode maps a token sequence to ids.
+func (v *Vocab) Encode(tokens []string) []int {
+	out := make([]int, len(tokens))
+	for i, tok := range tokens {
+		out[i] = v.ID(tok)
+	}
+	return out
+}
+
+// Save writes the vocabulary (one token per line after a header).
+func (v *Vocab) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "snowplow-vocab v1 size=%d\n", len(v.tokens))
+	for _, tok := range v.tokens {
+		bw.WriteString(tok)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// LoadVocab reads a vocabulary written by Save.
+func LoadVocab(r io.Reader) (*Vocab, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "snowplow-vocab v1 size=") {
+		return nil, fmt.Errorf("pmm: bad vocab header")
+	}
+	size, err := strconv.Atoi(strings.TrimPrefix(sc.Text(), "snowplow-vocab v1 size="))
+	if err != nil {
+		return nil, fmt.Errorf("pmm: bad vocab size: %w", err)
+	}
+	v := &Vocab{ids: make(map[string]int, size)}
+	for sc.Scan() {
+		v.ids[sc.Text()] = len(v.tokens)
+		v.tokens = append(v.tokens, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(v.tokens) != size {
+		return nil, fmt.Errorf("pmm: vocab has %d tokens, header says %d", len(v.tokens), size)
+	}
+	if len(v.tokens) == 0 || v.tokens[0] != "<unk>" {
+		return nil, fmt.Errorf("pmm: vocab missing <unk> sentinel")
+	}
+	return v, nil
+}
+
+// hashString buckets an arbitrary string (e.g. a syscall variant name that
+// did not exist when the model was trained) into a bounded id space.
+func hashString(s string, buckets int) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(buckets))
+}

@@ -1,0 +1,140 @@
+// Package prog implements kernel test programs: sequences of system-call
+// invocations with typed, nested argument trees, in the style of Syzkaller's
+// prog package.
+//
+// A program references a spec.Registry for call metadata. Arguments mirror
+// the call's type tree: scalar constants, byte buffers, strings, pointers,
+// structs, and resource references that wire one call's result into a later
+// call's input. Programs serialize to and parse from a stable "syz"-like
+// text format, and expose their flattened mutation surface as (slot, arg)
+// pairs aligned with spec.Syscall.Slots.
+package prog
+
+import (
+	"fmt"
+
+	"github.com/repro/snowplow/internal/spec"
+)
+
+// Arg is one node of a call's argument tree.
+type Arg interface {
+	// Type returns the specification type this argument instantiates.
+	Type() *spec.Type
+	// clone returns a deep copy.
+	clone() Arg
+}
+
+// ConstArg holds a scalar value (int, flags, enum, len, proc).
+type ConstArg struct {
+	T   *spec.Type
+	Val uint64
+}
+
+// Type implements Arg.
+func (a *ConstArg) Type() *spec.Type { return a.T }
+func (a *ConstArg) clone() Arg       { c := *a; return &c }
+
+// DataArg holds buffer contents.
+type DataArg struct {
+	T    *spec.Type
+	Data []byte
+}
+
+// Type implements Arg.
+func (a *DataArg) Type() *spec.Type { return a.T }
+func (a *DataArg) clone() Arg {
+	return &DataArg{T: a.T, Data: append([]byte(nil), a.Data...)}
+}
+
+// StringArg holds a string value (e.g. a path).
+type StringArg struct {
+	T   *spec.Type
+	Val string
+}
+
+// Type implements Arg.
+func (a *StringArg) Type() *spec.Type { return a.T }
+func (a *StringArg) clone() Arg       { c := *a; return &c }
+
+// PointerArg holds a pointer. A null pointer has no inner value.
+type PointerArg struct {
+	T     *spec.Type
+	Null  bool
+	Inner Arg // nil iff Null
+}
+
+// Type implements Arg.
+func (a *PointerArg) Type() *spec.Type { return a.T }
+func (a *PointerArg) clone() Arg {
+	c := &PointerArg{T: a.T, Null: a.Null}
+	if a.Inner != nil {
+		c.Inner = a.Inner.clone()
+	}
+	return c
+}
+
+// GroupArg holds a struct's field values.
+type GroupArg struct {
+	T     *spec.Type
+	Inner []Arg
+}
+
+// Type implements Arg.
+func (a *GroupArg) Type() *spec.Type { return a.T }
+func (a *GroupArg) clone() Arg {
+	c := &GroupArg{T: a.T, Inner: make([]Arg, len(a.Inner))}
+	for i, in := range a.Inner {
+		c.Inner[i] = in.clone()
+	}
+	return c
+}
+
+// ResultArg consumes a resource. Ref is the index of the producing call
+// within the program, or -1 when the argument holds an invalid placeholder
+// value (Val) instead of a live resource.
+type ResultArg struct {
+	T   *spec.Type
+	Ref int
+	Val uint64 // used when Ref < 0
+}
+
+// Type implements Arg.
+func (a *ResultArg) Type() *spec.Type { return a.T }
+func (a *ResultArg) clone() Arg       { c := *a; return &c }
+
+// Size returns the byte footprint of the argument as seen by length fields:
+// scalars and pointers are 8 bytes, buffers their content length, strings
+// their length plus the NUL, structs the sum of their fields, and a length
+// taken "through" a pointer counts the pointee (see PointeeSize).
+func Size(a Arg) int {
+	switch v := a.(type) {
+	case *ConstArg, *ResultArg:
+		return 8
+	case *StringArg:
+		return len(v.Val) + 1
+	case *DataArg:
+		return len(v.Data)
+	case *PointerArg:
+		return 8
+	case *GroupArg:
+		n := 0
+		for _, in := range v.Inner {
+			n += Size(in)
+		}
+		return n
+	default:
+		panic(fmt.Sprintf("prog: Size of unknown arg %T", a))
+	}
+}
+
+// PointeeSize returns the byte size a len[] field should report for target:
+// for pointers, the size of the pointee (0 if null); otherwise Size.
+func PointeeSize(a Arg) int {
+	if p, ok := a.(*PointerArg); ok {
+		if p.Null || p.Inner == nil {
+			return 0
+		}
+		return Size(p.Inner)
+	}
+	return Size(a)
+}

@@ -1,0 +1,257 @@
+package prog
+
+import (
+	"fmt"
+
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/spec"
+)
+
+// Generator produces random, resource-consistent programs from a registry,
+// following Syzkaller's strategy: when a call consumes a resource, prefer to
+// reuse a resource produced earlier in the program, otherwise insert a
+// producing call first, occasionally leaving an invalid placeholder to
+// exercise error paths.
+type Generator struct {
+	Target *spec.Registry
+	// InvalidResourceProb is the chance of deliberately passing an invalid
+	// resource instead of wiring a producer (default 0.05).
+	InvalidResourceProb float64
+	// MaxDepth bounds producer-chain recursion.
+	MaxDepth int
+}
+
+// NewGenerator returns a Generator over the registry with defaults.
+func NewGenerator(target *spec.Registry) *Generator {
+	return &Generator{Target: target, InvalidResourceProb: 0.05, MaxDepth: 4}
+}
+
+// Generate creates a program with roughly ncalls calls (producer insertion
+// may add a few more).
+func (g *Generator) Generate(r *rng.Rand, ncalls int) *Prog {
+	p := &Prog{Target: g.Target}
+	for len(p.Calls) < ncalls {
+		meta := g.Target.Calls[r.Intn(len(g.Target.Calls))]
+		g.appendCall(r, p, meta, 0)
+	}
+	return p
+}
+
+// GenerateWithCalls creates a program invoking exactly the given syscalls in
+// order (plus any producer calls needed for their resources).
+func (g *Generator) GenerateWithCalls(r *rng.Rand, metas ...*spec.Syscall) *Prog {
+	p := &Prog{Target: g.Target}
+	for _, m := range metas {
+		g.appendCall(r, p, m, 0)
+	}
+	return p
+}
+
+// appendCall generates arguments for meta and appends the call to p,
+// inserting resource producers as needed.
+func (g *Generator) appendCall(r *rng.Rand, p *Prog, meta *spec.Syscall, depth int) int {
+	args := make([]Arg, len(meta.Args))
+	for i, f := range meta.Args {
+		args[i] = g.genArg(r, p, f.Type, depth)
+	}
+	c := &Call{Meta: meta, Args: args}
+	c.FixupLens()
+	p.Calls = append(p.Calls, c)
+	return len(p.Calls) - 1
+}
+
+// GenerateCallAt builds a call suitable for insertion at position pos in p:
+// its resource inputs reference only calls before pos (or hold invalid
+// placeholders); no producer calls are created. The caller inserts it with
+// InsertCall.
+func (g *Generator) GenerateCallAt(r *rng.Rand, p *Prog, meta *spec.Syscall, pos int) *Call {
+	args := make([]Arg, len(meta.Args))
+	for i, f := range meta.Args {
+		args[i] = g.genArgLimited(r, p, f.Type, pos)
+	}
+	c := &Call{Meta: meta, Args: args}
+	c.FixupLens()
+	return c
+}
+
+// genArgLimited is genArg with resource wiring restricted to calls before
+// limit and producer creation disabled.
+func (g *Generator) genArgLimited(r *rng.Rand, p *Prog, t *spec.Type, limit int) Arg {
+	switch t.Kind {
+	case spec.KindResource:
+		var candidates []int
+		for i := 0; i < limit && i < len(p.Calls); i++ {
+			if p.Calls[i].Meta.Ret == t.Resource {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) > 0 && r.Chance(0.9) {
+			return &ResultArg{T: t, Ref: candidates[r.Intn(len(candidates))]}
+		}
+		return &ResultArg{T: t, Ref: -1, Val: ^uint64(0)}
+	case spec.KindPtr:
+		if r.Chance(0.02) {
+			return &PointerArg{T: t, Null: true}
+		}
+		return &PointerArg{T: t, Inner: g.genArgLimited(r, p, t.Elem, limit)}
+	case spec.KindStruct:
+		ga := &GroupArg{T: t, Inner: make([]Arg, len(t.Fields))}
+		for i, f := range t.Fields {
+			ga.Inner[i] = g.genArgLimited(r, p, f.Type, limit)
+		}
+		return ga
+	default:
+		return g.genArg(r, nil, t, g.MaxDepth) // scalar kinds never touch p
+	}
+}
+
+func (g *Generator) genArg(r *rng.Rand, p *Prog, t *spec.Type, depth int) Arg {
+	switch t.Kind {
+	case spec.KindInt:
+		return &ConstArg{T: t, Val: g.genInt(r, t)}
+	case spec.KindFlags:
+		return &ConstArg{T: t, Val: g.genFlags(r, t)}
+	case spec.KindEnum:
+		return &ConstArg{T: t, Val: t.Values[r.Intn(len(t.Values))]}
+	case spec.KindLen:
+		return &ConstArg{T: t} // fixed up by FixupLens
+	case spec.KindProc:
+		return &ConstArg{T: t, Val: uint64(r.Intn(32))}
+	case spec.KindString:
+		return &StringArg{T: t, Val: fmt.Sprintf("./file%d", r.Intn(4))}
+	case spec.KindBuffer:
+		n := 0
+		if t.MaxSize > 0 {
+			n = r.Intn(t.MaxSize + 1)
+			// Bias toward small buffers, as Syzkaller does.
+			if r.Chance(0.7) {
+				n = r.Intn(minInt(t.MaxSize, 16) + 1)
+			}
+		}
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		return &DataArg{T: t, Data: data}
+	case spec.KindPtr:
+		if r.Chance(0.02) {
+			return &PointerArg{T: t, Null: true}
+		}
+		return &PointerArg{T: t, Inner: g.genArg(r, p, t.Elem, depth)}
+	case spec.KindStruct:
+		ga := &GroupArg{T: t, Inner: make([]Arg, len(t.Fields))}
+		for i, f := range t.Fields {
+			ga.Inner[i] = g.genArg(r, p, f.Type, depth)
+		}
+		return ga
+	case spec.KindResource:
+		return g.genResource(r, p, t, depth)
+	default:
+		panic(fmt.Sprintf("prog: generate for unknown kind %v", t.Kind))
+	}
+}
+
+func (g *Generator) genInt(r *rng.Rand, t *spec.Type) uint64 {
+	if t.Max <= t.Min {
+		return t.Min
+	}
+	span := t.Max - t.Min
+	// Favor boundary and small values: kernels branch on them.
+	switch {
+	case r.Chance(0.15):
+		return t.Min
+	case r.Chance(0.15):
+		return t.Max
+	case r.Chance(0.3) && span > 16:
+		return t.Min + r.Uint64()%16
+	default:
+		if span == ^uint64(0) {
+			return r.Uint64()
+		}
+		return t.Min + r.Uint64()%(span+1)
+	}
+}
+
+func (g *Generator) genFlags(r *rng.Rand, t *spec.Type) uint64 {
+	var v uint64
+	// OR together a random subset, usually small.
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		v |= t.Values[r.Intn(len(t.Values))]
+	}
+	if r.Chance(0.05) {
+		v = 0
+	}
+	return v
+}
+
+func (g *Generator) genResource(r *rng.Rand, p *Prog, t *spec.Type, depth int) Arg {
+	// Reuse an existing producer when available.
+	var candidates []int
+	for i, c := range p.Calls {
+		if c.Meta.Ret == t.Resource {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) > 0 && r.Chance(0.8) {
+		return &ResultArg{T: t, Ref: candidates[r.Intn(len(candidates))]}
+	}
+	if r.Chance(g.InvalidResourceProb) || depth >= g.MaxDepth {
+		return &ResultArg{T: t, Ref: -1, Val: ^uint64(0)}
+	}
+	producers := g.Target.Producers(t.Resource)
+	if len(producers) == 0 {
+		return &ResultArg{T: t, Ref: -1, Val: ^uint64(0)}
+	}
+	ref := g.appendCall(r, p, producers[r.Intn(len(producers))], depth+1)
+	return &ResultArg{T: t, Ref: ref}
+}
+
+// DefaultArg returns a minimal deterministic instantiation of t: zero-ish
+// scalars, empty buffers, non-null pointers, invalid resources.
+func DefaultArg(t *spec.Type) Arg {
+	switch t.Kind {
+	case spec.KindInt:
+		return &ConstArg{T: t, Val: t.Min}
+	case spec.KindFlags:
+		return &ConstArg{T: t, Val: 0}
+	case spec.KindEnum:
+		return &ConstArg{T: t, Val: t.Values[0]}
+	case spec.KindLen, spec.KindProc:
+		return &ConstArg{T: t}
+	case spec.KindString:
+		return &StringArg{T: t, Val: "./file0"}
+	case spec.KindBuffer:
+		return &DataArg{T: t}
+	case spec.KindPtr:
+		return &PointerArg{T: t, Inner: DefaultArg(t.Elem)}
+	case spec.KindStruct:
+		ga := &GroupArg{T: t, Inner: make([]Arg, len(t.Fields))}
+		for i, f := range t.Fields {
+			ga.Inner[i] = DefaultArg(f.Type)
+		}
+		return ga
+	case spec.KindResource:
+		return &ResultArg{T: t, Ref: -1, Val: ^uint64(0)}
+	default:
+		panic(fmt.Sprintf("prog: default for unknown kind %v", t.Kind))
+	}
+}
+
+// DefaultCall builds a call with default arguments.
+func DefaultCall(meta *spec.Syscall) *Call {
+	args := make([]Arg, len(meta.Args))
+	for i, f := range meta.Args {
+		args[i] = DefaultArg(f.Type)
+	}
+	c := &Call{Meta: meta, Args: args}
+	c.FixupLens()
+	return c
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,344 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/spec"
+)
+
+func testTarget(t testing.TB) *spec.Registry {
+	t.Helper()
+	return spec.Base()
+}
+
+func TestGenerateValidates(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		p := g.Generate(r, 1+r.Intn(6))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated program %d invalid: %v\n%s", i, err, p.Serialize())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	p1 := g.Generate(rng.New(42), 5)
+	p2 := g.Generate(rng.New(42), 5)
+	if p1.Serialize() != p2.Serialize() {
+		t.Fatal("same seed produced different programs")
+	}
+}
+
+func TestGenerateWiresResources(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	g.InvalidResourceProb = 0 // force wiring
+	r := rng.New(3)
+	read := target.Lookup("read")
+	for i := 0; i < 50; i++ {
+		p := g.GenerateWithCalls(r, read)
+		// read consumes an fd; a producer must precede it.
+		last := p.Calls[len(p.Calls)-1]
+		if last.Meta != read {
+			t.Fatal("last call is not read")
+		}
+		ra := last.Args[0].(*ResultArg)
+		if ra.Ref < 0 {
+			t.Fatalf("iteration %d: read got invalid fd despite InvalidResourceProb=0\n%s", i, p.Serialize())
+		}
+		if p.Calls[ra.Ref].Meta.Ret != "fd" {
+			t.Fatalf("ref call produces %q", p.Calls[ra.Ref].Meta.Ret)
+		}
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	r := rng.New(7)
+	for i := 0; i < 300; i++ {
+		p := g.Generate(r, 1+r.Intn(5))
+		text := p.Serialize()
+		q, err := Parse(target, text)
+		if err != nil {
+			t.Fatalf("parse of serialized program failed: %v\n%s", err, text)
+		}
+		if got := q.Serialize(); got != text {
+			t.Fatalf("round trip changed program:\n--- original\n%s--- reparsed\n%s", text, got)
+		}
+	}
+}
+
+func TestParseFixedProgram(t *testing.T) {
+	target := testTarget(t)
+	text := "r0 = open(\"./file0\", 0x42, 0x1ff)\nread(r0, &b\"00ff\", 0x2)\n"
+	p, err := Parse(target, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Calls) != 2 {
+		t.Fatalf("parsed %d calls", len(p.Calls))
+	}
+	open := p.Calls[0]
+	if open.Meta.Name != "open" {
+		t.Fatalf("call 0 is %s", open.Meta.Name)
+	}
+	if open.Args[1].(*ConstArg).Val != 0x42 {
+		t.Fatalf("open flags = %#x", open.Args[1].(*ConstArg).Val)
+	}
+	read := p.Calls[1]
+	if read.Args[0].(*ResultArg).Ref != 0 {
+		t.Fatal("read fd not wired to call 0")
+	}
+	buf := read.Args[1].(*PointerArg).Inner.(*DataArg)
+	if len(buf.Data) != 2 || buf.Data[0] != 0 || buf.Data[1] != 0xff {
+		t.Fatalf("buffer = %x", buf.Data)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	target := testTarget(t)
+	cases := []struct {
+		name, text string
+	}{
+		{"unknown call", "nosuchcall(0x0)"},
+		{"arity", "open(\"./f\")"},
+		{"bad ref order", "read(r5, &b\"\", 0x0)"},
+		{"wrong resource kind", "r0 = socket(0x2, 0x1, 0x0)\nread(r0, &b\"\", 0x0)"},
+		{"bad const", "open(\"./f\", zz, 0x0)"},
+		{"bad prefix", "r3 = open(\"./f\", 0x0, 0x0)"},
+		{"missing paren", "open(\"./f\", 0x0, 0x0"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(target, tc.text); err == nil {
+			t.Fatalf("%s: expected parse error for %q", tc.name, tc.text)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	target := testTarget(t)
+	p := MustParse(target, "r0 = open(\"./file0\", 0x42, 0x1ff)\nread(r0, &b\"aabb\", 0x2)\n")
+	q := p.Clone()
+	// Mutate clone deeply; original must not change.
+	q.Calls[0].Args[1].(*ConstArg).Val = 0
+	q.Calls[1].Args[1].(*PointerArg).Inner.(*DataArg).Data[0] = 0x99
+	if p.Calls[0].Args[1].(*ConstArg).Val != 0x42 {
+		t.Fatal("clone shares const arg")
+	}
+	if p.Calls[1].Args[1].(*PointerArg).Inner.(*DataArg).Data[0] != 0xaa {
+		t.Fatal("clone shares buffer data")
+	}
+}
+
+func TestArgAtPathAndSlots(t *testing.T) {
+	target := testTarget(t)
+	p := MustParse(target, "r0 = open(\"./file0\", 0x42, 0x1ff)\nread(r0, &b\"aabb\", 0x2)\n")
+	read := p.Calls[1]
+	slots := read.Meta.Slots()
+	args := read.SlotArgs()
+	if len(args) != len(slots) {
+		t.Fatalf("%d slot args for %d slots", len(args), len(slots))
+	}
+	// Slot for buffer content should resolve to the DataArg.
+	found := false
+	for i, s := range slots {
+		if s.Type.Kind == spec.KindBuffer {
+			if _, ok := args[i].(*DataArg); !ok {
+				t.Fatalf("buffer slot resolved to %T", args[i])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no buffer slot on read")
+	}
+}
+
+func TestArgAtPathNullPointer(t *testing.T) {
+	target := testTarget(t)
+	p := MustParse(target, "r0 = open(\"./file0\", 0x0, 0x0)\nread(r0, nil, 0x0)\n")
+	read := p.Calls[1]
+	for i, s := range read.Meta.Slots() {
+		if s.Type.Kind == spec.KindBuffer {
+			if a := read.SlotArgs()[i]; a != nil {
+				t.Fatalf("slot behind null pointer resolved to %T", a)
+			}
+		}
+	}
+}
+
+func TestRemoveCallRemapsRefs(t *testing.T) {
+	target := testTarget(t)
+	p := MustParse(target,
+		"r0 = open(\"./file0\", 0x0, 0x0)\n"+
+			"r1 = open(\"./file1\", 0x0, 0x0)\n"+
+			"read(r1, &b\"\", 0x0)\n")
+	p.RemoveCall(0)
+	if len(p.Calls) != 2 {
+		t.Fatalf("%d calls after removal", len(p.Calls))
+	}
+	ra := p.Calls[1].Args[0].(*ResultArg)
+	if ra.Ref != 0 {
+		t.Fatalf("ref after removal = %d, want 0", ra.Ref)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the producer invalidates the reference.
+	p.RemoveCall(0)
+	ra = p.Calls[0].Args[0].(*ResultArg)
+	if ra.Ref != -1 || ra.Val != ^uint64(0) {
+		t.Fatalf("dangling ref not invalidated: %+v", ra)
+	}
+}
+
+func TestInsertCallShiftsRefs(t *testing.T) {
+	target := testTarget(t)
+	p := MustParse(target,
+		"r0 = open(\"./file0\", 0x0, 0x0)\n"+
+			"read(r0, &b\"\", 0x0)\n")
+	newCall := DefaultCall(target.Lookup("fsync"))
+	newCall.Args[0] = &ResultArg{T: newCall.Meta.Args[0].Type, Ref: 0}
+	p.InsertCall(1, newCall)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("after insert: %v\n%s", err, p.Serialize())
+	}
+	if p.Calls[2].Args[0].(*ResultArg).Ref != 0 {
+		t.Fatal("read's ref should still be 0 (producer before insertion point)")
+	}
+	// Insert before the producer: read's ref must shift to 1.
+	p2 := MustParse(target,
+		"r0 = open(\"./file0\", 0x0, 0x0)\n"+
+			"read(r0, &b\"\", 0x0)\n")
+	p2.InsertCall(0, DefaultCall(target.Lookup("fsync")))
+	if got := p2.Calls[2].Args[0].(*ResultArg).Ref; got != 1 {
+		t.Fatalf("read's ref after head insert = %d, want 1", got)
+	}
+}
+
+func TestFixupLens(t *testing.T) {
+	target := testTarget(t)
+	p := MustParse(target, "r0 = open(\"./file0\", 0x0, 0x0)\nread(r0, &b\"aabbcc\", 0x63)\n")
+	read := p.Calls[1]
+	read.FixupLens()
+	if got := read.Args[2].(*ConstArg).Val; got != 3 {
+		t.Fatalf("len after fixup = %d, want 3 (buffer bytes)", got)
+	}
+	// Nested: sendmsg msghdr iov_len must track its buffer.
+	g := NewGenerator(target)
+	sm := g.GenerateWithCalls(rng.New(5), target.Lookup("sendmsg$inet"))
+	call := sm.Calls[len(sm.Calls)-1]
+	call.FixupLens()
+	hdr := call.Args[1].(*PointerArg)
+	if hdr.Null {
+		t.Skip("generated null msghdr")
+	}
+	group := hdr.Inner.(*GroupArg)
+	iovPtr := group.Inner[2].(*PointerArg)
+	if iovPtr.Null {
+		t.Skip("generated null iov")
+	}
+	iov := iovPtr.Inner.(*GroupArg)
+	base := iov.Inner[0].(*PointerArg)
+	wantLen := 0
+	if !base.Null {
+		wantLen = len(base.Inner.(*DataArg).Data)
+	}
+	if got := iov.Inner[1].(*ConstArg).Val; got != uint64(wantLen) {
+		t.Fatalf("iov_len = %d, want %d", got, wantLen)
+	}
+}
+
+func TestNumSlotsAverage(t *testing.T) {
+	// §5.1/§2: a syz test has dozens of argument slots; with 5 calls our
+	// spec should average well above 15 (deep structs push it higher).
+	target := testTarget(t)
+	g := NewGenerator(target)
+	r := rng.New(11)
+	total := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		total += g.Generate(r, 5).NumSlots()
+	}
+	avg := float64(total) / n
+	if avg < 15 {
+		t.Fatalf("average slots per 5-call program = %v, want >= 15", avg)
+	}
+}
+
+func TestAllSlotsAlignment(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	p := g.Generate(rng.New(13), 4)
+	gs := p.AllSlots()
+	if len(gs) != p.NumSlots() {
+		t.Fatalf("AllSlots %d vs NumSlots %d", len(gs), p.NumSlots())
+	}
+	for _, s := range gs {
+		if s.Call >= len(p.Calls) || s.Slot >= len(p.Calls[s.Call].Meta.Slots()) {
+			t.Fatalf("slot %+v out of range", s)
+		}
+	}
+}
+
+func TestSizeAndPointeeSize(t *testing.T) {
+	target := testTarget(t)
+	p := MustParse(target, "r0 = open(\"./file0\", 0x0, 0x0)\nread(r0, &b\"aabbcc\", 0x3)\n")
+	read := p.Calls[1]
+	ptr := read.Args[1]
+	if Size(ptr) != 8 {
+		t.Fatalf("pointer Size = %d, want 8", Size(ptr))
+	}
+	if PointeeSize(ptr) != 3 {
+		t.Fatalf("PointeeSize = %d, want 3", PointeeSize(ptr))
+	}
+	if Size(read.Args[0]) != 8 {
+		t.Fatal("resource Size != 8")
+	}
+	str := p.Calls[0].Args[0]
+	if Size(str) != len("./file0")+1 {
+		t.Fatalf("string Size = %d", Size(str))
+	}
+	null := &PointerArg{T: ptr.Type(), Null: true}
+	if PointeeSize(null) != 0 {
+		t.Fatal("null PointeeSize != 0")
+	}
+}
+
+func TestSerializeStableUnderClone(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	r := rng.New(17)
+	for i := 0; i < 50; i++ {
+		p := g.Generate(r, 3)
+		if p.Serialize() != p.Clone().Serialize() {
+			t.Fatal("clone serializes differently")
+		}
+	}
+}
+
+func TestDefaultCallValid(t *testing.T) {
+	target := testTarget(t)
+	for _, meta := range target.Calls {
+		p := &Prog{Target: target, Calls: []*Call{DefaultCall(meta)}}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("default call for %s invalid: %v", meta.Name, err)
+		}
+	}
+}
+
+func TestSerializeContainsVariantNames(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	p := g.GenerateWithCalls(rng.New(19), target.Lookup("sendmsg$inet"))
+	if !strings.Contains(p.Serialize(), "sendmsg$inet(") {
+		t.Fatalf("variant name lost:\n%s", p.Serialize())
+	}
+}

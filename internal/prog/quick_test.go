@@ -1,0 +1,84 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// TestQuickRoundTrip property: for any generator seed and program size,
+// serialize∘parse is the identity on the serialized form.
+func TestQuickRoundTrip(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	f := func(seed uint64, sizeRaw uint8) bool {
+		n := int(sizeRaw%6) + 1
+		p := g.Generate(rng.New(seed), n)
+		text := p.Serialize()
+		q, err := Parse(target, text)
+		if err != nil {
+			t.Logf("parse failed for seed %d: %v\n%s", seed, err, text)
+			return false
+		}
+		return q.Serialize() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGeneratedProgramsValid property: every generated program
+// validates, and its slot count equals the sum of its calls' static slots.
+func TestQuickGeneratedProgramsValid(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	f := func(seed uint64) bool {
+		p := g.Generate(rng.New(seed), 4)
+		if err := p.Validate(); err != nil {
+			t.Logf("seed %d invalid: %v", seed, err)
+			return false
+		}
+		want := 0
+		for _, c := range p.Calls {
+			want += len(c.Meta.Slots())
+		}
+		return p.NumSlots() == want && len(p.AllSlots()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneEquality property: clones serialize identically and remain
+// valid.
+func TestQuickCloneEquality(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	f := func(seed uint64) bool {
+		p := g.Generate(rng.New(seed), 3)
+		c := p.Clone()
+		return c.Serialize() == p.Serialize() && c.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRemoveCallKeepsValidity property: removing any call from a valid
+// program leaves a valid program.
+func TestQuickRemoveCallKeepsValidity(t *testing.T) {
+	target := testTarget(t)
+	g := NewGenerator(target)
+	f := func(seed uint64, idxRaw uint8) bool {
+		p := g.Generate(rng.New(seed), 4)
+		if len(p.Calls) < 2 {
+			return true
+		}
+		p.RemoveCall(int(idxRaw) % len(p.Calls))
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/spec"
+)
+
+// The paper deploys PMM behind torchserve and queries it over gRPC from the
+// fuzzer's inference worker pool. NetServer provides the equivalent network
+// boundary: a length-free gob stream over TCP carrying the serialized test
+// program, its traces, and the desired targets. Programs travel in their
+// textual form and are parsed against the server's registry, so client and
+// server only need to agree on the specification, not on Go types.
+
+// NetRequest is the wire format of one localization query.
+type NetRequest struct {
+	ProgText string
+	Traces   [][]int64
+	Targets  []int64
+}
+
+// NetResponse is the wire format of one prediction.
+type NetResponse struct {
+	SlotCalls []int // parallel arrays (gob-friendly flat form)
+	SlotIdxs  []int
+	Probs     []float64
+	Err       string
+}
+
+// NetServer exposes a Server over TCP.
+type NetServer struct {
+	srv    *Server
+	target *spec.Registry
+	ln     net.Listener
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ListenAndServe starts serving on addr (use "127.0.0.1:0" for an ephemeral
+// port) and returns immediately.
+func ListenAndServe(srv *Server, target *spec.Registry, addr string) (*NetServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ns := &NetServer{srv: srv, target: target, ln: ln}
+	ns.wg.Add(1)
+	go ns.acceptLoop()
+	return ns, nil
+}
+
+// Addr returns the listening address.
+func (ns *NetServer) Addr() string { return ns.ln.Addr().String() }
+
+func (ns *NetServer) acceptLoop() {
+	defer ns.wg.Done()
+	for {
+		conn, err := ns.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ns.wg.Add(1)
+		go func() {
+			defer ns.wg.Done()
+			ns.handle(conn)
+		}()
+	}
+}
+
+func (ns *NetServer) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req NetRequest
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt
+		}
+		resp := ns.serveOne(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (ns *NetServer) serveOne(req *NetRequest) *NetResponse {
+	p, err := prog.Parse(ns.target, req.ProgText)
+	if err != nil {
+		return &NetResponse{Err: fmt.Sprintf("bad program: %v", err)}
+	}
+	traces := make([][]kernel.BlockID, len(req.Traces))
+	for i, tr := range req.Traces {
+		traces[i] = make([]kernel.BlockID, len(tr))
+		for j, b := range tr {
+			traces[i][j] = kernel.BlockID(b)
+		}
+	}
+	targets := make([]kernel.BlockID, len(req.Targets))
+	for i, t := range req.Targets {
+		targets[i] = kernel.BlockID(t)
+	}
+	pred, err := ns.srv.Infer(Query{Prog: p, Traces: traces, Targets: targets})
+	if err != nil {
+		return &NetResponse{Err: err.Error()}
+	}
+	resp := &NetResponse{Probs: pred.Probs}
+	for _, s := range pred.Slots {
+		resp.SlotCalls = append(resp.SlotCalls, s.Call)
+		resp.SlotIdxs = append(resp.SlotIdxs, s.Slot)
+	}
+	return resp
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (ns *NetServer) Close() {
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return
+	}
+	ns.closed = true
+	ns.mu.Unlock()
+	ns.ln.Close()
+	ns.wg.Wait()
+}
+
+// Client is a synchronous network client for a NetServer. It is safe for
+// concurrent use (requests serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a NetServer.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Infer sends one query and waits for the prediction.
+func (c *Client) Infer(p *prog.Prog, traces [][]kernel.BlockID, targets []kernel.BlockID) ([]prog.GlobalSlot, []float64, error) {
+	return c.InferText(p.Serialize(), traces, targets)
+}
+
+// InferText is Infer for an already-serialized program.
+func (c *Client) InferText(progText string, traces [][]kernel.BlockID, targets []kernel.BlockID) ([]prog.GlobalSlot, []float64, error) {
+	req := NetRequest{ProgText: progText}
+	for _, tr := range traces {
+		row := make([]int64, len(tr))
+		for j, b := range tr {
+			row[j] = int64(b)
+		}
+		req.Traces = append(req.Traces, row)
+	}
+	for _, t := range targets {
+		req.Targets = append(req.Targets, int64(t))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, nil, err
+	}
+	var resp NetResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, nil, err
+	}
+	if resp.Err != "" {
+		return nil, nil, errors.New(resp.Err)
+	}
+	slots := make([]prog.GlobalSlot, len(resp.SlotCalls))
+	for i := range slots {
+		slots[i] = prog.GlobalSlot{Call: resp.SlotCalls[i], Slot: resp.SlotIdxs[i]}
+	}
+	return slots, resp.Probs, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

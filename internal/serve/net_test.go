@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func startNetServer(t *testing.T) (*NetServer, *Server) {
+	t.Helper()
+	s := newTestServer(t, 2)
+	ns, err := ListenAndServe(s, testKernel.Target, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ns, s
+}
+
+func TestNetRoundTrip(t *testing.T) {
+	ns, s := startNetServer(t)
+	defer s.Close()
+	defer ns.Close()
+
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	q := testQuery(t)
+	slots, probs, err := c.Infer(q.Prog, q.Traces, q.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) == 0 {
+		t.Fatal("no slots over the wire")
+	}
+	if len(probs) != q.Prog.NumSlots() {
+		t.Fatalf("%d probs for %d slots", len(probs), q.Prog.NumSlots())
+	}
+	// The network path must agree with the in-process path.
+	direct, err := s.Infer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Slots) != len(slots) {
+		t.Fatalf("wire %d slots vs direct %d", len(slots), len(direct.Slots))
+	}
+	for i := range slots {
+		if slots[i] != direct.Slots[i] {
+			t.Fatalf("slot %d differs over the wire", i)
+		}
+	}
+	for i := range probs {
+		if probs[i] != direct.Probs[i] {
+			t.Fatalf("prob %d differs over the wire", i)
+		}
+	}
+}
+
+func TestNetMultipleRequestsPerConnection(t *testing.T) {
+	ns, s := startNetServer(t)
+	defer s.Close()
+	defer ns.Close()
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q := testQuery(t)
+	for i := 0; i < 10; i++ {
+		if _, _, err := c.Infer(q.Prog, q.Traces, q.Targets); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestNetConcurrentClients(t *testing.T) {
+	ns, s := startNetServer(t)
+	defer s.Close()
+	defer ns.Close()
+	q := testQuery(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(ns.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 5; j++ {
+				if _, _, err := c.Infer(q.Prog, q.Traces, q.Targets); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestNetBadProgramReturnsError(t *testing.T) {
+	ns, s := startNetServer(t)
+	defer s.Close()
+	defer ns.Close()
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.InferText("this is not a program(", nil, nil)
+	if err == nil {
+		t.Fatal("expected error for malformed program")
+	}
+	// The connection must survive an application-level error.
+	q := testQuery(t)
+	if _, _, err := c.Infer(q.Prog, q.Traces, q.Targets); err != nil {
+		t.Fatalf("connection dead after app error: %v", err)
+	}
+}
+
+func TestNetCloseIdempotent(t *testing.T) {
+	ns, s := startNetServer(t)
+	defer s.Close()
+	ns.Close()
+	ns.Close()
+}

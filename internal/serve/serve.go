@@ -1,0 +1,173 @@
+// Package serve deploys a trained PMM for inference, playing the role
+// torchserve plays in the paper (§4): a pool of workers consumes mutation
+// queries asynchronously so the fuzzer's mutator never blocks on the model,
+// and the server tracks the §5.5 performance characteristics (throughput at
+// saturation, mean latency).
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+)
+
+// Query is one argument-localization request: the base test, its coverage
+// traces, and the desired target blocks.
+type Query struct {
+	Prog    *prog.Prog
+	Traces  [][]kernel.BlockID
+	Targets []kernel.BlockID
+}
+
+// Prediction is the model's localization answer.
+type Prediction struct {
+	// Slots are the argument slots predicted MUTATE.
+	Slots []prog.GlobalSlot
+	// Probs are the per-slot probabilities, aligned with Prog.AllSlots().
+	Probs []float64
+	// Latency is the queue+inference time of this query.
+	Latency time.Duration
+}
+
+// Stats reports serving performance (§5.5).
+type Stats struct {
+	Served      int64
+	Rejected    int64
+	MeanLatency time.Duration
+	// Throughput is queries per second over the serving lifetime so far.
+	Throughput float64
+}
+
+// ErrClosed is returned for queries submitted after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+type job struct {
+	q        Query
+	enqueued time.Time
+	reply    chan Prediction
+}
+
+// Server runs a worker pool over a frozen model.
+type Server struct {
+	model   *pmm.Model
+	builder *qgraph.Builder
+
+	jobs    chan job
+	wg      sync.WaitGroup
+	started time.Time
+
+	mu       sync.Mutex
+	closed   bool
+	served   atomic.Int64
+	rejected atomic.Int64
+	totalLat atomic.Int64 // nanoseconds
+}
+
+// NewServer creates and starts a server with the given number of worker
+// goroutines (the paper's GPU replicas). The model is frozen for concurrent
+// inference.
+func NewServer(model *pmm.Model, builder *qgraph.Builder, workers int) *Server {
+	if workers <= 0 {
+		workers = 1
+	}
+	model.Freeze()
+	s := &Server{
+		model:   model,
+		builder: builder,
+		jobs:    make(chan job, workers*8),
+		started: time.Now(),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		g := s.builder.Build(j.q.Prog, j.q.Traces, j.q.Targets)
+		slots, probs := s.model.Predict(g)
+		lat := time.Since(j.enqueued)
+		s.served.Add(1)
+		s.totalLat.Add(int64(lat))
+		j.reply <- Prediction{Slots: slots, Probs: probs, Latency: lat}
+	}
+}
+
+// InferAsync submits a query and returns a channel delivering exactly one
+// prediction. The error is non-nil if the server is closed or its queue is
+// full (the caller should fall back to random localization, as Snowplow
+// does when PMM cannot keep up).
+func (s *Server) InferAsync(q Query) (<-chan Prediction, error) {
+	reply := make(chan Prediction, 1)
+	j := job{q: q, enqueued: time.Now(), reply: reply}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	select {
+	case s.jobs <- j:
+		return reply, nil
+	default:
+		s.rejected.Add(1)
+		return nil, errors.New("serve: queue full")
+	}
+}
+
+// Infer submits a query and blocks for the prediction.
+func (s *Server) Infer(q Query) (Prediction, error) {
+	reply := make(chan Prediction, 1)
+	j := job{q: q, enqueued: time.Now(), reply: reply}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return Prediction{}, ErrClosed
+	}
+	s.jobs <- j
+	s.mu.Unlock()
+	return <-reply, nil
+}
+
+// Stats returns a snapshot of serving statistics.
+func (s *Server) Stats() Stats {
+	served := s.served.Load()
+	var mean time.Duration
+	if served > 0 {
+		mean = time.Duration(s.totalLat.Load() / served)
+	}
+	elapsed := time.Since(s.started).Seconds()
+	var tput float64
+	if elapsed > 0 {
+		tput = float64(served) / elapsed
+	}
+	return Stats{
+		Served:      served,
+		Rejected:    s.rejected.Load(),
+		MeanLatency: mean,
+		Throughput:  tput,
+	}
+}
+
+// Close drains the queue and stops the workers. Pending queries complete.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,112 @@
+package spec
+
+// BaseSpecText is the hand-written core of the Linux-like specification:
+// the file, memory, socket, and SCSI/ATA syscall surface used by the
+// examples and by the planted Table-4 bugs. Kernel version generators
+// (internal/kernel) append generated subsystem specifications to this text.
+const BaseSpecText = `
+# Resources.
+resource fd
+resource sock
+resource scsi_fd
+resource pipe_fd
+resource epoll_fd
+resource timer_id
+resource shm_id
+resource io_uring_fd
+
+# Flag and enum sets.
+flags open_flags = O_RDONLY:0x0, O_WRONLY:0x1, O_RDWR:0x2, O_CREAT:0x40, O_EXCL:0x80, O_TRUNC:0x200, O_APPEND:0x400, O_NONBLOCK:0x800, O_DIRECT:0x4000
+flags mmap_prot = PROT_READ:0x1, PROT_WRITE:0x2, PROT_EXEC:0x4
+flags mmap_flags = MAP_SHARED:0x1, MAP_PRIVATE:0x2, MAP_FIXED:0x10, MAP_ANONYMOUS:0x20, MAP_GROWSDOWN:0x100
+flags msg_flags = MSG_OOB:0x1, MSG_PEEK:0x2, MSG_DONTROUTE:0x4, MSG_DONTWAIT:0x40, MSG_EOR:0x80, MSG_WAITALL:0x100
+flags sock_type_flags = SOCK_NONBLOCK:0x800, SOCK_CLOEXEC:0x80000
+flags madvise_flags = MADV_NORMAL:0x0, MADV_RANDOM:0x1, MADV_SEQUENTIAL:0x2, MADV_WILLNEED:0x3, MADV_DONTNEED:0x4
+flags epoll_events = EPOLLIN:0x1, EPOLLOUT:0x4, EPOLLERR:0x8, EPOLLHUP:0x10, EPOLLET:0x80000000
+flags uring_enter_flags = IORING_ENTER_GETEVENTS:0x1, IORING_ENTER_SQ_WAKEUP:0x2, IORING_ENTER_SQ_WAIT:0x4, IORING_ENTER_EXT_ARG:0x8
+enum sock_domain = AF_UNIX:0x1, AF_INET:0x2, AF_INET6:0xa, AF_NETLINK:0x10, AF_PACKET:0x11
+enum sock_type = SOCK_STREAM:0x1, SOCK_DGRAM:0x2, SOCK_RAW:0x3, SOCK_SEQPACKET:0x5
+enum scsi_ioctl_cmd = SCSI_IOCTL_SEND_COMMAND:0x1, SCSI_IOCTL_GET_IDLUN:0x5382, SCSI_IOCTL_GET_BUS_NUMBER:0x5386, SCSI_IOCTL_PROBE_HOST:0x5385
+enum ata_proto = ATA_PROT_NODATA:0x0, ATA_PROT_PIO:0x1, ATA_PROT_DMA:0x2
+enum ata_cmd = ATA_NOP:0x0, ATA_READ_SECTORS:0x20, ATA_WRITE_SECTORS:0x30, ATA_IDENTIFY:0xec
+enum scsi_opcode = TEST_UNIT_READY:0x0, READ_6:0x8, WRITE_6:0xa, INQUIRY:0x12, ATA_16:0x85
+enum seek_whence = SEEK_SET:0x0, SEEK_CUR:0x1, SEEK_END:0x2
+enum epoll_op = EPOLL_CTL_ADD:0x1, EPOLL_CTL_DEL:0x2, EPOLL_CTL_MOD:0x3
+
+# Structs.
+struct iovec = base ptr[buffer[128]], iov_len len[base]
+struct sockaddr = family enum[sock_domain], port int[0:65535], addr buffer[16]
+struct msghdr = name ptr[struct[sockaddr]], namelen len[name], iov ptr[struct[iovec]], iovlen int[0:8], control ptr[buffer[64]], controllen len[control], flags flags[msg_flags]
+struct ata_taskfile = proto enum[ata_proto], command enum[ata_cmd], nsect int[0:256], lbal int[0:255], lbam int[0:255], lbah int[0:255], device int[0:255]
+struct scsi_cmd_hdr = opcode enum[scsi_opcode], tf ptr[struct[ata_taskfile]], inlen int[0:131072], outlen int[0:131072], data ptr[buffer[512]]
+struct epoll_event = events flags[epoll_events], data int[0:0xffffffff]
+struct itimerspec = interval_sec int[0:3600], interval_nsec int[0:999999999], value_sec int[0:3600], value_nsec int[0:999999999]
+
+# File subsystem.
+open(file string, flags flags[open_flags], mode int[0:511]) fd @fs
+openat(dirfd fd, file string, flags flags[open_flags], mode int[0:511]) fd @fs
+read(f fd, buf ptr[buffer[4096]], count len[buf]) @fs
+write(f fd, buf ptr[buffer[4096]], count len[buf]) @fs
+pread64(f fd, buf ptr[buffer[4096]], count len[buf], off int[0:1048576]) @fs
+pwrite64(f fd, buf ptr[buffer[4096]], count len[buf], off int[0:1048576]) @fs
+lseek(f fd, offset int[0:1048576], whence enum[seek_whence]) @fs
+close(f fd) @fs
+fsync(f fd) @fs
+ftruncate(f fd, length int[0:1048576]) @fs
+fallocate(f fd, mode int[0:3], off int[0:1048576], length int[0:1048576]) @fs
+dup(f fd) fd @fs
+pipe2(flags flags[open_flags]) pipe_fd @fs
+
+# Memory subsystem.
+mmap(addr int[0:0xffffffff], length int[4096:1048576], prot flags[mmap_prot], flags flags[mmap_flags], f fd, off int[0:1048576]) @mm
+munmap(addr int[0:0xffffffff], length int[4096:1048576]) @mm
+mprotect(addr int[0:0xffffffff], length int[4096:1048576], prot flags[mmap_prot]) @mm
+madvise(addr int[0:0xffffffff], length int[4096:1048576], advice flags[madvise_flags]) @mm
+mremap(old int[0:0xffffffff], oldlen int[4096:1048576], newlen int[4096:1048576], flags int[0:3]) @mm
+
+# Socket subsystem.
+socket(domain enum[sock_domain], type enum[sock_type], proto int[0:255]) sock @net
+socket$inet(domain enum[sock_domain], type enum[sock_type], proto int[0:255]) sock @net
+bind(s sock, addr ptr[struct[sockaddr]], addrlen len[addr]) @net
+connect(s sock, addr ptr[struct[sockaddr]], addrlen len[addr]) @net
+listen(s sock, backlog int[0:128]) @net
+accept(s sock, addr ptr[struct[sockaddr]], addrlen len[addr]) sock @net
+sendmsg(s sock, msg ptr[struct[msghdr]], flags flags[msg_flags]) @net
+sendmsg$inet(s sock, msg ptr[struct[msghdr]], flags flags[msg_flags]) @net
+recvmsg(s sock, msg ptr[struct[msghdr]], flags flags[msg_flags]) @net
+sendto(s sock, buf ptr[buffer[1024]], count len[buf], flags flags[msg_flags], addr ptr[struct[sockaddr]], addrlen len[addr]) @net
+recvfrom(s sock, buf ptr[buffer[1024]], count len[buf], flags flags[msg_flags], addr ptr[struct[sockaddr]], addrlen len[addr]) @net
+setsockopt(s sock, level int[0:41], optname int[0:64], optval ptr[buffer[64]], optlen len[optval]) @net
+getsockopt(s sock, level int[0:41], optname int[0:64], optval ptr[buffer[64]], optlen len[optval]) @net
+shutdown(s sock, how int[0:2]) @net
+
+# Epoll subsystem.
+epoll_create1(flags flags[sock_type_flags]) epoll_fd @fs
+epoll_ctl(ep epoll_fd, op enum[epoll_op], f fd, event ptr[struct[epoll_event]]) @fs
+epoll_wait(ep epoll_fd, events ptr[struct[epoll_event]], maxevents int[1:64], timeout int[0:1000]) @fs
+
+# SCSI / ATA driver subsystem (hosts the Table-4 planted OOB-write bug).
+openat$scsi(dirfd fd, file string, flags flags[open_flags], mode int[0:511]) scsi_fd @scsi
+ioctl$SCSI_IOCTL_SEND_COMMAND(f scsi_fd, cmd enum[scsi_ioctl_cmd], arg ptr[struct[scsi_cmd_hdr]]) @scsi
+ioctl$SCSI_IOCTL_GET_IDLUN(f scsi_fd, cmd enum[scsi_ioctl_cmd], arg ptr[buffer[8]]) @scsi
+ioctl$SG_IO(f scsi_fd, cmd int[0x2285:0x2285], hdr ptr[struct[scsi_cmd_hdr]]) @scsi
+
+# Timers.
+timer_create(clockid int[0:11], sevp ptr[buffer[32]]) timer_id @time
+timer_settime(t timer_id, flags int[0:1], newval ptr[struct[itimerspec]], oldval ptr[struct[itimerspec]]) @time
+timer_delete(t timer_id) @time
+
+# io_uring.
+io_uring_setup(entries int[1:4096], params ptr[buffer[64]]) io_uring_fd @io_uring
+io_uring_enter(f io_uring_fd, to_submit int[0:128], min_complete int[0:128], flags flags[uring_enter_flags], sig ptr[buffer[8]]) @io_uring
+io_uring_register(f io_uring_fd, opcode int[0:30], arg ptr[buffer[64]], nr_args int[0:64]) @io_uring
+
+# System V shared memory.
+shmget(key proc, size int[4096:1048576], shmflg int[0:4095]) shm_id @ipc
+shmat(id shm_id, addr int[0:0xffffffff], flg int[0:0x7000]) @ipc
+shmctl(id shm_id, cmd int[0:15], buf ptr[buffer[64]]) @ipc
+`
+
+// Base returns the compiled base registry. Each call constructs a fresh
+// registry so callers may extend it independently.
+func Base() *Registry { return MustParse(BaseSpecText) }

@@ -1,0 +1,330 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse compiles specification text into a Registry.
+//
+// The language is line-oriented; '#' starts a comment. Declarations must
+// appear before their first use (resources, flag sets, enums and structs
+// before the syscalls or structs that reference them). The forms are:
+//
+//	resource fd
+//	flags open_flags = O_RDONLY:0x0, O_CREAT:0x40, O_RDWR:0x2
+//	enum scsi_cmd = SEND_COMMAND:0x1, GET_BUS:0x5386
+//	struct iovec = base ptr[buffer[128]], len len[base]
+//	open(file string, flags flags[open_flags], mode int[0:511]) fd @fs
+//	read(f fd, buf ptr[buffer[4096]], count len[buf]) @fs
+//
+// Type expressions: int[min:max], flags[set], enum[set], len[field],
+// buffer[maxsize], string, proc, ptr[T], struct[name], or a bare resource
+// kind name. A trailing bare word after the argument list names the resource
+// the call produces; a trailing @word names the handling kernel subsystem.
+func Parse(text string) (*Registry, error) {
+	r := NewRegistry()
+	nrByCall := map[string]int{}
+	nextNR := 0
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		err := func() error {
+			switch {
+			case strings.HasPrefix(line, "resource "):
+				return r.AddResource(strings.TrimSpace(strings.TrimPrefix(line, "resource ")))
+			case strings.HasPrefix(line, "flags "):
+				return r.parseValueSet(line[len("flags "):], KindFlags)
+			case strings.HasPrefix(line, "enum "):
+				return r.parseValueSet(line[len("enum "):], KindEnum)
+			case strings.HasPrefix(line, "struct "):
+				return r.parseStruct(line[len("struct "):])
+			default:
+				return r.parseSyscall(line, nrByCall, &nextNR)
+			}
+		}()
+		if err != nil {
+			return nil, fmt.Errorf("spec: line %d: %w", lineNo+1, err)
+		}
+	}
+	return r, nil
+}
+
+// MustParse is Parse that panics on error; for built-in specifications.
+func MustParse(text string) *Registry {
+	r, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (r *Registry) parseValueSet(rest string, kind TypeKind) error {
+	name, body, ok := strings.Cut(rest, "=")
+	if !ok {
+		return fmt.Errorf("missing '=' in value set declaration")
+	}
+	name = strings.TrimSpace(name)
+	t := &Type{Kind: kind, Name: name}
+	for _, item := range strings.Split(body, ",") {
+		vname, vval, ok := strings.Cut(strings.TrimSpace(item), ":")
+		if !ok {
+			return fmt.Errorf("value %q missing ':value'", item)
+		}
+		v, err := parseUint(strings.TrimSpace(vval))
+		if err != nil {
+			return fmt.Errorf("value %q: %w", item, err)
+		}
+		t.ValueNames = append(t.ValueNames, strings.TrimSpace(vname))
+		t.Values = append(t.Values, v)
+	}
+	if len(t.Values) == 0 {
+		return fmt.Errorf("empty value set %q", name)
+	}
+	target := r.flagSets
+	if kind == KindEnum {
+		target = r.enumSets
+	}
+	if _, dup := target[name]; dup {
+		return fmt.Errorf("duplicate %s set %q", kind, name)
+	}
+	target[name] = t
+	return nil
+}
+
+func (r *Registry) parseStruct(rest string) error {
+	name, body, ok := strings.Cut(rest, "=")
+	if !ok {
+		return fmt.Errorf("missing '=' in struct declaration")
+	}
+	name = strings.TrimSpace(name)
+	if _, dup := r.structs[name]; dup {
+		return fmt.Errorf("duplicate struct %q", name)
+	}
+	fields, err := r.parseFieldList(body)
+	if err != nil {
+		return fmt.Errorf("struct %q: %w", name, err)
+	}
+	if len(fields) == 0 {
+		return fmt.Errorf("struct %q has no fields", name)
+	}
+	r.structs[name] = &Type{Kind: KindStruct, Name: name, Fields: fields}
+	return nil
+}
+
+func (r *Registry) parseSyscall(line string, nrByCall map[string]int, nextNR *int) error {
+	open := strings.IndexByte(line, '(')
+	if open < 0 {
+		return fmt.Errorf("expected syscall declaration, got %q", line)
+	}
+	closeIdx := strings.LastIndexByte(line, ')')
+	if closeIdx < open {
+		return fmt.Errorf("unbalanced parentheses in %q", line)
+	}
+	name := strings.TrimSpace(line[:open])
+	if name == "" {
+		return fmt.Errorf("missing syscall name in %q", line)
+	}
+	args, err := r.parseFieldList(line[open+1 : closeIdx])
+	if err != nil {
+		return fmt.Errorf("syscall %q: %w", name, err)
+	}
+	s := &Syscall{Name: name, Args: args}
+	for _, tok := range strings.Fields(line[closeIdx+1:]) {
+		if strings.HasPrefix(tok, "@") {
+			s.Subsystem = tok[1:]
+		} else {
+			if s.Ret != "" {
+				return fmt.Errorf("syscall %q declares two return resources", name)
+			}
+			s.Ret = tok
+		}
+	}
+	cn := callName(name)
+	nr, ok := nrByCall[cn]
+	if !ok {
+		nr = *nextNR
+		*nextNR++
+		nrByCall[cn] = nr
+	}
+	s.NR = nr
+	return r.AddSyscall(s)
+}
+
+// parseFieldList parses "name type, name type, ..." respecting nested
+// brackets inside type expressions.
+func (r *Registry) parseFieldList(body string) ([]Field, error) {
+	var fields []Field
+	for _, part := range splitTop(body, ',') {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sp := strings.IndexAny(part, " \t")
+		if sp < 0 {
+			return nil, fmt.Errorf("field %q missing type", part)
+		}
+		fname := part[:sp]
+		t, err := r.parseType(strings.TrimSpace(part[sp+1:]))
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", fname, err)
+		}
+		fields = append(fields, Field{Name: fname, Type: t})
+	}
+	return fields, nil
+}
+
+// parseType parses one type expression.
+func (r *Registry) parseType(expr string) (*Type, error) {
+	expr = strings.TrimSpace(expr)
+	base, arg, hasArg, err := splitBracket(expr)
+	if err != nil {
+		return nil, err
+	}
+	switch base {
+	case "int":
+		t := &Type{Kind: KindInt, Max: ^uint64(0)}
+		if hasArg {
+			lo, hi, ok := strings.Cut(arg, ":")
+			if !ok {
+				return nil, fmt.Errorf("int range %q must be min:max", arg)
+			}
+			if t.Min, err = parseUint(strings.TrimSpace(lo)); err != nil {
+				return nil, err
+			}
+			if t.Max, err = parseUint(strings.TrimSpace(hi)); err != nil {
+				return nil, err
+			}
+			if t.Min > t.Max {
+				return nil, fmt.Errorf("int range %q inverted", arg)
+			}
+		}
+		return t, nil
+	case "flags":
+		if !hasArg {
+			return nil, fmt.Errorf("flags requires a set name")
+		}
+		t := r.flagSets[arg]
+		if t == nil {
+			return nil, fmt.Errorf("unknown flag set %q", arg)
+		}
+		return t, nil
+	case "enum":
+		if !hasArg {
+			return nil, fmt.Errorf("enum requires a set name")
+		}
+		t := r.enumSets[arg]
+		if t == nil {
+			return nil, fmt.Errorf("unknown enum set %q", arg)
+		}
+		return t, nil
+	case "len":
+		if !hasArg {
+			return nil, fmt.Errorf("len requires a target field name")
+		}
+		return &Type{Kind: KindLen, LenTarget: arg}, nil
+	case "buffer":
+		t := &Type{Kind: KindBuffer, MaxSize: 64}
+		if hasArg {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("buffer size %q invalid", arg)
+			}
+			t.MaxSize = n
+		}
+		return t, nil
+	case "string":
+		return &Type{Kind: KindString}, nil
+	case "proc":
+		return &Type{Kind: KindProc}, nil
+	case "ptr":
+		if !hasArg {
+			return nil, fmt.Errorf("ptr requires a pointee type")
+		}
+		elem, err := r.parseType(arg)
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: KindPtr, Elem: elem}, nil
+	case "struct":
+		if !hasArg {
+			return nil, fmt.Errorf("struct reference requires a name")
+		}
+		t := r.structs[arg]
+		if t == nil {
+			return nil, fmt.Errorf("unknown struct %q", arg)
+		}
+		return t, nil
+	default:
+		if hasArg {
+			return nil, fmt.Errorf("unknown parameterized type %q", base)
+		}
+		if _, ok := r.Resources[base]; !ok {
+			return nil, fmt.Errorf("unknown type or resource %q", base)
+		}
+		return &Type{Kind: KindResource, Resource: base}, nil
+	}
+}
+
+// splitBracket separates "base[arg]" into base and arg, validating bracket
+// balance. hasArg is false when expr has no brackets.
+func splitBracket(expr string) (base, arg string, hasArg bool, err error) {
+	i := strings.IndexByte(expr, '[')
+	if i < 0 {
+		return expr, "", false, nil
+	}
+	if !strings.HasSuffix(expr, "]") {
+		return "", "", false, fmt.Errorf("unbalanced brackets in %q", expr)
+	}
+	depth := 0
+	for j := i; j < len(expr); j++ {
+		switch expr[j] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth == 0 && j != len(expr)-1 {
+				return "", "", false, fmt.Errorf("trailing characters after bracket in %q", expr)
+			}
+		}
+	}
+	if depth != 0 {
+		return "", "", false, fmt.Errorf("unbalanced brackets in %q", expr)
+	}
+	return expr[:i], expr[i+1 : len(expr)-1], true, nil
+}
+
+// splitTop splits s at top-level occurrences of sep (not inside brackets).
+func splitTop(s string, sep byte) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[', '(', '{':
+			depth++
+		case ']', ')', '}':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func parseUint(s string) (uint64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}

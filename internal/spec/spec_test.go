@@ -1,0 +1,267 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBaseSpec(t *testing.T) {
+	r, err := Parse(BaseSpecText)
+	if err != nil {
+		t.Fatalf("base spec does not parse: %v", err)
+	}
+	if len(r.Calls) < 40 {
+		t.Fatalf("base spec has %d calls, want >= 40", len(r.Calls))
+	}
+	if len(r.Resources) != 8 {
+		t.Fatalf("base spec has %d resources, want 8", len(r.Resources))
+	}
+}
+
+func TestLookupAndVariants(t *testing.T) {
+	r := Base()
+	open := r.Lookup("open")
+	if open == nil {
+		t.Fatal("open not found")
+	}
+	if open.Ret != "fd" || open.Subsystem != "fs" {
+		t.Fatalf("open: ret=%q subsystem=%q", open.Ret, open.Subsystem)
+	}
+	sm := r.Lookup("sendmsg$inet")
+	if sm == nil {
+		t.Fatal("sendmsg$inet not found")
+	}
+	if sm.CallName != "sendmsg" {
+		t.Fatalf("sendmsg$inet CallName = %q", sm.CallName)
+	}
+	if sm.NR != r.Lookup("sendmsg").NR {
+		t.Fatal("variants of sendmsg do not share NR")
+	}
+	if sm.NR == r.Lookup("open").NR {
+		t.Fatal("different calls share NR")
+	}
+}
+
+func TestProducers(t *testing.T) {
+	r := Base()
+	fds := r.Producers("fd")
+	if len(fds) < 3 {
+		t.Fatalf("only %d producers of fd", len(fds))
+	}
+	names := map[string]bool{}
+	for _, c := range fds {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"open", "openat", "dup"} {
+		if !names[want] {
+			t.Fatalf("fd producers missing %q (have %v)", want, names)
+		}
+	}
+	if len(r.Producers("nonexistent")) != 0 {
+		t.Fatal("producers of unknown resource should be empty")
+	}
+}
+
+func TestSlotsFlattening(t *testing.T) {
+	r := Base()
+	// read(f fd, buf ptr[buffer[4096]], count len[buf]):
+	// slots = f, buf(ptr), buf.*(buffer), count → 4.
+	read := r.Lookup("read")
+	slots := read.Slots()
+	if len(slots) != 4 {
+		t.Fatalf("read has %d slots: %+v", len(slots), slots)
+	}
+	wantKinds := []TypeKind{KindResource, KindPtr, KindBuffer, KindLen}
+	for i, k := range wantKinds {
+		if slots[i].Type.Kind != k {
+			t.Fatalf("read slot %d kind %v, want %v", i, slots[i].Type.Kind, k)
+		}
+	}
+	// Slot indices must be dense and match positions.
+	for i, s := range slots {
+		if s.Index != i {
+			t.Fatalf("slot %d has Index %d", i, s.Index)
+		}
+	}
+}
+
+func TestSlotsNestedStruct(t *testing.T) {
+	r := Base()
+	sm := r.Lookup("sendmsg$inet")
+	slots := sm.Slots()
+	// msghdr nests sockaddr and iovec; expect a deep flattening.
+	if len(slots) < 15 {
+		t.Fatalf("sendmsg$inet has only %d slots, expected deep nesting", len(slots))
+	}
+	var sawPort, sawIovLen bool
+	for _, s := range slots {
+		if strings.Contains(s.Name, "port") {
+			sawPort = true
+		}
+		if strings.Contains(s.Name, "iov_len") {
+			sawIovLen = true
+		}
+	}
+	if !sawPort || !sawIovLen {
+		t.Fatalf("nested slots missing (port=%v iov_len=%v): %v", sawPort, sawIovLen, slotNames(slots))
+	}
+}
+
+func slotNames(slots []Slot) []string {
+	var names []string
+	for _, s := range slots {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+func TestSlotsCachedAndStable(t *testing.T) {
+	r := Base()
+	c := r.Lookup("mmap")
+	a, b := c.Slots(), c.Slots()
+	if len(a) != len(b) {
+		t.Fatal("Slots not stable")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("Slots not cached consistently")
+		}
+	}
+}
+
+func TestSlotPathsResolveUniquely(t *testing.T) {
+	r := Base()
+	for _, c := range r.Calls {
+		seen := map[string]bool{}
+		for _, s := range c.Slots() {
+			key := pathKey(s.Path)
+			if seen[key] {
+				t.Fatalf("%s: duplicate slot path %v", c.Name, s.Path)
+			}
+			seen[key] = true
+			if len(s.Path) == 0 || s.Path[0] >= len(c.Args) {
+				t.Fatalf("%s: slot path %v escapes arg list", c.Name, s.Path)
+			}
+		}
+	}
+}
+
+func pathKey(p []int) string {
+	var b strings.Builder
+	for _, v := range p {
+		b.WriteByte('.')
+		b.WriteByte(byte('0' + v))
+	}
+	return b.String()
+}
+
+func TestFlagMask(t *testing.T) {
+	r := Base()
+	of := r.FlagSet("open_flags")
+	if of == nil {
+		t.Fatal("open_flags not found")
+	}
+	mask := of.FlagMask()
+	if mask&0x40 == 0 || mask&0x2 == 0 {
+		t.Fatalf("open_flags mask %#x missing O_CREAT or O_RDWR", mask)
+	}
+	if (&Type{Kind: KindInt}).FlagMask() != 0 {
+		t.Fatal("FlagMask of non-flags type should be 0")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"unknown type", "foo(a nosuchtype)", "unknown type or resource"},
+		{"dup resource", "resource fd\nresource fd", "duplicate resource"},
+		{"dup call", "resource fd\nopen(a int) fd\nopen(b int) fd", "duplicate syscall"},
+		{"undeclared ret", "open(a int) ghost", "undeclared resource"},
+		{"bad int range", "foo(a int[5:1])", "inverted"},
+		{"bad brackets", "foo(a int[1:2)", "unbalanced brackets"},
+		{"unknown flags", "foo(a flags[nope])", "unknown flag set"},
+		{"unknown struct", "foo(a ptr[struct[nope]])", "unknown struct"},
+		{"flags no eq", "flags broken O_A:1", "missing '='"},
+		{"empty enum", "enum e = ", "missing ':value'"},
+		{"two rets", "resource fd\nfoo(a int) fd fd", "two return resources"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.text)
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	r, err := Parse("# header\nresource fd # trailing\n\nopen(f string) fd # after\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lookup("open") == nil {
+		t.Fatal("comment handling broke declarations")
+	}
+}
+
+func TestNestedPtrType(t *testing.T) {
+	r, err := Parse("foo(a ptr[ptr[buffer[8]]])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foo := r.Lookup("foo")
+	tt := foo.Args[0].Type
+	if tt.Kind != KindPtr || tt.Elem.Kind != KindPtr || tt.Elem.Elem.Kind != KindBuffer {
+		t.Fatalf("nested ptr parsed wrong: %+v", tt)
+	}
+	if tt.Elem.Elem.MaxSize != 8 {
+		t.Fatalf("buffer size %d", tt.Elem.Elem.MaxSize)
+	}
+	// Slots: ptr, ptr, buffer.
+	if n := len(foo.Slots()); n != 3 {
+		t.Fatalf("got %d slots, want 3", n)
+	}
+}
+
+func TestMaxSlots(t *testing.T) {
+	r := Base()
+	if m := r.MaxSlots(); m < 15 {
+		t.Fatalf("MaxSlots = %d, want >= 15 (deep msghdr/scsi nesting)", m)
+	}
+}
+
+func TestEnumAndIntParsing(t *testing.T) {
+	r := Base()
+	dom := r.EnumSet("sock_domain")
+	if dom == nil || len(dom.Values) != 5 {
+		t.Fatalf("sock_domain = %+v", dom)
+	}
+	if dom.Values[1] != 2 || dom.ValueNames[1] != "AF_INET" {
+		t.Fatalf("AF_INET parsed wrong: %v %v", dom.Values, dom.ValueNames)
+	}
+	mm := r.Lookup("mmap")
+	lenT := mm.Args[1].Type
+	if lenT.Kind != KindInt || lenT.Min != 4096 || lenT.Max != 1048576 {
+		t.Fatalf("mmap length type = %+v", lenT)
+	}
+}
+
+func TestScalarClassification(t *testing.T) {
+	scalar := []TypeKind{KindInt, KindFlags, KindEnum, KindLen, KindResource, KindProc}
+	nonScalar := []TypeKind{KindBuffer, KindString, KindPtr, KindStruct}
+	for _, k := range scalar {
+		if !(&Type{Kind: k}).IsScalar() {
+			t.Fatalf("%v should be scalar", k)
+		}
+	}
+	for _, k := range nonScalar {
+		if (&Type{Kind: k}).IsScalar() {
+			t.Fatalf("%v should not be scalar", k)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package trace post-processes execution traces into coverage, following
+// §5.3.1: raw traces are ordered basic-block sequences; edge coverage is the
+// set of unique directional basic-block pairs appearing consecutively.
+package trace
+
+import (
+	"sort"
+
+	"github.com/repro/snowplow/internal/exec"
+	"github.com/repro/snowplow/internal/kernel"
+)
+
+// Edge is a directional pair of consecutively executed basic blocks.
+type Edge uint64
+
+// MakeEdge packs two block IDs into an Edge.
+func MakeEdge(from, to kernel.BlockID) Edge {
+	return Edge(uint64(uint32(from))<<32 | uint64(uint32(to)))
+}
+
+// From returns the edge's source block.
+func (e Edge) From() kernel.BlockID { return kernel.BlockID(e >> 32) }
+
+// To returns the edge's destination block.
+func (e Edge) To() kernel.BlockID { return kernel.BlockID(uint32(e)) }
+
+// Cover is a set of covered edges (or blocks, via BlockCover). The zero
+// value is an empty cover ready to use.
+type Cover struct {
+	m map[Edge]struct{}
+}
+
+// NewCover returns an empty cover.
+func NewCover() *Cover { return &Cover{m: map[Edge]struct{}{}} }
+
+// Len returns the number of covered edges.
+func (c *Cover) Len() int { return len(c.m) }
+
+// Has reports whether the edge is covered.
+func (c *Cover) Has(e Edge) bool {
+	_, ok := c.m[e]
+	return ok
+}
+
+// Add inserts an edge, reporting whether it was new.
+func (c *Cover) Add(e Edge) bool {
+	if c.m == nil {
+		c.m = map[Edge]struct{}{}
+	}
+	if _, ok := c.m[e]; ok {
+		return false
+	}
+	c.m[e] = struct{}{}
+	return true
+}
+
+// Merge adds all of other's edges, returning how many were new.
+func (c *Cover) Merge(other *Cover) int {
+	n := 0
+	for e := range other.m {
+		if c.Add(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Diff returns the edges in c that are not in other.
+func (c *Cover) Diff(other *Cover) []Edge {
+	var out []Edge
+	for e := range c.m {
+		if !other.Has(e) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns the covered edges in sorted order.
+func (c *Cover) Edges() []Edge {
+	out := make([]Edge, 0, len(c.m))
+	for e := range c.m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a copy.
+func (c *Cover) Clone() *Cover {
+	out := NewCover()
+	for e := range c.m {
+		out.m[e] = struct{}{}
+	}
+	return out
+}
+
+// EdgesOf extracts the edge coverage of an execution result: unique
+// directional pairs of consecutive blocks within each call's trace.
+func EdgesOf(res *exec.Result) *Cover {
+	c := NewCover()
+	for _, tr := range res.CallTraces {
+		for i := 1; i < len(tr); i++ {
+			c.Add(MakeEdge(tr[i-1], tr[i]))
+		}
+	}
+	return c
+}
+
+// BlocksOf extracts the block coverage of an execution result, as an
+// ordered deduplicated slice.
+func BlocksOf(res *exec.Result) []kernel.BlockID {
+	set := res.Blocks()
+	out := make([]kernel.BlockID, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BlockSet is a set of covered blocks.
+type BlockSet map[kernel.BlockID]struct{}
+
+// NewBlockSet builds a set from a slice.
+func NewBlockSet(blocks []kernel.BlockID) BlockSet {
+	s := make(BlockSet, len(blocks))
+	for _, b := range blocks {
+		s[b] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s BlockSet) Has(b kernel.BlockID) bool {
+	_, ok := s[b]
+	return ok
+}
+
+// Add inserts a block, reporting whether it was new.
+func (s BlockSet) Add(b kernel.BlockID) bool {
+	if _, ok := s[b]; ok {
+		return false
+	}
+	s[b] = struct{}{}
+	return true
+}
+
+// Diff returns blocks in s not in other, sorted.
+func (s BlockSet) Diff(other BlockSet) []kernel.BlockID {
+	var out []kernel.BlockID
+	for b := range s {
+		if !other.Has(b) {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
