@@ -8,7 +8,7 @@
 //	snowplow-bench -experiment table1,table5
 //
 // Experiments: stats, table1, fig6, table2 (includes tables 3 and 4),
-// table5, perf, ablations, all.
+// table5, perf, ablations, faults, all.
 package main
 
 import (
@@ -19,14 +19,17 @@ import (
 	"time"
 
 	"github.com/repro/snowplow/internal/experiments"
+	"github.com/repro/snowplow/internal/faultinject"
 )
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,ablations,all")
-		scale = flag.String("scale", "quick", "experiment scale: quick or full")
-		seed  = flag.Uint64("seed", 1, "suite seed")
-		quiet = flag.Bool("quiet", false, "suppress progress logging")
+		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,ablations,faults,all")
+		scale  = flag.String("scale", "quick", "experiment scale: quick or full")
+		seed   = flag.Uint64("seed", 1, "suite seed")
+		quiet  = flag.Bool("quiet", false, "suppress progress logging")
+		faults = flag.String("faults", "",
+			"fault shape at rate 1.0 for the degraded-serving sweep, e.g. drop=0.4,transient=0.3,corrupt=0.2 (empty = default shape)")
 	)
 	flag.Parse()
 
@@ -35,6 +38,16 @@ func main() {
 		opts = experiments.Full()
 	}
 	opts.Seed = *seed
+	if *faults != "" {
+		fm, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snowplow-bench:", err)
+			os.Exit(2)
+		}
+		if fm.Enabled() {
+			opts.FaultModel = fm
+		}
+	}
 	h := experiments.NewHarness(opts)
 	if !*quiet {
 		h.Log = os.Stderr
@@ -84,6 +97,12 @@ func main() {
 		experiments.AblationSwitchEdges(h).Render(os.Stdout)
 		experiments.AblationTargetNoise(h).Render(os.Stdout)
 		experiments.AblationFallbackSweep(h).Render(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if all || want["faults"] {
+		fmt.Println("== Degraded serving (fault-injected inference) ==")
+		experiments.AblationFaultSweep(h).Render(os.Stdout)
 		fmt.Println()
 		ran++
 	}

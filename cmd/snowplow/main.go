@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/faultinject"
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/pmm"
@@ -22,6 +24,14 @@ import (
 	"github.com/repro/snowplow/internal/rng"
 	"github.com/repro/snowplow/internal/serve"
 )
+
+// serveFlags groups the inference-serving robustness knobs.
+type serveFlags struct {
+	faults   string
+	deadline time.Duration
+	retries  int
+	degraded float64
+}
 
 func main() {
 	var (
@@ -33,15 +43,22 @@ func main() {
 		seeds     = flag.Int("seeds", 20, "number of generated seed programs")
 		workers   = flag.Int("workers", 4, "inference worker goroutines")
 		fallback  = flag.Float64("fallback", 0.1, "random-localization fallback probability")
+		sf        serveFlags
 	)
+	flag.StringVar(&sf.faults, "faults", "off",
+		"inference fault model, e.g. drop=0.1,transient=0.2,corrupt=0.05,latency=0.1:50ms,seed=7")
+	flag.DurationVar(&sf.deadline, "deadline", 0, "per-attempt inference deadline (0 = default)")
+	flag.IntVar(&sf.retries, "retries", 0, "inference retries after the first attempt (0 = default, negative = none)")
+	flag.Float64Var(&sf.degraded, "degraded-fallback", 0,
+		"fallback probability while serving is unhealthy (0 = default 0.9)")
 	flag.Parse()
-	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *fallback); err != nil {
+	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *fallback, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers int, fallback float64) error {
+func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers int, fallback float64, sf serveFlags) error {
 	k, err := kernel.Build(version)
 	if err != nil {
 		return err
@@ -51,7 +68,8 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 
 	cfg := fuzzer.Config{
 		Kernel: k, An: an, Seed: seed, Budget: budget,
-		FallbackProb: fallback,
+		FallbackProb:         fallback,
+		DegradedFallbackProb: sf.degraded,
 	}
 	switch mode {
 	case "syzkaller":
@@ -70,7 +88,20 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		if err != nil {
 			return err
 		}
-		srv := serve.NewServer(m, qgraph.NewBuilder(k, an), workers)
+		fault, err := faultinject.ParseSpec(sf.faults)
+		if err != nil {
+			return err
+		}
+		opts := serve.Options{
+			Workers:    workers,
+			Deadline:   sf.deadline,
+			MaxRetries: sf.retries,
+		}
+		if fault.Enabled() {
+			opts.Fault = fault
+			fmt.Printf("fault model: %s\n", fault)
+		}
+		srv := serve.NewServerOpts(m, qgraph.NewBuilder(k, an), opts)
 		defer srv.Close()
 		cfg.Server = srv
 	default:
@@ -100,7 +131,16 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 	fmt.Printf("final: %d edges, %d executions, corpus %d\n",
 		stats.FinalEdges, stats.Executions, stats.CorpusSize)
 	if cfg.Mode == fuzzer.ModeSnowplow {
-		fmt.Printf("PMM: %d queries, %d predictions\n", stats.PMMQueries, stats.PMMPredictions)
+		fmt.Printf("PMM: %d queries, %d predictions, %d failed, %d shed, %d invalid slots, %d degraded steps\n",
+			stats.PMMQueries, stats.PMMPredictions, stats.PMMFailed,
+			stats.PMMShed, stats.PMMInvalidSlots, stats.DegradedSteps)
+		ss := cfg.Server.Stats()
+		fmt.Printf("serving: %d ok / %d failed of %d queries, %d retries, %d timeouts, error rate %.2f, healthy %v\n",
+			ss.Succeeded, ss.Failed, ss.Queries, ss.Retries, ss.Timeouts, ss.ErrorRate, ss.Healthy)
+		if ss.InjDropped+ss.InjTransient+ss.InjLatency+ss.InjCorrupt > 0 {
+			fmt.Printf("injected: %d dropped, %d transient, %d latency, %d corrupt\n",
+				ss.InjDropped, ss.InjTransient, ss.InjLatency, ss.InjCorrupt)
+		}
 	}
 	if len(stats.Crashes) > 0 {
 		fmt.Printf("\ncrashes (%d unique):\n", len(stats.Crashes))

@@ -100,6 +100,12 @@ func Load(r io.Reader, k *kernel.Kernel) (*Dataset, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("dataset: bad slot %q", tok)
 			}
+			// Slot references outside the base program's mutation surface
+			// would poison the training pipeline (qgraph indexes by slot);
+			// reject them here rather than panic later.
+			if c < 0 || c >= len(p.Calls) || s < 0 || s >= len(p.Calls[c].Meta.Slots()) {
+				return nil, fmt.Errorf("dataset: slot %q out of range for base program", tok)
+			}
 			ex.Slots = append(ex.Slots, prog.GlobalSlot{Call: c, Slot: s})
 		}
 		if !sc.Scan() || !strings.HasPrefix(sc.Text(), "targets") {
@@ -109,6 +115,11 @@ func Load(r io.Reader, k *kernel.Kernel) (*Dataset, error) {
 			t, err := strconv.Atoi(tok)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: bad target %q", tok)
+			}
+			// Target blocks must exist in the kernel the dataset is being
+			// loaded against; kernel.Block panics on unknown IDs.
+			if t < 0 || t >= k.NumBlocks() {
+				return nil, fmt.Errorf("dataset: target %d outside kernel (%d blocks)", t, k.NumBlocks())
 			}
 			ex.Targets = append(ex.Targets, kernel.BlockID(t))
 		}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/repro/snowplow/internal/cfa"
 	"github.com/repro/snowplow/internal/dataset"
+	"github.com/repro/snowplow/internal/faultinject"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
@@ -46,6 +47,9 @@ type Options struct {
 	Repeats int
 	// Workers sizes the inference pool.
 	Workers int
+	// FaultModel, when non-nil, is the fault shape (at rate 1.0) swept by
+	// the degraded-serving ablation; nil uses the default shape.
+	FaultModel *faultinject.Model
 }
 
 // Quick returns options sized so the full suite completes in minutes.
@@ -230,10 +234,20 @@ func (h *Harness) Model() (*pmm.Model, pmm.TrainReport) {
 // Server builds an inference server over the trained model for the given
 // kernel version. The caller must Close it.
 func (h *Harness) Server(version string) *serve.Server {
+	return h.ServerOpts(version, serve.Options{})
+}
+
+// ServerOpts builds an inference server with explicit serving options
+// (fault models, deadlines, retry budgets). Workers defaults to the
+// harness's pool size. The caller must Close it.
+func (h *Harness) ServerOpts(version string, opts serve.Options) *serve.Server {
 	m, _ := h.Model()
 	k := h.Kernel(version)
 	an := h.Analysis(version)
-	return serve.NewServer(m, qgraph.NewBuilder(k, an), h.Opts.Workers)
+	if opts.Workers == 0 {
+		opts.Workers = h.Opts.Workers
+	}
+	return serve.NewServerOpts(m, qgraph.NewBuilder(k, an), opts)
 }
 
 func last(xs []float64) float64 {

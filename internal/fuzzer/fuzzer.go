@@ -59,6 +59,13 @@ type Config struct {
 	// FallbackProb is the probability of random argument localization in
 	// Snowplow mode (§3.4's fallback mechanism).
 	FallbackProb float64
+	// DegradedFallbackProb replaces FallbackProb while the inference
+	// server reports unhealthy (rolling error/timeout rate above its
+	// threshold): the fuzzer temporarily leans on random localization and
+	// sheds pending queries instead of blocking, recovering when health
+	// returns. Defaults to 0.9; never lowers the effective probability
+	// below FallbackProb.
+	DegradedFallbackProb float64
 	// GenerateProb is the chance of generating a fresh program instead of
 	// mutating a corpus entry.
 	GenerateProb float64
@@ -111,6 +118,18 @@ type Stats struct {
 	// PMMQueries and PMMPredictions count inference traffic (Snowplow).
 	PMMQueries     int64
 	PMMPredictions int64
+	// PMMFailed counts queries whose reply was a terminal serving error
+	// (deadline, retries exhausted, server closed).
+	PMMFailed int64
+	// PMMShed counts pending queries abandoned while serving was
+	// unhealthy.
+	PMMShed int64
+	// PMMInvalidSlots counts predicted slots rejected as out of range
+	// (corrupt or stale predictions must never crash the mutator).
+	PMMInvalidSlots int64
+	// DegradedSteps counts mutation rounds taken while the server was
+	// unhealthy.
+	DegradedSteps int64
 	// Yield breaks down executions and resulting new edges by work class,
 	// for diagnosing where coverage comes from.
 	Yield YieldStats
@@ -165,6 +184,9 @@ func New(cfg Config) *Fuzzer {
 	}
 	if cfg.FallbackProb == 0 {
 		cfg.FallbackProb = 0.1
+	}
+	if cfg.DegradedFallbackProb == 0 {
+		cfg.DegradedFallbackProb = 0.9
 	}
 	if cfg.GenerateProb == 0 {
 		cfg.GenerateProb = 0.15
@@ -232,7 +254,7 @@ func (f *Fuzzer) step() error {
 	}
 
 	t := f.mut.SelectType(f.r, entry.Prog)
-	if t == mutation.ArgMutation && f.cfg.Mode == ModeSnowplow && !f.r.Chance(f.cfg.FallbackProb) {
+	if t == mutation.ArgMutation && f.cfg.Mode == ModeSnowplow && !f.r.Chance(f.fallbackProb()) {
 		return f.guidedArgMutation(entry)
 	}
 	class := classOther
@@ -242,6 +264,53 @@ func (f *Fuzzer) step() error {
 	rec := f.mut.MutateType(f.r, entry.Prog, t)
 	_, err := f.execute(rec.Prog, class)
 	return err
+}
+
+// fallbackProb is the effective random-localization probability for this
+// round: the configured FallbackProb while serving is healthy, raised to
+// DegradedFallbackProb while it is not (§3.4's graceful degradation). A
+// degraded round also sheds pending inference queries, so the fuzzer's
+// in-flight window drains instead of accumulating against a sick server.
+func (f *Fuzzer) fallbackProb() float64 {
+	fb := f.cfg.FallbackProb
+	if f.cfg.Server == nil || f.cfg.Server.Healthy() {
+		return fb
+	}
+	f.stats.DegradedSteps++
+	f.shedPending()
+	if f.cfg.DegradedFallbackProb > fb {
+		fb = f.cfg.DegradedFallbackProb
+	}
+	return fb
+}
+
+// shedPending abandons every in-flight inference query. Reply channels are
+// buffered and delivered exactly once, so dropping the references leaks
+// neither goroutines nor memory beyond the reply value itself.
+func (f *Fuzzer) shedPending() {
+	for _, st := range f.preds {
+		if st.reply != nil {
+			st.reply = nil
+			st.targets = nil
+			f.stats.PMMShed++
+		}
+	}
+}
+
+// sanitizeSlots drops slot references outside the program's mutation
+// surface. Predictions cross a serving boundary and may be corrupt or
+// stale; they must never crash the mutator.
+func (f *Fuzzer) sanitizeSlots(p *prog.Prog, slots []prog.GlobalSlot) []prog.GlobalSlot {
+	valid := slots[:0]
+	for _, gs := range slots {
+		if gs.Call < 0 || gs.Call >= len(p.Calls) ||
+			gs.Slot < 0 || gs.Slot >= len(p.Calls[gs.Call].Meta.Slots()) {
+			f.stats.PMMInvalidSlots++
+			continue
+		}
+		valid = append(valid, gs)
+	}
+	return valid
 }
 
 // guidedArgMutation performs PMM-localized argument mutations on the entry.
@@ -265,7 +334,7 @@ func (f *Fuzzer) guidedArgMutation(entry *corpus.Entry) error {
 		_, err := f.execute(rec.Prog, classRandArg)
 		return err
 	}
-	slots := st.pred.Slots
+	slots := f.sanitizeSlots(entry.Prog, st.pred.Slots)
 	st.pred = nil // consume: next pick re-queries with fresh targets
 	if len(slots) == 0 {
 		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
@@ -327,15 +396,22 @@ func (f *Fuzzer) syncGuidedArgMutation(entry *corpus.Entry) error {
 		_, err := f.execute(rec.Prog, classRandArg)
 		return err
 	}
+	f.stats.PMMQueries++
 	pred, err := f.cfg.Server.Infer(serve.Query{Prog: entry.Prog, Traces: entry.Traces, Targets: targets})
 	if err != nil {
+		f.stats.PMMFailed++
 		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
 		_, execErr := f.execute(rec.Prog, classRandArg)
 		return execErr
 	}
-	f.stats.PMMQueries++
 	f.stats.PMMPredictions++
-	return f.guidedBurst(entry, pred.Slots)
+	slots := f.sanitizeSlots(entry.Prog, pred.Slots)
+	if len(slots) == 0 {
+		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
+		_, execErr := f.execute(rec.Prog, classRandArg)
+		return execErr
+	}
+	return f.guidedBurst(entry, slots)
 }
 
 // predictionFor returns the entry's cached prediction state, submitting or
@@ -352,9 +428,16 @@ func (f *Fuzzer) predictionFor(entry *corpus.Entry) *entryPrediction {
 	if st.reply != nil {
 		select {
 		case pred := <-st.reply:
-			st.pred = &pred
 			st.reply = nil
-			f.stats.PMMPredictions++
+			if pred.Err != nil {
+				// Terminal serving failure (deadline, retries
+				// exhausted, closed): no guidance this round; the
+				// random fallback covers the base.
+				f.stats.PMMFailed++
+			} else {
+				st.pred = &pred
+				f.stats.PMMPredictions++
+			}
 		default:
 		}
 	}
@@ -369,6 +452,9 @@ func (f *Fuzzer) predictionFor(entry *corpus.Entry) *entryPrediction {
 // submitQuery asks PMM which arguments of the base to mutate, targeting
 // uncovered frontier blocks near the base's coverage.
 func (f *Fuzzer) submitQuery(entry *corpus.Entry, st *entryPrediction) {
+	if !f.cfg.Server.Healthy() {
+		return // degraded serving: shed instead of queueing more work
+	}
 	targets := f.queryTargets(entry)
 	if len(targets) == 0 {
 		return
@@ -379,7 +465,7 @@ func (f *Fuzzer) submitQuery(entry *corpus.Entry, st *entryPrediction) {
 		Targets: targets,
 	})
 	if err != nil {
-		return // queue full: the random fallback already covers this base
+		return // server closed: the random fallback already covers this base
 	}
 	f.stats.PMMQueries++
 	st.reply = reply
@@ -544,16 +630,20 @@ func (f *Fuzzer) charge(cost int64) {
 	}
 }
 
-// drainPending consumes predictions still in flight at budget exhaustion so
-// the server's reply channels do not leak.
+// drainPending harvests predictions still in flight at budget exhaustion.
+// Reply channels are buffered and delivered exactly once, so abandoning an
+// unharvested reply cannot leak a goroutine.
 func (f *Fuzzer) drainPending() {
 	for _, st := range f.preds {
 		if st.reply != nil {
 			select {
-			case <-st.reply:
-				f.stats.PMMPredictions++
+			case pred := <-st.reply:
+				if pred.Err != nil {
+					f.stats.PMMFailed++
+				} else {
+					f.stats.PMMPredictions++
+				}
 			default:
-				go func(ch <-chan serve.Prediction) { <-ch }(st.reply)
 			}
 			st.reply = nil
 		}

@@ -3,6 +3,15 @@
 // queries asynchronously so the fuzzer's mutator never blocks on the model,
 // and the server tracks the §5.5 performance characteristics (throughput at
 // saturation, mean latency).
+//
+// Unlike a lab-bench server, this one has a failure story. Every query gets
+// a per-attempt deadline and a bounded retry budget with exponential backoff
+// whose jitter is seeded (internal/rng, not wall clock), a fault-injection
+// hook (internal/faultinject) can lose, delay, fail, or corrupt attempts,
+// and a rolling health tracker summarizes the recent error/timeout rate so
+// callers — the fuzzer in particular — can degrade gracefully instead of
+// blocking on a sick model. Each accepted query delivers exactly one
+// Prediction on its reply channel; a failed query delivers one with Err set.
 package serve
 
 import (
@@ -11,10 +20,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/repro/snowplow/internal/faultinject"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
 )
 
 // Query is one argument-localization request: the base test, its coverage
@@ -25,141 +36,454 @@ type Query struct {
 	Targets []kernel.BlockID
 }
 
-// Prediction is the model's localization answer.
+// Prediction is the model's localization answer. Exactly one Prediction is
+// delivered per accepted query; Err is non-nil when the query failed after
+// exhausting its deadline/retry budget, in which case the caller should fall
+// back to random localization, as Snowplow does when PMM cannot keep up.
 type Prediction struct {
 	// Slots are the argument slots predicted MUTATE.
 	Slots []prog.GlobalSlot
 	// Probs are the per-slot probabilities, aligned with Prog.AllSlots().
 	Probs []float64
-	// Latency is the queue+inference time of this query.
+	// Latency is the queue+inference+retry time of this query.
 	Latency time.Duration
+	// Err is the terminal failure, if the query could not be served.
+	Err error
 }
 
-// Stats reports serving performance (§5.5).
+// Stats reports serving performance (§5.5) and the failure-model counters.
 type Stats struct {
-	Served      int64
-	Rejected    int64
+	// Served counts worker-completed inference attempts (it can exceed
+	// Succeeded: an attempt whose waiter already timed out still ran).
+	Served int64
+	// Rejected counts submissions refused outright (server closed).
+	Rejected int64
+	// Queries, Succeeded and Failed count accepted queries and their
+	// terminal outcomes; once all replies are delivered,
+	// Queries == Succeeded + Failed.
+	Queries   int64
+	Succeeded int64
+	Failed    int64
+	// Retries counts extra attempts beyond each query's first.
+	Retries int64
+	// Timeouts counts attempts that hit the per-query deadline.
+	Timeouts int64
+	// Injected fault counters, by kind.
+	InjDropped   int64
+	InjTransient int64
+	InjLatency   int64
+	InjCorrupt   int64
+	// MeanLatency averages over succeeded queries.
 	MeanLatency time.Duration
-	// Throughput is queries per second over the serving lifetime so far.
+	// Throughput is succeeded queries per second over the serving lifetime.
 	Throughput float64
+	// ErrorRate is the failure fraction over the rolling health window.
+	ErrorRate float64
+	// Healthy mirrors Server.Healthy at snapshot time.
+	Healthy bool
 }
 
-// ErrClosed is returned for queries submitted after Close.
-var ErrClosed = errors.New("serve: server closed")
+// Sentinel errors. ErrServerClosed is returned (or delivered via
+// Prediction.Err) for queries submitted to, or in flight across, Close.
+var (
+	ErrServerClosed = errors.New("serve: server closed")
+	ErrDeadline     = errors.New("serve: deadline exceeded")
+	ErrQueueFull    = errors.New("serve: queue full")
+	ErrUnavailable  = errors.New("serve: unavailable after retries")
+)
 
-type job struct {
-	q        Query
-	enqueued time.Time
-	reply    chan Prediction
+// ErrClosed is a deprecated alias for ErrServerClosed.
+var ErrClosed = ErrServerClosed
+
+// Options configures a Server. The zero value of any field takes a default.
+type Options struct {
+	// Workers is the inference pool size (the paper's GPU replicas).
+	// Default 1.
+	Workers int
+	// QueueSize bounds the pending-attempt queue. Default Workers*8.
+	QueueSize int
+	// Deadline bounds one attempt's queue+inference wait. Default 5s.
+	Deadline time.Duration
+	// MaxRetries is the number of extra attempts after the first.
+	// Default 2; pass a negative value for no retries.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts: attempt k waits Base<<(k-1) plus seeded jitter in
+	// [0, Base), capped at Max. Defaults 1ms / 100ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BackoffSeed seeds the retry jitter (per query sequence number, not
+	// wall clock), keeping faulty campaigns reproducible. Default 0x5eed.
+	BackoffSeed uint64
+	// Fault, when non-nil, is consulted once per attempt to inject
+	// failures (see internal/faultinject). Nil serves faithfully.
+	Fault faultinject.Injector
+	// HealthWindow is the rolling-outcome window size. Default 64.
+	HealthWindow int
+	// HealthMinSamples is how many outcomes must be observed before the
+	// server can report unhealthy. Default 16.
+	HealthMinSamples int
+	// UnhealthyAt is the window error rate at or above which the server
+	// reports unhealthy. Default 0.5.
+	UnhealthyAt float64
 }
 
-// Server runs a worker pool over a frozen model.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = o.Workers * 8
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 5 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 100 * time.Millisecond
+	}
+	if o.BackoffSeed == 0 {
+		o.BackoffSeed = 0x5eed
+	}
+	if o.HealthWindow <= 0 {
+		o.HealthWindow = 64
+	}
+	if o.HealthMinSamples <= 0 {
+		o.HealthMinSamples = 16
+	}
+	if o.UnhealthyAt <= 0 {
+		o.UnhealthyAt = 0.5
+	}
+	return o
+}
+
+// attempt is one unit of worker-pool work. done is buffered so the worker
+// never blocks on a waiter that already gave up (deadline or close).
+type attempt struct {
+	q    Query
+	done chan attemptResult
+}
+
+type attemptResult struct {
+	slots []prog.GlobalSlot
+	probs []float64
+}
+
+// Server runs a worker pool over a frozen model, fronted by per-query
+// dispatchers that own deadlines, retries, and fault injection.
 type Server struct {
 	model   *pmm.Model
 	builder *qgraph.Builder
+	opts    Options
 
-	jobs    chan job
-	wg      sync.WaitGroup
-	started time.Time
+	jobs     chan *attempt
+	workerWG sync.WaitGroup
+	queryWG  sync.WaitGroup
+	closeCh  chan struct{}
+	started  time.Time
+	seq      atomic.Uint64
 
-	mu       sync.Mutex
-	closed   bool
-	served   atomic.Int64
-	rejected atomic.Int64
-	totalLat atomic.Int64 // nanoseconds
+	mu     sync.Mutex
+	closed bool
+
+	health *healthTracker
+
+	served, rejected           atomic.Int64
+	queries, succeeded, failed atomic.Int64
+	retries, timeouts          atomic.Int64
+	injDropped, injTransient   atomic.Int64
+	injLatency, injCorrupt     atomic.Int64
+	totalLat                   atomic.Int64 // nanoseconds, succeeded queries
 }
 
 // NewServer creates and starts a server with the given number of worker
-// goroutines (the paper's GPU replicas). The model is frozen for concurrent
-// inference.
+// goroutines and default robustness options. The model is frozen for
+// concurrent inference.
 func NewServer(model *pmm.Model, builder *qgraph.Builder, workers int) *Server {
-	if workers <= 0 {
-		workers = 1
-	}
+	return NewServerOpts(model, builder, Options{Workers: workers})
+}
+
+// NewServerOpts creates and starts a server with explicit options.
+func NewServerOpts(model *pmm.Model, builder *qgraph.Builder, opts Options) *Server {
+	opts = opts.withDefaults()
 	model.Freeze()
 	s := &Server{
 		model:   model,
 		builder: builder,
-		jobs:    make(chan job, workers*8),
+		opts:    opts,
+		jobs:    make(chan *attempt, opts.QueueSize),
+		closeCh: make(chan struct{}),
 		started: time.Now(),
+		health:  newHealthTracker(opts.HealthWindow),
 	}
-	for i := 0; i < workers; i++ {
-		s.wg.Add(1)
+	for i := 0; i < opts.Workers; i++ {
+		s.workerWG.Add(1)
 		go s.worker()
 	}
 	return s
 }
 
 func (s *Server) worker() {
-	defer s.wg.Done()
-	for j := range s.jobs {
-		g := s.builder.Build(j.q.Prog, j.q.Traces, j.q.Targets)
+	defer s.workerWG.Done()
+	for a := range s.jobs {
+		g := s.builder.Build(a.q.Prog, a.q.Traces, a.q.Targets)
 		slots, probs := s.model.Predict(g)
-		lat := time.Since(j.enqueued)
 		s.served.Add(1)
-		s.totalLat.Add(int64(lat))
-		j.reply <- Prediction{Slots: slots, Probs: probs, Latency: lat}
+		a.done <- attemptResult{slots: slots, probs: probs}
 	}
 }
 
 // InferAsync submits a query and returns a channel delivering exactly one
-// prediction. The error is non-nil if the server is closed or its queue is
-// full (the caller should fall back to random localization, as Snowplow
-// does when PMM cannot keep up).
+// prediction (with Err set on terminal failure). The error is non-nil only
+// if the server is already closed.
 func (s *Server) InferAsync(q Query) (<-chan Prediction, error) {
-	reply := make(chan Prediction, 1)
-	j := job{q: q, enqueued: time.Now(), reply: reply}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		s.rejected.Add(1)
-		return nil, ErrClosed
-	}
-	select {
-	case s.jobs <- j:
-		return reply, nil
-	default:
-		s.rejected.Add(1)
-		return nil, errors.New("serve: queue full")
-	}
-}
-
-// Infer submits a query and blocks for the prediction.
-func (s *Server) Infer(q Query) (Prediction, error) {
-	reply := make(chan Prediction, 1)
-	j := job{q: q, enqueued: time.Now(), reply: reply}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.rejected.Add(1)
-		return Prediction{}, ErrClosed
+		return nil, ErrServerClosed
 	}
-	s.jobs <- j
+	s.queryWG.Add(1)
 	s.mu.Unlock()
-	return <-reply, nil
+	seq := s.seq.Add(1) - 1
+	s.queries.Add(1)
+	reply := make(chan Prediction, 1)
+	go s.dispatch(q, seq, reply)
+	return reply, nil
+}
+
+// Infer submits a query and blocks for the prediction, applying the same
+// deadline/retry/fault machinery as InferAsync.
+func (s *Server) Infer(q Query) (Prediction, error) {
+	reply, err := s.InferAsync(q)
+	if err != nil {
+		return Prediction{}, err
+	}
+	p := <-reply
+	if p.Err != nil {
+		return Prediction{}, p.Err
+	}
+	return p, nil
+}
+
+// dispatch owns one query end to end: it plans faults, enqueues attempts on
+// the worker pool, enforces the deadline, retries with seeded backoff, and
+// delivers exactly one Prediction.
+func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
+	defer s.queryWG.Done()
+	start := time.Now()
+	finish := func(p Prediction) {
+		p.Latency = time.Since(start)
+		if p.Err != nil {
+			s.failed.Add(1)
+		} else {
+			s.succeeded.Add(1)
+			s.totalLat.Add(int64(p.Latency))
+		}
+		// Queue-full is backpressure from the caller, not server
+		// ill-health — counting it would let a hot client talk a healthy
+		// server into degraded mode. Close-time terminations are likewise
+		// not a health signal.
+		if !errors.Is(p.Err, ErrQueueFull) && !errors.Is(p.Err, ErrServerClosed) {
+			s.health.record(p.Err == nil)
+		}
+		reply <- p
+	}
+	lastErr := ErrUnavailable
+	for att := 0; att <= s.opts.MaxRetries; att++ {
+		if att > 0 {
+			s.retries.Add(1)
+			if !s.sleep(s.backoff(seq, att)) {
+				finish(Prediction{Err: ErrServerClosed})
+				return
+			}
+		}
+		var d faultinject.Decision
+		if s.opts.Fault != nil {
+			d = s.opts.Fault.Plan(seq, att)
+		}
+		switch d.Fault {
+		case faultinject.FaultTransient:
+			s.injTransient.Add(1)
+			lastErr = ErrUnavailable
+			continue
+		case faultinject.FaultDrop:
+			// The reply is lost and the deadline expires. The wait
+			// itself is not reproduced in wall clock — simulated
+			// time lives in the fuzzer's budget, and sleeping here
+			// would only slow the host and perturb determinism.
+			s.injDropped.Add(1)
+			s.timeouts.Add(1)
+			lastErr = ErrDeadline
+			continue
+		case faultinject.FaultLatency:
+			s.injLatency.Add(1)
+			if !s.sleep(d.Latency) {
+				finish(Prediction{Err: ErrServerClosed})
+				return
+			}
+		}
+		res, err := s.runAttempt(q)
+		if err != nil {
+			if errors.Is(err, ErrServerClosed) {
+				finish(Prediction{Err: err})
+				return
+			}
+			if errors.Is(err, ErrDeadline) {
+				s.timeouts.Add(1)
+			}
+			lastErr = err
+			continue
+		}
+		if d.Fault == faultinject.FaultCorrupt {
+			s.injCorrupt.Add(1)
+			res = corruptResult(seq, q, res)
+		}
+		finish(Prediction{Slots: res.slots, Probs: res.probs})
+		return
+	}
+	finish(Prediction{Err: lastErr})
+}
+
+// runAttempt enqueues one attempt on the worker pool and waits for it under
+// the per-attempt deadline. A full queue is a retryable failure, as in the
+// paper's deployment where an overloaded replica sheds load.
+func (s *Server) runAttempt(q Query) (attemptResult, error) {
+	a := &attempt{q: q, done: make(chan attemptResult, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return attemptResult{}, ErrServerClosed
+	}
+	select {
+	case s.jobs <- a:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		return attemptResult{}, ErrQueueFull
+	}
+	timer := time.NewTimer(s.opts.Deadline)
+	defer timer.Stop()
+	select {
+	case r := <-a.done:
+		return r, nil
+	case <-timer.C:
+		return attemptResult{}, ErrDeadline
+	case <-s.closeCh:
+		return attemptResult{}, ErrServerClosed
+	}
+}
+
+// backoff computes the delay before the att-th attempt of query seq:
+// exponential in the attempt number with jitter drawn from a generator
+// seeded by (BackoffSeed, seq, att) — never from wall clock — so retry
+// schedules are identical across campaign replays.
+func (s *Server) backoff(seq uint64, att int) time.Duration {
+	base := s.opts.BackoffBase
+	d := base << uint(att-1)
+	if d > s.opts.BackoffMax || d <= 0 {
+		d = s.opts.BackoffMax
+	}
+	r := rng.New(s.opts.BackoffSeed ^ (seq+1)*0x9e3779b97f4a7c15 ^ uint64(att)*0xd6e8feb86659fd93)
+	return d + time.Duration(r.Float64()*float64(base))
+}
+
+// sleep waits for d, aborting early (returning false) if the server closes.
+func (s *Server) sleep(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-s.closeCh:
+			return false
+		default:
+			return true
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-s.closeCh:
+		return false
+	}
+}
+
+// corruptResult deterministically scrambles a prediction: slot references
+// that may point outside the program and probabilities outside [0, 1].
+// Consumers must treat predictions as untrusted input.
+func corruptResult(seq uint64, q Query, res attemptResult) attemptResult {
+	r := rng.New(seq*0xa0761d6478bd642f + 0xbad)
+	n := 1 + r.Intn(4)
+	slots := make([]prog.GlobalSlot, n)
+	for i := range slots {
+		slots[i] = prog.GlobalSlot{
+			Call: r.Intn(2*len(q.Prog.Calls)+2) - 1,
+			Slot: r.Intn(16) - 1,
+		}
+	}
+	probs := make([]float64, len(res.probs))
+	for i := range probs {
+		probs[i] = 2*r.Float64() - 0.5
+	}
+	return attemptResult{slots: slots, probs: probs}
+}
+
+// Healthy reports whether the rolling error rate is below the unhealthy
+// threshold (or too few outcomes have been observed to judge).
+func (s *Server) Healthy() bool {
+	rate, n := s.health.snapshot()
+	return n < s.opts.HealthMinSamples || rate < s.opts.UnhealthyAt
+}
+
+// ErrorRate returns the failure fraction over the rolling health window.
+func (s *Server) ErrorRate() float64 {
+	rate, _ := s.health.snapshot()
+	return rate
 }
 
 // Stats returns a snapshot of serving statistics.
 func (s *Server) Stats() Stats {
-	served := s.served.Load()
+	succeeded := s.succeeded.Load()
 	var mean time.Duration
-	if served > 0 {
-		mean = time.Duration(s.totalLat.Load() / served)
+	if succeeded > 0 {
+		mean = time.Duration(s.totalLat.Load() / succeeded)
 	}
 	elapsed := time.Since(s.started).Seconds()
 	var tput float64
 	if elapsed > 0 {
-		tput = float64(served) / elapsed
+		tput = float64(succeeded) / elapsed
 	}
+	rate, _ := s.health.snapshot()
 	return Stats{
-		Served:      served,
-		Rejected:    s.rejected.Load(),
-		MeanLatency: mean,
-		Throughput:  tput,
+		Served:       s.served.Load(),
+		Rejected:     s.rejected.Load(),
+		Queries:      s.queries.Load(),
+		Succeeded:    succeeded,
+		Failed:       s.failed.Load(),
+		Retries:      s.retries.Load(),
+		Timeouts:     s.timeouts.Load(),
+		InjDropped:   s.injDropped.Load(),
+		InjTransient: s.injTransient.Load(),
+		InjLatency:   s.injLatency.Load(),
+		InjCorrupt:   s.injCorrupt.Load(),
+		MeanLatency:  mean,
+		Throughput:   tput,
+		ErrorRate:    rate,
+		Healthy:      s.Healthy(),
 	}
 }
 
-// Close drains the queue and stops the workers. Pending queries complete.
+// Close stops the server. In-flight queries complete promptly: each still
+// delivers exactly one Prediction, with Err set to ErrServerClosed if it was
+// interrupted. Submissions after Close return ErrServerClosed. Close is
+// idempotent and safe to call concurrently with submissions.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -167,7 +491,50 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	close(s.jobs)
+	close(s.closeCh)
 	s.mu.Unlock()
-	s.wg.Wait()
+	s.queryWG.Wait()
+	close(s.jobs)
+	s.workerWG.Wait()
+}
+
+// healthTracker keeps a rolling window of query outcomes. It is the signal
+// the fuzzer consults to raise its random-fallback probability and shed
+// pending queries while serving is degraded (§3.4's graceful degradation).
+type healthTracker struct {
+	mu    sync.Mutex
+	ring  []bool // true = failure
+	n     int    // filled entries
+	idx   int
+	fails int
+}
+
+func newHealthTracker(window int) *healthTracker {
+	return &healthTracker{ring: make([]bool, window)}
+}
+
+func (h *healthTracker) record(ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == len(h.ring) {
+		if h.ring[h.idx] {
+			h.fails--
+		}
+	} else {
+		h.n++
+	}
+	h.ring[h.idx] = !ok
+	if !ok {
+		h.fails++
+	}
+	h.idx = (h.idx + 1) % len(h.ring)
+}
+
+func (h *healthTracker) snapshot() (rate float64, samples int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0, 0
+	}
+	return float64(h.fails) / float64(h.n), h.n
 }
