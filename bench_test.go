@@ -7,12 +7,26 @@
 package snowplow
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/exec"
 	"github.com/repro/snowplow/internal/experiments"
 	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/serve"
+	"github.com/repro/snowplow/internal/trace"
 )
 
 var (
@@ -238,6 +252,102 @@ func fmtProb(p float64) string {
 		return "0.6"
 	default:
 		return "0.9"
+	}
+}
+
+// BenchmarkServeThroughput measures end-to-end serving throughput under
+// concurrent load at micro-batch limits 1 and 16. It deliberately uses an
+// untrained (but structurally real) model so the CI benchmark smoke job
+// runs in seconds: batching economics do not depend on the weights. The
+// qps custom metric is the headline; when the BENCH_JSON environment
+// variable names a directory, the results are also written to
+// BENCH_serve_throughput.json for artifact upload.
+func BenchmarkServeThroughput(b *testing.B) {
+	k := kernel.MustBuild("6.8")
+	an := cfa.New(k)
+	m := pmm.NewModel(rng.New(1), pmm.DefaultConfig(), pmm.BuildVocab(k))
+
+	// One realistic query: a small program, its execution traces, and a few
+	// frontier targets.
+	p := prog.MustParse(k.Target, "r0 = open(\"./file0\", 0x42, 0x1ff)\nread(r0, &b\"00ff\", 0x2)\n")
+	res, err := exec.New(k).Run(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	covered := trace.NewBlockSet(trace.BlocksOf(res))
+	var targets []kernel.BlockID
+	for i, alt := range an.Frontier(covered) {
+		if i >= 4 {
+			break
+		}
+		targets = append(targets, alt.Entry)
+	}
+	q := serve.Query{Prog: p, Traces: res.CallTraces, Targets: targets}
+
+	qps := map[string]float64{}
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s := serve.NewServerOpts(m, qgraph.NewBuilder(k, an).WithCache(64), serve.Options{
+				Workers:   2,
+				BatchSize: batch,
+				QueueSize: 1024,
+			})
+			defer s.Close()
+			// Clients pipeline queries through a pending window, as the
+			// fuzzer's asynchronous integration does; a saturated queue is
+			// what gives micro-batching something to drain.
+			const clients, window = 32, 8
+			perClient := (b.N + clients - 1) / clients
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var pending []<-chan serve.Prediction
+					for i := 0; i < perClient; i++ {
+						ch, err := s.InferAsync(q)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						pending = append(pending, ch)
+						if len(pending) >= window {
+							<-pending[0]
+							pending = pending[1:]
+						}
+					}
+					for _, ch := range pending {
+						<-ch
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start).Seconds()
+			served := float64(clients * perClient)
+			if elapsed > 0 {
+				qps[fmt.Sprintf("batch=%d", batch)] = served / elapsed
+				b.ReportMetric(served/elapsed, "qps")
+			}
+			st := s.Stats()
+			b.ReportMetric(st.AvgBatchSize, "avg-batch")
+		})
+	}
+	if dir := os.Getenv("BENCH_JSON"); dir != "" {
+		writeBenchJSON(b, filepath.Join(dir, "BENCH_serve_throughput.json"), qps)
+	}
+}
+
+// writeBenchJSON persists a benchmark result map as a machine-readable
+// artifact (the CI bench smoke job uploads BENCH_*.json).
+func writeBenchJSON(b *testing.B, path string, v interface{}) {
+	b.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -12,14 +12,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/repro/snowplow/internal/experiments"
 	"github.com/repro/snowplow/internal/faultinject"
+	"github.com/repro/snowplow/internal/nn"
 )
 
 func main() {
@@ -30,14 +33,21 @@ func main() {
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
 		faults = flag.String("faults", "",
 			"fault shape at rate 1.0 for the degraded-serving sweep, e.g. drop=0.4,transient=0.3,corrupt=0.2 (empty = default shape)")
+		workers = flag.Int("workers", 0, "MatMul worker-pool size (0 = leave at 1)")
+		batch   = flag.Int("batch", 0, "serving micro-batch limit for harness servers (0 = no batching)")
+		jsonDir = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json results (empty = disabled)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		nn.SetWorkers(*workers)
+	}
 
 	opts := experiments.Quick()
 	if *scale == "full" {
 		opts = experiments.Full()
 	}
 	opts.Seed = *seed
+	opts.BatchSize = *batch
 	if *faults != "" {
 		fm, err := faultinject.ParseSpec(*faults)
 		if err != nil {
@@ -53,6 +63,24 @@ func main() {
 		h.Log = os.Stderr
 	}
 
+	// emit writes one experiment's result struct as a machine-readable
+	// artifact next to the rendered table (BENCH_<experiment>.json).
+	emit := func(name string, v interface{}) {
+		if *jsonDir == "" {
+			return
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snowplow-bench: encode", name+":", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "snowplow-bench:", err)
+			os.Exit(1)
+		}
+	}
+
 	want := map[string]bool{}
 	for _, name := range strings.Split(*which, ",") {
 		want[strings.TrimSpace(name)] = true
@@ -62,47 +90,71 @@ func main() {
 	start := time.Now()
 
 	if all || want["stats"] {
-		experiments.Stats(h).Render(os.Stdout)
+		res := experiments.Stats(h)
+		res.Render(os.Stdout)
+		emit("stats", res)
 		fmt.Println()
 		ran++
 	}
 	if all || want["table1"] {
-		experiments.Table1(h).Render(os.Stdout)
+		res := experiments.Table1(h)
+		res.Render(os.Stdout)
+		emit("table1", res)
 		fmt.Println()
 		ran++
 	}
 	if all || want["fig6"] {
-		experiments.Fig6(h).Render(os.Stdout)
+		res := experiments.Fig6(h)
+		res.Render(os.Stdout)
+		emit("fig6", res)
 		fmt.Println()
 		ran++
 	}
 	if all || want["table2"] || want["table3"] || want["table4"] {
-		experiments.Campaign(h, "6.8").Render(os.Stdout)
+		res := experiments.Campaign(h, "6.8")
+		res.Render(os.Stdout)
+		emit("table2", res)
 		fmt.Println()
 		ran++
 	}
 	if all || want["table5"] {
-		experiments.Table5(h).Render(os.Stdout)
+		res := experiments.Table5(h)
+		res.Render(os.Stdout)
+		emit("table5", res)
 		fmt.Println()
 		ran++
 	}
 	if all || want["perf"] {
-		experiments.Perf(h).Render(os.Stdout)
+		res := experiments.Perf(h)
+		res.Render(os.Stdout)
+		emit("perf", res)
 		fmt.Println()
 		ran++
 	}
 	if all || want["ablations"] {
 		fmt.Println("== Ablations (DESIGN.md §5) ==")
-		experiments.AblationDeterminism(h).Render(os.Stdout)
-		experiments.AblationSwitchEdges(h).Render(os.Stdout)
-		experiments.AblationTargetNoise(h).Render(os.Stdout)
-		experiments.AblationFallbackSweep(h).Render(os.Stdout)
+		determinism := experiments.AblationDeterminism(h)
+		determinism.Render(os.Stdout)
+		switchEdges := experiments.AblationSwitchEdges(h)
+		switchEdges.Render(os.Stdout)
+		targetNoise := experiments.AblationTargetNoise(h)
+		targetNoise.Render(os.Stdout)
+		fallback := experiments.AblationFallbackSweep(h)
+		fallback.Render(os.Stdout)
+		emit("ablations", map[string]interface{}{
+			"determinism": determinism,
+			"switchEdges": switchEdges,
+			"targetNoise": targetNoise,
+			"fallback":    fallback,
+		})
 		fmt.Println()
 		ran++
 	}
 	if all || want["faults"] {
 		fmt.Println("== Degraded serving (fault-injected inference) ==")
-		experiments.AblationFaultSweep(h).Render(os.Stdout)
+		res := experiments.AblationFaultSweep(h)
+		res.Render(os.Stdout)
+		emit("faults", res)
 		fmt.Println()
 		ran++
 	}

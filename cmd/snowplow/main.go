@@ -18,6 +18,7 @@ import (
 	"github.com/repro/snowplow/internal/faultinject"
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/nn"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/qgraph"
@@ -41,7 +42,9 @@ func main() {
 		budget    = flag.Int64("budget", 2_000_000, "simulated execution budget (blocks)")
 		seed      = flag.Uint64("seed", 1, "campaign seed")
 		seeds     = flag.Int("seeds", 20, "number of generated seed programs")
-		workers   = flag.Int("workers", 4, "inference worker goroutines")
+		workers   = flag.Int("workers", 4, "inference worker goroutines (also sizes the MatMul worker pool)")
+		batch     = flag.Int("batch", 1, "inference micro-batch limit (1 = no batching)")
+		cache     = flag.Int("cache", 1024, "graph-encoding LRU cache capacity (0 = disabled)")
 		fallback  = flag.Float64("fallback", 0.1, "random-localization fallback probability")
 		sf        serveFlags
 	)
@@ -52,13 +55,16 @@ func main() {
 	flag.Float64Var(&sf.degraded, "degraded-fallback", 0,
 		"fallback probability while serving is unhealthy (0 = default 0.9)")
 	flag.Parse()
-	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *fallback, sf); err != nil {
+	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers int, fallback float64, sf serveFlags) error {
+func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, sf serveFlags) error {
+	// Size the MatMul worker pool alongside the inference pool; results are
+	// bit-identical for any worker count.
+	nn.SetWorkers(workers)
 	k, err := kernel.Build(version)
 	if err != nil {
 		return err
@@ -94,6 +100,7 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		}
 		opts := serve.Options{
 			Workers:    workers,
+			BatchSize:  batch,
 			Deadline:   sf.deadline,
 			MaxRetries: sf.retries,
 		}
@@ -101,7 +108,11 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 			opts.Fault = fault
 			fmt.Printf("fault model: %s\n", fault)
 		}
-		srv := serve.NewServerOpts(m, qgraph.NewBuilder(k, an), opts)
+		builder := qgraph.NewBuilder(k, an)
+		if cache > 0 {
+			builder.WithCache(cache)
+		}
+		srv := serve.NewServerOpts(m, builder, opts)
 		defer srv.Close()
 		cfg.Server = srv
 	default:
@@ -137,6 +148,8 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		ss := cfg.Server.Stats()
 		fmt.Printf("serving: %d ok / %d failed of %d queries, %d retries, %d timeouts, error rate %.2f, healthy %v\n",
 			ss.Succeeded, ss.Failed, ss.Queries, ss.Retries, ss.Timeouts, ss.ErrorRate, ss.Healthy)
+		fmt.Printf("batching: %d passes, %d batched queries, avg batch %.2f; graph cache: %d hits, %d misses\n",
+			ss.Batches, ss.BatchedQueries, ss.AvgBatchSize, ss.CacheHits, ss.CacheMisses)
 		if ss.InjDropped+ss.InjTransient+ss.InjLatency+ss.InjCorrupt > 0 {
 			fmt.Printf("injected: %d dropped, %d transient, %d latency, %d corrupt\n",
 				ss.InjDropped, ss.InjTransient, ss.InjLatency, ss.InjCorrupt)

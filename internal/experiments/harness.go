@@ -47,6 +47,12 @@ type Options struct {
 	Repeats int
 	// Workers sizes the inference pool.
 	Workers int
+	// BatchSize is the serving micro-batch limit (see serve.Options);
+	// 0 leaves batching off.
+	BatchSize int
+	// GraphCache sizes the builder's graph-encoding LRU cache on servers
+	// the harness creates; 0 disables it.
+	GraphCache int
 	// FaultModel, when non-nil, is the fault shape (at rate 1.0) swept by
 	// the degraded-serving ablation; nil uses the default shape.
 	FaultModel *faultinject.Model
@@ -247,7 +253,14 @@ func (h *Harness) ServerOpts(version string, opts serve.Options) *serve.Server {
 	if opts.Workers == 0 {
 		opts.Workers = h.Opts.Workers
 	}
-	return serve.NewServerOpts(m, qgraph.NewBuilder(k, an), opts)
+	if opts.BatchSize == 0 {
+		opts.BatchSize = h.Opts.BatchSize
+	}
+	builder := qgraph.NewBuilder(k, an)
+	if h.Opts.GraphCache > 0 {
+		builder.WithCache(h.Opts.GraphCache)
+	}
+	return serve.NewServerOpts(m, builder, opts)
 }
 
 func last(xs []float64) float64 {

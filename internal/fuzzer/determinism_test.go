@@ -1,0 +1,66 @@
+package fuzzer
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/repro/snowplow/internal/nn"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/serve"
+)
+
+// snowplowCampaign runs one synchronous-inference Snowplow campaign with
+// the given performance knobs and returns its stats. SyncInference pins the
+// query schedule to simulated time, so the outcome depends only on the
+// seed — never on host speed, worker counts, or batching.
+func snowplowCampaign(t *testing.T, seed uint64, nnWorkers, serveWorkers, batch int) *Stats {
+	t.Helper()
+	prev := nn.Workers()
+	nn.SetWorkers(nnWorkers)
+	defer nn.SetWorkers(prev)
+	m := pmm.NewModel(rng.New(77), pmm.DefaultConfig(), pmm.BuildVocab(testKernel))
+	srv := serve.NewServerOpts(m, qgraph.NewBuilder(testKernel, testAn).WithCache(256), serve.Options{
+		Workers:   serveWorkers,
+		BatchSize: batch,
+	})
+	defer srv.Close()
+	cfg := baselineConfig(seed, 200_000)
+	cfg.Mode = ModeSnowplow
+	cfg.Server = srv
+	cfg.SyncInference = true
+	stats, err := New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestCampaignDeterminismAcrossPerfKnobs is the PR's end-to-end determinism
+// guarantee: the entire campaign outcome — coverage series, executions,
+// crashes, PMM accounting — must be identical whether inference runs
+// serial/unbatched or with a multi-worker MatMul pool, multiple serving
+// workers, and micro-batching. Performance knobs change speed, not results.
+func TestCampaignDeterminismAcrossPerfKnobs(t *testing.T) {
+	base := snowplowCampaign(t, 55, 1, 1, 1)
+	tuned := snowplowCampaign(t, 55, 4, 2, 8)
+	if base.FinalEdges == 0 || base.PMMQueries == 0 {
+		t.Fatal("baseline campaign did no PMM-guided work")
+	}
+	if !reflect.DeepEqual(base, tuned) {
+		t.Fatalf("campaign diverged across performance knobs:\nworkers=1/batch=1: edges=%d execs=%d queries=%d preds=%d cacheHits=%d\nworkers=4/batch=8: edges=%d execs=%d queries=%d preds=%d cacheHits=%d",
+			base.FinalEdges, base.Executions, base.PMMQueries, base.PMMPredictions, base.PMMCacheHits,
+			tuned.FinalEdges, tuned.Executions, tuned.PMMQueries, tuned.PMMPredictions, tuned.PMMCacheHits)
+	}
+}
+
+// TestCampaignDeterminismRepeatSameKnobs pins the weaker but also necessary
+// property: the tuned configuration reproduces itself run to run.
+func TestCampaignDeterminismRepeatSameKnobs(t *testing.T) {
+	a := snowplowCampaign(t, 56, 4, 2, 8)
+	b := snowplowCampaign(t, 56, 4, 2, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("tuned campaign not reproducible run to run")
+	}
+}

@@ -127,6 +127,10 @@ type Stats struct {
 	// PMMInvalidSlots counts predicted slots rejected as out of range
 	// (corrupt or stale predictions must never crash the mutator).
 	PMMInvalidSlots int64
+	// PMMCacheHits/PMMCacheMisses mirror the serving builder's
+	// graph-encoding cache counters at campaign end (zero without a cache).
+	PMMCacheHits   int64
+	PMMCacheMisses int64
 	// DegradedSteps counts mutation rounds taken while the server was
 	// unhealthy.
 	DegradedSteps int64
@@ -235,6 +239,11 @@ func (f *Fuzzer) Run() (*Stats, error) {
 	f.drainPending()
 	f.stats.CorpusSize = f.corp.Len()
 	f.stats.FinalEdges = f.corp.TotalEdges()
+	if f.cfg.Server != nil {
+		ss := f.cfg.Server.Stats()
+		f.stats.PMMCacheHits = ss.CacheHits
+		f.stats.PMMCacheMisses = ss.CacheMisses
+	}
 	if len(f.stats.Series) == 0 || f.stats.Series[len(f.stats.Series)-1].Cost < f.cost {
 		f.stats.Series = append(f.stats.Series, Point{Cost: f.cost, Edges: f.corp.TotalEdges()})
 	}

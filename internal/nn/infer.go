@@ -1,0 +1,319 @@
+package nn
+
+// Ops abstracts the forward-only tensor operations a model needs, with two
+// implementations:
+//
+//   - TrainOps delegates to the package-level autodiff ops: outputs are
+//     heap-allocated and carry the backward tape when inputs require grad.
+//   - Infer allocates outputs from a Pool and tracks them in an arena, so a
+//     whole forward pass is recycled with one Close call and steady-state
+//     inference is allocation-free.
+//
+// Both run the same forward kernels (kernels.go), so a frozen model
+// produces bit-identical outputs through either implementation — the
+// golden-determinism guarantee the serving and replay layers rely on.
+type Ops interface {
+	MatMul(a, b *Tensor) *Tensor
+	Add(a, b *Tensor) *Tensor
+	AddRowVector(a, v *Tensor) *Tensor
+	Mul(a, b *Tensor) *Tensor
+	Scale(a *Tensor, c float64) *Tensor
+	ReLU(a *Tensor) *Tensor
+	SoftmaxRows(a *Tensor) *Tensor
+	Transpose(a *Tensor) *Tensor
+	MeanRows(a *Tensor) *Tensor
+	Gather(table *Tensor, indices []int) *Tensor
+	ScatterMean(src *Tensor, dst []int, dstRows int) *Tensor
+	Concat(ts ...*Tensor) *Tensor
+	ConcatRows(ts []*Tensor) *Tensor
+	RepeatEachRow(v *Tensor, times int) *Tensor
+	TileRows(v *Tensor, times int) *Tensor
+	MaxPerGroup(a *Tensor, groups, per int) *Tensor
+	LayerNorm(x, gamma, beta *Tensor, eps float64) *Tensor
+	// Zeros returns a zero tensor outside differentiation.
+	Zeros(shape ...int) *Tensor
+	// Recycle declares tensors dead mid-pass so Infer can reuse their
+	// memory before Close; a no-op for TrainOps (the tape may need them).
+	Recycle(ts ...*Tensor)
+}
+
+// TrainOps implements Ops with the package-level autodiff operations.
+type TrainOps struct{}
+
+// MatMul implements Ops.
+func (TrainOps) MatMul(a, b *Tensor) *Tensor { return MatMul(a, b) }
+
+// Add implements Ops.
+func (TrainOps) Add(a, b *Tensor) *Tensor { return Add(a, b) }
+
+// AddRowVector implements Ops.
+func (TrainOps) AddRowVector(a, v *Tensor) *Tensor { return AddRowVector(a, v) }
+
+// Mul implements Ops.
+func (TrainOps) Mul(a, b *Tensor) *Tensor { return Mul(a, b) }
+
+// Scale implements Ops.
+func (TrainOps) Scale(a *Tensor, c float64) *Tensor { return Scale(a, c) }
+
+// ReLU implements Ops.
+func (TrainOps) ReLU(a *Tensor) *Tensor { return ReLU(a) }
+
+// SoftmaxRows implements Ops.
+func (TrainOps) SoftmaxRows(a *Tensor) *Tensor { return SoftmaxRows(a) }
+
+// Transpose implements Ops.
+func (TrainOps) Transpose(a *Tensor) *Tensor { return Transpose(a) }
+
+// MeanRows implements Ops.
+func (TrainOps) MeanRows(a *Tensor) *Tensor { return MeanRows(a) }
+
+// Gather implements Ops.
+func (TrainOps) Gather(table *Tensor, indices []int) *Tensor { return Gather(table, indices) }
+
+// ScatterMean implements Ops.
+func (TrainOps) ScatterMean(src *Tensor, dst []int, dstRows int) *Tensor {
+	return ScatterMean(src, dst, dstRows)
+}
+
+// Concat implements Ops.
+func (TrainOps) Concat(ts ...*Tensor) *Tensor { return Concat(ts...) }
+
+// ConcatRows implements Ops.
+func (TrainOps) ConcatRows(ts []*Tensor) *Tensor { return ConcatRows(ts) }
+
+// RepeatEachRow implements Ops.
+func (TrainOps) RepeatEachRow(v *Tensor, times int) *Tensor { return RepeatEachRow(v, times) }
+
+// TileRows implements Ops.
+func (TrainOps) TileRows(v *Tensor, times int) *Tensor { return TileRows(v, times) }
+
+// MaxPerGroup implements Ops.
+func (TrainOps) MaxPerGroup(a *Tensor, groups, per int) *Tensor { return MaxPerGroup(a, groups, per) }
+
+// LayerNorm implements Ops via the autodiff layer-norm (layers.go).
+func (TrainOps) LayerNorm(x, gamma, beta *Tensor, eps float64) *Tensor {
+	return layerNormTrain(x, gamma, beta, eps)
+}
+
+// Zeros implements Ops.
+func (TrainOps) Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Recycle implements Ops as a no-op: the tape may still reference the data.
+func (TrainOps) Recycle(ts ...*Tensor) {}
+
+// Infer is a pooled, arena-tracked Ops implementation for inference on
+// frozen models. Every output tensor is borrowed from the pool and
+// registered in the arena; Close releases everything still registered.
+// An Infer is owned by one goroutine; distinct Infers may share a Pool.
+type Infer struct {
+	pool     *Pool
+	borrowed []*Tensor
+}
+
+// NewInfer creates an inference context over the pool.
+func NewInfer(p *Pool) *Infer {
+	return &Infer{pool: p}
+}
+
+// alloc borrows a zeroed tensor and registers it in the arena.
+func (in *Infer) alloc(shape ...int) *Tensor {
+	t := in.pool.Borrow(shape...)
+	t.arenaIdx = len(in.borrowed)
+	in.borrowed = append(in.borrowed, t)
+	return t
+}
+
+// Recycle implements Ops: it releases arena tensors back to the pool
+// immediately, letting long forward passes reuse memory before Close.
+// Tensors not allocated by this Infer (parameters, inputs) are ignored.
+func (in *Infer) Recycle(ts ...*Tensor) {
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		if i := t.arenaIdx; i < len(in.borrowed) && in.borrowed[i] == t {
+			in.borrowed[i] = nil
+			in.pool.Release(t)
+		}
+	}
+}
+
+// Keep detaches t from the arena so it survives Close. Its memory is ceded
+// to the caller and never returns to the pool.
+func (in *Infer) Keep(t *Tensor) *Tensor {
+	if i := t.arenaIdx; i < len(in.borrowed) && in.borrowed[i] == t {
+		in.borrowed[i] = nil
+	}
+	return t
+}
+
+// Close releases every tensor still registered in the arena. The Infer can
+// be reused for another pass afterwards.
+func (in *Infer) Close() {
+	for _, t := range in.borrowed {
+		if t != nil {
+			in.pool.Release(t)
+		}
+	}
+	in.borrowed = in.borrowed[:0]
+}
+
+// MatMul implements Ops.
+func (in *Infer) MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	out := in.alloc(m, n)
+	matmulForward(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// Add implements Ops.
+func (in *Infer) Add(a, b *Tensor) *Tensor {
+	checkSameShape("Add", a, b)
+	out := in.alloc(a.Shape...)
+	addForward(out.Data, a.Data, b.Data)
+	return out
+}
+
+// AddRowVector implements Ops.
+func (in *Infer) AddRowVector(a, v *Tensor) *Tensor {
+	m, n := checkRowVector(a, v)
+	out := in.alloc(a.Shape...)
+	addRowVectorForward(out.Data, a.Data, v.Data, m, n)
+	return out
+}
+
+// Mul implements Ops.
+func (in *Infer) Mul(a, b *Tensor) *Tensor {
+	checkSameShape("Mul", a, b)
+	out := in.alloc(a.Shape...)
+	mulForward(out.Data, a.Data, b.Data)
+	return out
+}
+
+// Scale implements Ops.
+func (in *Infer) Scale(a *Tensor, c float64) *Tensor {
+	out := in.alloc(a.Shape...)
+	scaleForward(out.Data, a.Data, c)
+	return out
+}
+
+// ReLU implements Ops.
+func (in *Infer) ReLU(a *Tensor) *Tensor {
+	out := in.alloc(a.Shape...)
+	reluForward(out.Data, a.Data)
+	return out
+}
+
+// SoftmaxRows implements Ops.
+func (in *Infer) SoftmaxRows(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: SoftmaxRows requires a 2D tensor")
+	}
+	out := in.alloc(a.Shape...)
+	softmaxRowsForward(out.Data, a.Data, a.Shape[0], a.Shape[1])
+	return out
+}
+
+// Transpose implements Ops.
+func (in *Infer) Transpose(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: Transpose requires a 2D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := in.alloc(n, m)
+	transposeForward(out.Data, a.Data, m, n)
+	return out
+}
+
+// MeanRows implements Ops.
+func (in *Infer) MeanRows(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: MeanRows requires a 2D tensor")
+	}
+	out := in.alloc(1, a.Shape[1])
+	meanRowsForward(out.Data, a.Data, a.Shape[0], a.Shape[1])
+	return out
+}
+
+// Gather implements Ops.
+func (in *Infer) Gather(table *Tensor, indices []int) *Tensor {
+	if len(table.Shape) != 2 {
+		panic("nn: Gather requires a 2D table")
+	}
+	cols := table.Shape[1]
+	out := in.alloc(len(indices), cols)
+	gatherForward(out.Data, table.Data, indices, table.Shape[0], cols)
+	return out
+}
+
+// ScatterMean implements Ops.
+func (in *Infer) ScatterMean(src *Tensor, dst []int, dstRows int) *Tensor {
+	if len(src.Shape) != 2 || len(dst) != src.Shape[0] {
+		panic("nn: ScatterMean shape mismatch")
+	}
+	cols := src.Shape[1]
+	out := in.alloc(dstRows, cols)
+	counts := in.pool.GetSlice(dstRows)
+	scatterMeanForward(out.Data, counts, src.Data, dst, cols)
+	in.pool.PutSlice(counts)
+	return out
+}
+
+// Concat implements Ops.
+func (in *Infer) Concat(ts ...*Tensor) *Tensor {
+	rows, cols := checkConcat(ts)
+	out := in.alloc(rows, cols)
+	concatForward(out.Data, ts, rows, cols)
+	return out
+}
+
+// ConcatRows implements Ops.
+func (in *Infer) ConcatRows(ts []*Tensor) *Tensor {
+	rows, cols := checkConcatRows(ts)
+	out := in.alloc(rows, cols)
+	concatRowsForward(out.Data, ts)
+	return out
+}
+
+// RepeatEachRow implements Ops.
+func (in *Infer) RepeatEachRow(v *Tensor, times int) *Tensor {
+	if len(v.Shape) != 2 {
+		panic("nn: RepeatEachRow requires a 2D tensor")
+	}
+	m, n := v.Shape[0], v.Shape[1]
+	out := in.alloc(m*times, n)
+	repeatEachRowForward(out.Data, v.Data, m, n, times)
+	return out
+}
+
+// TileRows implements Ops.
+func (in *Infer) TileRows(v *Tensor, times int) *Tensor {
+	if len(v.Shape) != 2 {
+		panic("nn: TileRows requires a 2D tensor")
+	}
+	m, n := v.Shape[0], v.Shape[1]
+	out := in.alloc(m*times, n)
+	tileRowsForward(out.Data, v.Data, m, n, times)
+	return out
+}
+
+// MaxPerGroup implements Ops.
+func (in *Infer) MaxPerGroup(a *Tensor, groups, per int) *Tensor {
+	checkMaxPerGroup(a, groups, per)
+	out := in.alloc(groups, 1)
+	maxPerGroupForward(out.Data, nil, a.Data, groups, per)
+	return out
+}
+
+// LayerNorm implements Ops.
+func (in *Infer) LayerNorm(x, gamma, beta *Tensor, eps float64) *Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != gamma.Shape[1] {
+		panic("nn: LayerNorm dim mismatch")
+	}
+	out := in.alloc(x.Shape...)
+	layerNormForward(out.Data, x.Data, gamma.Data, beta.Data, x.Shape[0], x.Shape[1], eps, nil, nil)
+	return out
+}
+
+// Zeros implements Ops.
+func (in *Infer) Zeros(shape ...int) *Tensor { return in.alloc(shape...) }

@@ -1,0 +1,269 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forward kernels over raw slices, shared verbatim by the training ops
+// (ops.go, layers.go) and the pooled inference ops (infer.go). One
+// implementation per operation is what keeps the two paths bit-identical:
+// the only difference between training and inference is where the output
+// memory comes from and whether a backward closure is attached.
+
+func addForward(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+func mulForward(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+func scaleForward(dst, a []float64, c float64) {
+	for i := range dst {
+		dst[i] = a[i] * c
+	}
+}
+
+func reluForward(dst, a []float64) {
+	for i, v := range a {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+func addRowVectorForward(dst, a, v []float64, m, n int) {
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		drow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			drow[j] = row[j] + v[j]
+		}
+	}
+}
+
+func softmaxRowsForward(dst, a []float64, m, n int) {
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		orow := dst[i*n : (i+1)*n]
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+}
+
+// transposeForward writes the transpose of the m×n src into the n×m dst.
+func transposeForward(dst, src []float64, m, n int) {
+	for i := 0; i < m; i++ {
+		row := src[i*n : (i+1)*n]
+		for j, v := range row {
+			dst[j*m+i] = v
+		}
+	}
+}
+
+func meanRowsForward(dst, a []float64, m, n int) {
+	if m == 0 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+	inv := 1 / float64(m)
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+func gatherForward(dst, table []float64, indices []int, tableRows, cols int) {
+	for i, idx := range indices {
+		if idx < 0 || idx >= tableRows {
+			panic(fmt.Sprintf("nn: Gather index %d out of range [0,%d)", idx, tableRows))
+		}
+		copy(dst[i*cols:(i+1)*cols], table[idx*cols:(idx+1)*cols])
+	}
+}
+
+// scatterMeanForward aggregates src rows into dst buckets and records the
+// per-bucket counts (len(counts) buckets; counts must be zeroed — training
+// keeps it for the backward pass).
+func scatterMeanForward(dst, counts, src []float64, dstIdx []int, cols int) {
+	dstRows := len(counts)
+	for i, d := range dstIdx {
+		if d < 0 || d >= dstRows {
+			panic(fmt.Sprintf("nn: ScatterMean destination %d out of range [0,%d)", d, dstRows))
+		}
+		counts[d]++
+		srow := src[i*cols : (i+1)*cols]
+		orow := dst[d*cols : (d+1)*cols]
+		for j := range srow {
+			orow[j] += srow[j]
+		}
+	}
+	for d := 0; d < dstRows; d++ {
+		if counts[d] > 1 {
+			orow := dst[d*cols : (d+1)*cols]
+			inv := 1 / counts[d]
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+	}
+}
+
+func concatForward(dst []float64, ts []*Tensor, rows, cols int) {
+	off := 0
+	for _, t := range ts {
+		c := t.Shape[1]
+		for i := 0; i < rows; i++ {
+			copy(dst[i*cols+off:i*cols+off+c], t.Data[i*c:(i+1)*c])
+		}
+		off += c
+	}
+}
+
+func concatRowsForward(dst []float64, ts []*Tensor) {
+	off := 0
+	for _, t := range ts {
+		copy(dst[off:off+len(t.Data)], t.Data)
+		off += len(t.Data)
+	}
+}
+
+func repeatEachRowForward(dst, src []float64, m, n, times int) {
+	for i := 0; i < m; i++ {
+		row := src[i*n : (i+1)*n]
+		for r := 0; r < times; r++ {
+			copy(dst[(i*times+r)*n:(i*times+r+1)*n], row)
+		}
+	}
+}
+
+func tileRowsForward(dst, src []float64, m, n, times int) {
+	for r := 0; r < times; r++ {
+		copy(dst[r*m*n:(r+1)*m*n], src)
+	}
+}
+
+// maxPerGroupForward reduces groups of `per` consecutive values to their
+// maximum; argmax (len groups) records the winning indices when non-nil.
+func maxPerGroupForward(dst []float64, argmax []int, a []float64, groups, per int) {
+	for g := 0; g < groups; g++ {
+		best := g * per
+		for i := g*per + 1; i < (g+1)*per; i++ {
+			if a[i] > a[best] {
+				best = i
+			}
+		}
+		if argmax != nil {
+			argmax[g] = best
+		}
+		dst[g] = a[best]
+	}
+}
+
+// layerNormForward normalizes each row of the m×n x and applies the learned
+// affine (gamma, beta). means and invStds (len m) record the per-row
+// statistics when non-nil — training keeps them for the backward pass.
+func layerNormForward(dst, x, gamma, beta []float64, m, n int, eps float64, means, invStds []float64) {
+	for i := 0; i < m; i++ {
+		row := x[i*n : (i+1)*n]
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(n)
+		var variance float64
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(n)
+		invStd := 1 / math.Sqrt(variance+eps)
+		if means != nil {
+			means[i], invStds[i] = mean, invStd
+		}
+		for j, v := range row {
+			dst[i*n+j] = (v-mean)*invStd*gamma[j] + beta[j]
+		}
+	}
+}
+
+// Shape checks shared by the training and inference front ends.
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("nn: MatMul shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+func checkSameShape(op string, a, b *Tensor) {
+	if !sameShape(a, b) {
+		panic(fmt.Sprintf("nn: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}
+
+func checkRowVector(a, v *Tensor) (m, n int) {
+	n = a.Shape[len(a.Shape)-1]
+	if len(a.Shape) != 2 || v.Size() != n {
+		panic(fmt.Sprintf("nn: AddRowVector shape mismatch %v + %v", a.Shape, v.Shape))
+	}
+	return a.Shape[0], n
+}
+
+func checkConcat(ts []*Tensor) (rows, cols int) {
+	if len(ts) == 0 {
+		panic("nn: Concat of nothing")
+	}
+	rows = ts[0].Shape[0]
+	for _, t := range ts {
+		if len(t.Shape) != 2 || t.Shape[0] != rows {
+			panic("nn: Concat requires 2D tensors with equal row counts")
+		}
+		cols += t.Shape[1]
+	}
+	return rows, cols
+}
+
+func checkConcatRows(ts []*Tensor) (rows, cols int) {
+	if len(ts) == 0 {
+		panic("nn: ConcatRows of nothing")
+	}
+	cols = ts[0].Shape[1]
+	for _, t := range ts {
+		if len(t.Shape) != 2 || t.Shape[1] != cols {
+			panic("nn: ConcatRows requires 2D tensors with equal column counts")
+		}
+		rows += t.Shape[0]
+	}
+	return rows, cols
+}
+
+func checkMaxPerGroup(a *Tensor, groups, per int) {
+	if len(a.Shape) != 2 || a.Shape[1] != 1 || a.Shape[0] != groups*per {
+		panic(fmt.Sprintf("nn: MaxPerGroup shape %v incompatible with %d groups of %d", a.Shape, groups, per))
+	}
+}

@@ -31,7 +31,15 @@ func NewLinear(r *rng.Rand, in, out int) *Linear {
 
 // Forward applies the layer to x of shape (m, in).
 func (l *Linear) Forward(x *Tensor) *Tensor {
-	return AddRowVector(MatMul(x, l.W), l.B)
+	return l.ForwardOps(TrainOps{}, x)
+}
+
+// ForwardOps applies the layer through the given op set.
+func (l *Linear) ForwardOps(ops Ops, x *Tensor) *Tensor {
+	xw := ops.MatMul(x, l.W)
+	out := ops.AddRowVector(xw, l.B)
+	ops.Recycle(xw)
+	return out
 }
 
 // Params implements Layer.
@@ -53,6 +61,9 @@ func NewEmbedding(r *rng.Rand, vocab, dim int) *Embedding {
 
 // Forward looks up one row per id.
 func (e *Embedding) Forward(ids []int) *Tensor { return Gather(e.Table, ids) }
+
+// ForwardOps looks up one row per id through the given op set.
+func (e *Embedding) ForwardOps(ops Ops, ids []int) *Tensor { return ops.Gather(e.Table, ids) }
 
 // Params implements Layer.
 func (e *Embedding) Params() []*Tensor { return []*Tensor{e.Table} }
@@ -76,43 +87,35 @@ func NewLayerNorm(dim int) *LayerNorm {
 
 // Forward normalizes x of shape (m, dim) row-wise.
 func (ln *LayerNorm) Forward(x *Tensor) *Tensor {
+	return ln.ForwardOps(TrainOps{}, x)
+}
+
+// ForwardOps normalizes x through the given op set.
+func (ln *LayerNorm) ForwardOps(ops Ops, x *Tensor) *Tensor {
 	if len(x.Shape) != 2 || x.Shape[1] != ln.Gamma.Shape[1] {
 		panic(fmt.Sprintf("nn: LayerNorm dim mismatch %v vs %v", x.Shape, ln.Gamma.Shape))
 	}
+	return ops.LayerNorm(x, ln.Gamma, ln.Beta, ln.eps)
+}
+
+// layerNormTrain is the autodiff layer-norm op behind TrainOps.LayerNorm.
+func layerNormTrain(x, gamma, beta *Tensor, eps float64) *Tensor {
 	m, n := x.Shape[0], x.Shape[1]
-	out := newResult(x.Shape, x, ln.Gamma, ln.Beta)
+	out := newResult(x.Shape, x, gamma, beta)
 	means := make([]float64, m)
 	invStds := make([]float64, m)
-	for i := 0; i < m; i++ {
-		row := x.Data[i*n : (i+1)*n]
-		var mean float64
-		for _, v := range row {
-			mean += v
-		}
-		mean /= float64(n)
-		var variance float64
-		for _, v := range row {
-			d := v - mean
-			variance += d * d
-		}
-		variance /= float64(n)
-		invStd := 1 / math.Sqrt(variance+ln.eps)
-		means[i], invStds[i] = mean, invStd
-		for j, v := range row {
-			out.Data[i*n+j] = (v-mean)*invStd*ln.Gamma.Data[j] + ln.Beta.Data[j]
-		}
-	}
+	layerNormForward(out.Data, x.Data, gamma.Data, beta.Data, m, n, eps, means, invStds)
 	if out.requiresGrad {
 		out.backward = func() {
 			for i := 0; i < m; i++ {
 				row := x.Data[i*n : (i+1)*n]
 				grow := out.Grad[i*n : (i+1)*n]
 				mean, invStd := means[i], invStds[i]
-				if ln.Gamma.requiresGrad {
+				if gamma.requiresGrad {
 					for j := 0; j < n; j++ {
 						xhat := (row[j] - mean) * invStd
-						ln.Gamma.Grad[j] += grow[j] * xhat
-						ln.Beta.Grad[j] += grow[j]
+						gamma.Grad[j] += grow[j] * xhat
+						beta.Grad[j] += grow[j]
 					}
 				}
 				if x.requiresGrad {
@@ -120,7 +123,7 @@ func (ln *LayerNorm) Forward(x *Tensor) *Tensor {
 					var sumG, sumGX float64
 					gh := make([]float64, n)
 					for j := 0; j < n; j++ {
-						gh[j] = grow[j] * ln.Gamma.Data[j]
+						gh[j] = grow[j] * gamma.Data[j]
 						xhat := (row[j] - mean) * invStd
 						sumG += gh[j]
 						sumGX += gh[j] * xhat
@@ -164,13 +167,27 @@ func NewSelfAttention(r *rng.Rand, dim int) *SelfAttention {
 // Forward applies attention across the rows of x (sequence length m,
 // features dim) and returns a tensor of the same shape.
 func (sa *SelfAttention) Forward(x *Tensor) *Tensor {
-	q := sa.Q.Forward(x)
-	k := sa.K.Forward(x)
-	v := sa.V.Forward(x)
-	scores := Scale(MatMul(q, Transpose(k)), 1/math.Sqrt(float64(sa.dim)))
-	attn := SoftmaxRows(scores)
-	ctx := MatMul(attn, v)
-	return sa.Norm.Forward(Add(x, sa.Out.Forward(ctx)))
+	return sa.ForwardOps(TrainOps{}, x)
+}
+
+// ForwardOps applies attention through the given op set. Under an Infer op
+// set the q/k/kᵀ/score intermediates — fresh allocations per call on the
+// old training-only path — are recycled into the pool as soon as they are
+// dead, so repeated attention passes reuse the same scratch memory.
+func (sa *SelfAttention) ForwardOps(ops Ops, x *Tensor) *Tensor {
+	q := sa.Q.ForwardOps(ops, x)
+	k := sa.K.ForwardOps(ops, x)
+	v := sa.V.ForwardOps(ops, x)
+	kt := ops.Transpose(k)
+	qk := ops.MatMul(q, kt)
+	scores := ops.Scale(qk, 1/math.Sqrt(float64(sa.dim)))
+	attn := ops.SoftmaxRows(scores)
+	ctx := ops.MatMul(attn, v)
+	proj := sa.Out.ForwardOps(ops, ctx)
+	sum := ops.Add(x, proj)
+	out := sa.Norm.ForwardOps(ops, sum)
+	ops.Recycle(q, k, v, kt, qk, scores, attn, ctx, proj, sum)
+	return out
 }
 
 // Params implements Layer.
@@ -189,11 +206,7 @@ func Transpose(a *Tensor) *Tensor {
 	}
 	m, n := a.Shape[0], a.Shape[1]
 	out := newResult([]int{n, m}, a)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = a.Data[i*n+j]
-		}
-	}
+	transposeForward(out.Data, a.Data, m, n)
 	if out.requiresGrad {
 		out.backward = func() {
 			for i := 0; i < m; i++ {
@@ -226,13 +239,26 @@ func NewMLP(r *rng.Rand, widths ...int) *MLP {
 
 // Forward applies the stack to x.
 func (m *MLP) Forward(x *Tensor) *Tensor {
+	return m.ForwardOps(TrainOps{}, x)
+}
+
+// ForwardOps applies the stack through the given op set. The input x is
+// never recycled; every intermediate is.
+func (m *MLP) ForwardOps(ops Ops, x *Tensor) *Tensor {
+	cur := x
 	for i, l := range m.Layers {
-		x = l.Forward(x)
+		next := l.ForwardOps(ops, cur)
+		if cur != x {
+			ops.Recycle(cur)
+		}
+		cur = next
 		if i+1 < len(m.Layers) {
-			x = ReLU(x)
+			next = ops.ReLU(cur)
+			ops.Recycle(cur)
+			cur = next
 		}
 	}
-	return x
+	return cur
 }
 
 // Params implements Layer.

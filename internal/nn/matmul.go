@@ -1,0 +1,112 @@
+package nn
+
+// This file is the MatMul forward kernel shared by the training and
+// inference paths: a cache-aware blocked multiply over a transposed copy of
+// B, vectorized with AVX where available and parallelized across output-row
+// blocks by the package worker pool (parallel.go).
+//
+// Determinism contract: every output element out[i,j] is the dot product
+// a[i,:]·b[:,j] evaluated with a fixed summation order — four interleaved
+// lanes reduced as (l0+l1)+(l2+l3), then an ascending scalar tail for the
+// k%4 remainder. The assembly kernel (dot24avx) and the scalar mirror
+// (dotScalar) implement exactly this order, and each element is written by
+// exactly one worker, so results are bit-identical regardless of CPU
+// features, worker count, or how rows are partitioned.
+
+// matmulParallelMin is the minimum multiply-add count before matmulForward
+// fans out to the worker pool; below it the dispatch overhead dominates.
+const matmulParallelMin = 16 * 1024
+
+// matmulForward computes out = a×b for row-major a (m×k), b (k×n) into the
+// zeroed out (m×n). It is the only MatMul forward implementation; MatMul,
+// Infer.MatMul and the benchmarks all funnel through it.
+func matmulForward(out, a, b []float64, m, k, n int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		clear(out[:m*n])
+		return
+	}
+	// Transposed copy of B: the inner loops then run down contiguous
+	// columns, which is what both the AVX kernel and the cache want.
+	bt := scratch.GetSliceRaw(k * n)
+	transposeForward(bt, b, k, n)
+	if m*k*n >= matmulParallelMin {
+		parallelRows(m, 2, func(lo, hi int) {
+			matmulRows(out, a, bt, lo, hi, k, n)
+		})
+	} else {
+		matmulRows(out, a, bt, 0, m, k, n)
+	}
+	scratch.PutSlice(bt)
+}
+
+// matmulRows computes output rows [lo, hi) against the transposed bt
+// (n×k). Rows are processed in pairs of 2 and columns in blocks of 4 (the
+// register blocking of dot24avx); edge rows and columns fall back to
+// dotScalar, which produces bit-identical values.
+func matmulRows(out, a, bt []float64, lo, hi, k, n int) {
+	k4 := k &^ 3
+	i := lo
+	if useAVX && k4 > 0 {
+		var res [8]float64
+		for ; i+1 < hi; i += 2 {
+			a0 := a[i*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			o0 := out[i*n : (i+1)*n]
+			o1 := out[(i+1)*n : (i+2)*n]
+			j := 0
+			for ; j+3 < n; j += 4 {
+				dot24avx(&a0[0], &a1[0],
+					&bt[j*k], &bt[(j+1)*k], &bt[(j+2)*k], &bt[(j+3)*k],
+					k4, &res[0])
+				if k4 < k {
+					// Ascending scalar tail, after the lane reduce —
+					// the same order dotScalar uses.
+					for c := 0; c < 4; c++ {
+						col := bt[(j+c)*k : (j+c+1)*k]
+						s0, s1 := res[c], res[4+c]
+						for p := k4; p < k; p++ {
+							s0 += a0[p] * col[p]
+							s1 += a1[p] * col[p]
+						}
+						res[c], res[4+c] = s0, s1
+					}
+				}
+				o0[j], o0[j+1], o0[j+2], o0[j+3] = res[0], res[1], res[2], res[3]
+				o1[j], o1[j+1], o1[j+2], o1[j+3] = res[4], res[5], res[6], res[7]
+			}
+			for ; j < n; j++ {
+				col := bt[j*k : (j+1)*k]
+				o0[j] = dotScalar(a0, col, k)
+				o1[j] = dotScalar(a1, col, k)
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			orow[j] = dotScalar(arow, bt[j*k:(j+1)*k], k)
+		}
+	}
+}
+
+// dotScalar mirrors dot24avx element for element: four independent lanes
+// over the k&^3 prefix, reduced as (s0+s1)+(s2+s3), then an ascending tail.
+func dotScalar(a, b []float64, k int) float64 {
+	var s0, s1, s2, s3 float64
+	k4 := k &^ 3
+	for p := 0; p < k4; p += 4 {
+		s0 += a[p] * b[p]
+		s1 += a[p+1] * b[p+1]
+		s2 += a[p+2] * b[p+2]
+		s3 += a[p+3] * b[p+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for p := k4; p < k; p++ {
+		s += a[p] * b[p]
+	}
+	return s
+}

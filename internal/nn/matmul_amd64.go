@@ -1,0 +1,13 @@
+package nn
+
+// cpuHasAVX reports AVX + OS YMM-state support (implemented in assembly).
+func cpuHasAVX() bool
+
+// dot24avx computes the eight dot products of rows {a0, a1} against columns
+// {b0..b3} over k4 elements (a multiple of 4), storing them to out[0..7].
+// See matmul_amd64.s for the determinism contract with dotScalar.
+//
+//go:noescape
+func dot24avx(a0, a1, b0, b1, b2, b3 *float64, k4 int, out *float64)
+
+var useAVX = cpuHasAVX()

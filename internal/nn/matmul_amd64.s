@@ -1,0 +1,139 @@
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// Reports whether the CPU supports AVX and the OS has enabled YMM state
+// (OSXSAVE + XCR0 bits 1..2). Checked once at package init.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	// ECX bit 27 = OSXSAVE, bit 28 = AVX.
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  noavx
+	// XCR0 bits 1..2: XMM and YMM state enabled by the OS.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dot24avx(a0, a1, b0, b1, b2, b3 *float64, k4 int, out *float64)
+//
+// Computes the eight dot products of rows {a0, a1} against columns
+// {b0..b3} over k4 elements (k4 must be a multiple of 4) and stores them
+// to out[0..7]: out[c] = a0·bc, out[4+c] = a1·bc.
+//
+// The kernel deliberately uses VMULPD+VADDPD instead of FMA: every partial
+// product is rounded to float64 before accumulation, exactly like the
+// scalar mirror dotScalar in matmul.go. Each accumulator holds four lanes
+// (lane l sums the products at positions p ≡ l mod 4); the reduction is
+// (l0+l1)+(l2+l3). dotScalar reproduces this order, so results are
+// bit-identical across the assembly and fallback paths — that equivalence
+// is what makes MatMul deterministic regardless of worker count or CPU.
+TEXT ·dot24avx(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ b0+16(FP), R10
+	MOVQ b1+24(FP), R11
+	MOVQ b2+32(FP), R12
+	MOVQ b3+40(FP), R13
+	MOVQ k4+48(FP), CX
+	MOVQ out+56(FP), DI
+
+	VXORPD Y0, Y0, Y0 // a0·b0
+	VXORPD Y1, Y1, Y1 // a0·b1
+	VXORPD Y2, Y2, Y2 // a0·b2
+	VXORPD Y3, Y3, Y3 // a0·b3
+	VXORPD Y4, Y4, Y4 // a1·b0
+	VXORPD Y5, Y5, Y5 // a1·b1
+	VXORPD Y6, Y6, Y6 // a1·b2
+	VXORPD Y7, Y7, Y7 // a1·b3
+
+	XORQ BX, BX  // byte offset into all seven arrays
+	SHLQ $3, CX  // k4 elements -> bytes
+
+dotloop:
+	CMPQ BX, CX
+	JGE  reduce
+	VMOVUPD (R8)(BX*1), Y8  // a0[p : p+4]
+	VMOVUPD (R9)(BX*1), Y9  // a1[p : p+4]
+
+	VMOVUPD (R10)(BX*1), Y10
+	VMULPD  Y10, Y8, Y11
+	VADDPD  Y11, Y0, Y0
+	VMULPD  Y10, Y9, Y11
+	VADDPD  Y11, Y4, Y4
+
+	VMOVUPD (R11)(BX*1), Y10
+	VMULPD  Y10, Y8, Y11
+	VADDPD  Y11, Y1, Y1
+	VMULPD  Y10, Y9, Y11
+	VADDPD  Y11, Y5, Y5
+
+	VMOVUPD (R12)(BX*1), Y10
+	VMULPD  Y10, Y8, Y11
+	VADDPD  Y11, Y2, Y2
+	VMULPD  Y10, Y9, Y11
+	VADDPD  Y11, Y6, Y6
+
+	VMOVUPD (R13)(BX*1), Y10
+	VMULPD  Y10, Y8, Y11
+	VADDPD  Y11, Y3, Y3
+	VMULPD  Y10, Y9, Y11
+	VADDPD  Y11, Y7, Y7
+
+	ADDQ $32, BX
+	JMP  dotloop
+
+reduce:
+	// Per accumulator [l0 l1 l2 l3]: VHADDPD gives [l0+l1, ·, l2+l3, ·];
+	// adding the high 128 to the low yields (l0+l1)+(l2+l3).
+	VHADDPD      Y0, Y0, Y0
+	VEXTRACTF128 $1, Y0, X12
+	VADDSD       X12, X0, X0
+	VMOVSD       X0, (DI)
+
+	VHADDPD      Y1, Y1, Y1
+	VEXTRACTF128 $1, Y1, X12
+	VADDSD       X12, X1, X1
+	VMOVSD       X1, 8(DI)
+
+	VHADDPD      Y2, Y2, Y2
+	VEXTRACTF128 $1, Y2, X12
+	VADDSD       X12, X2, X2
+	VMOVSD       X2, 16(DI)
+
+	VHADDPD      Y3, Y3, Y3
+	VEXTRACTF128 $1, Y3, X12
+	VADDSD       X12, X3, X3
+	VMOVSD       X3, 24(DI)
+
+	VHADDPD      Y4, Y4, Y4
+	VEXTRACTF128 $1, Y4, X12
+	VADDSD       X12, X4, X4
+	VMOVSD       X4, 32(DI)
+
+	VHADDPD      Y5, Y5, Y5
+	VEXTRACTF128 $1, Y5, X12
+	VADDSD       X12, X5, X5
+	VMOVSD       X5, 40(DI)
+
+	VHADDPD      Y6, Y6, Y6
+	VEXTRACTF128 $1, Y6, X12
+	VADDSD       X12, X6, X6
+	VMOVSD       X6, 48(DI)
+
+	VHADDPD      Y7, Y7, Y7
+	VEXTRACTF128 $1, Y7, X12
+	VADDSD       X12, X7, X7
+	VMOVSD       X7, 56(DI)
+
+	VZEROUPPER
+	RET

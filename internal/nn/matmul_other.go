@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package nn
+
+const useAVX = false
+
+// dot24avx is never called when useAVX is false.
+func dot24avx(a0, a1, b0, b1, b2, b3 *float64, k4 int, out *float64) {
+	panic("nn: dot24avx without AVX support")
+}

@@ -1,31 +1,14 @@
 package nn
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
-// MatMul returns a × b for 2D tensors of shapes (m,k) and (k,n).
+// MatMul returns a × b for 2D tensors of shapes (m,k) and (k,n). The
+// forward pass runs the blocked, vectorized, worker-pool-parallel kernel in
+// matmul.go; results are bit-identical for any worker count.
 func MatMul(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
-		panic(fmt.Sprintf("nn: MatMul shape mismatch %v × %v", a.Shape, b.Shape))
-	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	m, k, n := checkMatMul(a, b)
 	out := newResult([]int{m, n}, a, b)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	matmulForward(out.Data, a.Data, b.Data, m, k, n)
 	if out.requiresGrad {
 		out.backward = func() {
 			// dA = dOut × Bᵀ ; dB = Aᵀ × dOut
@@ -66,13 +49,9 @@ func MatMul(a, b *Tensor) *Tensor {
 
 // Add returns a + b elementwise. Shapes must match exactly.
 func Add(a, b *Tensor) *Tensor {
-	if !sameShape(a, b) {
-		panic(fmt.Sprintf("nn: Add shape mismatch %v vs %v", a.Shape, b.Shape))
-	}
+	checkSameShape("Add", a, b)
 	out := newResult(a.Shape, a, b)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
+	addForward(out.Data, a.Data, b.Data)
 	if out.requiresGrad {
 		out.backward = func() {
 			if a.requiresGrad {
@@ -93,17 +72,9 @@ func Add(a, b *Tensor) *Tensor {
 // AddRowVector adds a length-n vector v (shape (n) or (1,n)) to every row of
 // a 2D tensor a of shape (m,n). This is the standard bias broadcast.
 func AddRowVector(a, v *Tensor) *Tensor {
-	n := a.Shape[len(a.Shape)-1]
-	if len(a.Shape) != 2 || v.Size() != n {
-		panic(fmt.Sprintf("nn: AddRowVector shape mismatch %v + %v", a.Shape, v.Shape))
-	}
-	m := a.Shape[0]
+	m, n := checkRowVector(a, v)
 	out := newResult(a.Shape, a, v)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[i*n+j] = a.Data[i*n+j] + v.Data[j]
-		}
-	}
+	addRowVectorForward(out.Data, a.Data, v.Data, m, n)
 	if out.requiresGrad {
 		out.backward = func() {
 			if a.requiresGrad {
@@ -130,13 +101,9 @@ func Sub(a, b *Tensor) *Tensor {
 
 // Mul returns a * b elementwise (Hadamard product).
 func Mul(a, b *Tensor) *Tensor {
-	if !sameShape(a, b) {
-		panic(fmt.Sprintf("nn: Mul shape mismatch %v vs %v", a.Shape, b.Shape))
-	}
+	checkSameShape("Mul", a, b)
 	out := newResult(a.Shape, a, b)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
-	}
+	mulForward(out.Data, a.Data, b.Data)
 	if out.requiresGrad {
 		out.backward = func() {
 			if a.requiresGrad {
@@ -157,9 +124,7 @@ func Mul(a, b *Tensor) *Tensor {
 // Scale returns a * c for scalar c.
 func Scale(a *Tensor, c float64) *Tensor {
 	out := newResult(a.Shape, a)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] * c
-	}
+	scaleForward(out.Data, a.Data, c)
 	if out.requiresGrad {
 		out.backward = func() {
 			for i := range out.Grad {
@@ -173,11 +138,7 @@ func Scale(a *Tensor, c float64) *Tensor {
 // ReLU returns max(x, 0) elementwise.
 func ReLU(a *Tensor) *Tensor {
 	out := newResult(a.Shape, a)
-	for i, v := range a.Data {
-		if v > 0 {
-			out.Data[i] = v
-		}
-	}
+	reluForward(out.Data, a.Data)
 	if out.requiresGrad {
 		out.backward = func() {
 			for i := range out.Grad {
@@ -231,25 +192,7 @@ func SoftmaxRows(a *Tensor) *Tensor {
 	}
 	m, n := a.Shape[0], a.Shape[1]
 	out := newResult(a.Shape, a)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*n : (i+1)*n]
-		orow := out.Data[i*n : (i+1)*n]
-		maxv := math.Inf(-1)
-		for _, v := range row {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		for j, v := range row {
-			e := math.Exp(v - maxv)
-			orow[j] = e
-			sum += e
-		}
-		for j := range orow {
-			orow[j] /= sum
-		}
-	}
+	softmaxRowsForward(out.Data, a.Data, m, n)
 	if out.requiresGrad {
 		out.backward = func() {
 			for i := 0; i < m; i++ {
@@ -271,26 +214,9 @@ func SoftmaxRows(a *Tensor) *Tensor {
 // Concat concatenates 2D tensors along dimension 1 (columns). All inputs
 // must have the same number of rows.
 func Concat(ts ...*Tensor) *Tensor {
-	if len(ts) == 0 {
-		panic("nn: Concat of nothing")
-	}
-	rows := ts[0].Shape[0]
-	cols := 0
-	for _, t := range ts {
-		if len(t.Shape) != 2 || t.Shape[0] != rows {
-			panic("nn: Concat requires 2D tensors with equal row counts")
-		}
-		cols += t.Shape[1]
-	}
+	rows, cols := checkConcat(ts)
 	out := newResult([]int{rows, cols}, ts...)
-	off := 0
-	for _, t := range ts {
-		c := t.Shape[1]
-		for i := 0; i < rows; i++ {
-			copy(out.Data[i*cols+off:i*cols+off+c], t.Data[i*c:(i+1)*c])
-		}
-		off += c
-	}
+	concatForward(out.Data, ts, rows, cols)
 	if out.requiresGrad {
 		out.backward = func() {
 			off := 0
@@ -315,23 +241,9 @@ func Concat(ts ...*Tensor) *Tensor {
 // ConcatRows stacks 2D tensors along dimension 0 (rows). All inputs must
 // have the same number of columns.
 func ConcatRows(ts []*Tensor) *Tensor {
-	if len(ts) == 0 {
-		panic("nn: ConcatRows of nothing")
-	}
-	cols := ts[0].Shape[1]
-	rows := 0
-	for _, t := range ts {
-		if len(t.Shape) != 2 || t.Shape[1] != cols {
-			panic("nn: ConcatRows requires 2D tensors with equal column counts")
-		}
-		rows += t.Shape[0]
-	}
+	rows, cols := checkConcatRows(ts)
 	out := newResult([]int{rows, cols}, ts...)
-	off := 0
-	for _, t := range ts {
-		copy(out.Data[off:off+len(t.Data)], t.Data)
-		off += len(t.Data)
-	}
+	concatRowsForward(out.Data, ts)
 	if out.requiresGrad {
 		out.backward = func() {
 			off := 0
@@ -381,12 +293,7 @@ func RepeatEachRow(v *Tensor, times int) *Tensor {
 	}
 	m, n := v.Shape[0], v.Shape[1]
 	out := newResult([]int{m * times, n}, v)
-	for i := 0; i < m; i++ {
-		src := v.Data[i*n : (i+1)*n]
-		for r := 0; r < times; r++ {
-			copy(out.Data[(i*times+r)*n:(i*times+r+1)*n], src)
-		}
-	}
+	repeatEachRowForward(out.Data, v.Data, m, n, times)
 	if out.requiresGrad {
 		out.backward = func() {
 			for i := 0; i < m; i++ {
@@ -411,9 +318,7 @@ func TileRows(v *Tensor, times int) *Tensor {
 	}
 	m, n := v.Shape[0], v.Shape[1]
 	out := newResult([]int{m * times, n}, v)
-	for r := 0; r < times; r++ {
-		copy(out.Data[r*m*n:(r+1)*m*n], v.Data)
-	}
+	tileRowsForward(out.Data, v.Data, m, n, times)
 	if out.requiresGrad {
 		out.backward = func() {
 			for r := 0; r < times; r++ {
@@ -431,21 +336,10 @@ func TileRows(v *Tensor, times int) *Tensor {
 // maximum within each consecutive group of `per` rows. Gradient flows to the
 // argmax row of each group.
 func MaxPerGroup(a *Tensor, groups, per int) *Tensor {
-	if len(a.Shape) != 2 || a.Shape[1] != 1 || a.Shape[0] != groups*per {
-		panic(fmt.Sprintf("nn: MaxPerGroup shape %v incompatible with %d groups of %d", a.Shape, groups, per))
-	}
+	checkMaxPerGroup(a, groups, per)
 	out := newResult([]int{groups, 1}, a)
 	argmax := make([]int, groups)
-	for g := 0; g < groups; g++ {
-		best := g * per
-		for i := g*per + 1; i < (g+1)*per; i++ {
-			if a.Data[i] > a.Data[best] {
-				best = i
-			}
-		}
-		argmax[g] = best
-		out.Data[g] = a.Data[best]
-	}
+	maxPerGroupForward(out.Data, argmax, a.Data, groups, per)
 	if out.requiresGrad {
 		out.backward = func() {
 			for g := 0; g < groups; g++ {
@@ -464,12 +358,7 @@ func Gather(table *Tensor, indices []int) *Tensor {
 	}
 	rows, cols := len(indices), table.Shape[1]
 	out := newResult([]int{rows, cols}, table)
-	for i, idx := range indices {
-		if idx < 0 || idx >= table.Shape[0] {
-			panic(fmt.Sprintf("nn: Gather index %d out of range [0,%d)", idx, table.Shape[0]))
-		}
-		copy(out.Data[i*cols:(i+1)*cols], table.Data[idx*cols:(idx+1)*cols])
-	}
+	gatherForward(out.Data, table.Data, indices, table.Shape[0], cols)
 	if out.requiresGrad {
 		idxCopy := append([]int(nil), indices...)
 		out.backward = func() {
@@ -495,26 +384,7 @@ func ScatterMean(src *Tensor, dst []int, dstRows int) *Tensor {
 	cols := src.Shape[1]
 	out := newResult([]int{dstRows, cols}, src)
 	counts := make([]float64, dstRows)
-	for i, d := range dst {
-		if d < 0 || d >= dstRows {
-			panic(fmt.Sprintf("nn: ScatterMean destination %d out of range [0,%d)", d, dstRows))
-		}
-		counts[d]++
-		srow := src.Data[i*cols : (i+1)*cols]
-		orow := out.Data[d*cols : (d+1)*cols]
-		for j := range srow {
-			orow[j] += srow[j]
-		}
-	}
-	for d := 0; d < dstRows; d++ {
-		if counts[d] > 1 {
-			orow := out.Data[d*cols : (d+1)*cols]
-			inv := 1 / counts[d]
-			for j := range orow {
-				orow[j] *= inv
-			}
-		}
-	}
+	scatterMeanForward(out.Data, counts, src.Data, dst, cols)
 	if out.requiresGrad {
 		dstCopy := append([]int(nil), dst...)
 		out.backward = func() {
@@ -550,15 +420,8 @@ func MeanRows(a *Tensor) *Tensor {
 	if m == 0 {
 		return out
 	}
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j] += a.Data[i*n+j]
-		}
-	}
+	meanRowsForward(out.Data, a.Data, m, n)
 	inv := 1 / float64(m)
-	for j := range out.Data {
-		out.Data[j] *= inv
-	}
 	if out.requiresGrad {
 		out.backward = func() {
 			for i := 0; i < m; i++ {

@@ -1,0 +1,110 @@
+package nn
+
+import "sync"
+
+// The package worker pool: a fixed set of persistent goroutines that
+// execute row-range jobs for data-parallel kernels (currently MatMul).
+// Parallelism never changes results — a job computes a disjoint row range
+// and every output element has exactly one writer whose arithmetic does not
+// depend on the partition — so SetWorkers is purely a throughput knob.
+
+// rowJob is one contiguous row range of a parallel kernel invocation.
+type rowJob struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+var workerPool struct {
+	// mu is read-locked for the whole of a parallelRows dispatch so
+	// SetWorkers cannot close the job channel mid-send.
+	mu   sync.RWMutex
+	n    int
+	jobs chan rowJob
+}
+
+func init() { workerPool.n = 1 }
+
+// SetWorkers resizes the worker pool to n goroutines (the caller of a
+// parallel kernel counts as one, so n-1 are spawned). n < 1 is treated as
+// 1, which disables the pool and runs every kernel on the calling
+// goroutine. Safe to call concurrently with running kernels; results are
+// identical for every n.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	workerPool.mu.Lock()
+	defer workerPool.mu.Unlock()
+	if n == workerPool.n {
+		return
+	}
+	if workerPool.jobs != nil {
+		close(workerPool.jobs)
+		workerPool.jobs = nil
+	}
+	workerPool.n = n
+	if n > 1 {
+		jobs := make(chan rowJob, 4*n)
+		workerPool.jobs = jobs
+		for i := 0; i < n-1; i++ {
+			go func() {
+				for j := range jobs {
+					j.fn(j.lo, j.hi)
+					j.wg.Done()
+				}
+			}()
+		}
+	}
+}
+
+// Workers returns the configured worker count.
+func Workers() int {
+	workerPool.mu.RLock()
+	defer workerPool.mu.RUnlock()
+	return workerPool.n
+}
+
+// parallelRows partitions [0, rows) into contiguous chunks aligned to
+// `align` rows (so register-blocked kernels keep their blocking at chunk
+// boundaries) and runs fn over each chunk — on the pool when it has more
+// than one worker, otherwise inline. fn must write only rows in its range;
+// it must not invoke parallel kernels itself (jobs are leaves).
+func parallelRows(rows, align int, fn func(lo, hi int)) {
+	if align < 1 {
+		align = 1
+	}
+	workerPool.mu.RLock()
+	defer workerPool.mu.RUnlock()
+	n, jobs := workerPool.n, workerPool.jobs
+	if n <= 1 || jobs == nil || rows <= align {
+		fn(0, rows)
+		return
+	}
+	chunks := n
+	if max := (rows + align - 1) / align; chunks > max {
+		chunks = max
+	}
+	per := (rows + chunks - 1) / chunks
+	per = (per + align - 1) / align * align
+	var wg sync.WaitGroup
+	// Hand all but the first chunk to the pool, run the first here: the
+	// caller is one of the n workers.
+	for lo := per; lo < rows; lo += per {
+		hi := lo + per
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		jobs <- rowJob{lo: lo, hi: hi, fn: fn, wg: &wg}
+	}
+	first := per
+	if first > rows {
+		first = rows
+	}
+	fn(0, first)
+	wg.Wait()
+}

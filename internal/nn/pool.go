@@ -1,0 +1,127 @@
+package nn
+
+import "sync"
+
+// Pool is a thread-safe, size-classed free list of float64 slabs. It backs
+// the allocation-free inference path: tensors borrowed from a pool and
+// released after a forward pass are recycled instead of garbage-collected,
+// so steady-state serving allocates (almost) nothing per query.
+//
+// A released slab's contents are undefined until it is borrowed again;
+// Borrow and GetSlice return zeroed memory, so pooled forwards are
+// bit-identical to fresh-allocation forwards.
+type Pool struct {
+	mu      sync.Mutex
+	classes map[int][][]float64
+	borrows int64
+	reuses  int64
+}
+
+// maxSlabsPerClass bounds the idle slabs retained per size class.
+const maxSlabsPerClass = 64
+
+// minSlabClass is the smallest slab capacity; tiny requests share it.
+const minSlabClass = 32
+
+// NewPool creates an empty pool.
+func NewPool() *Pool {
+	return &Pool{classes: map[int][][]float64{}}
+}
+
+// PoolStats reports pool traffic.
+type PoolStats struct {
+	// Borrows counts GetSlice/Borrow calls; Reuses counts how many were
+	// satisfied from the free list instead of the heap.
+	Borrows, Reuses int64
+	// Idle is the number of slabs currently parked in the free lists.
+	Idle int
+}
+
+// Stats returns a snapshot of pool traffic.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idle := 0
+	for _, slabs := range p.classes {
+		idle += len(slabs)
+	}
+	return PoolStats{Borrows: p.borrows, Reuses: p.reuses, Idle: idle}
+}
+
+// slabClass is the smallest power-of-two capacity holding n elements.
+func slabClass(n int) int {
+	c := minSlabClass
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// GetSlice returns a zeroed slice of length n backed by a pooled slab.
+func (p *Pool) GetSlice(n int) []float64 {
+	s := p.GetSliceRaw(n)
+	clear(s)
+	return s
+}
+
+// GetSliceRaw is GetSlice without the zeroing, for callers that overwrite
+// every element (e.g. the MatMul transpose scratch).
+func (p *Pool) GetSliceRaw(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := slabClass(n)
+	p.mu.Lock()
+	p.borrows++
+	if slabs := p.classes[c]; len(slabs) > 0 {
+		s := slabs[len(slabs)-1]
+		p.classes[c] = slabs[:len(slabs)-1]
+		p.reuses++
+		p.mu.Unlock()
+		return s[:n]
+	}
+	p.mu.Unlock()
+	return make([]float64, n, c)
+}
+
+// PutSlice parks a slab for reuse. Only slabs with power-of-two capacity
+// (i.e. ones GetSlice handed out) re-enter the pool; anything else is left
+// to the garbage collector. The caller must not use s afterwards.
+func (p *Pool) PutSlice(s []float64) {
+	c := cap(s)
+	if c < minSlabClass || c&(c-1) != 0 {
+		return
+	}
+	s = s[:0]
+	p.mu.Lock()
+	if len(p.classes[c]) < maxSlabsPerClass {
+		p.classes[c] = append(p.classes[c], s)
+	}
+	p.mu.Unlock()
+}
+
+// Borrow returns a zeroed tensor of the given shape backed by pooled
+// memory. It does not participate in differentiation.
+func (p *Pool) Borrow(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: p.GetSlice(n)}
+}
+
+// Release returns tensors' backing slabs to the pool. The caller must not
+// use a tensor after releasing it. Nil entries are skipped.
+func (p *Pool) Release(ts ...*Tensor) {
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		p.PutSlice(t.Data)
+		t.Data = nil
+	}
+}
+
+// scratch backs package-internal kernel temporaries (the MatMul transposed
+// copy of B). It is shared by all goroutines; Pool is thread-safe.
+var scratch = NewPool()

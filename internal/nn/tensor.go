@@ -22,6 +22,10 @@ type Tensor struct {
 	requiresGrad bool
 	parents      []*Tensor
 	backward     func()
+
+	// arenaIdx is the tensor's slot in the Infer arena that allocated it
+	// (infer.go); zero and unused for ordinary tensors.
+	arenaIdx int
 }
 
 // New creates a tensor with the given shape and zero-initialized data.

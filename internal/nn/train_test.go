@@ -162,16 +162,6 @@ func TestLoadRejectsMismatch(t *testing.T) {
 	}
 }
 
-func BenchmarkMatMul64(b *testing.B) {
-	r := rng.New(1)
-	x := randomTensor(r, 64, 64)
-	y := randomTensor(r, 64, 64)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = MatMul(x, y)
-	}
-}
-
 func BenchmarkMLPForwardBackward(b *testing.B) {
 	r := rng.New(2)
 	mlp := NewMLP(r, 32, 64, 32, 1)

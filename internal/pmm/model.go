@@ -71,6 +71,11 @@ type Model struct {
 
 	// Head: scores [h_arg ‖ h_targets] -> MUTATE logit.
 	head *nn.MLP
+
+	// pool backs the allocation-free inference path. Pool is internally
+	// synchronized, so concurrent Predict/PredictBatch calls on a frozen
+	// model share it safely.
+	pool *nn.Pool
 }
 
 // NewModel builds a randomly initialized model.
@@ -89,6 +94,7 @@ func NewModel(r *rng.Rand, cfg Config, vocab *Vocab) *Model {
 		depthEmb:  nn.NewEmbedding(r, cfg.MaxDepth+1, d),
 		absentEmb: nn.NewEmbedding(r, 2, d),
 		head:      nn.NewMLP(r, 3*d, d, 1),
+		pool:      nn.NewPool(),
 	}
 	for l := 0; l < cfg.Layers; l++ {
 		var kinds []*nn.Linear
@@ -153,109 +159,186 @@ func (m *Model) Freeze() {
 	}
 }
 
-// encodeBlock embeds a block's token sequence into a (1, Dim) tensor.
-func (m *Model) encodeBlock(tokens []string) *nn.Tensor {
+// encodeBlockOps embeds a block's token sequence into a (1, Dim) tensor
+// through the given op set.
+func (m *Model) encodeBlockOps(ops nn.Ops, tokens []string) *nn.Tensor {
 	ids := m.Vocab.Encode(tokens)
 	if len(ids) == 0 {
 		ids = []int{UnkID}
 	}
-	emb := m.tokEmb.Forward(ids)
+	emb := m.tokEmb.ForwardOps(ops, ids)
 	if m.Cfg.UseAttention {
-		emb = m.tokAttn.Forward(emb)
+		att := m.tokAttn.ForwardOps(ops, emb)
+		ops.Recycle(emb)
+		emb = att
 	}
-	return m.tokMLP.Forward(nn.MeanRows(emb))
+	mean := ops.MeanRows(emb)
+	ops.Recycle(emb)
+	out := m.tokMLP.ForwardOps(ops, mean)
+	ops.Recycle(mean)
+	return out
 }
 
 // Forward computes MUTATE logits for every argument vertex of the graph.
 // The returned tensor has shape (len(g.ArgVertices), 1).
 func (m *Model) Forward(g *qgraph.Graph) *nn.Tensor {
-	n := len(g.Vertices)
-	// Initial vertex states.
-	rows := make([]*nn.Tensor, n)
-	var targetIdx []int
-	for vi := range g.Vertices {
-		v := &g.Vertices[vi]
-		kind := m.kindEmb.Forward([]int{int(v.Kind)})
-		var h *nn.Tensor
-		switch v.Kind {
-		case qgraph.VSyscall:
-			h = nn.Add(kind, m.callEmb.Forward([]int{hashString(v.Name, m.Cfg.CallBuckets)}))
-		case qgraph.VArg:
-			top := v.TopArg
-			if top > m.Cfg.MaxTopArg {
-				top = m.Cfg.MaxTopArg
-			}
-			depth := v.Depth
-			if depth > m.Cfg.MaxDepth {
-				depth = m.Cfg.MaxDepth
-			}
-			absent := 0
-			if v.Absent {
-				absent = 1
-			}
-			h = nn.Add(kind, m.typeEmb.Forward([]int{int(v.TypeKind)}))
-			h = nn.Add(h, m.topEmb.Forward([]int{top}))
-			h = nn.Add(h, m.depthEmb.Forward([]int{depth}))
-			h = nn.Add(h, m.absentEmb.Forward([]int{absent}))
-			if len(v.Tokens) > 0 {
-				// Access-path tokens share the kernel token embedding.
-				h = nn.Add(h, m.encodeBlock(v.Tokens))
-			}
-		default:
-			h = nn.Add(kind, m.encodeBlock(v.Tokens))
-			if v.Kind == qgraph.VTarget {
-				targetIdx = append(targetIdx, vi)
-			}
-		}
-		rows[vi] = h
-	}
-	state := nn.ConcatRows(rows)
+	return m.forwardMany(nn.TrainOps{}, []*qgraph.Graph{g})[0]
+}
 
-	// Pre-index edges by kind+direction once.
+// forwardMany runs the GNN over a batch of query graphs packed into one
+// union graph: vertex rows are concatenated with per-graph offsets, edges
+// are bucketed with offset indices, and one shared message-passing pass
+// covers the whole batch. Because every kernel in the pass (MatMul,
+// LayerNorm, ScatterMean, ...) computes each output row from fixed inputs
+// in a fixed order, each graph's rows come out bit-identical to a
+// single-graph forward — batching changes throughput, never answers.
+// The readout stays per graph (argument/target counts differ). Returned
+// tensor i holds graph i's logits, shape (len(gs[i].ArgVertices), 1).
+//
+// Under an Infer op set every intermediate is recycled as soon as it is
+// dead, so the pass runs in a near-constant set of pooled slabs.
+func (m *Model) forwardMany(ops nn.Ops, gs []*qgraph.Graph) []*nn.Tensor {
+	// Vertex offsets of each graph within the union.
+	offsets := make([]int, len(gs))
+	total := 0
+	for gi, g := range gs {
+		offsets[gi] = total
+		total += len(g.Vertices)
+	}
+
+	// addConsume folds b into acc, recycling both inputs.
+	addConsume := func(acc, b *nn.Tensor) *nn.Tensor {
+		out := ops.Add(acc, b)
+		ops.Recycle(acc, b)
+		return out
+	}
+
+	// Initial vertex states for every graph, in batch order.
+	rows := make([]*nn.Tensor, 0, total)
+	targetIdx := make([][]int, len(gs)) // union indices of VTarget vertices
+	for gi, g := range gs {
+		off := offsets[gi]
+		for vi := range g.Vertices {
+			v := &g.Vertices[vi]
+			h := m.kindEmb.ForwardOps(ops, []int{int(v.Kind)})
+			switch v.Kind {
+			case qgraph.VSyscall:
+				h = addConsume(h, m.callEmb.ForwardOps(ops, []int{hashString(v.Name, m.Cfg.CallBuckets)}))
+			case qgraph.VArg:
+				top := v.TopArg
+				if top > m.Cfg.MaxTopArg {
+					top = m.Cfg.MaxTopArg
+				}
+				depth := v.Depth
+				if depth > m.Cfg.MaxDepth {
+					depth = m.Cfg.MaxDepth
+				}
+				absent := 0
+				if v.Absent {
+					absent = 1
+				}
+				h = addConsume(h, m.typeEmb.ForwardOps(ops, []int{int(v.TypeKind)}))
+				h = addConsume(h, m.topEmb.ForwardOps(ops, []int{top}))
+				h = addConsume(h, m.depthEmb.ForwardOps(ops, []int{depth}))
+				h = addConsume(h, m.absentEmb.ForwardOps(ops, []int{absent}))
+				if len(v.Tokens) > 0 {
+					// Access-path tokens share the kernel token embedding.
+					h = addConsume(h, m.encodeBlockOps(ops, v.Tokens))
+				}
+			default:
+				h = addConsume(h, m.encodeBlockOps(ops, v.Tokens))
+				if v.Kind == qgraph.VTarget {
+					targetIdx[gi] = append(targetIdx[gi], off+vi)
+				}
+			}
+			rows = append(rows, h)
+		}
+	}
+	state := ops.ConcatRows(rows)
+	ops.Recycle(rows...)
+
+	// Pre-index union edges by kind+direction once. Edges never cross
+	// graph boundaries, so message passing cannot mix graphs.
 	type edgeList struct{ src, dst []int }
 	buckets := make([]edgeList, qgraph.NumEdgeKinds*2)
-	for _, e := range g.Edges {
-		k := int(e.Kind)
-		buckets[k].src = append(buckets[k].src, e.From)
-		buckets[k].dst = append(buckets[k].dst, e.To)
-		rk := k + qgraph.NumEdgeKinds
-		buckets[rk].src = append(buckets[rk].src, e.To)
-		buckets[rk].dst = append(buckets[rk].dst, e.From)
+	for gi, g := range gs {
+		off := offsets[gi]
+		for _, e := range g.Edges {
+			k := int(e.Kind)
+			buckets[k].src = append(buckets[k].src, off+e.From)
+			buckets[k].dst = append(buckets[k].dst, off+e.To)
+			rk := k + qgraph.NumEdgeKinds
+			buckets[rk].src = append(buckets[rk].src, off+e.To)
+			buckets[rk].dst = append(buckets[rk].dst, off+e.From)
+		}
 	}
 
-	// Message passing.
+	// Message passing over the union graph.
 	for l := 0; l < m.Cfg.Layers; l++ {
-		agg := m.selfW[l].Forward(state)
+		agg := m.selfW[l].ForwardOps(ops, state)
 		for k := range buckets {
 			if len(buckets[k].src) == 0 {
 				continue
 			}
-			msgs := m.edgeW[l][k].Forward(nn.Gather(state, buckets[k].src))
-			agg = nn.Add(agg, nn.ScatterMean(msgs, buckets[k].dst, n))
+			srcRows := ops.Gather(state, buckets[k].src)
+			msgs := m.edgeW[l][k].ForwardOps(ops, srcRows)
+			ops.Recycle(srcRows)
+			agg = addConsume(agg, ops.ScatterMean(msgs, buckets[k].dst, total))
+			ops.Recycle(msgs)
 		}
-		state = m.norms[l].Forward(nn.Add(state, nn.ReLU(agg)))
+		act := ops.ReLU(agg)
+		ops.Recycle(agg)
+		sum := ops.Add(state, act)
+		ops.Recycle(act, state)
+		state = m.norms[l].ForwardOps(ops, sum)
+		ops.Recycle(sum)
 	}
 
-	// Pairwise readout: score every (argument, target) pair and keep each
-	// argument's best match. This lets the head align an argument's
-	// position features directly against the register/offset tokens of the
-	// specific target block that mentions them, instead of a diluted mean
-	// over all targets.
-	args := nn.Gather(state, g.ArgVertices)
-	nArgs := len(g.ArgVertices)
-	if len(targetIdx) == 0 {
-		// No desired target: score arguments against a zero context.
-		zero := nn.New(nArgs, 2*m.Cfg.Dim)
-		return m.head.Forward(nn.Concat(args, zero))
+	// Pairwise readout, per graph: score every (argument, target) pair and
+	// keep each argument's best match. This lets the head align an
+	// argument's position features directly against the register/offset
+	// tokens of the specific target block that mentions them, instead of a
+	// diluted mean over all targets.
+	outs := make([]*nn.Tensor, len(gs))
+	for gi, g := range gs {
+		off := offsets[gi]
+		nArgs := len(g.ArgVertices)
+		argIdx := make([]int, nArgs)
+		for i, a := range g.ArgVertices {
+			argIdx[i] = off + a
+		}
+		args := ops.Gather(state, argIdx)
+		if len(targetIdx[gi]) == 0 {
+			// No desired target: score arguments against a zero context.
+			zero := ops.Zeros(nArgs, 2*m.Cfg.Dim)
+			cat := ops.Concat(args, zero)
+			ops.Recycle(args, zero)
+			outs[gi] = m.head.ForwardOps(ops, cat)
+			ops.Recycle(cat)
+			continue
+		}
+		tgts := ops.Gather(state, targetIdx[gi])
+		bigArg := ops.RepeatEachRow(args, len(targetIdx[gi]))
+		bigTgt := ops.TileRows(tgts, nArgs)
+		ops.Recycle(args, tgts)
+		// The elementwise product gives the head a direct similarity channel
+		// between an argument's access-path embedding and the target context.
+		prod := ops.Mul(bigArg, bigTgt)
+		cat := ops.Concat(bigArg, bigTgt, prod)
+		ops.Recycle(bigArg, bigTgt, prod)
+		pairScores := m.head.ForwardOps(ops, cat)
+		ops.Recycle(cat)
+		outs[gi] = ops.MaxPerGroup(pairScores, nArgs, len(targetIdx[gi]))
+		ops.Recycle(pairScores)
 	}
-	tgts := nn.Gather(state, targetIdx)
-	bigArg := nn.RepeatEachRow(args, len(targetIdx))
-	bigTgt := nn.TileRows(tgts, nArgs)
-	// The elementwise product gives the head a direct similarity channel
-	// between an argument's access-path embedding and the target context.
-	prod := nn.Mul(bigArg, bigTgt)
-	pairScores := m.head.Forward(nn.Concat(bigArg, bigTgt, prod))
-	return nn.MaxPerGroup(pairScores, nArgs, len(targetIdx))
+	ops.Recycle(state)
+	return outs
+}
+
+// frozen reports whether the model's parameters are outside differentiation
+// (after Freeze); only then may the pooled inference path be used.
+func (m *Model) frozen() bool {
+	return !m.head.Layers[0].W.RequiresGrad()
 }
 
 // Predict returns the slots whose MUTATE probability exceeds the decision
@@ -264,15 +347,54 @@ func (m *Model) Forward(g *qgraph.Graph) *nn.Tensor {
 // highest-probability slot is returned (the fuzzer always needs a
 // localization).
 func (m *Model) Predict(g *qgraph.Graph) ([]prog.GlobalSlot, []float64) {
-	if len(g.ArgVertices) == 0 {
-		return nil, nil
+	slots, probs := m.PredictBatch([]*qgraph.Graph{g})
+	return slots[0], probs[0]
+}
+
+// PredictBatch runs Predict over a batch of graphs in one union-graph
+// forward pass (see forwardMany). Results are positional: slots[i] and
+// probs[i] correspond to gs[i], and each is bit-identical to a standalone
+// Predict(gs[i]) call. On a frozen model the pass runs through the pooled
+// allocation-free path; otherwise it falls back to the autodiff ops.
+func (m *Model) PredictBatch(gs []*qgraph.Graph) ([][]prog.GlobalSlot, [][]float64) {
+	slots := make([][]prog.GlobalSlot, len(gs))
+	probs := make([][]float64, len(gs))
+	// Graphs without argument vertices have no slots to localize; skip them.
+	live := make([]*qgraph.Graph, 0, len(gs))
+	liveIdx := make([]int, 0, len(gs))
+	for i, g := range gs {
+		if g != nil && len(g.ArgVertices) > 0 {
+			live = append(live, g)
+			liveIdx = append(liveIdx, i)
+		}
 	}
-	logits := m.Forward(g)
+	if len(live) == 0 {
+		return slots, probs
+	}
+	if m.frozen() {
+		in := nn.NewInfer(m.pool)
+		outs := m.forwardMany(in, live)
+		for li, out := range outs {
+			slots[liveIdx[li]], probs[liveIdx[li]] = m.pickSlots(live[li], out.Data)
+		}
+		in.Close()
+	} else {
+		outs := m.forwardMany(nn.TrainOps{}, live)
+		for li, out := range outs {
+			slots[liveIdx[li]], probs[liveIdx[li]] = m.pickSlots(live[li], out.Data)
+		}
+	}
+	return slots, probs
+}
+
+// pickSlots converts per-argument logits into the thresholded,
+// probability-sorted slot list described on Predict.
+func (m *Model) pickSlots(g *qgraph.Graph, logits []float64) ([]prog.GlobalSlot, []float64) {
 	probs := make([]float64, len(g.ArgVertices))
 	var pickedIdx []int
 	best, bestP := 0, -1.0
 	for i := range probs {
-		probs[i] = sigmoid(logits.Data[i])
+		probs[i] = sigmoid(logits[i])
 		if probs[i] > bestP {
 			best, bestP = i, probs[i]
 		}

@@ -1,0 +1,147 @@
+package qgraph
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/prog"
+)
+
+// cacheKey is a 128-bit fingerprint of a (program, traces, targets) query.
+// Two independent FNV-1a streams over the same byte sequence make an
+// accidental collision across a campaign's few million distinct queries
+// vanishingly unlikely.
+type cacheKey struct {
+	lo, hi uint64
+}
+
+const (
+	fnvOffset  = 0xcbf29ce484222325
+	fnvOffset2 = 0x84222325cbf29ce4
+	fnvPrime   = 0x100000001b3
+)
+
+// hasher accumulates the dual FNV-1a streams.
+type hasher struct {
+	lo, hi uint64
+}
+
+func newHasher() hasher { return hasher{lo: fnvOffset, hi: fnvOffset2} }
+
+func (h *hasher) writeByte(b byte) {
+	h.lo = (h.lo ^ uint64(b)) * fnvPrime
+	h.hi = (h.hi ^ uint64(b)) * fnvPrime
+}
+
+func (h *hasher) writeString(s string) {
+	for i := 0; i < len(s); i++ {
+		h.writeByte(s[i])
+	}
+}
+
+func (h *hasher) writeUint64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	for _, b := range buf {
+		h.writeByte(b)
+	}
+}
+
+// hashQuery fingerprints the full Build input: the serialized program, the
+// per-call coverage traces, and the desired target blocks. Any difference
+// in any of the three produces a different key, so a hit is only ever
+// served for a structurally identical query.
+func hashQuery(p *prog.Prog, traces [][]kernel.BlockID, targets []kernel.BlockID) cacheKey {
+	h := newHasher()
+	h.writeString(p.Serialize())
+	h.writeUint64(uint64(len(traces)))
+	for _, tr := range traces {
+		h.writeUint64(uint64(len(tr)))
+		for _, b := range tr {
+			h.writeUint64(uint64(b))
+		}
+	}
+	h.writeUint64(uint64(len(targets)))
+	for _, b := range targets {
+		h.writeUint64(uint64(b))
+	}
+	return cacheKey{lo: h.lo, hi: h.hi}
+}
+
+// Cache is a thread-safe LRU over built query graphs, keyed by the
+// fingerprint of the (program, traces, targets) triple. The fuzzer
+// re-queries the same program against the same coverage signature whenever
+// a mutation fails to change behavior or a seed is revisited, and graph
+// construction (disassembly token walks, frontier analysis) dominates those
+// queries; the cache converts them into a map lookup.
+//
+// Cached graphs are shared: Build callers must treat the returned *Graph as
+// immutable. The model's forward pass only reads it.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List
+	m      map[cacheKey]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	g   *Graph
+}
+
+// NewCache creates an LRU cache holding up to capacity graphs.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, ll: list.New(), m: make(map[cacheKey]*list.Element, capacity)}
+}
+
+// get returns the cached graph for key, if any, promoting it to
+// most-recently-used.
+func (c *Cache) get(key cacheKey) (*Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).g, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts a graph, evicting the least-recently-used entry when full.
+func (c *Cache) put(key cacheKey, g *Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).g = g
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, g: g})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses int64
+	// Len is the current number of cached graphs.
+	Len int
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Len: c.ll.Len()}
+}

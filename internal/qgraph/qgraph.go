@@ -174,6 +174,10 @@ type Builder struct {
 	// MaxAlternatives caps the alternative vertices per graph to bound
 	// model input size (0 = unlimited).
 	MaxAlternatives int
+	// Cache, when non-nil, memoizes built graphs by the fingerprint of the
+	// (program, traces, targets) triple (see WithCache). Cached graphs are
+	// shared between callers and must be treated as immutable.
+	Cache *Cache
 }
 
 // NewBuilder returns a Builder over the kernel.
@@ -181,11 +185,34 @@ func NewBuilder(k *kernel.Kernel, an *cfa.Analysis) *Builder {
 	return &Builder{K: k, An: an, MaxAlternatives: 2048}
 }
 
+// WithCache attaches an LRU graph-encoding cache of the given capacity and
+// returns the builder for chaining.
+func (b *Builder) WithCache(capacity int) *Builder {
+	b.Cache = NewCache(capacity)
+	return b
+}
+
 // Build assembles the query graph for a program, its per-call execution
 // traces, and the desired target blocks. Targets should be alternative path
 // entries of the coverage; target blocks not on the frontier are added as
 // isolated target vertices (the model sees them but without local context).
+// With a Cache attached, a structurally identical repeat query returns the
+// cached graph without rebuilding.
 func (b *Builder) Build(p *prog.Prog, traces [][]kernel.BlockID, targets []kernel.BlockID) *Graph {
+	if b.Cache == nil {
+		return b.build(p, traces, targets)
+	}
+	key := hashQuery(p, traces, targets)
+	if g, ok := b.Cache.get(key); ok {
+		return g
+	}
+	g := b.build(p, traces, targets)
+	b.Cache.put(key, g)
+	return g
+}
+
+// build is the uncached graph construction.
+func (b *Builder) build(p *prog.Prog, traces [][]kernel.BlockID, targets []kernel.BlockID) *Graph {
 	g := &Graph{}
 	targetSet := map[kernel.BlockID]bool{}
 	for _, t := range targets {

@@ -16,6 +16,7 @@ package serve
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,16 @@ type Stats struct {
 	Retries int64
 	// Timeouts counts attempts that hit the per-query deadline.
 	Timeouts int64
+	// Batches counts model forward passes; with micro-batching enabled one
+	// pass can serve many queries. BatchedQueries counts queries served in
+	// passes of two or more, and AvgBatchSize is Served/Batches.
+	Batches        int64
+	BatchedQueries int64
+	AvgBatchSize   float64
+	// CacheHits/CacheMisses mirror the builder's graph-encoding cache
+	// counters (zero when no cache is attached).
+	CacheHits   int64
+	CacheMisses int64
 	// Injected fault counters, by kind.
 	InjDropped   int64
 	InjTransient int64
@@ -100,7 +111,14 @@ type Options struct {
 	// Workers is the inference pool size (the paper's GPU replicas).
 	// Default 1.
 	Workers int
-	// QueueSize bounds the pending-attempt queue. Default Workers*8.
+	// BatchSize is the micro-batch limit: a worker picking up a query
+	// drains up to BatchSize-1 more already-queued queries and serves
+	// them all in one union-graph forward pass (pmm.PredictBatch).
+	// Batching changes only throughput — each query's prediction is
+	// bit-identical to an unbatched one. Default 1 (no batching).
+	BatchSize int
+	// QueueSize bounds the pending-attempt queue. Default
+	// Workers*8*BatchSize, so a saturated queue can feed full batches.
 	QueueSize int
 	// Deadline bounds one attempt's queue+inference wait. Default 5s.
 	Deadline time.Duration
@@ -132,8 +150,11 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
 	if o.QueueSize <= 0 {
-		o.QueueSize = o.Workers * 8
+		o.QueueSize = o.Workers * 8 * o.BatchSize
 	}
 	if o.Deadline <= 0 {
 		o.Deadline = 5 * time.Second
@@ -198,6 +219,7 @@ type Server struct {
 	served, rejected           atomic.Int64
 	queries, succeeded, failed atomic.Int64
 	retries, timeouts          atomic.Int64
+	batches, batchedQueries    atomic.Int64
 	injDropped, injTransient   atomic.Int64
 	injLatency, injCorrupt     atomic.Int64
 	totalLat                   atomic.Int64 // nanoseconds, succeeded queries
@@ -230,13 +252,51 @@ func NewServerOpts(model *pmm.Model, builder *qgraph.Builder, opts Options) *Ser
 	return s
 }
 
+// worker serves queries from the shared queue. With BatchSize > 1 it
+// opportunistically drains whatever is already queued (never waiting for a
+// batch to fill — an idle queue must not add latency) and serves the whole
+// micro-batch in one union-graph forward pass.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
+	maxBatch := s.opts.BatchSize
+	batch := make([]*attempt, 0, maxBatch)
+	gs := make([]*qgraph.Graph, 0, maxBatch)
 	for a := range s.jobs {
-		g := s.builder.Build(a.q.Prog, a.q.Traces, a.q.Targets)
-		slots, probs := s.model.Predict(g)
-		s.served.Add(1)
-		a.done <- attemptResult{slots: slots, probs: probs}
+		batch = append(batch[:0], a)
+		if maxBatch > 1 && len(s.jobs) == 0 {
+			// Yield once so dispatchers that are runnable but not yet
+			// scheduled can enqueue; without this, channel direct-handoff
+			// ping-pongs worker and dispatcher on a loaded single-core
+			// host and batches never form. Skipped when the queue already
+			// holds work — yielding then would only starve serving behind
+			// compute-heavy goroutines. Free when nothing else runs.
+			runtime.Gosched()
+		}
+	drain:
+		for len(batch) < maxBatch {
+			select {
+			case more, ok := <-s.jobs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		gs = gs[:0]
+		for _, at := range batch {
+			gs = append(gs, s.builder.Build(at.q.Prog, at.q.Traces, at.q.Targets))
+		}
+		slots, probs := s.model.PredictBatch(gs)
+		s.batches.Add(1)
+		if len(batch) > 1 {
+			s.batchedQueries.Add(int64(len(batch)))
+		}
+		for i, at := range batch {
+			s.served.Add(1)
+			at.done <- attemptResult{slots: slots[i], probs: probs[i]}
+		}
 	}
 }
 
@@ -461,22 +521,37 @@ func (s *Server) Stats() Stats {
 		tput = float64(succeeded) / elapsed
 	}
 	rate, _ := s.health.snapshot()
+	batches := s.batches.Load()
+	var avgBatch float64
+	if batches > 0 {
+		avgBatch = float64(s.served.Load()) / float64(batches)
+	}
+	var cacheHits, cacheMisses int64
+	if s.builder.Cache != nil {
+		cs := s.builder.Cache.Stats()
+		cacheHits, cacheMisses = cs.Hits, cs.Misses
+	}
 	return Stats{
-		Served:       s.served.Load(),
-		Rejected:     s.rejected.Load(),
-		Queries:      s.queries.Load(),
-		Succeeded:    succeeded,
-		Failed:       s.failed.Load(),
-		Retries:      s.retries.Load(),
-		Timeouts:     s.timeouts.Load(),
-		InjDropped:   s.injDropped.Load(),
-		InjTransient: s.injTransient.Load(),
-		InjLatency:   s.injLatency.Load(),
-		InjCorrupt:   s.injCorrupt.Load(),
-		MeanLatency:  mean,
-		Throughput:   tput,
-		ErrorRate:    rate,
-		Healthy:      s.Healthy(),
+		Served:         s.served.Load(),
+		Rejected:       s.rejected.Load(),
+		Queries:        s.queries.Load(),
+		Succeeded:      succeeded,
+		Failed:         s.failed.Load(),
+		Retries:        s.retries.Load(),
+		Timeouts:       s.timeouts.Load(),
+		Batches:        batches,
+		BatchedQueries: s.batchedQueries.Load(),
+		AvgBatchSize:   avgBatch,
+		CacheHits:      cacheHits,
+		CacheMisses:    cacheMisses,
+		InjDropped:     s.injDropped.Load(),
+		InjTransient:   s.injTransient.Load(),
+		InjLatency:     s.injLatency.Load(),
+		InjCorrupt:     s.injCorrupt.Load(),
+		MeanLatency:    mean,
+		Throughput:     tput,
+		ErrorRate:      rate,
+		Healthy:        s.Healthy(),
 	}
 }
 
