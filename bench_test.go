@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -348,6 +349,95 @@ func writeBenchJSON(b *testing.B, path string, v interface{}) {
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchCorpus builds a realistic corpus (covers shaped by a real short
+// campaign) for the coverage/corpus hot-path benchmarks.
+func benchCorpus(b *testing.B) *fuzzer.Fuzzer {
+	b.Helper()
+	h := harness()
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	f := fuzzer.New(fuzzer.Config{
+		Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+		Seed: 7, Budget: 300_000,
+	})
+	if _, err := f.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkCoverMerge measures the paged-bitmap cover merge on realistic
+// execution covers — the per-execution triage hot path the bitmap layout
+// exists for. When BENCH_JSON names a directory the ns/op lands in
+// BENCH_cover_merge.json.
+func BenchmarkCoverMerge(b *testing.B) {
+	entries := benchCorpus(b).Corpus().Entries()
+	if len(entries) == 0 {
+		b.Fatal("empty benchmark corpus")
+	}
+	b.ResetTimer()
+	start := time.Now()
+	total := trace.NewCover()
+	for i := 0; i < b.N; i++ {
+		e := entries[i%len(entries)]
+		total.Merge(e.Cover)
+		total.NewEdges(e.Cover)
+	}
+	if dir := os.Getenv("BENCH_JSON"); dir != "" {
+		b.StopTimer()
+		writeBenchJSON(b, filepath.Join(dir, "BENCH_cover_merge.json"), map[string]float64{
+			"ns/op": float64(time.Since(start).Nanoseconds()) / float64(b.N),
+		})
+	}
+}
+
+// BenchmarkCorpusChoose measures the lock-free snapshot Choose path under
+// parallel readers (every VM picks a base every step).
+func BenchmarkCorpusChoose(b *testing.B) {
+	corp := benchCorpus(b).Corpus()
+	if corp.Len() == 0 {
+		b.Fatal("empty benchmark corpus")
+	}
+	var seed uint64
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(atomicAddUint64(&seed, 1))
+		for pb.Next() {
+			if corp.Choose(r) == nil {
+				b.Error("empty choose")
+				return
+			}
+		}
+	})
+	if dir := os.Getenv("BENCH_JSON"); dir != "" {
+		b.StopTimer()
+		writeBenchJSON(b, filepath.Join(dir, "BENCH_corpus_choose.json"), map[string]float64{
+			"ns/op": float64(time.Since(start).Nanoseconds()) / float64(b.N),
+		})
+	}
+}
+
+func atomicAddUint64(p *uint64, d uint64) uint64 { return atomic.AddUint64(p, d) }
+
+// BenchmarkFuzzLoopParallel measures the multi-VM campaign engine end to
+// end at 4 simulated VMs (same total budget as BenchmarkFuzzLoop).
+func BenchmarkFuzzLoopParallel(b *testing.B) {
+	h := harness()
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := fuzzer.New(fuzzer.Config{
+			Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+			Seed: uint64(i + 1), Budget: 100_000, VMs: 4,
+		})
+		if _, err := f.Run(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

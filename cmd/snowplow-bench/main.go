@@ -8,7 +8,7 @@
 //	snowplow-bench -experiment table1,table5
 //
 // Experiments: stats, table1, fig6, table2 (includes tables 3 and 4),
-// table5, perf, ablations, faults, all.
+// table5, perf, parallel, micro, ablations, faults, all.
 package main
 
 import (
@@ -27,13 +27,14 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,ablations,faults,all")
+		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,micro,ablations,faults,all")
 		scale  = flag.String("scale", "quick", "experiment scale: quick or full")
 		seed   = flag.Uint64("seed", 1, "suite seed")
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
 		faults = flag.String("faults", "",
 			"fault shape at rate 1.0 for the degraded-serving sweep, e.g. drop=0.4,transient=0.3,corrupt=0.2 (empty = default shape)")
 		workers = flag.Int("workers", 0, "MatMul worker-pool size (0 = leave at 1)")
+		vms     = flag.Int("vms", 0, "simulated-VM fleet size for fuzzing campaigns (0 = sequential)")
 		batch   = flag.Int("batch", 0, "serving micro-batch limit for harness servers (0 = no batching)")
 		jsonDir = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json results (empty = disabled)")
 	)
@@ -48,6 +49,7 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.BatchSize = *batch
+	opts.VMs = *vms
 	if *faults != "" {
 		fm, err := faultinject.ParseSpec(*faults)
 		if err != nil {
@@ -128,6 +130,20 @@ func main() {
 		res := experiments.Perf(h)
 		res.Render(os.Stdout)
 		emit("perf", res)
+		fmt.Println()
+		ran++
+	}
+	if all || want["parallel"] {
+		res := experiments.Parallel(h, nil)
+		res.Render(os.Stdout)
+		emit("parallel", res)
+		fmt.Println()
+		ran++
+	}
+	if all || want["micro"] {
+		res := experiments.Micro(h)
+		res.Render(os.Stdout)
+		emit("micro", res)
 		fmt.Println()
 		ran++
 	}

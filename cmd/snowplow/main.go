@@ -46,6 +46,7 @@ func main() {
 		batch     = flag.Int("batch", 1, "inference micro-batch limit (1 = no batching)")
 		cache     = flag.Int("cache", 1024, "graph-encoding LRU cache capacity (0 = disabled)")
 		fallback  = flag.Float64("fallback", 0.1, "random-localization fallback probability")
+		vms       = flag.Int("vms", 1, "simulated fuzzing VMs (parallel campaign; 1 = sequential)")
 		sf        serveFlags
 	)
 	flag.StringVar(&sf.faults, "faults", "off",
@@ -55,13 +56,13 @@ func main() {
 	flag.Float64Var(&sf.degraded, "degraded-fallback", 0,
 		"fallback probability while serving is unhealthy (0 = default 0.9)")
 	flag.Parse()
-	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, sf); err != nil {
+	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, sf serveFlags) error {
+func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, vms int, sf serveFlags) error {
 	// Size the MatMul worker pool alongside the inference pool; results are
 	// bit-identical for any worker count.
 	nn.SetWorkers(workers)
@@ -76,6 +77,7 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		Kernel: k, An: an, Seed: seed, Budget: budget,
 		FallbackProb:         fallback,
 		DegradedFallbackProb: sf.degraded,
+		VMs:                  vms,
 	}
 	switch mode {
 	case "syzkaller":
@@ -141,6 +143,13 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 	}
 	fmt.Printf("final: %d edges, %d executions, corpus %d\n",
 		stats.FinalEdges, stats.Executions, stats.CorpusSize)
+	if len(stats.VMs) > 1 {
+		for _, vm := range stats.VMs {
+			fmt.Printf("vm %d: %d execs, %d new edges, %d queries, %d epochs, queue wait %v\n",
+				vm.VM, vm.Executions, vm.NewEdges, vm.Queries, vm.Epochs,
+				time.Duration(vm.QueueWaitNs).Round(time.Millisecond))
+		}
+	}
 	if cfg.Mode == fuzzer.ModeSnowplow {
 		fmt.Printf("PMM: %d queries, %d predictions, %d failed, %d shed, %d invalid slots, %d degraded steps\n",
 			stats.PMMQueries, stats.PMMPredictions, stats.PMMFailed,

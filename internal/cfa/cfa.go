@@ -69,10 +69,10 @@ func (a *Analysis) Predecessors(id kernel.BlockID) []kernel.BlockID {
 // a single flipped branch (§3.2's red nodes).
 func (a *Analysis) Frontier(covered trace.BlockSet) []Alternative {
 	var out []Alternative
-	for id := range covered {
+	covered.ForEach(func(id kernel.BlockID) {
 		b := a.K.Block(id)
 		if b.Kind != kernel.BlockBranch {
-			continue
+			return
 		}
 		if !covered.Has(b.Taken) {
 			out = append(out, Alternative{Entry: b.Taken, From: id, Taken: true})
@@ -80,7 +80,7 @@ func (a *Analysis) Frontier(covered trace.BlockSet) []Alternative {
 		if !covered.Has(b.NotTaken) {
 			out = append(out, Alternative{Entry: b.NotTaken, From: id, Taken: false})
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].From != out[j].From {
 			return out[i].From < out[j].From
@@ -121,11 +121,11 @@ func (a *Analysis) DistancesTo(target kernel.BlockID) []int {
 // target, given a distance table from DistancesTo.
 func MinDistance(dist []int, covered trace.BlockSet) int {
 	min := Unreached
-	for b := range covered {
+	covered.ForEach(func(b kernel.BlockID) {
 		if int(b) < len(dist) && dist[b] < min {
 			min = dist[b]
 		}
-	}
+	})
 	return min
 }
 

@@ -1,9 +1,19 @@
 // Package corpus manages the fuzzer's corpus of interesting test programs:
 // programs whose execution covered edges no earlier corpus program covered.
+//
+// The corpus is built for many concurrent readers (parallel fuzzing VMs
+// picking bases every step) against rare writers (a program joins only when
+// it contributes new edges). The read paths — Choose, Entries, Len,
+// TotalEdges, Has — never take the write lock: entry listings are served
+// from an epoch-cached copy-on-write snapshot behind an atomic pointer
+// (invalidated on Add/Seed), the total edge count is an atomic, and the
+// text-dedup index is lock-striped so Has from different VMs doesn't
+// serialize on one mutex.
 package corpus
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/prog"
@@ -20,112 +30,216 @@ type Entry struct {
 	Text   string             // serialized form (deduplication key)
 }
 
+// numStripes shards the text-dedup index. Power of two.
+const numStripes = 16
+
+type stripe struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+// snapshot is one immutable epoch of the entry list. The slice is never
+// appended to in place: Add/Seed publish a fresh, larger copy.
+type snapshot struct {
+	entries []*Entry
+}
+
 // Corpus accumulates interesting programs and total coverage. It is safe
 // for concurrent use.
 type Corpus struct {
-	mu      sync.RWMutex
-	entries []*Entry
-	byText  map[string]bool
-	total   *trace.Cover
+	mu         sync.Mutex // serializes writers (Add/Seed)
+	snap       atomic.Pointer[snapshot]
+	epoch      atomic.Uint64 // bumped on every successful Add/Seed
+	totalMu    sync.RWMutex
+	total      *trace.Cover
+	totalEdges atomic.Int64
+	stripes    [numStripes]stripe
 }
 
 // New returns an empty corpus.
 func New() *Corpus {
-	return &Corpus{byText: map[string]bool{}, total: trace.NewCover()}
+	c := &Corpus{total: trace.NewCover()}
+	for i := range c.stripes {
+		c.stripes[i].m = map[string]bool{}
+	}
+	c.snap.Store(&snapshot{})
+	return c
+}
+
+// stripeFor hashes a program text onto its dedup stripe (FNV-1a).
+func (c *Corpus) stripeFor(text string) *stripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(text); i++ {
+		h = (h ^ uint32(text[i])) * 16777619
+	}
+	return &c.stripes[h&(numStripes-1)]
+}
+
+func (c *Corpus) hasText(text string) bool {
+	st := c.stripeFor(text)
+	st.mu.RLock()
+	ok := st.m[text]
+	st.mu.RUnlock()
+	return ok
+}
+
+func (c *Corpus) insertText(text string) {
+	st := c.stripeFor(text)
+	st.mu.Lock()
+	st.m[text] = true
+	st.mu.Unlock()
+}
+
+// publish appends e to a fresh copy of the entry snapshot. Caller holds
+// c.mu.
+func (c *Corpus) publish(e *Entry) {
+	old := c.snap.Load().entries
+	entries := make([]*Entry, len(old)+1)
+	copy(entries, old)
+	entries[len(old)] = e
+	c.snap.Store(&snapshot{entries: entries})
+	c.epoch.Add(1)
 }
 
 // Add inserts the program if its coverage includes edges not yet in the
 // corpus total (the update_corpus policy of Figure 1). It returns the
-// number of new edges contributed (0 means not added).
+// number of new edges contributed (0 means not added). The accepted entry
+// stores clones of cover and blocks, so callers may pass reusable scratch
+// sets.
 func (c *Corpus) Add(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) int {
 	text := p.Serialize()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.byText[text] {
+	if c.hasText(text) {
 		return 0
 	}
+	c.totalMu.Lock()
 	n := c.total.Merge(cover)
+	c.totalMu.Unlock()
 	if n == 0 {
 		return 0
 	}
-	c.byText[text] = true
-	c.entries = append(c.entries, &Entry{Prog: p, Cover: cover, Blocks: blocks, Traces: traces, Text: text})
+	c.totalEdges.Add(int64(n))
+	c.insertText(text)
+	c.publish(&Entry{Prog: p, Cover: cover.Clone(), Blocks: blocks.Clone(), Traces: traces, Text: text})
+	return n
+}
+
+// AddEntry inserts a pre-built entry under the same new-edges policy as
+// Add, preserving the entry's pointer identity (the parallel reconciler
+// uses this so per-VM prediction caches keyed by *Entry survive the merge
+// into the shared corpus). The corpus takes ownership of the entry.
+func (c *Corpus) AddEntry(e *Entry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hasText(e.Text) {
+		return 0
+	}
+	c.totalMu.Lock()
+	n := c.total.Merge(e.Cover)
+	c.totalMu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	c.totalEdges.Add(int64(n))
+	c.insertText(e.Text)
+	c.publish(e)
 	return n
 }
 
 // Seed inserts a program unconditionally (initial seeding), deduplicated by
-// text. It reports whether the program was inserted.
+// text. It reports whether the program was inserted. Like Add, it stores
+// clones of cover and blocks.
 func (c *Corpus) Seed(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) bool {
 	text := p.Serialize()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.byText[text] {
+	if c.hasText(text) {
 		return false
 	}
-	c.total.Merge(cover)
-	c.byText[text] = true
-	c.entries = append(c.entries, &Entry{Prog: p, Cover: cover, Blocks: blocks, Traces: traces, Text: text})
+	c.totalMu.Lock()
+	n := c.total.Merge(cover)
+	c.totalMu.Unlock()
+	c.totalEdges.Add(int64(n))
+	c.insertText(text)
+	c.publish(&Entry{Prog: p, Cover: cover.Clone(), Blocks: blocks.Clone(), Traces: traces, Text: text})
+	return true
+}
+
+// SeedEntry inserts a pre-built entry unconditionally (deduplicated by
+// text), preserving pointer identity. It reports whether it was inserted.
+func (c *Corpus) SeedEntry(e *Entry) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hasText(e.Text) {
+		return false
+	}
+	c.totalMu.Lock()
+	n := c.total.Merge(e.Cover)
+	c.totalMu.Unlock()
+	c.totalEdges.Add(int64(n))
+	c.insertText(e.Text)
+	c.publish(e)
 	return true
 }
 
 // Choose returns a random corpus entry (the choose_test policy), or nil if
-// the corpus is empty.
+// the corpus is empty. It reads the epoch snapshot and takes no lock.
 func (c *Corpus) Choose(r *rng.Rand) *Entry {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if len(c.entries) == 0 {
+	entries := c.snap.Load().entries
+	if len(entries) == 0 {
 		return nil
 	}
-	return c.entries[r.Intn(len(c.entries))]
+	return entries[r.Intn(len(entries))]
 }
 
 // Len returns the number of corpus programs.
 func (c *Corpus) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
+	return len(c.snap.Load().entries)
 }
 
 // TotalEdges returns the total number of unique edges covered.
 func (c *Corpus) TotalEdges() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.total.Len()
+	return int(c.totalEdges.Load())
 }
 
 // TotalCover returns a snapshot copy of the accumulated edge coverage.
 func (c *Corpus) TotalCover() *trace.Cover {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.totalMu.RLock()
+	defer c.totalMu.RUnlock()
 	return c.total.Clone()
 }
 
-// Entries returns a snapshot of the corpus entries.
+// Entries returns the current epoch's entry snapshot without copying: the
+// returned slice is immutable (a new backing array is published on every
+// Add/Seed) and must not be modified by the caller. Repeated calls between
+// corpus mutations return the same cached slice.
 func (c *Corpus) Entries() []*Entry {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]*Entry, len(c.entries))
-	copy(out, c.entries)
-	return out
+	return c.snap.Load().entries
+}
+
+// Epoch returns a counter that increments whenever the entry snapshot is
+// invalidated by Add/Seed. Callers can compare epochs to detect whether a
+// previously fetched Entries slice is still current.
+func (c *Corpus) Epoch() uint64 {
+	return c.epoch.Load()
 }
 
 // NewEdges reports how many of cover's edges are not yet in the corpus
 // total, without modifying anything.
 func (c *Corpus) NewEdges(cover *trace.Cover) int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	n := 0
-	for _, e := range cover.Edges() {
-		if !c.total.Has(e) {
-			n++
-		}
-	}
-	return n
+	c.totalMu.RLock()
+	defer c.totalMu.RUnlock()
+	return c.total.NewEdges(cover)
 }
 
 // Has reports whether an identical program is already in the corpus.
 func (c *Corpus) Has(p *prog.Prog) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.byText[p.Serialize()]
+	return c.hasText(p.Serialize())
+}
+
+// HasText reports whether a program with this serialized text is already in
+// the corpus (the dedup key Add and Seed use).
+func (c *Corpus) HasText(text string) bool {
+	return c.hasText(text)
 }

@@ -28,19 +28,19 @@ func progN(t *testing.T, seed uint64) *prog.Prog {
 func TestAddRequiresNewEdges(t *testing.T) {
 	c := New()
 	p1 := progN(t, 1)
-	if n := c.Add(p1, coverOf(trace.MakeEdge(1, 2)), nil, nil); n != 1 {
+	if n := c.Add(p1, coverOf(trace.MakeEdge(1, 2)), trace.BlockSet{}, nil); n != 1 {
 		t.Fatalf("first add contributed %d", n)
 	}
 	// Same coverage, different program: rejected.
 	p2 := progN(t, 2)
-	if n := c.Add(p2, coverOf(trace.MakeEdge(1, 2)), nil, nil); n != 0 {
+	if n := c.Add(p2, coverOf(trace.MakeEdge(1, 2)), trace.BlockSet{}, nil); n != 0 {
 		t.Fatalf("duplicate coverage accepted: %d", n)
 	}
 	if c.Len() != 1 {
 		t.Fatalf("corpus len %d", c.Len())
 	}
 	// New edge: accepted.
-	if n := c.Add(p2, coverOf(trace.MakeEdge(1, 2), trace.MakeEdge(2, 3)), nil, nil); n != 1 {
+	if n := c.Add(p2, coverOf(trace.MakeEdge(1, 2), trace.MakeEdge(2, 3)), trace.BlockSet{}, nil); n != 1 {
 		t.Fatalf("new edge contributed %d", n)
 	}
 	if c.TotalEdges() != 2 {
@@ -51,8 +51,8 @@ func TestAddRequiresNewEdges(t *testing.T) {
 func TestAddDeduplicatesByText(t *testing.T) {
 	c := New()
 	p := progN(t, 3)
-	c.Add(p, coverOf(trace.MakeEdge(1, 2)), nil, nil)
-	if n := c.Add(p.Clone(), coverOf(trace.MakeEdge(9, 9)), nil, nil); n != 0 {
+	c.Add(p, coverOf(trace.MakeEdge(1, 2)), trace.BlockSet{}, nil)
+	if n := c.Add(p.Clone(), coverOf(trace.MakeEdge(9, 9)), trace.BlockSet{}, nil); n != 0 {
 		t.Fatal("identical program re-added")
 	}
 }
@@ -60,10 +60,10 @@ func TestAddDeduplicatesByText(t *testing.T) {
 func TestSeedUnconditional(t *testing.T) {
 	c := New()
 	p := progN(t, 4)
-	if !c.Seed(p, coverOf(), nil, nil) {
+	if !c.Seed(p, coverOf(), trace.BlockSet{}, nil) {
 		t.Fatal("seed rejected")
 	}
-	if c.Seed(p.Clone(), coverOf(), nil, nil) {
+	if c.Seed(p.Clone(), coverOf(), trace.BlockSet{}, nil) {
 		t.Fatal("duplicate seed accepted")
 	}
 	if c.Len() != 1 {
@@ -77,7 +77,7 @@ func TestChoose(t *testing.T) {
 		t.Fatal("choose on empty corpus")
 	}
 	for i := uint64(0); i < 5; i++ {
-		c.Seed(progN(t, 10+i), coverOf(trace.MakeEdge(trace.Edge(i).From(), 1)), nil, nil)
+		c.Seed(progN(t, 10+i), coverOf(trace.MakeEdge(trace.Edge(i).From(), 1)), trace.BlockSet{}, nil)
 	}
 	r := rng.New(2)
 	seen := map[string]bool{}
@@ -91,9 +91,9 @@ func TestChoose(t *testing.T) {
 
 func TestTotalCoverSnapshot(t *testing.T) {
 	c := New()
-	c.Seed(progN(t, 20), coverOf(trace.MakeEdge(1, 2)), nil, nil)
+	c.Seed(progN(t, 20), coverOf(trace.MakeEdge(1, 2)), trace.BlockSet{}, nil)
 	snap := c.TotalCover()
-	c.Add(progN(t, 21), coverOf(trace.MakeEdge(3, 4)), nil, nil)
+	c.Add(progN(t, 21), coverOf(trace.MakeEdge(3, 4)), trace.BlockSet{}, nil)
 	if snap.Len() != 1 {
 		t.Fatal("snapshot mutated by later add")
 	}
@@ -110,7 +110,7 @@ func TestConcurrentAccess(t *testing.T) {
 			g := prog.NewGenerator(target)
 			for i := 0; i < 50; i++ {
 				p := g.Generate(r, 2)
-				c.Add(p, coverOf(trace.MakeEdge(trace.Edge(w).From(), trace.Edge(i).From())), nil, nil)
+				c.Add(p, coverOf(trace.MakeEdge(trace.Edge(w).From(), trace.Edge(i).From())), trace.BlockSet{}, nil)
 				c.Choose(r)
 				c.TotalEdges()
 			}

@@ -48,6 +48,36 @@ func (r *Result) Blocks() map[kernel.BlockID]struct{} {
 	return set
 }
 
+// Machine is one simulated fuzzing VM's execution engine: an Executor plus
+// per-machine counters. The parallel campaign engine gives each VM worker
+// its own Machine so execution state (boot snapshot, flaky-crash RNG,
+// noise) never crosses VM boundaries, and the counters feed the per-VM
+// stats line.
+type Machine struct {
+	*Executor
+	// ID is the VM index within its fleet.
+	ID int
+	// Execs counts programs run on this machine.
+	Execs int64
+	// BlocksRun is the total simulated cost (blocks executed) consumed.
+	BlocksRun int64
+}
+
+// NewMachine creates a per-VM execution machine over a fresh executor.
+func NewMachine(k *kernel.Kernel, id int) *Machine {
+	return &Machine{Executor: New(k), ID: id}
+}
+
+// Run executes the program on this machine, updating its counters.
+func (m *Machine) Run(p *prog.Prog) (*Result, error) {
+	res, err := m.Executor.Run(p)
+	if err == nil {
+		m.Execs++
+		m.BlocksRun += int64(res.Cost)
+	}
+	return res, err
+}
+
 // NoiseModel reintroduces the nondeterminism the paper's data-collection
 // pipeline eliminates: spurious background coverage (network interrupts,
 // RCU callbacks) and shared state across executions.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"github.com/repro/snowplow/internal/crash"
 	"github.com/repro/snowplow/internal/fuzzer"
@@ -80,6 +81,7 @@ func Campaign(h *Harness, version string) CampaignResult {
 		Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
 		Seed: opts.Seed + 0x515b0, Budget: opts.LongBudget * 2,
 		SeedCorpus: seedPrograms(h, version, opts.Seed+0x515b0),
+		VMs:        opts.VMs,
 	}))
 	var preTitles []string
 	for _, c := range pre.Crashes {
@@ -94,22 +96,39 @@ func Campaign(h *Harness, version string) CampaignResult {
 	if runs > 2 {
 		runs = 2 // the paper repeats the 7-day campaign twice
 	}
+	// Run every (repetition, mode) campaign concurrently — each campaign is
+	// an independent fuzzer over shared read-only artifacts and the
+	// thread-safe inference server — then classify in repetition order, so
+	// the result (including which run first claims a crash title) is
+	// identical to the sequential schedule.
+	syzStats := make([]*fuzzer.Stats, runs)
+	snowStats := make([]*fuzzer.Stats, runs)
+	var wg sync.WaitGroup
 	for rep := 0; rep < runs; rep++ {
 		seed := opts.Seed + uint64(rep)*7777
 		seeds := seedPrograms(h, version, seed)
-		h.logf("campaign rep %d: syzkaller...\n", rep)
-		syz := mustRun(fuzzer.New(fuzzer.Config{
-			Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
-			Seed: seed, Budget: opts.LongBudget, SeedCorpus: seeds,
-		}))
-		h.logf("campaign rep %d: snowplow...\n", rep)
-		snow := mustRun(fuzzer.New(fuzzer.Config{
-			Mode: fuzzer.ModeSnowplow, Kernel: k, An: an,
-			Seed: seed, Budget: opts.LongBudget, SeedCorpus: seeds, Server: srv,
-		}))
+		h.logf("campaign rep %d: syzkaller + snowplow...\n", rep)
+		wg.Add(2)
+		go func(rep int, seed uint64) {
+			defer wg.Done()
+			syzStats[rep] = mustRun(fuzzer.New(fuzzer.Config{
+				Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+				Seed: seed, Budget: opts.LongBudget, SeedCorpus: seeds, VMs: opts.VMs,
+			}))
+		}(rep, seed)
+		go func(rep int, seed uint64) {
+			defer wg.Done()
+			snowStats[rep] = mustRun(fuzzer.New(fuzzer.Config{
+				Mode: fuzzer.ModeSnowplow, Kernel: k, An: an,
+				Seed: seed, Budget: opts.LongBudget, SeedCorpus: seeds, Server: srv, VMs: opts.VMs,
+			}))
+		}(rep, seed)
+	}
+	wg.Wait()
+	for rep := 0; rep < runs; rep++ {
 		res.Runs = append(res.Runs,
-			classifyRun(tri, snow, rep, snowNew),
-			classifyRunSyz(tri, syz, rep, syzNew))
+			classifyRun(tri, snowStats[rep], rep, snowNew),
+			classifyRunSyz(tri, syzStats[rep], rep, syzNew))
 	}
 	res.SnowplowNewTotal = len(snowNew)
 	res.SyzkallerNewTotal = len(syzNew)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/prog"
@@ -37,13 +38,23 @@ type Fig6Result struct {
 }
 
 // Fig6 runs the repeated side-by-side coverage comparison on kernels 6.8
-// (trained-on), 6.9 and 6.10 (generalization).
+// (trained-on), 6.9 and 6.10 (generalization). The three versions run
+// concurrently (the model is trained once up front; kernels and servers are
+// per-version), and results are assembled in version order.
 func Fig6(h *Harness) Fig6Result {
-	var res Fig6Result
-	for _, version := range []string{"6.8", "6.9", "6.10"} {
-		res.Versions = append(res.Versions, fig6Version(h, version))
+	h.Model() // train before fanning out so goroutines don't race to it
+	versions := []string{"6.8", "6.9", "6.10"}
+	out := make([]Fig6Version, len(versions))
+	var wg sync.WaitGroup
+	for i, version := range versions {
+		wg.Add(1)
+		go func(i int, version string) {
+			defer wg.Done()
+			out[i] = fig6Version(h, version)
+		}(i, version)
 	}
-	return res
+	wg.Wait()
+	return Fig6Result{Versions: out}
 }
 
 func fig6Version(h *Harness, version string) Fig6Version {
@@ -54,25 +65,38 @@ func fig6Version(h *Harness, version string) Fig6Version {
 	defer srv.Close()
 
 	sampleEvery := opts.FuzzBudget / 60
-	var snowRuns, syzRuns [][]fuzzer.Point
+	// Repetitions are independent campaigns; run them (and the two modes
+	// inside each) concurrently and collect series by index, so the bands
+	// are built from the same runs in the same order as the sequential
+	// schedule.
+	snowRuns := make([][]fuzzer.Point, opts.Repeats)
+	syzRuns := make([][]fuzzer.Point, opts.Repeats)
+	var wg sync.WaitGroup
 	for rep := 0; rep < opts.Repeats; rep++ {
 		seed := opts.Seed + uint64(rep)*101
 		seeds := seedPrograms(h, version, seed)
-		h.logf("fig6 %s rep %d: syzkaller...\n", version, rep)
-		syz := mustRun(fuzzer.New(fuzzer.Config{
-			Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
-			Seed: seed, Budget: opts.FuzzBudget, SampleEvery: sampleEvery,
-			SeedCorpus: seeds,
-		}))
-		h.logf("fig6 %s rep %d: snowplow...\n", version, rep)
-		snow := mustRun(fuzzer.New(fuzzer.Config{
-			Mode: fuzzer.ModeSnowplow, Kernel: k, An: an,
-			Seed: seed, Budget: opts.FuzzBudget, SampleEvery: sampleEvery,
-			SeedCorpus: seeds, Server: srv,
-		}))
-		syzRuns = append(syzRuns, syz.Series)
-		snowRuns = append(snowRuns, snow.Series)
+		h.logf("fig6 %s rep %d: syzkaller + snowplow...\n", version, rep)
+		wg.Add(2)
+		go func(rep int, seed uint64) {
+			defer wg.Done()
+			syz := mustRun(fuzzer.New(fuzzer.Config{
+				Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+				Seed: seed, Budget: opts.FuzzBudget, SampleEvery: sampleEvery,
+				SeedCorpus: seeds, VMs: opts.VMs,
+			}))
+			syzRuns[rep] = syz.Series
+		}(rep, seed)
+		go func(rep int, seed uint64) {
+			defer wg.Done()
+			snow := mustRun(fuzzer.New(fuzzer.Config{
+				Mode: fuzzer.ModeSnowplow, Kernel: k, An: an,
+				Seed: seed, Budget: opts.FuzzBudget, SampleEvery: sampleEvery,
+				SeedCorpus: seeds, Server: srv, VMs: opts.VMs,
+			}))
+			snowRuns[rep] = snow.Series
+		}(rep, seed)
 	}
+	wg.Wait()
 
 	v := Fig6Version{Version: version}
 	v.Syzkaller = band(syzRuns, opts.FuzzBudget, sampleEvery)

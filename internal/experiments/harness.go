@@ -47,6 +47,9 @@ type Options struct {
 	Repeats int
 	// Workers sizes the inference pool.
 	Workers int
+	// VMs is the simulated-VM fleet size passed to fuzzing campaigns
+	// (fuzzer.Config.VMs); 0 or 1 runs campaigns sequentially.
+	VMs int
 	// BatchSize is the serving micro-batch limit (see serve.Options);
 	// 0 leaves batching off.
 	BatchSize int

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/trace"
+)
+
+// ParallelPoint is one VM-count measurement of the scaling sweep.
+type ParallelPoint struct {
+	VMs int
+	// ExecsPerSec is wall-clock fuzzing throughput (Syzkaller-mode
+	// campaign, no inference in the way).
+	ExecsPerSec float64
+	// Speedup is ExecsPerSec relative to the VMs=1 point.
+	Speedup float64
+	// QPS is inference queries/second sustained by a Snowplow-mode
+	// campaign at this fleet size.
+	QPS float64
+	// FinalEdges is the Syzkaller-mode campaign's coverage (same total
+	// budget at every fleet size, so coverage should hold roughly steady).
+	FinalEdges int
+	// QueueWaitMs is the fleet's total wall-clock barrier wait.
+	QueueWaitMs int64
+}
+
+// ParallelResult is the VM-scaling experiment (BENCH_parallel.json).
+type ParallelResult struct {
+	// MaxProcs is runtime.GOMAXPROCS at measurement time: scaling is
+	// bounded by it, so a 4-VM point on a 1-core host documents its own
+	// ceiling.
+	MaxProcs int
+	Points   []ParallelPoint
+}
+
+// Parallel measures wall-clock campaign throughput against simulated-VM
+// fleet size. The total budget is fixed, so perfect scaling halves
+// wall-clock per doubling; the per-VM counters expose where it doesn't.
+func Parallel(h *Harness, vmCounts []int) ParallelResult {
+	if len(vmCounts) == 0 {
+		vmCounts = []int{1, 2, 4}
+	}
+	opts := h.Opts
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	res := ParallelResult{MaxProcs: runtime.GOMAXPROCS(0)}
+	var base float64
+	for _, vms := range vmCounts {
+		h.logf("parallel: %d VM(s)...\n", vms)
+		seeds := seedPrograms(h, "6.8", opts.Seed)
+		start := time.Now()
+		stats := mustRun(fuzzer.New(fuzzer.Config{
+			Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+			Seed: opts.Seed, Budget: opts.FuzzBudget,
+			SeedCorpus: seeds, VMs: vms,
+		}))
+		elapsed := time.Since(start).Seconds()
+		pt := ParallelPoint{VMs: vms, FinalEdges: stats.FinalEdges}
+		if elapsed > 0 {
+			pt.ExecsPerSec = float64(stats.Executions) / elapsed
+		}
+		for _, vm := range stats.VMs {
+			pt.QueueWaitMs += vm.QueueWaitNs / 1e6
+		}
+		if base == 0 {
+			base = pt.ExecsPerSec
+		}
+		if base > 0 {
+			pt.Speedup = pt.ExecsPerSec / base
+		}
+
+		srv := h.Server("6.8")
+		start = time.Now()
+		snow := mustRun(fuzzer.New(fuzzer.Config{
+			Mode: fuzzer.ModeSnowplow, Kernel: k, An: an,
+			Seed: opts.Seed, Budget: opts.FuzzBudget / 4,
+			SeedCorpus: seeds, Server: srv, VMs: vms,
+		}))
+		if e := time.Since(start).Seconds(); e > 0 {
+			pt.QPS = float64(snow.PMMQueries) / e
+		}
+		srv.Close()
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Render prints the scaling table.
+func (r ParallelResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Parallel campaign scaling (GOMAXPROCS=%d) ==\n", r.MaxProcs)
+	fmt.Fprintf(w, "%4s %12s %8s %10s %10s %12s\n", "VMs", "execs/s", "speedup", "qps", "edges", "queue-wait")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%4d %12.0f %7.2fx %10.1f %10d %10dms\n",
+			p.VMs, p.ExecsPerSec, p.Speedup, p.QPS, p.FinalEdges, p.QueueWaitMs)
+	}
+	fmt.Fprintf(w, "(scaling is bounded by GOMAXPROCS; on a multi-core host expect >=2.5x at 4 VMs)\n")
+}
+
+// MicroResult is the coverage/corpus hot-path microbenchmark
+// (BENCH_micro.json), mirroring BenchmarkCoverMerge/BenchmarkCorpusChoose
+// in-binary so CI artifacts carry the numbers without a -bench run.
+type MicroResult struct {
+	// CoverMergeNsPerOp is merging one realistic execution cover into an
+	// accumulated total (the triage hot path).
+	CoverMergeNsPerOp float64
+	// CoverNewEdgesNsPerOp is the non-mutating new-edge count of the same
+	// covers against the total.
+	CoverNewEdgesNsPerOp float64
+	// CorpusChooseNsPerOp is one lock-free snapshot Choose.
+	CorpusChooseNsPerOp float64
+	// CorpusEntries is entries in the measured corpus.
+	CorpusEntries int
+}
+
+// Micro measures the coverage-set and corpus hot paths over a corpus
+// produced by a real short campaign (so cover shapes and sizes are
+// representative, not synthetic).
+func Micro(h *Harness) MicroResult {
+	opts := h.Opts
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	f := fuzzer.New(fuzzer.Config{
+		Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+		Seed: opts.Seed, Budget: 300_000,
+		SeedCorpus: seedPrograms(h, "6.8", opts.Seed),
+	})
+	mustRun(f)
+	corp := f.Corpus()
+	entries := corp.Entries()
+	res := MicroResult{CorpusEntries: len(entries)}
+	if len(entries) == 0 {
+		return res
+	}
+
+	const rounds = 200
+	start := time.Now()
+	ops := 0
+	for i := 0; i < rounds; i++ {
+		total := trace.NewCover()
+		for _, e := range entries {
+			total.Merge(e.Cover)
+			ops++
+		}
+	}
+	res.CoverMergeNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+	total := trace.NewCover()
+	for _, e := range entries {
+		total.Merge(e.Cover)
+	}
+	start = time.Now()
+	ops = 0
+	for i := 0; i < rounds; i++ {
+		for _, e := range entries {
+			total.NewEdges(e.Cover)
+			ops++
+		}
+	}
+	res.CoverNewEdgesNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+	r := rng.New(opts.Seed)
+	const chooses = 2_000_000
+	start = time.Now()
+	for i := 0; i < chooses; i++ {
+		corp.Choose(r)
+	}
+	res.CorpusChooseNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(chooses)
+	return res
+}
+
+// Render prints the microbenchmark numbers.
+func (r MicroResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Coverage/corpus hot-path microbenchmarks (%d corpus entries) ==\n", r.CorpusEntries)
+	fmt.Fprintf(w, "cover merge:     %8.1f ns/op\n", r.CoverMergeNsPerOp)
+	fmt.Fprintf(w, "cover new-edges: %8.1f ns/op\n", r.CoverNewEdgesNsPerOp)
+	fmt.Fprintf(w, "corpus choose:   %8.1f ns/op\n", r.CorpusChooseNsPerOp)
+}

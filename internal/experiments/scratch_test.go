@@ -91,9 +91,7 @@ func TestScratchIsolated(t *testing.T) {
 
 	covered := trace.BlockSet{}
 	for _, e := range f.Corpus().Entries() {
-		for blk := range e.Blocks {
-			covered.Add(blk)
-		}
+		covered.Merge(e.Blocks)
 	}
 	mut := mutation.NewMutator(k.Target)
 	exe := exec.New(k)

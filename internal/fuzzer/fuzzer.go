@@ -10,10 +10,17 @@
 // consumes no fuzzing budget: while a prediction is pending the fuzzer
 // performs its other mutation work, catching up with the PMM-selected
 // argument mutations when the reply arrives.
+//
+// Campaigns scale across simulated VMs (Config.VMs): each VM worker owns
+// its execution machine, RNG and prediction window and runs the full
+// generate→exec→trace→triage loop, synchronizing with the shared corpus
+// through an epoch-barrier reconciler (see parallel.go). VMs=1 runs the
+// original sequential loop and is bit-identical to it.
 package fuzzer
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/repro/snowplow/internal/cfa"
 	"github.com/repro/snowplow/internal/corpus"
@@ -49,11 +56,21 @@ type Config struct {
 	Kernel *kernel.Kernel
 	An     *cfa.Analysis
 	Seed   uint64
-	// Budget is the total simulated execution cost (blocks executed).
+	// Budget is the total simulated execution cost (blocks executed),
+	// shared evenly across the VM fleet.
 	Budget int64
 	// SampleEvery records a coverage time-series point each time this much
 	// budget is consumed.
 	SampleEvery int64
+	// VMs is the number of simulated fuzzing VMs running the campaign
+	// concurrently against the shared corpus. 0 or 1 runs the sequential
+	// loop; N>1 runs N VM workers whose results merge deterministically
+	// through the epoch reconciler, so a fixed seed reproduces the same
+	// campaign at any worker scheduling.
+	VMs int
+	// SyncEvery is the per-VM simulated cost between corpus
+	// synchronization barriers in parallel mode (0 = per-VM budget / 32).
+	SyncEvery int64
 	// Server performs PMM inference (required in ModeSnowplow).
 	Server *serve.Server
 	// FallbackProb is the probability of random argument localization in
@@ -104,7 +121,26 @@ type Point struct {
 type CrashReport struct {
 	Spec     *kernel.CrashSpec
 	ProgText string // serialized crashing program
-	Cost     int64  // simulated time of first observation
+	Cost     int64  // simulated time of first observation (VM-local time
+	// in parallel campaigns)
+}
+
+// VMStat is one VM worker's contribution to the campaign, for observing
+// degradation under contention.
+type VMStat struct {
+	VM         int
+	Executions int64
+	// NewEdges is the VM's new-edge yield: edges it contributed to the
+	// shared corpus (after cross-VM deduplication by the reconciler).
+	NewEdges int64
+	// Queries counts the VM's PMM inference queries.
+	Queries int64
+	// Epochs is how many reconcile epochs the VM ran.
+	Epochs int64
+	// QueueWaitNs is wall-clock time the VM spent blocked at reconcile
+	// barriers waiting for slower VMs (not simulated time; excluded from
+	// determinism guarantees).
+	QueueWaitNs int64
 }
 
 // Stats is the campaign outcome.
@@ -137,6 +173,8 @@ type Stats struct {
 	// Yield breaks down executions and resulting new edges by work class,
 	// for diagnosing where coverage comes from.
 	Yield YieldStats
+	// VMs holds per-VM counters (one element per simulated VM).
+	VMs []VMStat
 }
 
 // YieldStats attributes executions and new edges to work classes.
@@ -147,22 +185,113 @@ type YieldStats struct {
 	GenerateExecs, GenerateEdges int64 // freshly generated programs
 }
 
+// add accumulates another breakdown into y.
+func (y *YieldStats) add(o YieldStats) {
+	y.GuidedExecs += o.GuidedExecs
+	y.GuidedEdges += o.GuidedEdges
+	y.RandArgExecs += o.RandArgExecs
+	y.RandArgEdges += o.RandArgEdges
+	y.OtherMutExecs += o.OtherMutExecs
+	y.OtherMutEdges += o.OtherMutEdges
+	y.GenerateExecs += o.GenerateExecs
+	y.GenerateEdges += o.GenerateEdges
+}
+
+// edges is the total new-edge yield across work classes.
+func (y YieldStats) edges() int64 {
+	return y.GuidedEdges + y.RandArgEdges + y.OtherMutEdges + y.GenerateEdges
+}
+
+// corpusView is a VM worker's window onto the campaign corpus. The
+// sequential campaign reads and writes the shared corpus directly; a
+// parallel VM sees an epoch snapshot plus its own local additions, which
+// the reconciler merges at the next barrier.
+type corpusView interface {
+	Choose(r *rng.Rand) *corpus.Entry
+	Add(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) int
+	Seed(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) bool
+	NewEdges(cover *trace.Cover) int
+	TotalCover() *trace.Cover
+	// HasBlock reports whether the campaign (as visible to this VM) has
+	// covered the block; queryTargets uses it to pick fresh frontiers.
+	HasBlock(b kernel.BlockID) bool
+}
+
+// sharedView is the sequential campaign's direct window onto the corpus.
+type sharedView struct {
+	corp   *corpus.Corpus
+	blocks *trace.BlockSet // campaign-global covered blocks
+}
+
+func (v *sharedView) Choose(r *rng.Rand) *corpus.Entry { return v.corp.Choose(r) }
+
+func (v *sharedView) Add(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) int {
+	n := v.corp.Add(p, cover, blocks, traces)
+	if n > 0 {
+		v.blocks.Merge(blocks)
+	}
+	return n
+}
+
+func (v *sharedView) Seed(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) bool {
+	if v.corp.Seed(p, cover, blocks, traces) {
+		v.blocks.Merge(blocks)
+		return true
+	}
+	return false
+}
+
+func (v *sharedView) NewEdges(cover *trace.Cover) int { return v.corp.NewEdges(cover) }
+func (v *sharedView) TotalCover() *trace.Cover        { return v.corp.TotalCover() }
+func (v *sharedView) HasBlock(b kernel.BlockID) bool  { return v.blocks.Has(b) }
+
 // Fuzzer is one configured campaign.
 type Fuzzer struct {
-	cfg  Config
+	cfg          Config
+	corp         *corpus.Corpus
+	globalBlocks trace.BlockSet
+	stats        Stats
+	seq          *worker // the sequential (VMs<=1) worker
+}
+
+// worker is one simulated fuzzing VM: the full generate→exec→trace→triage
+// loop with its own execution machine, RNG stream, prediction window and
+// scratch buffers. The sequential campaign is a single worker bound
+// directly to the shared corpus.
+type worker struct {
+	cfg  *Config
+	id   int
 	r    *rng.Rand
-	exe  *exec.Executor
+	exe  *exec.Machine
 	mut  *mutation.Mutator
 	gen  *prog.Generator
-	corp *corpus.Corpus
+	view corpusView
 
-	globalBlocks trace.BlockSet
-	crashSeen    map[string]*CrashReport
-	stats        Stats
-	cost         int64
-	nextSample   int64
+	preds     map[*corpus.Entry]*entryPrediction
+	crashSeen map[string]*CrashReport
+	stats     *Stats // counter sink (the campaign Stats when sequential)
 
-	preds map[*corpus.Entry]*entryPrediction
+	cost        int64
+	budget      int64
+	sampleEvery int64 // sequential: series sampling period (0 = no series)
+	nextSample  int64
+
+	// Parallel-mode bookkeeping (see parallel.go).
+	err          error         // first step error inside an epoch
+	epochElapsed time.Duration // wall-clock of the worker's last epoch
+	queueWaitNs  int64         // accumulated barrier wait
+	epochs       int64
+	reconciled   int64 // new edges credited after cross-VM dedup
+
+	// deferHarvest makes prediction replies visible only at epoch
+	// barriers, pinning the parallel campaign's query schedule to
+	// simulated time instead of wall-clock arrival order.
+	deferHarvest bool
+
+	// scratch buffers reused across executions (trace.EdgesOfInto /
+	// trace.BlockSetOfInto); the corpus clones them on acceptance.
+	scratchCover  *trace.Cover
+	scratchBlocks trace.BlockSet
 }
 
 // entryPrediction caches PMM's localization for one corpus entry. A
@@ -186,6 +315,9 @@ func New(cfg Config) *Fuzzer {
 			cfg.SampleEvery = 1
 		}
 	}
+	if cfg.VMs <= 0 {
+		cfg.VMs = 1
+	}
 	if cfg.FallbackProb == 0 {
 		cfg.FallbackProb = 0.1
 	}
@@ -205,38 +337,61 @@ func New(cfg Config) *Fuzzer {
 		cfg.MaxPending = 8
 	}
 	f := &Fuzzer{
-		cfg:          cfg,
-		r:            rng.New(cfg.Seed),
-		exe:          exec.New(cfg.Kernel),
-		mut:          mutation.NewMutator(cfg.Kernel.Target),
-		gen:          prog.NewGenerator(cfg.Kernel.Target),
-		corp:         corpus.New(),
-		globalBlocks: trace.BlockSet{},
-		crashSeen:    map[string]*CrashReport{},
-		preds:        map[*corpus.Entry]*entryPrediction{},
+		cfg:  cfg,
+		corp: corpus.New(),
 	}
 	f.stats.Mode = cfg.Mode
+	f.seq = &worker{
+		cfg:          &f.cfg,
+		id:           0,
+		r:            rng.New(cfg.Seed),
+		exe:          exec.NewMachine(cfg.Kernel, 0),
+		mut:          mutation.NewMutator(cfg.Kernel.Target),
+		gen:          prog.NewGenerator(cfg.Kernel.Target),
+		view:         &sharedView{corp: f.corp, blocks: &f.globalBlocks},
+		preds:        map[*corpus.Entry]*entryPrediction{},
+		crashSeen:    map[string]*CrashReport{},
+		stats:        &f.stats,
+		budget:       cfg.Budget,
+		sampleEvery:  cfg.SampleEvery,
+		scratchCover: trace.NewCover(),
+	}
 	return f
 }
 
 // Corpus exposes the fuzzer's corpus (for directed fuzzing and tests).
 func (f *Fuzzer) Corpus() *corpus.Corpus { return f.corp }
 
+// fallbackProb exposes the sequential worker's degraded-fallback logic for
+// tests.
+func (f *Fuzzer) fallbackProb() float64 { return f.seq.fallbackProb() }
+
 // Run executes the campaign until the budget is exhausted and returns the
 // statistics.
 func (f *Fuzzer) Run() (*Stats, error) {
-	f.nextSample = f.cfg.SampleEvery
+	if f.cfg.VMs > 1 {
+		return f.runParallel()
+	}
+	return f.runSequential()
+}
+
+// runSequential is the single-VM campaign: the worker is bound directly to
+// the shared corpus and merges every result immediately, exactly as the
+// original sequential loop did.
+func (f *Fuzzer) runSequential() (*Stats, error) {
+	w := f.seq
+	w.nextSample = w.sampleEvery
 	for _, p := range f.cfg.SeedCorpus {
-		if err := f.seed(p); err != nil {
+		if err := w.seed(p); err != nil {
 			return nil, err
 		}
 	}
-	for f.cost < f.cfg.Budget {
-		if err := f.step(); err != nil {
+	for w.cost < w.budget {
+		if err := w.step(); err != nil {
 			return nil, err
 		}
 	}
-	f.drainPending()
+	w.drainPending()
 	f.stats.CorpusSize = f.corp.Len()
 	f.stats.FinalEdges = f.corp.TotalEdges()
 	if f.cfg.Server != nil {
@@ -244,9 +399,16 @@ func (f *Fuzzer) Run() (*Stats, error) {
 		f.stats.PMMCacheHits = ss.CacheHits
 		f.stats.PMMCacheMisses = ss.CacheMisses
 	}
-	if len(f.stats.Series) == 0 || f.stats.Series[len(f.stats.Series)-1].Cost < f.cost {
-		f.stats.Series = append(f.stats.Series, Point{Cost: f.cost, Edges: f.corp.TotalEdges()})
+	if len(f.stats.Series) == 0 || f.stats.Series[len(f.stats.Series)-1].Cost < w.cost {
+		f.stats.Series = append(f.stats.Series, Point{Cost: w.cost, Edges: f.corp.TotalEdges()})
 	}
+	f.stats.VMs = []VMStat{{
+		VM:         0,
+		Executions: f.stats.Executions,
+		NewEdges:   f.stats.Yield.edges(),
+		Queries:    f.stats.PMMQueries,
+		Epochs:     1,
+	}}
 	return &f.stats, nil
 }
 
@@ -254,24 +416,24 @@ func (f *Fuzzer) Run() (*Stats, error) {
 // only inside the ARGUMENT_MUTATION branch — type selection, instantiation,
 // call insertion/removal and fresh generation are shared — exactly as in
 // the paper's deployment, which swaps the localizer and nothing else.
-func (f *Fuzzer) step() error {
-	entry := f.corp.Choose(f.r)
-	if entry == nil || f.r.Chance(f.cfg.GenerateProb) {
-		p := f.gen.Generate(f.r, 2+f.r.Intn(5))
-		_, err := f.execute(p, classGenerate)
+func (w *worker) step() error {
+	entry := w.view.Choose(w.r)
+	if entry == nil || w.r.Chance(w.cfg.GenerateProb) {
+		p := w.gen.Generate(w.r, 2+w.r.Intn(5))
+		_, err := w.execute(p, classGenerate)
 		return err
 	}
 
-	t := f.mut.SelectType(f.r, entry.Prog)
-	if t == mutation.ArgMutation && f.cfg.Mode == ModeSnowplow && !f.r.Chance(f.fallbackProb()) {
-		return f.guidedArgMutation(entry)
+	t := w.mut.SelectType(w.r, entry.Prog)
+	if t == mutation.ArgMutation && w.cfg.Mode == ModeSnowplow && !w.r.Chance(w.fallbackProb()) {
+		return w.guidedArgMutation(entry)
 	}
 	class := classOther
 	if t == mutation.ArgMutation {
 		class = classRandArg
 	}
-	rec := f.mut.MutateType(f.r, entry.Prog, t)
-	_, err := f.execute(rec.Prog, class)
+	rec := w.mut.MutateType(w.r, entry.Prog, t)
+	_, err := w.execute(rec.Prog, class)
 	return err
 }
 
@@ -280,15 +442,15 @@ func (f *Fuzzer) step() error {
 // DegradedFallbackProb while it is not (§3.4's graceful degradation). A
 // degraded round also sheds pending inference queries, so the fuzzer's
 // in-flight window drains instead of accumulating against a sick server.
-func (f *Fuzzer) fallbackProb() float64 {
-	fb := f.cfg.FallbackProb
-	if f.cfg.Server == nil || f.cfg.Server.Healthy() {
+func (w *worker) fallbackProb() float64 {
+	fb := w.cfg.FallbackProb
+	if w.cfg.Server == nil || w.cfg.Server.Healthy() {
 		return fb
 	}
-	f.stats.DegradedSteps++
-	f.shedPending()
-	if f.cfg.DegradedFallbackProb > fb {
-		fb = f.cfg.DegradedFallbackProb
+	w.stats.DegradedSteps++
+	w.shedPending()
+	if w.cfg.DegradedFallbackProb > fb {
+		fb = w.cfg.DegradedFallbackProb
 	}
 	return fb
 }
@@ -296,12 +458,12 @@ func (f *Fuzzer) fallbackProb() float64 {
 // shedPending abandons every in-flight inference query. Reply channels are
 // buffered and delivered exactly once, so dropping the references leaks
 // neither goroutines nor memory beyond the reply value itself.
-func (f *Fuzzer) shedPending() {
-	for _, st := range f.preds {
+func (w *worker) shedPending() {
+	for _, st := range w.preds {
 		if st.reply != nil {
 			st.reply = nil
 			st.targets = nil
-			f.stats.PMMShed++
+			w.stats.PMMShed++
 		}
 	}
 }
@@ -309,12 +471,12 @@ func (f *Fuzzer) shedPending() {
 // sanitizeSlots drops slot references outside the program's mutation
 // surface. Predictions cross a serving boundary and may be corrupt or
 // stale; they must never crash the mutator.
-func (f *Fuzzer) sanitizeSlots(p *prog.Prog, slots []prog.GlobalSlot) []prog.GlobalSlot {
+func (w *worker) sanitizeSlots(p *prog.Prog, slots []prog.GlobalSlot) []prog.GlobalSlot {
 	valid := slots[:0]
 	for _, gs := range slots {
 		if gs.Call < 0 || gs.Call >= len(p.Calls) ||
 			gs.Slot < 0 || gs.Slot >= len(p.Calls[gs.Call].Meta.Slots()) {
-			f.stats.PMMInvalidSlots++
+			w.stats.PMMInvalidSlots++
 			continue
 		}
 		valid = append(valid, gs)
@@ -330,27 +492,27 @@ func (f *Fuzzer) sanitizeSlots(p *prog.Prog, slots []prog.GlobalSlot) []prog.Glo
 // proportional to the number of predicted arguments — and a fresh query is
 // issued the next time the entry is picked, so guidance always reflects the
 // current coverage frontier.
-func (f *Fuzzer) guidedArgMutation(entry *corpus.Entry) error {
-	if f.cfg.SyncInference {
-		return f.syncGuidedArgMutation(entry)
+func (w *worker) guidedArgMutation(entry *corpus.Entry) error {
+	if w.cfg.SyncInference {
+		return w.syncGuidedArgMutation(entry)
 	}
-	st := f.predictionFor(entry)
+	st := w.predictionFor(entry)
 	if st == nil || st.pred == nil {
 		// Prediction not ready (or no fresh argument-gated frontier to ask
 		// about): random-localizer mutation this round, hiding the
 		// inference latency behind ordinary mutation work (§3.4).
-		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
-		_, err := f.execute(rec.Prog, classRandArg)
+		rec := w.mut.MutateType(w.r, entry.Prog, mutation.ArgMutation)
+		_, err := w.execute(rec.Prog, classRandArg)
 		return err
 	}
-	slots := f.sanitizeSlots(entry.Prog, st.pred.Slots)
+	slots := w.sanitizeSlots(entry.Prog, st.pred.Slots)
 	st.pred = nil // consume: next pick re-queries with fresh targets
 	if len(slots) == 0 {
-		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
-		_, err := f.execute(rec.Prog, classRandArg)
+		rec := w.mut.MutateType(w.r, entry.Prog, mutation.ArgMutation)
+		_, err := w.execute(rec.Prog, classRandArg)
 		return err
 	}
-	return f.guidedBurst(entry, slots)
+	return w.guidedBurst(entry, slots)
 }
 
 // guidedBurst performs the PMM-localized argument mutations for one
@@ -361,33 +523,33 @@ func (f *Fuzzer) guidedArgMutation(entry *corpus.Entry) error {
 // has actually arrived — the fuzzer never waits for the model — so the
 // guided share of the budget is bounded by the serving throughput, exactly
 // as in the paper's deployment.
-func (f *Fuzzer) guidedBurst(entry *corpus.Entry, slots []prog.GlobalSlot) error {
+func (w *worker) guidedBurst(entry *corpus.Entry, slots []prog.GlobalSlot) error {
 	if len(slots) > 8 {
 		slots = slots[:8]
 	}
 	for _, slot := range slots {
-		for j := 0; j < f.cfg.MutationsPerPrediction; j++ {
-			if f.cost >= f.cfg.Budget {
+		for j := 0; j < w.cfg.MutationsPerPrediction; j++ {
+			if w.cost >= w.budget {
 				return nil
 			}
-			rec := f.mut.MutateArgs(f.r, entry.Prog, []prog.GlobalSlot{slot})
-			if _, err := f.execute(rec.Prog, classGuided); err != nil {
+			rec := w.mut.MutateArgs(w.r, entry.Prog, []prog.GlobalSlot{slot})
+			if _, err := w.execute(rec.Prog, classGuided); err != nil {
 				return err
 			}
 		}
 	}
 	if len(slots) >= 2 {
-		for j := 0; j < f.cfg.MutationsPerPrediction; j++ {
-			if f.cost >= f.cfg.Budget {
+		for j := 0; j < w.cfg.MutationsPerPrediction; j++ {
+			if w.cost >= w.budget {
 				return nil
 			}
-			a := slots[f.r.Intn(len(slots))]
-			b := slots[f.r.Intn(len(slots))]
+			a := slots[w.r.Intn(len(slots))]
+			b := slots[w.r.Intn(len(slots))]
 			if a == b {
 				continue
 			}
-			rec := f.mut.MutateArgs(f.r, entry.Prog, []prog.GlobalSlot{a, b})
-			if _, err := f.execute(rec.Prog, classGuided); err != nil {
+			rec := w.mut.MutateArgs(w.r, entry.Prog, []prog.GlobalSlot{a, b})
+			if _, err := w.execute(rec.Prog, classGuided); err != nil {
 				return err
 			}
 		}
@@ -398,43 +560,45 @@ func (f *Fuzzer) guidedBurst(entry *corpus.Entry, slots []prog.GlobalSlot) error
 // syncGuidedArgMutation is the ablated integration: block on inference for
 // every guided round. The simulated budget is unaffected (inference is
 // off-box), but wall-clock throughput collapses — the effect §5.5 measures.
-func (f *Fuzzer) syncGuidedArgMutation(entry *corpus.Entry) error {
-	targets := f.queryTargets(entry)
+func (w *worker) syncGuidedArgMutation(entry *corpus.Entry) error {
+	targets := w.queryTargets(entry)
 	if len(targets) == 0 {
-		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
-		_, err := f.execute(rec.Prog, classRandArg)
+		rec := w.mut.MutateType(w.r, entry.Prog, mutation.ArgMutation)
+		_, err := w.execute(rec.Prog, classRandArg)
 		return err
 	}
-	f.stats.PMMQueries++
-	pred, err := f.cfg.Server.Infer(serve.Query{Prog: entry.Prog, Traces: entry.Traces, Targets: targets})
+	w.stats.PMMQueries++
+	pred, err := w.cfg.Server.Infer(serve.Query{Prog: entry.Prog, Traces: entry.Traces, Targets: targets})
 	if err != nil {
-		f.stats.PMMFailed++
-		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
-		_, execErr := f.execute(rec.Prog, classRandArg)
+		w.stats.PMMFailed++
+		rec := w.mut.MutateType(w.r, entry.Prog, mutation.ArgMutation)
+		_, execErr := w.execute(rec.Prog, classRandArg)
 		return execErr
 	}
-	f.stats.PMMPredictions++
-	slots := f.sanitizeSlots(entry.Prog, pred.Slots)
+	w.stats.PMMPredictions++
+	slots := w.sanitizeSlots(entry.Prog, pred.Slots)
 	if len(slots) == 0 {
-		rec := f.mut.MutateType(f.r, entry.Prog, mutation.ArgMutation)
-		_, execErr := f.execute(rec.Prog, classRandArg)
+		rec := w.mut.MutateType(w.r, entry.Prog, mutation.ArgMutation)
+		_, execErr := w.execute(rec.Prog, classRandArg)
 		return execErr
 	}
-	return f.guidedBurst(entry, slots)
+	return w.guidedBurst(entry, slots)
 }
 
 // predictionFor returns the entry's cached prediction state, submitting or
 // refreshing the asynchronous query as needed and harvesting a completed
-// reply if one is available.
-func (f *Fuzzer) predictionFor(entry *corpus.Entry) *entryPrediction {
-	st := f.preds[entry]
+// reply if one is available. In deferred-harvest (parallel) mode replies
+// become visible only at epoch barriers, so prediction availability is a
+// function of simulated time, not wall-clock arrival order.
+func (w *worker) predictionFor(entry *corpus.Entry) *entryPrediction {
+	st := w.preds[entry]
 	if st == nil {
 		st = &entryPrediction{}
-		f.preds[entry] = st
-		f.submitQuery(entry, st)
+		w.preds[entry] = st
+		w.submitQuery(entry, st)
 		return st
 	}
-	if st.reply != nil {
+	if st.reply != nil && !w.deferHarvest {
 		select {
 		case pred := <-st.reply:
 			st.reply = nil
@@ -442,10 +606,10 @@ func (f *Fuzzer) predictionFor(entry *corpus.Entry) *entryPrediction {
 				// Terminal serving failure (deadline, retries
 				// exhausted, closed): no guidance this round; the
 				// random fallback covers the base.
-				f.stats.PMMFailed++
+				w.stats.PMMFailed++
 			} else {
 				st.pred = &pred
-				f.stats.PMMPredictions++
+				w.stats.PMMPredictions++
 			}
 		default:
 		}
@@ -453,22 +617,43 @@ func (f *Fuzzer) predictionFor(entry *corpus.Entry) *entryPrediction {
 	// Consumed (or never-answered) prediction with no query in flight:
 	// resubmit against the current frontier.
 	if st.pred == nil && st.reply == nil {
-		f.submitQuery(entry, st)
+		w.submitQuery(entry, st)
 	}
 	return st
 }
 
+// harvestPending blocks for every outstanding prediction reply and makes
+// the results available to the next epoch. The reconciler calls this at
+// epoch start; serving deadlines and retry budgets bound the wait, and
+// reply channels are buffered exactly-once, so the drain always
+// terminates.
+func (w *worker) harvestPending() {
+	for _, st := range w.preds {
+		if st.reply == nil {
+			continue
+		}
+		pred := <-st.reply
+		st.reply = nil
+		if pred.Err != nil {
+			w.stats.PMMFailed++
+		} else {
+			st.pred = &pred
+			w.stats.PMMPredictions++
+		}
+	}
+}
+
 // submitQuery asks PMM which arguments of the base to mutate, targeting
 // uncovered frontier blocks near the base's coverage.
-func (f *Fuzzer) submitQuery(entry *corpus.Entry, st *entryPrediction) {
-	if !f.cfg.Server.Healthy() {
+func (w *worker) submitQuery(entry *corpus.Entry, st *entryPrediction) {
+	if !w.cfg.Server.Healthy() {
 		return // degraded serving: shed instead of queueing more work
 	}
-	targets := f.queryTargets(entry)
+	targets := w.queryTargets(entry)
 	if len(targets) == 0 {
 		return
 	}
-	reply, err := f.cfg.Server.InferAsync(serve.Query{
+	reply, err := w.cfg.Server.InferAsync(serve.Query{
 		Prog:    entry.Prog,
 		Traces:  entry.Traces,
 		Targets: targets,
@@ -476,7 +661,7 @@ func (f *Fuzzer) submitQuery(entry *corpus.Entry, st *entryPrediction) {
 	if err != nil {
 		return // server closed: the random fallback already covers this base
 	}
-	f.stats.PMMQueries++
+	w.stats.PMMQueries++
 	st.reply = reply
 	st.targets = targets
 }
@@ -487,24 +672,24 @@ func (f *Fuzzer) submitQuery(entry *corpus.Entry, st *entryPrediction) {
 // flipped by argument mutation, so asking PMM about them only produces
 // unusable localizations; the gating predicate's class is static CFG
 // information the fuzzer already has.
-func (f *Fuzzer) queryTargets(entry *corpus.Entry) []kernel.BlockID {
-	alts := f.cfg.An.Frontier(entry.Blocks)
+func (w *worker) queryTargets(entry *corpus.Entry) []kernel.BlockID {
+	alts := w.cfg.An.Frontier(entry.Blocks)
 	var fresh []kernel.BlockID
 	seen := map[kernel.BlockID]bool{}
 	for _, alt := range alts {
-		if seen[alt.Entry] || f.globalBlocks.Has(alt.Entry) {
+		if seen[alt.Entry] || w.view.HasBlock(alt.Entry) {
 			continue
 		}
-		switch f.cfg.Kernel.Block(alt.From).Pred.Kind {
+		switch w.cfg.Kernel.Block(alt.From).Pred.Kind {
 		case kernel.PredCounterGT, kernel.PredCounterEQ:
 			continue
 		}
 		seen[alt.Entry] = true
 		fresh = append(fresh, alt.Entry)
 	}
-	if len(fresh) > f.cfg.MaxQueryTargets {
-		f.r.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
-		fresh = fresh[:f.cfg.MaxQueryTargets]
+	if len(fresh) > w.cfg.MaxQueryTargets {
+		w.r.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
+		fresh = fresh[:w.cfg.MaxQueryTargets]
 	}
 	return fresh
 }
@@ -519,8 +704,8 @@ const (
 	classOther
 )
 
-func (f *Fuzzer) recordYield(class yieldClass, newEdges int) {
-	y := &f.stats.Yield
+func (w *worker) recordYield(class yieldClass, newEdges int) {
+	y := &w.stats.Yield
 	switch class {
 	case classGenerate:
 		y.GenerateExecs++
@@ -539,43 +724,38 @@ func (f *Fuzzer) recordYield(class yieldClass, newEdges int) {
 
 // execute runs a program, charges its cost, triages the result, and
 // updates corpus and crash records.
-func (f *Fuzzer) execute(p *prog.Prog, class yieldClass) (*exec.Result, error) {
-	res, err := f.exe.Run(p)
+func (w *worker) execute(p *prog.Prog, class yieldClass) (*exec.Result, error) {
+	res, err := w.exe.Run(p)
 	if err != nil {
 		return nil, fmt.Errorf("fuzzer: %w", err)
 	}
-	f.stats.Executions++
-	f.charge(int64(res.Cost))
+	w.stats.Executions++
+	w.charge(int64(res.Cost))
 	if res.Crash != nil {
-		if _, seen := f.crashSeen[res.Crash.Title]; !seen {
-			report := &CrashReport{Spec: res.Crash, ProgText: p.Serialize(), Cost: f.cost}
-			f.crashSeen[res.Crash.Title] = report
-			f.stats.Crashes = append(f.stats.Crashes, report)
+		if _, seen := w.crashSeen[res.Crash.Title]; !seen {
+			report := &CrashReport{Spec: res.Crash, ProgText: p.Serialize(), Cost: w.cost}
+			w.crashSeen[res.Crash.Title] = report
+			w.stats.Crashes = append(w.stats.Crashes, report)
 		}
-		f.recordYield(class, 0)
+		w.recordYield(class, 0)
 		return res, nil
 	}
-	cover := trace.EdgesOf(res)
-	blocks := trace.NewBlockSet(trace.BlocksOf(res))
-	if f.cfg.MinimizeCorpus && len(p.Calls) > 1 && f.corp.NewEdges(cover) > 0 {
-		p, res, cover, blocks = f.minimize(p, res, cover)
+	cover := trace.EdgesOfInto(w.scratchCover, res)
+	blocks := *trace.BlockSetOfInto(&w.scratchBlocks, res)
+	if w.cfg.MinimizeCorpus && len(p.Calls) > 1 && w.view.NewEdges(cover) > 0 {
+		p, res, cover, blocks = w.minimize(p, res, cover)
 	}
-	newEdges := f.corp.Add(p, cover, blocks, res.CallTraces)
-	if newEdges > 0 {
-		for b := range blocks {
-			f.globalBlocks.Add(b)
-		}
-	}
-	f.recordYield(class, newEdges)
+	newEdges := w.view.Add(p, cover, blocks, res.CallTraces)
+	w.recordYield(class, newEdges)
 	return res, nil
 }
 
 // minimize implements Syzkaller's triage minimization: drop calls (last to
 // first) while the program still contributes every new edge it was about to
 // add. Each trial execution is charged to the budget.
-func (f *Fuzzer) minimize(p *prog.Prog, res *exec.Result, cover *trace.Cover) (*prog.Prog, *exec.Result, *trace.Cover, trace.BlockSet) {
+func (w *worker) minimize(p *prog.Prog, res *exec.Result, cover *trace.Cover) (*prog.Prog, *exec.Result, *trace.Cover, trace.BlockSet) {
 	must := trace.NewCover()
-	total := f.corp.TotalCover()
+	total := w.view.TotalCover()
 	for _, e := range cover.Edges() {
 		if !total.Has(e) {
 			must.Add(e)
@@ -588,12 +768,12 @@ func (f *Fuzzer) minimize(p *prog.Prog, res *exec.Result, cover *trace.Cover) (*
 		}
 		cand := best.Clone()
 		cand.RemoveCall(i)
-		candRes, err := f.exe.Run(cand)
+		candRes, err := w.exe.Run(cand)
 		if err != nil || candRes.Crash != nil {
 			continue
 		}
-		f.stats.Executions++
-		f.charge(int64(candRes.Cost))
+		w.stats.Executions++
+		w.charge(int64(candRes.Cost))
 		candCover := trace.EdgesOf(candRes)
 		keeps := true
 		for _, e := range must.Edges() {
@@ -610,47 +790,48 @@ func (f *Fuzzer) minimize(p *prog.Prog, res *exec.Result, cover *trace.Cover) (*
 }
 
 // seed executes and unconditionally retains an initial program.
-func (f *Fuzzer) seed(p *prog.Prog) error {
-	res, err := f.exe.Run(p)
+func (w *worker) seed(p *prog.Prog) error {
+	res, err := w.exe.Run(p)
 	if err != nil {
 		return err
 	}
-	f.stats.Executions++
-	f.charge(int64(res.Cost))
+	w.stats.Executions++
+	w.charge(int64(res.Cost))
 	if res.Crash != nil {
 		return nil
 	}
-	cover := trace.EdgesOf(res)
-	blocks := trace.NewBlockSet(trace.BlocksOf(res))
-	if f.corp.Seed(p, cover, blocks, res.CallTraces) {
-		for b := range blocks {
-			f.globalBlocks.Add(b)
-		}
-	}
+	cover := trace.EdgesOfInto(w.scratchCover, res)
+	blocks := *trace.BlockSetOfInto(&w.scratchBlocks, res)
+	w.view.Seed(p, cover, blocks, res.CallTraces)
 	return nil
 }
 
-// charge advances simulated time and samples the coverage series.
-func (f *Fuzzer) charge(cost int64) {
-	f.cost += cost
-	for f.cost >= f.nextSample {
-		f.stats.Series = append(f.stats.Series, Point{Cost: f.nextSample, Edges: f.corp.TotalEdges()})
-		f.nextSample += f.cfg.SampleEvery
+// charge advances simulated time and, in sequential mode, samples the
+// coverage series (parallel campaigns sample at reconcile barriers
+// instead).
+func (w *worker) charge(cost int64) {
+	w.cost += cost
+	if w.sampleEvery <= 0 {
+		return
+	}
+	for w.cost >= w.nextSample {
+		w.stats.Series = append(w.stats.Series, Point{Cost: w.nextSample, Edges: w.view.TotalCover().Len()})
+		w.nextSample += w.sampleEvery
 	}
 }
 
 // drainPending harvests predictions still in flight at budget exhaustion.
 // Reply channels are buffered and delivered exactly once, so abandoning an
 // unharvested reply cannot leak a goroutine.
-func (f *Fuzzer) drainPending() {
-	for _, st := range f.preds {
+func (w *worker) drainPending() {
+	for _, st := range w.preds {
 		if st.reply != nil {
 			select {
 			case pred := <-st.reply:
 				if pred.Err != nil {
-					f.stats.PMMFailed++
+					w.stats.PMMFailed++
 				} else {
-					f.stats.PMMPredictions++
+					w.stats.PMMPredictions++
 				}
 			default:
 			}

@@ -1,0 +1,321 @@
+// Parallel campaign engine: N simulated VMs run the generate→exec→trace→
+// triage loop concurrently against a shared corpus.
+//
+// Determinism is the design constraint. A naive shared-corpus race would
+// make every multi-VM campaign irreproducible, so the engine runs the fleet
+// in lockstep epochs:
+//
+//   - At an epoch start each VM snapshots the shared corpus (an epochView:
+//     the frozen entry list, a private clone of the total cover, and the
+//     VM's own intra-epoch additions).
+//   - VMs then fuzz independently for a bounded slice of simulated cost
+//     (Config.SyncEvery) with no shared mutable state; prediction replies
+//     are harvested only at the barrier (deferHarvest), so inference
+//     latency never leaks wall-clock ordering into the campaign.
+//   - At the barrier a reconciler merges each VM's additions into the
+//     shared corpus in ascending VM order with a global sequence counter,
+//     so acceptance (which program wins a text-dedup tie, which edges count
+//     as new) is a pure function of (epoch, VM index, local order) — never
+//     of goroutine scheduling.
+//
+// The result: VMs=N campaigns are bit-reproducible for a fixed seed, VMs=1
+// runs the original sequential loop unchanged, and the only wall-clock
+// observable is the per-VM QueueWaitNs counter (explicitly excluded from
+// the determinism guarantee).
+package fuzzer
+
+import (
+	"sync"
+	"time"
+
+	"github.com/repro/snowplow/internal/corpus"
+	"github.com/repro/snowplow/internal/exec"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/mutation"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/trace"
+)
+
+// vmSeedStride decorrelates per-VM RNG streams (the SplitMix64 increment);
+// VM 0's stream equals the sequential campaign's stream.
+const vmSeedStride = 0x9e3779b97f4a7c15
+
+// localEntry is one program a VM accepted during the current epoch, pending
+// reconciliation.
+type localEntry struct {
+	e      *corpus.Entry
+	seeded bool // unconditional insert (seed pass), not new-edge gated
+}
+
+// epochView is a VM's frozen window onto the campaign for one epoch: the
+// shared snapshot taken at the barrier plus the VM's own additions. All
+// mutation is VM-private, so mid-epoch the fleet shares nothing mutable.
+type epochView struct {
+	corp   *corpus.Corpus
+	base   []*corpus.Entry // shared entries frozen at epoch start
+	total  *trace.Cover    // shared total cover clone + local merges
+	blocks trace.BlockSet  // shared covered blocks clone + local merges
+	locals []localEntry
+	byText map[string]bool // local text dedup for this epoch
+}
+
+func newEpochView(corp *corpus.Corpus, blocks *trace.BlockSet) *epochView {
+	return &epochView{
+		corp:   corp,
+		base:   corp.Entries(),
+		total:  corp.TotalCover(),
+		blocks: blocks.Clone(),
+		byText: map[string]bool{},
+	}
+}
+
+func (v *epochView) Choose(r *rng.Rand) *corpus.Entry {
+	n := len(v.base) + len(v.locals)
+	if n == 0 {
+		return nil
+	}
+	i := r.Intn(n)
+	if i < len(v.base) {
+		return v.base[i]
+	}
+	return v.locals[i-len(v.base)].e
+}
+
+func (v *epochView) Add(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) int {
+	return v.add(p, cover, blocks, traces, false)
+}
+
+func (v *epochView) Seed(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID) bool {
+	return v.add(p, cover, blocks, traces, true) > 0
+}
+
+// add applies the corpus acceptance policy against the VM's epoch-local
+// view. Accepted entries are cloned off the caller's scratch buffers and
+// queued for the reconciler; cross-VM duplicates are resolved at the
+// barrier, not here.
+func (v *epochView) add(p *prog.Prog, cover *trace.Cover, blocks trace.BlockSet, traces [][]kernel.BlockID, seeded bool) int {
+	text := p.Serialize()
+	if v.byText[text] || v.corp.HasText(text) {
+		return 0
+	}
+	n := v.total.Merge(cover)
+	if n == 0 && !seeded {
+		return 0
+	}
+	v.blocks.Merge(blocks)
+	v.byText[text] = true
+	v.locals = append(v.locals, localEntry{
+		e: &corpus.Entry{
+			Prog:   p,
+			Cover:  cover.Clone(),
+			Blocks: blocks.Clone(),
+			Traces: traces,
+			Text:   text,
+		},
+		seeded: seeded,
+	})
+	if seeded && n == 0 {
+		return 1 // inserted; Seed only needs a truthy result
+	}
+	return n
+}
+
+func (v *epochView) NewEdges(cover *trace.Cover) int { return v.total.NewEdges(cover) }
+func (v *epochView) TotalCover() *trace.Cover        { return v.total }
+func (v *epochView) HasBlock(b kernel.BlockID) bool  { return v.blocks.Has(b) }
+
+// runParallel executes the campaign on a fleet of cfg.VMs simulated VMs in
+// lockstep epochs, reconciling results deterministically.
+func (f *Fuzzer) runParallel() (*Stats, error) {
+	nvm := f.cfg.VMs
+	per := f.cfg.Budget / int64(nvm)
+	syncEvery := f.cfg.SyncEvery
+	if syncEvery <= 0 {
+		syncEvery = per / 32
+	}
+	if syncEvery <= 0 {
+		syncEvery = 1
+	}
+
+	vmStats := make([]Stats, nvm)
+	workers := make([]*worker, nvm)
+	for i := range workers {
+		w := &worker{
+			cfg:          &f.cfg,
+			id:           i,
+			r:            rng.New(f.cfg.Seed + vmSeedStride*uint64(i)),
+			exe:          exec.NewMachine(f.cfg.Kernel, i),
+			mut:          mutation.NewMutator(f.cfg.Kernel.Target),
+			gen:          prog.NewGenerator(f.cfg.Kernel.Target),
+			preds:        map[*corpus.Entry]*entryPrediction{},
+			crashSeen:    map[string]*CrashReport{},
+			stats:        &vmStats[i],
+			budget:       per,
+			deferHarvest: true,
+			scratchCover: trace.NewCover(),
+		}
+		if i == 0 {
+			w.budget += f.cfg.Budget - per*int64(nvm) // remainder to VM 0
+		}
+		workers[i] = w
+	}
+
+	// Seed pass: VM 0 executes the seed corpus directly into the shared
+	// corpus before the first epoch, so every VM's first snapshot already
+	// contains the seeds (as in the sequential campaign).
+	workers[0].view = &sharedView{corp: f.corp, blocks: &f.globalBlocks}
+	for _, p := range f.cfg.SeedCorpus {
+		if err := workers[0].seed(p); err != nil {
+			return nil, err
+		}
+	}
+
+	nextSample := f.cfg.SampleEvery
+	var seq int64 // reconciler sequence counter (merge-order audit trail)
+	for {
+		var active []*worker
+		for _, w := range workers {
+			if w.cost < w.budget {
+				active = append(active, w)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+
+		// Run the epoch: refresh views, drain last epoch's prediction
+		// replies, fuzz one SyncEvery slice of simulated cost.
+		epochStart := time.Now()
+		var wg sync.WaitGroup
+		for _, w := range active {
+			w.view = newEpochView(f.corp, &f.globalBlocks)
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				t0 := time.Now()
+				w.harvestPending()
+				w.runEpoch(syncEvery)
+				w.epochElapsed = time.Since(t0)
+			}(w)
+		}
+		wg.Wait()
+		barrier := time.Since(epochStart)
+		for _, w := range active {
+			if w.err != nil {
+				return nil, w.err
+			}
+			w.epochs++
+			if wait := barrier - w.epochElapsed; wait > 0 {
+				w.queueWaitNs += wait.Nanoseconds()
+			}
+		}
+
+		// Reconcile in ascending VM order: each VM's local additions are
+		// applied in their local order under a global sequence number, so
+		// corpus contents are a pure function of (epoch, VM, order).
+		for _, w := range active {
+			ev := w.view.(*epochView)
+			for _, la := range ev.locals {
+				seq++
+				if la.seeded {
+					if f.corp.SeedEntry(la.e) {
+						f.globalBlocks.Merge(la.e.Blocks)
+					}
+					continue
+				}
+				if n := f.corp.AddEntry(la.e); n > 0 {
+					f.globalBlocks.Merge(la.e.Blocks)
+					w.reconciled += int64(n)
+				}
+			}
+		}
+
+		// Sample the coverage series against fleet simulated time (the sum
+		// of per-VM costs), evaluated only at barriers where the shared
+		// total is well-defined.
+		if f.cfg.SampleEvery > 0 {
+			var fleet int64
+			for _, w := range workers {
+				fleet += w.cost
+			}
+			for nextSample <= fleet {
+				f.stats.Series = append(f.stats.Series, Point{Cost: nextSample, Edges: f.corp.TotalEdges()})
+				nextSample += f.cfg.SampleEvery
+			}
+		}
+	}
+
+	// Blocking-drain outstanding replies (not the racy select-default
+	// drain): whether a late reply counts as a prediction or a failure must
+	// depend on its content, not on wall-clock arrival order.
+	for _, w := range workers {
+		w.harvestPending()
+	}
+	f.mergeParallelStats(workers, vmStats)
+	return &f.stats, nil
+}
+
+// runEpoch fuzzes until the worker has consumed one SyncEvery slice of its
+// budget (or the budget is exhausted).
+func (w *worker) runEpoch(syncEvery int64) {
+	limit := w.cost + syncEvery
+	if limit > w.budget {
+		limit = w.budget
+	}
+	for w.cost < limit {
+		if err := w.step(); err != nil {
+			w.err = err
+			return
+		}
+	}
+}
+
+// mergeParallelStats folds the per-VM outcomes into the campaign Stats in
+// ascending VM order: sums for the scalar counters, title-deduplicated
+// crash reports, and one VMStat per VM.
+func (f *Fuzzer) mergeParallelStats(workers []*worker, vmStats []Stats) {
+	var fleet int64
+	for i, w := range workers {
+		s := &vmStats[i]
+		f.stats.Executions += s.Executions
+		f.stats.PMMQueries += s.PMMQueries
+		f.stats.PMMPredictions += s.PMMPredictions
+		f.stats.PMMFailed += s.PMMFailed
+		f.stats.PMMShed += s.PMMShed
+		f.stats.PMMInvalidSlots += s.PMMInvalidSlots
+		f.stats.DegradedSteps += s.DegradedSteps
+		f.stats.Yield.add(s.Yield)
+		for _, cr := range s.Crashes {
+			dup := false
+			for _, have := range f.stats.Crashes {
+				if have.Spec.Title == cr.Spec.Title {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				f.stats.Crashes = append(f.stats.Crashes, cr)
+			}
+		}
+		f.stats.VMs = append(f.stats.VMs, VMStat{
+			VM:          i,
+			Executions:  s.Executions,
+			NewEdges:    w.reconciled,
+			Queries:     s.PMMQueries,
+			Epochs:      w.epochs,
+			QueueWaitNs: w.queueWaitNs,
+		})
+		fleet += w.cost
+	}
+	f.stats.CorpusSize = f.corp.Len()
+	f.stats.FinalEdges = f.corp.TotalEdges()
+	if f.cfg.Server != nil {
+		ss := f.cfg.Server.Stats()
+		f.stats.PMMCacheHits = ss.CacheHits
+		f.stats.PMMCacheMisses = ss.CacheMisses
+	}
+	if len(f.stats.Series) == 0 || f.stats.Series[len(f.stats.Series)-1].Cost < fleet {
+		f.stats.Series = append(f.stats.Series, Point{Cost: fleet, Edges: f.stats.FinalEdges})
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/repro/snowplow/internal/exec"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// benchTraces synthesizes call traces with the locality real handler walks
+// have (runs of nearby block IDs), so the paged bitmap sees realistic page
+// occupancy rather than a uniform-random spray.
+func benchTraces(r *rng.Rand, calls, length int) [][]kernel.BlockID {
+	out := make([][]kernel.BlockID, calls)
+	for c := range out {
+		base := kernel.BlockID(r.Intn(4000))
+		tr := make([]kernel.BlockID, length)
+		cur := base
+		for i := range tr {
+			tr[i] = cur
+			cur += kernel.BlockID(1 + r.Intn(3))
+			if r.Chance(0.05) {
+				cur = base + kernel.BlockID(r.Intn(64))
+			}
+		}
+		out[c] = tr
+	}
+	return out
+}
+
+func benchCovers(n int) []*Cover {
+	r := rng.New(42)
+	covers := make([]*Cover, n)
+	for i := range covers {
+		covers[i] = EdgesOf(&exec.Result{CallTraces: benchTraces(r, 4, 120)})
+	}
+	return covers
+}
+
+// mapCover is the pre-bitmap reference implementation (map[Edge]struct{}),
+// kept here only so the benchmarks quantify the representation change.
+type mapCover map[Edge]struct{}
+
+func (m mapCover) merge(o *Cover) int {
+	n := 0
+	for _, e := range o.Edges() {
+		if _, ok := m[e]; !ok {
+			m[e] = struct{}{}
+			n++
+		}
+	}
+	return n
+}
+
+func (m mapCover) newEdges(o *Cover) int {
+	n := 0
+	for _, e := range o.Edges() {
+		if _, ok := m[e]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+func BenchmarkCoverMergeBitmap(b *testing.B) {
+	covers := benchCovers(256)
+	b.ResetTimer()
+	total := NewCover()
+	for i := 0; i < b.N; i++ {
+		total.Merge(covers[i%len(covers)])
+	}
+}
+
+func BenchmarkCoverMergeMapBaseline(b *testing.B) {
+	covers := benchCovers(256)
+	b.ResetTimer()
+	total := mapCover{}
+	for i := 0; i < b.N; i++ {
+		total.merge(covers[i%len(covers)])
+	}
+}
+
+func BenchmarkCoverNewEdgesBitmap(b *testing.B) {
+	covers := benchCovers(256)
+	total := NewCover()
+	for _, c := range covers[:128] {
+		total.Merge(c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total.NewEdges(covers[i%len(covers)])
+	}
+}
+
+func BenchmarkCoverNewEdgesMapBaseline(b *testing.B) {
+	covers := benchCovers(256)
+	total := mapCover{}
+	for _, c := range covers[:128] {
+		total.merge(c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total.newEdges(covers[i%len(covers)])
+	}
+}
+
+// BenchmarkEdgesOfInto measures the allocation-free per-execution triage
+// path (scratch cover reuse).
+func BenchmarkEdgesOfInto(b *testing.B) {
+	r := rng.New(7)
+	res := &exec.Result{CallTraces: benchTraces(r, 4, 120)}
+	scratch := NewCover()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgesOfInto(scratch, res)
+	}
+}
+
+func BenchmarkBlockSetMerge(b *testing.B) {
+	r := rng.New(9)
+	sets := make([]BlockSet, 64)
+	for i := range sets {
+		BlockSetOfInto(&sets[i], &exec.Result{CallTraces: benchTraces(r, 4, 120)})
+	}
+	b.ResetTimer()
+	var total BlockSet
+	for i := 0; i < b.N; i++ {
+		total.Merge(sets[i%len(sets)])
+	}
+}

@@ -1,9 +1,18 @@
 // Package trace post-processes execution traces into coverage, following
 // §5.3.1: raw traces are ordered basic-block sequences; edge coverage is the
 // set of unique directional basic-block pairs appearing consecutively.
+//
+// Coverage sets are paged bitmaps rather than hash sets: every execution of
+// the campaign loop merges its edge set into corpus totals, so membership,
+// merge and new-edge counting are the hottest operations in the fuzzer.
+// Word-wise OR plus popcount makes Merge/NewEdges run 64 edges per
+// instruction, and the page layout keeps the sparse 64-bit edge space
+// compact. Reusable scratch buffers (EdgesOfInto, BlockSetOfInto) let the
+// per-execution triage path run without allocating fresh sets.
 package trace
 
 import (
+	"math/bits"
 	"sort"
 
 	"github.com/repro/snowplow/internal/exec"
@@ -24,82 +33,192 @@ func (e Edge) From() kernel.BlockID { return kernel.BlockID(e >> 32) }
 // To returns the edge's destination block.
 func (e Edge) To() kernel.BlockID { return kernel.BlockID(uint32(e)) }
 
-// Cover is a set of covered edges (or blocks, via BlockCover). The zero
-// value is an empty cover ready to use.
+// pageBits sizes a bitmap page at 1<<pageBits bits (8 words of 64).
+const pageBits = 9
+
+const (
+	pageWords = 1 << (pageBits - 6) // uint64 words per page
+	pageMask  = 1<<pageBits - 1
+)
+
+// coverPage is one 512-bit page of the edge bitmap.
+type coverPage [pageWords]uint64
+
+// Cover is a set of covered edges, stored as a paged bitmap keyed by the
+// high bits of the edge value. The zero value is an empty cover ready to
+// use.
 type Cover struct {
-	m map[Edge]struct{}
+	pages map[uint64]*coverPage
+	n     int
+	free  []*coverPage // recycled pages retained across Reset
 }
 
 // NewCover returns an empty cover.
-func NewCover() *Cover { return &Cover{m: map[Edge]struct{}{}} }
+func NewCover() *Cover { return &Cover{} }
 
-// Len returns the number of covered edges.
-func (c *Cover) Len() int { return len(c.m) }
+// Len returns the number of covered edges (maintained incrementally; no
+// popcount scan is needed on read).
+func (c *Cover) Len() int { return c.n }
 
 // Has reports whether the edge is covered.
 func (c *Cover) Has(e Edge) bool {
-	_, ok := c.m[e]
-	return ok
+	pg := c.pages[uint64(e)>>pageBits]
+	if pg == nil {
+		return false
+	}
+	off := uint64(e) & pageMask
+	return pg[off>>6]&(1<<(off&63)) != 0
+}
+
+// page returns the page holding e, allocating (or recycling) it if needed.
+func (c *Cover) page(key uint64) *coverPage {
+	if c.pages == nil {
+		c.pages = make(map[uint64]*coverPage)
+	}
+	pg := c.pages[key]
+	if pg == nil {
+		if n := len(c.free); n > 0 {
+			pg = c.free[n-1]
+			c.free = c.free[:n-1]
+			*pg = coverPage{}
+		} else {
+			pg = new(coverPage)
+		}
+		c.pages[key] = pg
+	}
+	return pg
 }
 
 // Add inserts an edge, reporting whether it was new.
 func (c *Cover) Add(e Edge) bool {
-	if c.m == nil {
-		c.m = map[Edge]struct{}{}
-	}
-	if _, ok := c.m[e]; ok {
+	pg := c.page(uint64(e) >> pageBits)
+	off := uint64(e) & pageMask
+	w, bit := off>>6, uint64(1)<<(off&63)
+	if pg[w]&bit != 0 {
 		return false
 	}
-	c.m[e] = struct{}{}
+	pg[w] |= bit
+	c.n++
 	return true
 }
 
-// Merge adds all of other's edges, returning how many were new.
+// Merge adds all of other's edges word-wise, returning how many were new.
 func (c *Cover) Merge(other *Cover) int {
 	n := 0
-	for e := range other.m {
-		if c.Add(e) {
-			n++
+	for key, opg := range other.pages {
+		pg := c.page(key)
+		for w, ow := range opg {
+			if nw := ow &^ pg[w]; nw != 0 {
+				n += bits.OnesCount64(nw)
+				pg[w] |= nw
+			}
+		}
+	}
+	c.n += n
+	return n
+}
+
+// NewEdges counts other's edges that are not in c, without modifying
+// either cover.
+func (c *Cover) NewEdges(other *Cover) int {
+	n := 0
+	for key, opg := range other.pages {
+		pg := c.pages[key]
+		if pg == nil {
+			for _, ow := range opg {
+				n += bits.OnesCount64(ow)
+			}
+			continue
+		}
+		for w, ow := range opg {
+			n += bits.OnesCount64(ow &^ pg[w])
 		}
 	}
 	return n
 }
 
-// Diff returns the edges in c that are not in other.
+// Diff returns the edges in c that are not in other, sorted.
 func (c *Cover) Diff(other *Cover) []Edge {
 	var out []Edge
-	for e := range c.m {
-		if !other.Has(e) {
-			out = append(out, e)
+	c.forEachPageSorted(func(key uint64, pg *coverPage) {
+		opg := other.pages[key]
+		for w, cw := range pg {
+			if opg != nil {
+				cw &^= opg[w]
+			}
+			appendBits(&out, key, w, cw)
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	})
 	return out
 }
 
 // Edges returns the covered edges in sorted order.
 func (c *Cover) Edges() []Edge {
-	out := make([]Edge, 0, len(c.m))
-	for e := range c.m {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]Edge, 0, c.n)
+	c.forEachPageSorted(func(key uint64, pg *coverPage) {
+		for w, cw := range pg {
+			appendBits(&out, key, w, cw)
+		}
+	})
 	return out
+}
+
+// forEachPageSorted visits pages in ascending key order, so bit iteration
+// yields edges sorted ascending.
+func (c *Cover) forEachPageSorted(fn func(key uint64, pg *coverPage)) {
+	keys := make([]uint64, 0, len(c.pages))
+	for key := range c.pages {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		fn(key, c.pages[key])
+	}
+}
+
+// appendBits appends every set bit of word w of the keyed page as an Edge.
+func appendBits(out *[]Edge, key uint64, w int, word uint64) {
+	base := key<<pageBits | uint64(w)<<6
+	for word != 0 {
+		*out = append(*out, Edge(base|uint64(bits.TrailingZeros64(word))))
+		word &= word - 1
+	}
 }
 
 // Clone returns a copy.
 func (c *Cover) Clone() *Cover {
-	out := NewCover()
-	for e := range c.m {
-		out.m[e] = struct{}{}
+	out := &Cover{n: c.n}
+	if len(c.pages) > 0 {
+		out.pages = make(map[uint64]*coverPage, len(c.pages))
+		for key, pg := range c.pages {
+			cp := *pg
+			out.pages[key] = &cp
+		}
 	}
 	return out
+}
+
+// Reset empties the cover while retaining its pages as scratch capacity for
+// reuse, so a hot loop can recompute per-execution coverage without
+// allocating.
+func (c *Cover) Reset() {
+	for key, pg := range c.pages {
+		c.free = append(c.free, pg)
+		delete(c.pages, key)
+	}
+	c.n = 0
 }
 
 // EdgesOf extracts the edge coverage of an execution result: unique
 // directional pairs of consecutive blocks within each call's trace.
 func EdgesOf(res *exec.Result) *Cover {
-	c := NewCover()
+	return EdgesOfInto(NewCover(), res)
+}
+
+// EdgesOfInto recomputes the edge coverage of res into c (after resetting
+// it), reusing c's pages as scratch. It returns c.
+func EdgesOfInto(c *Cover, res *exec.Result) *Cover {
+	c.Reset()
 	for _, tr := range res.CallTraces {
 		for i := 1; i < len(tr); i++ {
 			c.Add(MakeEdge(tr[i-1], tr[i]))
@@ -111,50 +230,172 @@ func EdgesOf(res *exec.Result) *Cover {
 // BlocksOf extracts the block coverage of an execution result, as an
 // ordered deduplicated slice.
 func BlocksOf(res *exec.Result) []kernel.BlockID {
-	set := res.Blocks()
-	out := make([]kernel.BlockID, 0, len(set))
-	for b := range set {
-		out = append(out, b)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	var s BlockSet
+	BlockSetOfInto(&s, res)
+	out := make([]kernel.BlockID, 0, s.Len())
+	s.ForEach(func(b kernel.BlockID) { out = append(out, b) })
 	return out
 }
 
-// BlockSet is a set of covered blocks.
-type BlockSet map[kernel.BlockID]struct{}
+// blockPageBits caps the dense bitmap at this many bits; block IDs are
+// small dense kernel indices, so the overflow map stays empty in practice.
+const maxDenseBlock = 1 << 22
+
+// BlockSet is a set of covered blocks, stored as a growable dense bitmap
+// (block IDs are small dense kernel indices) with an overflow map for
+// out-of-range IDs. The zero value is an empty set ready to use.
+type BlockSet struct {
+	words []uint64
+	extra map[kernel.BlockID]struct{} // negative or very large IDs
+	n     int
+}
 
 // NewBlockSet builds a set from a slice.
 func NewBlockSet(blocks []kernel.BlockID) BlockSet {
-	s := make(BlockSet, len(blocks))
+	var s BlockSet
 	for _, b := range blocks {
-		s[b] = struct{}{}
+		s.Add(b)
 	}
 	return s
 }
 
+// BlockSetOfInto recomputes the block coverage of res into s (after
+// resetting it), reusing s's bitmap as scratch. It returns s.
+func BlockSetOfInto(s *BlockSet, res *exec.Result) *BlockSet {
+	s.Reset()
+	for _, tr := range res.CallTraces {
+		for _, b := range tr {
+			s.Add(b)
+		}
+	}
+	return s
+}
+
+// Len returns the number of blocks in the set.
+func (s BlockSet) Len() int { return s.n }
+
 // Has reports membership.
 func (s BlockSet) Has(b kernel.BlockID) bool {
-	_, ok := s[b]
+	if b >= 0 && b < maxDenseBlock {
+		w := int(b) >> 6
+		return w < len(s.words) && s.words[w]&(1<<(uint(b)&63)) != 0
+	}
+	_, ok := s.extra[b]
 	return ok
 }
 
 // Add inserts a block, reporting whether it was new.
-func (s BlockSet) Add(b kernel.BlockID) bool {
-	if _, ok := s[b]; ok {
+func (s *BlockSet) Add(b kernel.BlockID) bool {
+	if b >= 0 && b < maxDenseBlock {
+		w := int(b) >> 6
+		if w >= len(s.words) {
+			grown := make([]uint64, w+1)
+			copy(grown, s.words)
+			s.words = grown
+		}
+		bit := uint64(1) << (uint(b) & 63)
+		if s.words[w]&bit != 0 {
+			return false
+		}
+		s.words[w] |= bit
+		s.n++
+		return true
+	}
+	if _, ok := s.extra[b]; ok {
 		return false
 	}
-	s[b] = struct{}{}
+	if s.extra == nil {
+		s.extra = map[kernel.BlockID]struct{}{}
+	}
+	s.extra[b] = struct{}{}
+	s.n++
 	return true
+}
+
+// Merge adds all of other's blocks word-wise, returning how many were new.
+func (s *BlockSet) Merge(other BlockSet) int {
+	n := 0
+	if len(other.words) > len(s.words) {
+		grown := make([]uint64, len(other.words))
+		copy(grown, s.words)
+		s.words = grown
+	}
+	for w, ow := range other.words {
+		if nw := ow &^ s.words[w]; nw != 0 {
+			n += bits.OnesCount64(nw)
+			s.words[w] |= nw
+		}
+	}
+	s.n += n
+	for b := range other.extra {
+		if s.Add(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits every block in ascending order (overflow IDs last).
+func (s BlockSet) ForEach(fn func(kernel.BlockID)) {
+	for w, word := range s.words {
+		base := kernel.BlockID(w << 6)
+		for word != 0 {
+			fn(base + kernel.BlockID(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	if len(s.extra) > 0 {
+		ex := make([]kernel.BlockID, 0, len(s.extra))
+		for b := range s.extra {
+			ex = append(ex, b)
+		}
+		sort.Slice(ex, func(i, j int) bool { return ex[i] < ex[j] })
+		for _, b := range ex {
+			fn(b)
+		}
+	}
+}
+
+// Slice returns the blocks in ascending order.
+func (s BlockSet) Slice() []kernel.BlockID {
+	out := make([]kernel.BlockID, 0, s.n)
+	s.ForEach(func(b kernel.BlockID) { out = append(out, b) })
+	return out
 }
 
 // Diff returns blocks in s not in other, sorted.
 func (s BlockSet) Diff(other BlockSet) []kernel.BlockID {
 	var out []kernel.BlockID
-	for b := range s {
+	s.ForEach(func(b kernel.BlockID) {
 		if !other.Has(b) {
 			out = append(out, b)
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	})
 	return out
+}
+
+// Clone returns an independent copy.
+func (s BlockSet) Clone() BlockSet {
+	out := BlockSet{n: s.n}
+	if len(s.words) > 0 {
+		out.words = append([]uint64(nil), s.words...)
+	}
+	if len(s.extra) > 0 {
+		out.extra = make(map[kernel.BlockID]struct{}, len(s.extra))
+		for b := range s.extra {
+			out.extra[b] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Reset empties the set while keeping the bitmap allocated for reuse.
+func (s *BlockSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	for b := range s.extra {
+		delete(s.extra, b)
+	}
+	s.n = 0
 }
