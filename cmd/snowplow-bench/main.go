@@ -8,7 +8,7 @@
 //	snowplow-bench -experiment table1,table5
 //
 // Experiments: stats, table1, fig6, table2 (includes tables 3 and 4),
-// table5, perf, parallel, micro, ablations, faults, all.
+// table5, perf, parallel, micro, ablations, faults, timeseries, all.
 package main
 
 import (
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,micro,ablations,faults,all")
+		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,micro,ablations,faults,timeseries,all")
 		scale  = flag.String("scale", "quick", "experiment scale: quick or full")
 		seed   = flag.Uint64("seed", 1, "suite seed")
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
@@ -37,6 +37,7 @@ func main() {
 		vms     = flag.Int("vms", 0, "simulated-VM fleet size for fuzzing campaigns (0 = sequential)")
 		batch   = flag.Int("batch", 0, "serving micro-batch limit for harness servers (0 = no batching)")
 		jsonDir = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json results (empty = disabled)")
+		sample  = flag.Duration("sample-interval", 0, "wall-clock metrics sampling period for the timeseries experiment (0 = default 250ms)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -50,6 +51,7 @@ func main() {
 	opts.Seed = *seed
 	opts.BatchSize = *batch
 	opts.VMs = *vms
+	opts.SampleInterval = *sample
 	if *faults != "" {
 		fm, err := faultinject.ParseSpec(*faults)
 		if err != nil {
@@ -171,6 +173,13 @@ func main() {
 		res := experiments.AblationFaultSweep(h)
 		res.Render(os.Stdout)
 		emit("faults", res)
+		fmt.Println()
+		ran++
+	}
+	if all || want["timeseries"] {
+		res := experiments.Timeseries(h)
+		res.Render(os.Stdout)
+		emit("timeseries", res)
 		fmt.Println()
 		ran++
 	}

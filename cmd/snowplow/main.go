@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/nn"
+	"github.com/repro/snowplow/internal/obs"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/qgraph"
@@ -32,6 +34,12 @@ type serveFlags struct {
 	deadline time.Duration
 	retries  int
 	degraded float64
+}
+
+// obsFlags groups the observability knobs.
+type obsFlags struct {
+	addr           string
+	sampleInterval time.Duration
 }
 
 func main() {
@@ -48,7 +56,12 @@ func main() {
 		fallback  = flag.Float64("fallback", 0.1, "random-localization fallback probability")
 		vms       = flag.Int("vms", 1, "simulated fuzzing VMs (parallel campaign; 1 = sequential)")
 		sf        serveFlags
+		of        obsFlags
 	)
+	flag.StringVar(&of.addr, "obs", "",
+		"observability endpoint address, e.g. :6060 (serves /metrics, /journal, /timeseries, /debug/pprof; empty = disabled)")
+	flag.DurationVar(&of.sampleInterval, "sample-interval", 0,
+		"metrics sampling period for /timeseries (0 = default 250ms; only with -obs)")
 	flag.StringVar(&sf.faults, "faults", "off",
 		"inference fault model, e.g. drop=0.1,transient=0.2,corrupt=0.05,latency=0.1:50ms,seed=7")
 	flag.DurationVar(&sf.deadline, "deadline", 0, "per-attempt inference deadline (0 = default)")
@@ -56,13 +69,13 @@ func main() {
 	flag.Float64Var(&sf.degraded, "degraded-fallback", 0,
 		"fallback probability while serving is unhealthy (0 = default 0.9)")
 	flag.Parse()
-	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, sf); err != nil {
+	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, sf, of); err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, vms int, sf serveFlags) error {
+func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, vms int, sf serveFlags, of obsFlags) error {
 	// Size the MatMul worker pool alongside the inference pool; results are
 	// bit-identical for any worker count.
 	nn.SetWorkers(workers)
@@ -78,6 +91,28 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		FallbackProb:         fallback,
 		DegradedFallbackProb: sf.degraded,
 		VMs:                  vms,
+	}
+
+	// Observability is strictly opt-in: without -obs the campaign carries
+	// nil Metrics/Journal and the fuzz loop's instrumented sites cost one
+	// nil check each.
+	var (
+		reg     *obs.Registry
+		journal *obs.Journal
+		sampler *obs.Sampler
+	)
+	if of.addr != "" {
+		reg = obs.NewRegistry()
+		journal = obs.NewJournal(obs.DefaultJournalCap)
+		sampler = obs.NewSampler(reg, of.sampleInterval)
+		addr, shutdown, err := obs.Serve(of.addr, reg, journal, sampler)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Printf("observability: http://%s (metrics, journal, timeseries, pprof)\n", addr)
+		cfg.Metrics = reg
+		cfg.Journal = journal
 	}
 	switch mode {
 	case "syzkaller":
@@ -105,6 +140,7 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 			BatchSize:  batch,
 			Deadline:   sf.deadline,
 			MaxRetries: sf.retries,
+			Metrics:    reg,
 		}
 		if fault.Enabled() {
 			opts.Fault = fault
@@ -127,48 +163,64 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		cfg.SeedCorpus = append(cfg.SeedCorpus, g.Generate(r, 2+r.Intn(3)))
 	}
 
+	if sampler != nil {
+		sampler.Start()
+	}
 	stats, err := fuzzer.New(cfg).Run()
+	if sampler != nil {
+		sampler.Stop()
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mode=%s kernel=%s budget=%d\n", stats.Mode, version, budget)
-	fmt.Printf("%12s %10s\n", "cost", "edges")
+
+	// The whole end-of-run report is assembled in one buffer and written
+	// with a single call, so its lines — the per-VM breakdown especially —
+	// can never interleave with output from goroutines that outlive the
+	// campaign (the obs HTTP server, late serving logs).
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "mode=%s kernel=%s budget=%d\n", stats.Mode, version, budget)
+	fmt.Fprintf(&out, "%12s %10s\n", "cost", "edges")
 	step := len(stats.Series) / 20
 	if step == 0 {
 		step = 1
 	}
 	for i := 0; i < len(stats.Series); i += step {
 		p := stats.Series[i]
-		fmt.Printf("%12d %10d\n", p.Cost, p.Edges)
+		fmt.Fprintf(&out, "%12d %10d\n", p.Cost, p.Edges)
 	}
-	fmt.Printf("final: %d edges, %d executions, corpus %d\n",
+	fmt.Fprintf(&out, "final: %d edges, %d executions, corpus %d\n",
 		stats.FinalEdges, stats.Executions, stats.CorpusSize)
 	if len(stats.VMs) > 1 {
 		for _, vm := range stats.VMs {
-			fmt.Printf("vm %d: %d execs, %d new edges, %d queries, %d epochs, queue wait %v\n",
+			fmt.Fprintf(&out, "vm %d: %d execs, %d new edges, %d queries, %d epochs, queue wait %v\n",
 				vm.VM, vm.Executions, vm.NewEdges, vm.Queries, vm.Epochs,
 				time.Duration(vm.QueueWaitNs).Round(time.Millisecond))
 		}
 	}
 	if cfg.Mode == fuzzer.ModeSnowplow {
-		fmt.Printf("PMM: %d queries, %d predictions, %d failed, %d shed, %d invalid slots, %d degraded steps\n",
+		fmt.Fprintf(&out, "PMM: %d queries, %d predictions, %d failed, %d shed, %d invalid slots, %d degraded steps\n",
 			stats.PMMQueries, stats.PMMPredictions, stats.PMMFailed,
 			stats.PMMShed, stats.PMMInvalidSlots, stats.DegradedSteps)
 		ss := cfg.Server.Stats()
-		fmt.Printf("serving: %d ok / %d failed of %d queries, %d retries, %d timeouts, error rate %.2f, healthy %v\n",
+		fmt.Fprintf(&out, "serving: %d ok / %d failed of %d queries, %d retries, %d timeouts, error rate %.2f, healthy %v\n",
 			ss.Succeeded, ss.Failed, ss.Queries, ss.Retries, ss.Timeouts, ss.ErrorRate, ss.Healthy)
-		fmt.Printf("batching: %d passes, %d batched queries, avg batch %.2f; graph cache: %d hits, %d misses\n",
+		fmt.Fprintf(&out, "batching: %d passes, %d batched queries, avg batch %.2f; graph cache: %d hits, %d misses\n",
 			ss.Batches, ss.BatchedQueries, ss.AvgBatchSize, ss.CacheHits, ss.CacheMisses)
 		if ss.InjDropped+ss.InjTransient+ss.InjLatency+ss.InjCorrupt > 0 {
-			fmt.Printf("injected: %d dropped, %d transient, %d latency, %d corrupt\n",
+			fmt.Fprintf(&out, "injected: %d dropped, %d transient, %d latency, %d corrupt\n",
 				ss.InjDropped, ss.InjTransient, ss.InjLatency, ss.InjCorrupt)
 		}
 	}
+	if journal != nil {
+		fmt.Fprintf(&out, "journal: %d events retained, %d dropped\n", journal.Len(), journal.Dropped())
+	}
 	if len(stats.Crashes) > 0 {
-		fmt.Printf("\ncrashes (%d unique):\n", len(stats.Crashes))
+		fmt.Fprintf(&out, "\ncrashes (%d unique):\n", len(stats.Crashes))
 		for _, c := range stats.Crashes {
-			fmt.Printf("  [cost %d] %s\n", c.Cost, c.Spec.Title)
+			fmt.Fprintf(&out, "  [cost %d] %s\n", c.Cost, c.Spec.Title)
 		}
 	}
-	return nil
+	_, err = os.Stdout.Write(out.Bytes())
+	return err
 }

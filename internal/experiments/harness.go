@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"github.com/repro/snowplow/internal/cfa"
 	"github.com/repro/snowplow/internal/dataset"
@@ -59,6 +60,9 @@ type Options struct {
 	// FaultModel, when non-nil, is the fault shape (at rate 1.0) swept by
 	// the degraded-serving ablation; nil uses the default shape.
 	FaultModel *faultinject.Model
+	// SampleInterval is the wall-clock metrics sampling period of the
+	// timeseries experiment; 0 uses obs.DefaultSampleInterval.
+	SampleInterval time.Duration
 }
 
 // Quick returns options sized so the full suite completes in minutes.

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/serve"
+)
+
+// TimeseriesRun is one instrumented campaign: its simulated-time coverage
+// series (deterministic per seed), the wall-clock metric samples the obs
+// sampler collected while it ran, and the final registry snapshot.
+type TimeseriesRun struct {
+	Mode string
+	// Sim is the coverage curve on the simulated-cost grid — the same
+	// series Figure 6 plots, so BENCH_timeseries.json rows map 1:1 onto a
+	// Figure 6 curve for this seed.
+	Sim []fuzzer.Point
+	// Wall is the wall-clock metric time series (one Sample per tick of
+	// Options.SampleInterval, plus one at start and one at stop).
+	Wall []obs.Sample
+	// Final is the flattened end-of-campaign registry snapshot.
+	Final map[string]int64
+	// JournalEvents / JournalDropped summarize the campaign's event
+	// journal.
+	JournalEvents  int
+	JournalDropped uint64
+	FinalEdges     int
+	Executions     int64
+}
+
+// TimeseriesResult is both campaign modes on the trained-on kernel.
+type TimeseriesResult struct {
+	Kernel string
+	Runs   []TimeseriesRun
+}
+
+// Timeseries runs one Snowplow and one Syzkaller campaign on kernel 6.8
+// with the full observability layer attached: a metrics registry, an event
+// journal, and a wall-clock sampler. The simulated-time series always has
+// ~60 points (SampleEvery = budget/60) regardless of host speed, so the
+// artifact is useful even when the campaign finishes faster than a few
+// sampler ticks.
+func Timeseries(h *Harness) TimeseriesResult {
+	opts := h.Opts
+	version := "6.8"
+	k := h.Kernel(version)
+	an := h.Analysis(version)
+	res := TimeseriesResult{Kernel: version}
+	sampleEvery := opts.FuzzBudget / 60
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+
+	for _, mode := range []fuzzer.Mode{fuzzer.ModeSnowplow, fuzzer.ModeSyzkaller} {
+		reg := obs.NewRegistry()
+		jn := obs.NewJournal(obs.DefaultJournalCap)
+		cfg := fuzzer.Config{
+			Mode: mode, Kernel: k, An: an,
+			Seed: opts.Seed, Budget: opts.FuzzBudget, SampleEvery: sampleEvery,
+			SeedCorpus: seedPrograms(h, version, opts.Seed),
+			VMs:        opts.VMs,
+			Metrics:    reg, Journal: jn,
+		}
+		if mode == fuzzer.ModeSnowplow {
+			srv := h.ServerOpts(version, serve.Options{Metrics: reg})
+			defer srv.Close()
+			cfg.Server = srv
+		}
+		h.logf("timeseries %s: instrumented campaign...\n", mode)
+		sampler := obs.NewSampler(reg, opts.SampleInterval)
+		sampler.Start()
+		stats := mustRun(fuzzer.New(cfg))
+		wall := sampler.Stop()
+		res.Runs = append(res.Runs, TimeseriesRun{
+			Mode:           mode.String(),
+			Sim:            stats.Series,
+			Wall:           wall,
+			Final:          reg.Values(),
+			JournalEvents:  jn.Len(),
+			JournalDropped: jn.Dropped(),
+			FinalEdges:     stats.FinalEdges,
+			Executions:     stats.Executions,
+		})
+	}
+	return res
+}
+
+// Render prints a compact view: per-mode sample counts and a few milestone
+// rows of the simulated series.
+func (r TimeseriesResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Campaign time series (kernel %s, instrumented) ==\n", r.Kernel)
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "\n-- %s: %d sim samples, %d wall samples, %d journal events (%d dropped) --\n",
+			run.Mode, len(run.Sim), len(run.Wall), run.JournalEvents, run.JournalDropped)
+		n := len(run.Sim)
+		step := n / 6
+		if step == 0 {
+			step = 1
+		}
+		fmt.Fprintf(w, "%12s %10s\n", "cost", "edges")
+		for i := 0; i < n; i += step {
+			fmt.Fprintf(w, "%12d %10d\n", run.Sim[i].Cost, run.Sim[i].Edges)
+		}
+		fmt.Fprintf(w, "final: %d edges, %d executions, %d metrics tracked\n",
+			run.FinalEdges, run.Executions, len(run.Final))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"github.com/repro/snowplow/internal/exec"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/mutation"
+	"github.com/repro/snowplow/internal/obs"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/rng"
 	"github.com/repro/snowplow/internal/serve"
@@ -104,6 +105,14 @@ type Config struct {
 	// every guided mutation blocks on a fresh inference call, stalling the
 	// mutator for the full round trip.
 	SyncInference bool
+	// Metrics, when non-nil, receives the campaign's instrument bundle
+	// (see OBSERVABILITY.md for the catalog). Nil disables metrics at
+	// zero measurable cost — hot paths pay one nil check per site.
+	Metrics *obs.Registry
+	// Journal, when non-nil, records structured campaign events (epoch
+	// barriers, new-edge discoveries, crash dedup, degraded transitions)
+	// with seed-deterministic sequence numbers; see obs.Journal.
+	Journal *obs.Journal
 	// MinimizeCorpus enables Syzkaller-style triage minimization: before a
 	// program joins the corpus, calls that do not contribute to its new
 	// coverage are removed (the extra executions are charged to the
@@ -251,7 +260,8 @@ type Fuzzer struct {
 	corp         *corpus.Corpus
 	globalBlocks trace.BlockSet
 	stats        Stats
-	seq          *worker // the sequential (VMs<=1) worker
+	seq          *worker          // the sequential (VMs<=1) worker
+	metrics      *campaignMetrics // nil when Config.Metrics is nil
 }
 
 // worker is one simulated fuzzing VM: the full generate→exec→trace→triage
@@ -270,6 +280,16 @@ type worker struct {
 	preds     map[*corpus.Entry]*entryPrediction
 	crashSeen map[string]*CrashReport
 	stats     *Stats // counter sink (the campaign Stats when sequential)
+
+	// Observability (all optional): the campaign's shared instrument
+	// bundle, the shared journal, the VM's buffered mid-epoch events
+	// (flushed by the reconciler in VM order), the VM's current epoch
+	// number, and the last observed serving-health state.
+	m        *campaignMetrics
+	jn       *obs.Journal
+	events   []obs.Event
+	epoch    int64
+	degraded bool
 
 	cost        int64
 	budget      int64
@@ -341,6 +361,9 @@ func New(cfg Config) *Fuzzer {
 		corp: corpus.New(),
 	}
 	f.stats.Mode = cfg.Mode
+	if cfg.Metrics != nil {
+		f.metrics = newCampaignMetrics(cfg.Metrics, f.corp)
+	}
 	f.seq = &worker{
 		cfg:          &f.cfg,
 		id:           0,
@@ -355,6 +378,8 @@ func New(cfg Config) *Fuzzer {
 		budget:       cfg.Budget,
 		sampleEvery:  cfg.SampleEvery,
 		scratchCover: trace.NewCover(),
+		m:            f.metrics,
+		jn:           cfg.Journal,
 	}
 	return f
 }
@@ -369,6 +394,22 @@ func (f *Fuzzer) fallbackProb() float64 { return f.seq.fallbackProb() }
 // Run executes the campaign until the budget is exhausted and returns the
 // statistics.
 func (f *Fuzzer) Run() (*Stats, error) {
+	f.cfg.Journal.Record(obs.Event{
+		Kind: obs.EventCampaignStart, VM: -1,
+		Detail: fmt.Sprintf("%s seed=%d vms=%d budget=%d", f.cfg.Mode, f.cfg.Seed, f.cfg.VMs, f.cfg.Budget),
+	})
+	stats, err := f.run()
+	if err != nil {
+		return nil, err
+	}
+	f.cfg.Journal.Record(obs.Event{
+		Kind: obs.EventCampaignEnd, VM: -1, Value: int64(stats.FinalEdges),
+		Detail: fmt.Sprintf("execs=%d corpus=%d", stats.Executions, stats.CorpusSize),
+	})
+	return stats, nil
+}
+
+func (f *Fuzzer) run() (*Stats, error) {
 	if f.cfg.VMs > 1 {
 		return f.runParallel()
 	}
@@ -386,6 +427,7 @@ func (f *Fuzzer) runSequential() (*Stats, error) {
 			return nil, err
 		}
 	}
+	w.jevent(obs.EventSeed, int64(f.corp.Len()), "")
 	for w.cost < w.budget {
 		if err := w.step(); err != nil {
 			return nil, err
@@ -445,9 +487,14 @@ func (w *worker) step() error {
 func (w *worker) fallbackProb() float64 {
 	fb := w.cfg.FallbackProb
 	if w.cfg.Server == nil || w.cfg.Server.Healthy() {
+		w.noteHealth(true)
 		return fb
 	}
+	w.noteHealth(false)
 	w.stats.DegradedSteps++
+	if w.m != nil {
+		w.m.degradedSteps.Inc()
+	}
 	w.shedPending()
 	if w.cfg.DegradedFallbackProb > fb {
 		fb = w.cfg.DegradedFallbackProb
@@ -464,6 +511,9 @@ func (w *worker) shedPending() {
 			st.reply = nil
 			st.targets = nil
 			w.stats.PMMShed++
+			if w.m != nil {
+				w.m.shed.Inc()
+			}
 		}
 	}
 }
@@ -477,6 +527,9 @@ func (w *worker) sanitizeSlots(p *prog.Prog, slots []prog.GlobalSlot) []prog.Glo
 		if gs.Call < 0 || gs.Call >= len(p.Calls) ||
 			gs.Slot < 0 || gs.Slot >= len(p.Calls[gs.Call].Meta.Slots()) {
 			w.stats.PMMInvalidSlots++
+			if w.m != nil {
+				w.m.invalidSlots.Inc()
+			}
 			continue
 		}
 		valid = append(valid, gs)
@@ -568,14 +621,17 @@ func (w *worker) syncGuidedArgMutation(entry *corpus.Entry) error {
 		return err
 	}
 	w.stats.PMMQueries++
+	if w.m != nil {
+		w.m.queries.Inc()
+	}
 	pred, err := w.cfg.Server.Infer(serve.Query{Prog: entry.Prog, Traces: entry.Traces, Targets: targets})
 	if err != nil {
-		w.stats.PMMFailed++
+		w.countReplyFailed()
 		rec := w.mut.MutateType(w.r, entry.Prog, mutation.ArgMutation)
 		_, execErr := w.execute(rec.Prog, classRandArg)
 		return execErr
 	}
-	w.stats.PMMPredictions++
+	w.countReplyOK()
 	slots := w.sanitizeSlots(entry.Prog, pred.Slots)
 	if len(slots) == 0 {
 		rec := w.mut.MutateType(w.r, entry.Prog, mutation.ArgMutation)
@@ -606,10 +662,10 @@ func (w *worker) predictionFor(entry *corpus.Entry) *entryPrediction {
 				// Terminal serving failure (deadline, retries
 				// exhausted, closed): no guidance this round; the
 				// random fallback covers the base.
-				w.stats.PMMFailed++
+				w.countReplyFailed()
 			} else {
 				st.pred = &pred
-				w.stats.PMMPredictions++
+				w.countReplyOK()
 			}
 		default:
 		}
@@ -635,11 +691,27 @@ func (w *worker) harvestPending() {
 		pred := <-st.reply
 		st.reply = nil
 		if pred.Err != nil {
-			w.stats.PMMFailed++
+			w.countReplyFailed()
 		} else {
 			st.pred = &pred
-			w.stats.PMMPredictions++
+			w.countReplyOK()
 		}
+	}
+}
+
+// countReplyOK / countReplyFailed tally a terminal inference outcome into
+// the campaign stats and, when attached, the instrument bundle.
+func (w *worker) countReplyOK() {
+	w.stats.PMMPredictions++
+	if w.m != nil {
+		w.m.predictions.Inc()
+	}
+}
+
+func (w *worker) countReplyFailed() {
+	w.stats.PMMFailed++
+	if w.m != nil {
+		w.m.predFailed.Inc()
 	}
 }
 
@@ -662,6 +734,9 @@ func (w *worker) submitQuery(entry *corpus.Entry, st *entryPrediction) {
 		return // server closed: the random fallback already covers this base
 	}
 	w.stats.PMMQueries++
+	if w.m != nil {
+		w.m.queries.Inc()
+	}
 	st.reply = reply
 	st.targets = targets
 }
@@ -705,6 +780,9 @@ const (
 )
 
 func (w *worker) recordYield(class yieldClass, newEdges int) {
+	if w.m != nil {
+		w.m.recordYield(class, newEdges)
+	}
 	y := &w.stats.Yield
 	switch class {
 	case classGenerate:
@@ -725,17 +803,29 @@ func (w *worker) recordYield(class yieldClass, newEdges int) {
 // execute runs a program, charges its cost, triages the result, and
 // updates corpus and crash records.
 func (w *worker) execute(p *prog.Prog, class yieldClass) (*exec.Result, error) {
+	var t0 time.Time
+	if w.m != nil {
+		t0 = time.Now()
+	}
 	res, err := w.exe.Run(p)
 	if err != nil {
 		return nil, fmt.Errorf("fuzzer: %w", err)
 	}
 	w.stats.Executions++
+	if w.m != nil {
+		w.m.execs.Inc()
+		w.m.execLatency.Observe(time.Since(t0).Nanoseconds())
+	}
 	w.charge(int64(res.Cost))
 	if res.Crash != nil {
 		if _, seen := w.crashSeen[res.Crash.Title]; !seen {
 			report := &CrashReport{Spec: res.Crash, ProgText: p.Serialize(), Cost: w.cost}
 			w.crashSeen[res.Crash.Title] = report
 			w.stats.Crashes = append(w.stats.Crashes, report)
+			if w.m != nil {
+				w.m.crashes.Inc()
+			}
+			w.jevent(obs.EventCrash, 0, res.Crash.Title)
 		}
 		w.recordYield(class, 0)
 		return res, nil
@@ -746,6 +836,9 @@ func (w *worker) execute(p *prog.Prog, class yieldClass) (*exec.Result, error) {
 		p, res, cover, blocks = w.minimize(p, res, cover)
 	}
 	newEdges := w.view.Add(p, cover, blocks, res.CallTraces)
+	if newEdges > 0 {
+		w.jevent(obs.EventNewEdges, int64(newEdges), "")
+	}
 	w.recordYield(class, newEdges)
 	return res, nil
 }
@@ -768,11 +861,19 @@ func (w *worker) minimize(p *prog.Prog, res *exec.Result, cover *trace.Cover) (*
 		}
 		cand := best.Clone()
 		cand.RemoveCall(i)
+		var t0 time.Time
+		if w.m != nil {
+			t0 = time.Now()
+		}
 		candRes, err := w.exe.Run(cand)
 		if err != nil || candRes.Crash != nil {
 			continue
 		}
 		w.stats.Executions++
+		if w.m != nil {
+			w.m.execs.Inc()
+			w.m.execLatency.Observe(time.Since(t0).Nanoseconds())
+		}
 		w.charge(int64(candRes.Cost))
 		candCover := trace.EdgesOf(candRes)
 		keeps := true
@@ -791,11 +892,19 @@ func (w *worker) minimize(p *prog.Prog, res *exec.Result, cover *trace.Cover) (*
 
 // seed executes and unconditionally retains an initial program.
 func (w *worker) seed(p *prog.Prog) error {
+	var t0 time.Time
+	if w.m != nil {
+		t0 = time.Now()
+	}
 	res, err := w.exe.Run(p)
 	if err != nil {
 		return err
 	}
 	w.stats.Executions++
+	if w.m != nil {
+		w.m.execs.Inc()
+		w.m.execLatency.Observe(time.Since(t0).Nanoseconds())
+	}
 	w.charge(int64(res.Cost))
 	if res.Crash != nil {
 		return nil
@@ -811,6 +920,11 @@ func (w *worker) seed(p *prog.Prog) error {
 // instead).
 func (w *worker) charge(cost int64) {
 	w.cost += cost
+	if w.m != nil && !w.deferHarvest {
+		// Sequential campaigns publish simulated time directly; parallel
+		// fleets publish the sum at reconcile barriers instead.
+		w.m.cost.Set(w.cost)
+	}
 	if w.sampleEvery <= 0 {
 		return
 	}
@@ -829,9 +943,9 @@ func (w *worker) drainPending() {
 			select {
 			case pred := <-st.reply:
 				if pred.Err != nil {
-					w.stats.PMMFailed++
+					w.countReplyFailed()
 				} else {
-					w.stats.PMMPredictions++
+					w.countReplyOK()
 				}
 			default:
 			}

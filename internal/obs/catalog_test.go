@@ -1,0 +1,96 @@
+package obs_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/serve"
+)
+
+var vmDigits = regexp.MustCompile(`vm\d+`)
+
+// registerAll runs a small fully instrumented campaign — Snowplow mode so
+// the serving/PMM instruments register, VMs=2 so the per-VM gauges and
+// epoch metrics register — and returns every metric name in the registry.
+func registerAll(t *testing.T) []string {
+	t.Helper()
+	k := kernel.MustBuild("6.8")
+	an := cfa.New(k)
+	reg := obs.NewRegistry()
+	m := pmm.NewModel(rng.New(77), pmm.DefaultConfig(), pmm.BuildVocab(k))
+	srv := serve.NewServerOpts(m, qgraph.NewBuilder(k, an).WithCache(64), serve.Options{
+		Workers: 1,
+		Metrics: reg,
+	})
+	defer srv.Close()
+
+	g := prog.NewGenerator(k.Target)
+	r := rng.New(0x5eed)
+	var seeds []*prog.Prog
+	for i := 0; i < 6; i++ {
+		seeds = append(seeds, g.Generate(r, 2+r.Intn(3)))
+	}
+	cfg := fuzzer.Config{
+		Mode: fuzzer.ModeSnowplow, Kernel: k, An: an,
+		Seed: 9, Budget: 150_000, SeedCorpus: seeds,
+		Server: srv, SyncInference: true, VMs: 2,
+		Metrics: reg, Journal: obs.NewJournal(0),
+	}
+	if _, err := fuzzer.New(cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, metric := range reg.Snapshot() {
+		names = append(names, metric.Name)
+	}
+	return names
+}
+
+// TestCatalogMatchesDoc diffs the live registry against OBSERVABILITY.md's
+// instrument catalog in both directions: every registered metric must be
+// documented, and every documented metric must still exist. Per-VM gauges
+// are documented once under the fuzzer_vm<i>_* pattern.
+func TestCatalogMatchesDoc(t *testing.T) {
+	docBytes, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read OBSERVABILITY.md: %v", err)
+	}
+	doc := string(docBytes)
+
+	live := map[string]bool{}
+	for _, name := range registerAll(t) {
+		live[vmDigits.ReplaceAllString(name, "vm<i>")] = true
+	}
+	if len(live) < 30 {
+		t.Fatalf("only %d metrics registered — instrumented campaign looks incomplete", len(live))
+	}
+	for name := range live {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("metric %q registered but not documented in OBSERVABILITY.md", name)
+		}
+	}
+
+	// Reverse direction: every catalog-table row names a live metric. The
+	// owner prefix distinguishes catalog rows from journal-kind rows.
+	docRow := regexp.MustCompile("(?m)^\\| `((?:fuzzer|corpus|serve|qgraph|nn)_[a-z0-9_<>]+)`")
+	documented := 0
+	for _, match := range docRow.FindAllStringSubmatch(doc, -1) {
+		documented++
+		if !live[match[1]] {
+			t.Errorf("OBSERVABILITY.md documents %q but no such metric registers", match[1])
+		}
+	}
+	if documented < 30 {
+		t.Fatalf("only %d catalog rows in OBSERVABILITY.md — catalog table missing?", documented)
+	}
+}

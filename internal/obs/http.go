@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the observability endpoints for one registry/journal/
+// sampler triple (any of which may be nil):
+//
+//	/metrics            registry snapshot, text (?format=json for JSON)
+//	/journal            retained journal events, JSON
+//	/timeseries         sampler series so far, JSON
+//	/debug/vars         expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/...    net/http/pprof (CPU, heap, goroutine, ...)
+//
+// The pprof handlers are mounted on this mux explicitly rather than
+// relying on net/http/pprof's DefaultServeMux registration, so importing
+// obs never changes the default mux and the endpoint stays strictly
+// opt-in.
+func Handler(reg *Registry, j *Journal, s *Sampler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "snowplow observability\n\n"+
+			"/metrics      instrument snapshot (text; ?format=json)\n"+
+			"/journal      campaign event journal (json)\n"+
+			"/timeseries   sampled metric series (json)\n"+
+			"/debug/vars   expvar\n"+
+			"/debug/pprof  live profiling (profile, heap, goroutine, ...)\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = j.WriteJSON(w)
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s == nil {
+			fmt.Fprint(w, "[]\n")
+			return
+		}
+		_ = s.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":6060") in a
+// background goroutine and returns the bound listener address (useful with
+// ":0") and a shutdown function. Serving errors after startup are
+// ignored — observability must never take a campaign down.
+func Serve(addr string, reg *Registry, j *Journal, s *Sampler) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, j, s)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fuzzer_execs_total", "execs", "programs executed").Add(12)
+	reg.Histogram("serve_latency_ns", "ns", "", LatencyBucketsNs()).Observe(2000)
+	j := NewJournal(16)
+	j.Record(Event{Kind: EventCampaignStart, VM: -1, Detail: "syzkaller seed=1 vms=1 budget=100"})
+	s := NewSampler(reg, DefaultSampleInterval)
+	s.Start()
+	s.Stop()
+
+	srv := httptest.NewServer(Handler(reg, j, s))
+	defer srv.Close()
+
+	// /metrics text form is the golden surface: exact lines, not substrings.
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"# fuzzer_execs_total: programs executed\n",
+		"fuzzer_execs_total{counter,execs} 12\n",
+		"serve_latency_ns_bucket{le=4000} 1\n",
+		"serve_latency_ns_sum 2000\n",
+		"serve_latency_ns_count 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics json: %d", code)
+	}
+	var metrics []Metric
+	if err := json.Unmarshal([]byte(body), &metrics); err != nil {
+		t.Fatalf("/metrics json: %v", err)
+	}
+	if len(metrics) != 2 || metrics[0].Name != "fuzzer_execs_total" || metrics[0].Value != 12 {
+		t.Fatalf("/metrics json content: %+v", metrics)
+	}
+
+	code, body = get(t, srv, "/journal")
+	if code != http.StatusOK {
+		t.Fatalf("/journal: %d", code)
+	}
+	var dump struct {
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) != 1 || dump.Events[0].Kind != EventCampaignStart {
+		t.Fatalf("/journal content: %+v", dump)
+	}
+
+	code, body = get(t, srv, "/timeseries")
+	if code != http.StatusOK {
+		t.Fatalf("/timeseries: %d", code)
+	}
+	var samples []Sample
+	if err := json.Unmarshal([]byte(body), &samples); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 2 || samples[len(samples)-1].Values["fuzzer_execs_total"] != 12 {
+		t.Fatalf("/timeseries content: %+v", samples)
+	}
+
+	if code, _ := get(t, srv, "/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope: %d", code)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	addr, shutdown, err := Serve("127.0.0.1:0", reg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	shutdown()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still reachable after shutdown")
+	}
+}

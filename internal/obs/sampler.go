@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sample is one periodic snapshot of the registry: every counter and gauge
+// by name, histograms flattened to <name>_count / <name>_sum.
+type Sample struct {
+	// ElapsedNs is wall-clock time since the sampler started.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// Values maps metric name to value (JSON-encoded with sorted keys).
+	Values map[string]int64 `json:"values"`
+}
+
+// DefaultSampleInterval is the sampling period used when none is given.
+const DefaultSampleInterval = 250 * time.Millisecond
+
+// maxSamples bounds a sampler's retained history (at the default interval,
+// several hours of campaign).
+const maxSamples = 1 << 16
+
+// Sampler periodically snapshots a Registry into an in-memory time series —
+// the raw data for coverage-over-time curves (the paper's Figure 6 shape)
+// taken from a live campaign instead of reconstructed from end-state
+// totals. Start it before the campaign, Stop it after; Samples may be read
+// concurrently while sampling (the /timeseries endpoint does).
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	started  time.Time
+
+	mu      sync.Mutex
+	samples []Sample
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewSampler creates a sampler over reg. interval <= 0 takes
+// DefaultSampleInterval.
+func NewSampler(reg *Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine and records an initial sample.
+func (s *Sampler) Start() {
+	s.started = time.Now()
+	s.take()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.take()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts sampling, records a final sample, and returns the series.
+func (s *Sampler) Stop() []Sample {
+	s.once.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.take()
+	})
+	return s.Samples()
+}
+
+// Samples returns a copy of the series collected so far.
+func (s *Sampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+func (s *Sampler) take() {
+	sample := Sample{ElapsedNs: time.Since(s.started).Nanoseconds(), Values: s.reg.Values()}
+	s.mu.Lock()
+	if len(s.samples) < maxSamples {
+		s.samples = append(s.samples, sample)
+	}
+	s.mu.Unlock()
+}
+
+// WriteJSON renders the collected samples as an indented JSON array, as
+// served at /timeseries.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Samples())
+}

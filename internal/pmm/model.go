@@ -78,6 +78,12 @@ type Model struct {
 	pool *nn.Pool
 }
 
+// PoolStats snapshots the inference tensor-pool traffic counters (the
+// observability layer's pool-hit-rate gauges read these).
+func (m *Model) PoolStats() nn.PoolStats {
+	return m.pool.Stats()
+}
+
 // NewModel builds a randomly initialized model.
 func NewModel(r *rng.Rand, cfg Config, vocab *Vocab) *Model {
 	d := cfg.Dim

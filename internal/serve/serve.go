@@ -23,6 +23,7 @@ import (
 
 	"github.com/repro/snowplow/internal/faultinject"
 	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/obs"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/qgraph"
@@ -144,6 +145,10 @@ type Options struct {
 	// UnhealthyAt is the window error rate at or above which the server
 	// reports unhealthy. Default 0.5.
 	UnhealthyAt float64
+	// Metrics, when non-nil, receives the serving instrument bundle plus
+	// pull-model gauges over the graph cache and tensor pool (see
+	// OBSERVABILITY.md). Nil disables metrics at zero measurable cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -190,6 +195,9 @@ func (o Options) withDefaults() Options {
 type attempt struct {
 	q    Query
 	done chan attemptResult
+	// enq is the enqueue instant for the queue-wait histogram; zero when
+	// metrics are disabled (time.Now is skipped entirely).
+	enq time.Time
 }
 
 type attemptResult struct {
@@ -215,6 +223,11 @@ type Server struct {
 	closed bool
 
 	health *healthTracker
+
+	// m holds the obs instruments (nil-safe fields when Options.Metrics
+	// is nil); obsOn gates the time.Now calls metrics need.
+	m     *serveMetrics
+	obsOn bool
 
 	served, rejected           atomic.Int64
 	queries, succeeded, failed atomic.Int64
@@ -244,6 +257,11 @@ func NewServerOpts(model *pmm.Model, builder *qgraph.Builder, opts Options) *Ser
 		closeCh: make(chan struct{}),
 		started: time.Now(),
 		health:  newHealthTracker(opts.HealthWindow),
+		m:       newServeMetrics(opts.Metrics),
+		obsOn:   opts.Metrics != nil,
+	}
+	if opts.Metrics != nil {
+		s.registerPullGauges(opts.Metrics)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.workerWG.Add(1)
@@ -284,14 +302,26 @@ func (s *Server) worker() {
 				break drain
 			}
 		}
+		if s.obsOn {
+			s.m.queueDepth.Set(int64(len(s.jobs)))
+			now := time.Now()
+			for _, at := range batch {
+				if !at.enq.IsZero() {
+					s.m.queueWait.Observe(now.Sub(at.enq).Nanoseconds())
+				}
+			}
+			s.m.batchSize.Observe(int64(len(batch)))
+		}
 		gs = gs[:0]
 		for _, at := range batch {
 			gs = append(gs, s.builder.Build(at.q.Prog, at.q.Traces, at.q.Targets))
 		}
 		slots, probs := s.model.PredictBatch(gs)
 		s.batches.Add(1)
+		s.m.batches.Inc()
 		if len(batch) > 1 {
 			s.batchedQueries.Add(int64(len(batch)))
+			s.m.batchedQueries.Add(int64(len(batch)))
 		}
 		for i, at := range batch {
 			s.served.Add(1)
@@ -308,12 +338,14 @@ func (s *Server) InferAsync(q Query) (<-chan Prediction, error) {
 	if s.closed {
 		s.mu.Unlock()
 		s.rejected.Add(1)
+		s.m.rejected.Inc()
 		return nil, ErrServerClosed
 	}
 	s.queryWG.Add(1)
 	s.mu.Unlock()
 	seq := s.seq.Add(1) - 1
 	s.queries.Add(1)
+	s.m.queries.Inc()
 	reply := make(chan Prediction, 1)
 	go s.dispatch(q, seq, reply)
 	return reply, nil
@@ -343,9 +375,14 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 		p.Latency = time.Since(start)
 		if p.Err != nil {
 			s.failed.Add(1)
+			s.m.failed.Inc()
 		} else {
 			s.succeeded.Add(1)
 			s.totalLat.Add(int64(p.Latency))
+		}
+		s.m.latency.Observe(p.Latency.Nanoseconds())
+		if p.Err == nil {
+			s.m.succeeded.Inc()
 		}
 		// Queue-full is backpressure from the caller, not server
 		// ill-health — counting it would let a hot client talk a healthy
@@ -360,6 +397,7 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 	for att := 0; att <= s.opts.MaxRetries; att++ {
 		if att > 0 {
 			s.retries.Add(1)
+			s.m.retries.Inc()
 			if !s.sleep(s.backoff(seq, att)) {
 				finish(Prediction{Err: ErrServerClosed})
 				return
@@ -372,6 +410,7 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 		switch d.Fault {
 		case faultinject.FaultTransient:
 			s.injTransient.Add(1)
+			s.m.injTransient.Inc()
 			lastErr = ErrUnavailable
 			continue
 		case faultinject.FaultDrop:
@@ -380,11 +419,14 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 			// time lives in the fuzzer's budget, and sleeping here
 			// would only slow the host and perturb determinism.
 			s.injDropped.Add(1)
+			s.m.injDropped.Inc()
 			s.timeouts.Add(1)
+			s.m.timeouts.Inc()
 			lastErr = ErrDeadline
 			continue
 		case faultinject.FaultLatency:
 			s.injLatency.Add(1)
+			s.m.injLatency.Inc()
 			if !s.sleep(d.Latency) {
 				finish(Prediction{Err: ErrServerClosed})
 				return
@@ -398,12 +440,14 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 			}
 			if errors.Is(err, ErrDeadline) {
 				s.timeouts.Add(1)
+				s.m.timeouts.Inc()
 			}
 			lastErr = err
 			continue
 		}
 		if d.Fault == faultinject.FaultCorrupt {
 			s.injCorrupt.Add(1)
+			s.m.injCorrupt.Inc()
 			res = corruptResult(seq, q, res)
 		}
 		finish(Prediction{Slots: res.slots, Probs: res.probs})
@@ -417,6 +461,9 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 // paper's deployment where an overloaded replica sheds load.
 func (s *Server) runAttempt(q Query) (attemptResult, error) {
 	a := &attempt{q: q, done: make(chan attemptResult, 1)}
+	if s.obsOn {
+		a.enq = time.Now()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
