@@ -8,7 +8,7 @@
 //	snowplow-bench -experiment table1,table5
 //
 // Experiments: stats, table1, fig6, table2 (includes tables 3 and 4),
-// table5, perf, parallel, micro, ablations, faults, timeseries, all.
+// table5, perf, parallel, micro, train, ablations, faults, timeseries, all.
 package main
 
 import (
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,micro,ablations,faults,timeseries,all")
+		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,micro,train,ablations,faults,timeseries,all")
 		scale  = flag.String("scale", "quick", "experiment scale: quick or full")
 		seed   = flag.Uint64("seed", 1, "suite seed")
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
@@ -38,6 +38,8 @@ func main() {
 		batch   = flag.Int("batch", 0, "serving micro-batch limit for harness servers (0 = no batching)")
 		jsonDir = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json results (empty = disabled)")
 		sample  = flag.Duration("sample-interval", 0, "wall-clock metrics sampling period for the timeseries experiment (0 = default 250ms)")
+		trainW  = flag.Int("train-workers", 0, "data-parallel PMM training width for harness training (0 = single-threaded)")
+		collW   = flag.Int("collect-workers", 0, "harvest shard width for harness dataset collection (0 = single-threaded)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -52,6 +54,8 @@ func main() {
 	opts.BatchSize = *batch
 	opts.VMs = *vms
 	opts.SampleInterval = *sample
+	opts.TrainWorkers = *trainW
+	opts.CollectWorkers = *collW
 	if *faults != "" {
 		fm, err := faultinject.ParseSpec(*faults)
 		if err != nil {
@@ -146,6 +150,13 @@ func main() {
 		res := experiments.Micro(h)
 		res.Render(os.Stdout)
 		emit("micro", res)
+		fmt.Println()
+		ran++
+	}
+	if all || want["train"] {
+		res := experiments.Train(h, nil)
+		res.Render(os.Stdout)
+		emit("train", res)
 		fmt.Println()
 		ran++
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	snowplow-collect -kernel 6.8 -bases 400 -mutations 400 -o dataset.txt
+//	snowplow-collect -kernel 6.8 -bases 400 -collect-workers 4 -o dataset.txt
 package main
 
 import (
@@ -28,15 +29,16 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "generation seed")
 		out       = flag.String("o", "dataset.txt", "output dataset path")
 		cap       = flag.Int("popcap", 64, "popularity cap per target block (0 disables)")
+		workers   = flag.Int("collect-workers", 1, "harvest shard width (the dataset is identical at any width)")
 	)
 	flag.Parse()
-	if err := run(*version, *bases, *mutations, *seed, *out, *cap); err != nil {
+	if err := run(*version, *bases, *mutations, *seed, *out, *cap, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow-collect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(version string, bases, mutations int, seed uint64, out string, popCap int) error {
+func run(version string, bases, mutations int, seed uint64, out string, popCap, workers int) error {
 	k, err := kernel.Build(version)
 	if err != nil {
 		return err
@@ -52,6 +54,7 @@ func run(version string, bases, mutations int, seed uint64, out string, popCap i
 	c := dataset.NewCollector(k, an)
 	c.MutationsPerBase = mutations
 	c.PopularityCap = popCap
+	c.Workers = workers
 	fmt.Printf("collecting: %d bases x %d mutations...\n", bases, mutations)
 	ds, stats := c.Collect(rng.New(seed+1), baseProgs)
 	fmt.Printf("bases: %d (%d skipped)\n", stats.Bases, stats.SkippedBases)

@@ -6,6 +6,7 @@
 //
 //	snowplow-train -kernel 6.8 -dataset dataset.txt -o pmm.model -epochs 15
 //	snowplow-train -kernel 6.8 -dataset dataset.txt -o pmm.model -tune
+//	snowplow-train -kernel 6.8 -dataset dataset.txt -train-workers 4 -batch 8
 package main
 
 import (
@@ -32,15 +33,17 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "training seed")
 		tune     = flag.Bool("tune", false, "run a hyperparameter search over model configs")
 		pretrain = flag.Bool("pretrain", false, "masked-token pretraining of the assembly encoder first")
+		batch    = flag.Int("batch", 1, "minibatch size (gradients averaged per optimizer step; 1 = per-example)")
+		workers  = flag.Int("train-workers", 1, "data-parallel training width (checkpoints are byte-identical at any width)")
 	)
 	flag.Parse()
-	if err := run(*version, *dsPath, *out, *epochs, *lr, *posw, *seed, *tune, *pretrain); err != nil {
+	if err := run(*version, *dsPath, *out, *epochs, *lr, *posw, *seed, *tune, *pretrain, *batch, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(version, dsPath, out string, epochs int, lr, posw float64, seed uint64, tune, pretrain bool) error {
+func run(version, dsPath, out string, epochs int, lr, posw float64, seed uint64, tune, pretrain bool, batch, workers int) error {
 	k, err := kernel.Build(version)
 	if err != nil {
 		return err
@@ -59,7 +62,17 @@ func run(version, dsPath, out string, epochs int, lr, posw float64, seed uint64,
 		ds.Len(), train.Len(), val.Len(), eval.Len())
 
 	b := qgraph.NewBuilder(k, cfa.New(k))
-	tcfg := pmm.TrainConfig{LR: lr, Epochs: epochs, PosWeight: posw, ClipNorm: 1, Seed: seed, Log: os.Stdout, Pretrain: pretrain}
+	tcfg := pmm.TrainConfig{
+		LR: lr, Epochs: epochs, PosWeight: posw, ClipNorm: 1, Seed: seed,
+		Log: os.Stdout, Pretrain: pretrain, Batch: batch, Workers: workers,
+	}
+
+	// Compile each split against the builder exactly once: training,
+	// validation passes, hyperparameter search and the final evaluation all
+	// share these (compilation dominates short runs).
+	ctrain := pmm.CompileDataset(b, train, tcfg.PosWeight)
+	cval := pmm.CompileDataset(b, val, 1)
+	ceval := pmm.CompileDataset(b, eval, 1)
 
 	cfg := pmm.DefaultConfig()
 	if tune {
@@ -72,7 +85,7 @@ func run(version, dsPath, out string, epochs int, lr, posw float64, seed uint64,
 			}
 		}
 		fmt.Printf("hyperparameter search over %d configurations...\n", len(candidates))
-		results := pmm.SearchHyperparams(b, candidates, tcfg, train, val)
+		results := pmm.SearchHyperparamsCompiled(b, candidates, tcfg, ctrain, cval)
 		for _, res := range results {
 			fmt.Printf("  dim=%d layers=%d: val F1 %.3f\n", res.Cfg.Dim, res.Cfg.Layers, res.ValF1)
 		}
@@ -80,9 +93,9 @@ func run(version, dsPath, out string, epochs int, lr, posw float64, seed uint64,
 		fmt.Printf("best: dim=%d layers=%d\n", cfg.Dim, cfg.Layers)
 	}
 
-	m, report := pmm.Train(b, cfg, tcfg, train, val)
+	m, report := pmm.TrainCompiled(b, cfg, tcfg, ctrain, cval)
 	fmt.Printf("threshold: %.2f\n", report.Threshold)
-	fmt.Printf("eval (PMM):    %v\n", pmm.Evaluate(m, b, eval))
+	fmt.Printf("eval (PMM):    %v\n", pmm.EvaluateCompiled(m, ceval))
 	fmt.Printf("eval (Rand.8): %v\n", pmm.EvaluateRandomK(rng.New(seed+7), b, eval, 8))
 
 	of, err := os.Create(out)

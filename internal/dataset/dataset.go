@@ -5,14 +5,17 @@
 package dataset
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/repro/snowplow/internal/cfa"
 	"github.com/repro/snowplow/internal/exec"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/mutation"
+	"github.com/repro/snowplow/internal/obs"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/rng"
 	"github.com/repro/snowplow/internal/trace"
@@ -113,6 +116,16 @@ type Collector struct {
 	// ExactTargets switches to §3.1's design option (a): targets are exactly
 	// the newly covered frontier blocks, no distractors (ablation).
 	ExactTargets bool
+	// Workers is the number of goroutines harvesting bases concurrently,
+	// each with a private executor and a per-base derived RNG stream. The
+	// harvest output is independent of the worker count: every base's
+	// random search is seeded from one upfront draw per base, and the
+	// cross-base state (popularity cap, example order) is applied by a
+	// reconciler in base order. 0 or 1 harvests single-threaded.
+	Workers int
+	// Metrics, when non-nil, receives the collect_* instruments. Purely
+	// observational — never part of harvest determinism.
+	Metrics *obs.Registry
 }
 
 // NewCollector returns a Collector with the paper's defaults.
@@ -127,113 +140,231 @@ func NewCollector(k *kernel.Kernel, an *cfa.Analysis) *Collector {
 	}
 }
 
+func (c *Collector) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// collectInstruments bundles the optional collect_* metrics. Every field
+// is nil (and every update a no-op) when no registry is attached.
+type collectInstruments struct {
+	bases          *obs.Counter
+	mutations      *obs.Counter
+	examples       *obs.Counter
+	baseLatency    *obs.Histogram
+	examplesPerSec *obs.Gauge
+}
+
+func newCollectInstruments(reg *obs.Registry) collectInstruments {
+	return collectInstruments{
+		bases:          reg.Counter("collect_bases_total", "bases", "base tests harvested (including skipped ones)"),
+		mutations:      reg.Counter("collect_mutations_total", "execs", "mutant executions during dataset harvesting"),
+		examples:       reg.Counter("collect_examples_total", "examples", "dataset examples assembled after noise and capping"),
+		baseLatency:    reg.Histogram("collect_base_latency_ns", "ns", "wall-clock duration of one base's mutation search", obs.LatencyBucketsNs()),
+		examplesPerSec: reg.Gauge("collect_examples_per_sec", "examples/s", "dataset assembly throughput of the last Collect call"),
+	}
+}
+
+// candidate is one would-be example computed worker-side: the merged slot
+// set and its noisy targets, before the popularity cap (which is cross-base
+// state and belongs to the reconciler).
+type candidate struct {
+	slots   []prog.GlobalSlot
+	targets []kernel.BlockID
+}
+
+// baseHarvest is the complete worker-side result for one base test.
+type baseHarvest struct {
+	skipped    bool
+	numSlots   int
+	mutations  int
+	successful int
+	merged     int
+	traces     [][]kernel.BlockID
+	candidates []candidate
+}
+
 // Collect runs the harvest over the base corpus and assembles the dataset.
-// Execution is deterministic given r.
+// Execution is deterministic given r, and independent of Workers: each base
+// is searched with a private RNG seeded by one upfront draw from r, workers
+// only compute per-base results, and this goroutine folds them — stats,
+// popularity cap, example assembly — in base order.
 func (c *Collector) Collect(r *rng.Rand, bases []*prog.Prog) (*Dataset, CollectStats) {
+	ins := newCollectInstruments(c.Metrics)
+	start := time.Now()
+
+	// One seed per base, drawn upfront so the per-base streams never depend
+	// on scheduling.
+	seeds := make([]uint64, len(bases))
+	for i := range seeds {
+		seeds[i] = r.Uint64()
+	}
+
+	harvests := make([]baseHarvest, len(bases))
+	workers := c.workers()
+	if workers > len(bases) {
+		workers = len(bases)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			exe := exec.New(c.K)
+			var keyBuf []byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bases) {
+					return
+				}
+				t0 := time.Now()
+				// Flaky crash outcomes must be a function of the base, not of
+				// what this executor ran before (work assignment is dynamic).
+				exe.SeedFlaky(seeds[i] ^ 0x5eed)
+				harvests[i] = c.harvestBase(exe, &keyBuf, rng.New(seeds[i]), bases[i])
+				ins.baseLatency.Observe(time.Since(t0).Nanoseconds())
+				ins.bases.Inc()
+				ins.mutations.Add(int64(harvests[i].mutations))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Reconcile in base order: all cross-base state lives here.
 	var stats CollectStats
 	ds := &Dataset{}
-	exe := exec.New(c.K)
 	popularity := map[kernel.BlockID]int{}
-	for baseIdx, base := range bases {
+	for baseIdx := range bases {
+		h := &harvests[baseIdx]
 		stats.Bases++
-		res, err := exe.Run(base)
-		if err != nil || res.Crash != nil || res.Cost == 0 {
-			// §5.1: bases that crash or do not complete are excluded.
+		if h.skipped {
 			stats.SkippedBases++
 			continue
 		}
-		covered := trace.NewBlockSet(trace.BlocksOf(res))
-		stats.TotalSlots += base.NumSlots()
-		frontier := c.An.Frontier(covered)
-		frontierSet := map[kernel.BlockID]bool{}
-		var frontierBlocks []kernel.BlockID
-		seen := map[kernel.BlockID]bool{}
-		for _, alt := range frontier {
-			if !seen[alt.Entry] {
-				seen[alt.Entry] = true
-				frontierSet[alt.Entry] = true
-				frontierBlocks = append(frontierBlocks, alt.Entry)
-			}
-		}
-
-		// Random mutation search: key = signature of new coverage,
-		// value = union of slots that reached it.
-		merged := map[string]*mergedSample{}
-		for j := 0; j < c.MutationsPerBase; j++ {
-			slots := mutation.RandomLocalizer{K: 1}.Localize(r, base)
-			rec := c.Mut.MutateArgs(r, base, slots)
-			stats.Mutations++
-			mres, err := exe.Run(rec.Prog)
-			if err != nil {
-				continue
-			}
-			mCovered := trace.NewBlockSet(trace.BlocksOf(mres))
-			newBlocks := mCovered.Diff(covered)
-			if len(newBlocks) == 0 {
-				continue
-			}
-			stats.Successful++
-			key := blocksKey(newBlocks)
-			ms, ok := merged[key]
-			if !ok {
-				ms = &mergedSample{newBlocks: newBlocks}
-				merged[key] = ms
-			}
-			ms.addSlots(rec.Slots)
-		}
-		stats.MergedSamples += len(merged)
-
-		// Assemble examples with noisy targets.
-		keys := make([]string, 0, len(merged))
-		for k := range merged {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, key := range keys {
-			ms := merged[key]
-			// The achievable part: newly covered blocks that are one branch
-			// away from the base coverage.
-			var near []kernel.BlockID
-			for _, b := range ms.newBlocks {
-				if frontierSet[b] {
-					near = append(near, b)
-				}
-			}
-			if len(near) == 0 {
-				continue // no local knowledge to train on
-			}
-			targets := c.buildTargets(r, near, frontierBlocks)
-			if len(targets) == 0 {
-				continue
-			}
+		stats.TotalSlots += h.numSlots
+		stats.Mutations += h.mutations
+		stats.Successful += h.successful
+		stats.MergedSamples += h.merged
+		for _, cand := range h.candidates {
 			// Popularity cap: discard examples whose targets are dominated
 			// by blocks we have already used many times.
 			if c.PopularityCap > 0 {
 				over := 0
-				for _, t := range targets {
+				for _, t := range cand.targets {
 					if popularity[t] >= c.PopularityCap {
 						over++
 					}
 				}
-				if over == len(targets) {
+				if over == len(cand.targets) {
 					stats.DiscardedPopularity++
 					continue
 				}
 			}
-			for _, t := range targets {
+			for _, t := range cand.targets {
 				popularity[t]++
 			}
 			ds.Examples = append(ds.Examples, &Example{
 				BaseIdx: baseIdx,
-				Prog:    base,
-				Traces:  res.CallTraces,
-				Slots:   ms.slots(),
-				Targets: targets,
+				Prog:    bases[baseIdx],
+				Traces:  h.traces,
+				Slots:   cand.slots,
+				Targets: cand.targets,
 			})
 			stats.Examples++
 		}
 	}
+	ins.examples.Add(int64(stats.Examples))
+	if s := time.Since(start).Seconds(); s > 0 {
+		ins.examplesPerSec.Set(int64(float64(stats.Examples) / s))
+	}
 	return ds, stats
+}
+
+// harvestBase runs one base's random mutation search with a private RNG and
+// executor, and precomputes its example candidates. Everything that depends
+// on cross-base state (popularity) is deferred to the reconciler; the RNG
+// draws of buildTargets never consult that state, so candidates are fully
+// determined by (seed, base).
+func (c *Collector) harvestBase(exe *exec.Executor, keyBuf *[]byte, r *rng.Rand, base *prog.Prog) baseHarvest {
+	var h baseHarvest
+	res, err := exe.Run(base)
+	if err != nil || res.Crash != nil || res.Cost == 0 {
+		// §5.1: bases that crash or do not complete are excluded.
+		h.skipped = true
+		return h
+	}
+	h.traces = res.CallTraces
+	covered := trace.NewBlockSet(trace.BlocksOf(res))
+	h.numSlots = base.NumSlots()
+	frontier := c.An.Frontier(covered)
+	frontierSet := map[kernel.BlockID]bool{}
+	var frontierBlocks []kernel.BlockID
+	seen := map[kernel.BlockID]bool{}
+	for _, alt := range frontier {
+		if !seen[alt.Entry] {
+			seen[alt.Entry] = true
+			frontierSet[alt.Entry] = true
+			frontierBlocks = append(frontierBlocks, alt.Entry)
+		}
+	}
+
+	// Random mutation search: key = signature of new coverage,
+	// value = union of slots that reached it.
+	merged := map[string]*mergedSample{}
+	for j := 0; j < c.MutationsPerBase; j++ {
+		slots := mutation.RandomLocalizer{K: 1}.Localize(r, base)
+		rec := c.Mut.MutateArgs(r, base, slots)
+		h.mutations++
+		mres, err := exe.Run(rec.Prog)
+		if err != nil {
+			continue
+		}
+		mCovered := trace.NewBlockSet(trace.BlocksOf(mres))
+		newBlocks := mCovered.Diff(covered)
+		if len(newBlocks) == 0 {
+			continue
+		}
+		h.successful++
+		*keyBuf = appendBlocksKey((*keyBuf)[:0], newBlocks)
+		key := string(*keyBuf)
+		ms, ok := merged[key]
+		if !ok {
+			ms = &mergedSample{newBlocks: newBlocks}
+			merged[key] = ms
+		}
+		ms.addSlots(rec.Slots)
+	}
+	h.merged = len(merged)
+
+	// Assemble candidates with noisy targets, in deterministic key order.
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		ms := merged[key]
+		// The achievable part: newly covered blocks that are one branch
+		// away from the base coverage.
+		var near []kernel.BlockID
+		for _, b := range ms.newBlocks {
+			if frontierSet[b] {
+				near = append(near, b)
+			}
+		}
+		if len(near) == 0 {
+			continue // no local knowledge to train on
+		}
+		targets := c.buildTargets(r, near, frontierBlocks)
+		if len(targets) == 0 {
+			continue
+		}
+		h.candidates = append(h.candidates, candidate{slots: ms.slots(), targets: targets})
+	}
+	return h
 }
 
 // buildTargets implements the §3.1 target construction: sample from the
@@ -294,10 +425,18 @@ func (m *mergedSample) slots() []prog.GlobalSlot {
 	return out
 }
 
-func blocksKey(blocks []kernel.BlockID) string {
-	var b strings.Builder
+// appendBlocksKey appends the canonical "id,id,..." signature of a block
+// set to buf and returns the extended buffer. Callers reuse one buffer
+// across mutations, so keying a coverage diff costs one string copy
+// instead of the Builder/Fprintf traffic of the old blocksKey.
+func appendBlocksKey(buf []byte, blocks []kernel.BlockID) []byte {
 	for _, id := range blocks {
-		fmt.Fprintf(&b, "%d,", id)
+		buf = strconv.AppendInt(buf, int64(id), 10)
+		buf = append(buf, ',')
 	}
-	return b.String()
+	return buf
+}
+
+func blocksKey(blocks []kernel.BlockID) string {
+	return string(appendBlocksKey(nil, blocks))
 }

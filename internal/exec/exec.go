@@ -109,6 +109,16 @@ func New(k *kernel.Kernel) *Executor {
 	return &Executor{K: k, boot: kernel.NewState(), flakyR: rng.New(0x5eed)}
 }
 
+// SeedFlaky rewinds the flaky-crash RNG to a fresh stream derived from
+// seed. Flaky crash blocks consume this stream once per hit, so an
+// executor's results depend on its whole run history; work-sharded callers
+// (dataset.Collect) reseed per work unit to make each unit's outcome a pure
+// function of (kernel, program, seed) — independent of which worker ran it
+// or what ran before.
+func (e *Executor) SeedFlaky(seed uint64) {
+	e.flakyR = rng.New(seed)
+}
+
 // WithNoise enables the noise model; it returns the executor.
 func (e *Executor) WithNoise(n *NoiseModel) *Executor {
 	e.noise = n

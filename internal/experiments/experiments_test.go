@@ -166,3 +166,35 @@ func TestTruncate(t *testing.T) {
 		t.Fatalf("truncate produced %q", got)
 	}
 }
+
+func TestTrainExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models at three worker counts")
+	}
+	h := NewHarness(tinyOpts())
+	res := Train(h, []int{1, 2})
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	if !res.CheckpointsIdentical {
+		t.Fatalf("checkpoints differ across worker counts: %+v", res.Points)
+	}
+	if !res.DatasetsIdentical {
+		t.Fatalf("datasets differ across shard widths: %+v", res.Points)
+	}
+	for _, p := range res.Points {
+		if p.ExamplesPerSec <= 0 || p.EpochWallMs <= 0 {
+			t.Fatalf("empty measurement at %d workers: %+v", p.Workers, p)
+		}
+		if p.FinalValF1 != res.Points[0].FinalValF1 {
+			t.Fatalf("val F1 differs across worker counts: %+v", res.Points)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	for _, want := range []string{"checkpoints identical", "GOMAXPROCS"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/repro/snowplow/internal/dataset"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// TrainPoint is one worker-count measurement of the training/harvest
+// scaling sweep.
+type TrainPoint struct {
+	Workers int
+	// EpochWallMs is mean wall-clock per supervised epoch (training loop
+	// plus the per-epoch validation pass, both of which parallelize).
+	EpochWallMs float64
+	// ExamplesPerSec is supervised training throughput (live examples per
+	// second of training wall time).
+	ExamplesPerSec float64
+	// Speedup is throughput relative to the Workers=1 point.
+	Speedup float64
+	// FinalValF1 is the last epoch's validation F1 — identical across
+	// worker counts by the determinism guarantee.
+	FinalValF1 float64
+	// CheckpointSHA256 digests the serialized model; equal digests across
+	// points prove byte-identical checkpoints.
+	CheckpointSHA256 string
+	// CollectWallMs is wall-clock of harvesting the experiment corpus at
+	// this shard width.
+	CollectWallMs float64
+	// CollectSpeedup is harvest throughput relative to Workers=1.
+	CollectSpeedup float64
+	// DatasetSHA256 digests the serialized harvest; equal digests across
+	// points prove the dataset is independent of the shard width.
+	DatasetSHA256 string
+}
+
+// TrainResult is the data-parallel training experiment (BENCH_train.json).
+type TrainResult struct {
+	// MaxProcs is runtime.GOMAXPROCS at measurement time: scaling is
+	// bounded by it, so a 4-worker point on a 1-core host documents its
+	// own ceiling.
+	MaxProcs int
+	// Batch is the minibatch size shared by every point (workers split the
+	// examples of one minibatch, so speedup is bounded by Batch too).
+	Batch int
+	// Epochs per training run.
+	Epochs int
+	// TrainExamples/ValExamples size the splits.
+	TrainExamples int
+	ValExamples   int
+	// CheckpointsIdentical is true when every worker count produced the
+	// same checkpoint digest (the tentpole guarantee).
+	CheckpointsIdentical bool
+	// DatasetsIdentical is true when every shard width harvested the same
+	// dataset digest.
+	DatasetsIdentical bool
+	Points            []TrainPoint
+}
+
+// Train measures data-parallel training and sharded harvest scaling at
+// worker counts 1/2/4 and proves the determinism guarantee: byte-identical
+// checkpoints and datasets at every width.
+func Train(h *Harness, workerCounts []int) TrainResult {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	opts := h.Opts
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	b := qgraph.NewBuilder(k, an)
+
+	// Harvest corpus shared by every shard width (same generator stream as
+	// the harness dataset, distinct seed offset so caches don't interfere).
+	g := prog.NewGenerator(k.Target)
+	r := rng.New(opts.Seed + 0x7b41)
+	bases := make([]*prog.Prog, opts.Bases)
+	for i := range bases {
+		bases[i] = g.Generate(r, 3+r.Intn(4))
+	}
+
+	train, val, _ := h.Splits()
+	tcfg := pmm.DefaultTrainConfig()
+	tcfg.Epochs = opts.TrainEpochs
+	tcfg.Seed = opts.Seed
+	tcfg.Batch = opts.TrainBatch
+	if tcfg.Batch < 2 {
+		tcfg.Batch = 8 // workers split a minibatch; per-example stepping cannot scale
+	}
+	ctrain := pmm.CompileDataset(b, train, tcfg.PosWeight)
+	cval := pmm.CompileDataset(b, val, 1)
+
+	res := TrainResult{
+		MaxProcs:      runtime.GOMAXPROCS(0),
+		Batch:         tcfg.Batch,
+		Epochs:        tcfg.Epochs,
+		TrainExamples: ctrain.Len(),
+		ValExamples:   cval.Len(),
+	}
+	var baseThroughput, baseCollect float64
+	for _, w := range workerCounts {
+		h.logf("train: %d worker(s)...\n", w)
+		tc := tcfg
+		tc.Workers = w
+
+		start := time.Now()
+		m, report := pmm.TrainCompiled(b, pmm.DefaultConfig(), tc, ctrain, cval)
+		elapsed := time.Since(start)
+
+		pt := TrainPoint{Workers: w}
+		if tc.Epochs > 0 {
+			pt.EpochWallMs = float64(elapsed.Milliseconds()) / float64(tc.Epochs)
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			pt.ExamplesPerSec = float64(ctrain.Len()*tc.Epochs) / s
+		}
+		if len(report.ValF1) > 0 {
+			pt.FinalValF1 = report.ValF1[len(report.ValF1)-1]
+		}
+		var ckpt strings.Builder
+		if err := m.Save(&ckpt); err != nil {
+			panic(err)
+		}
+		sum := sha256.Sum256([]byte(ckpt.String()))
+		pt.CheckpointSHA256 = hex.EncodeToString(sum[:8])
+		if baseThroughput == 0 {
+			baseThroughput = pt.ExamplesPerSec
+		}
+		if baseThroughput > 0 {
+			pt.Speedup = pt.ExamplesPerSec / baseThroughput
+		}
+
+		h.logf("collect: %d worker(s)...\n", w)
+		c := dataset.NewCollector(k, an)
+		c.MutationsPerBase = opts.MutationsPerBase
+		c.Workers = w
+		start = time.Now()
+		ds, _ := c.Collect(rng.New(opts.Seed+0xc0de), bases)
+		collectElapsed := time.Since(start)
+		pt.CollectWallMs = float64(collectElapsed.Milliseconds())
+		var raw strings.Builder
+		if err := ds.Save(&raw); err != nil {
+			panic(err)
+		}
+		dsum := sha256.Sum256([]byte(raw.String()))
+		pt.DatasetSHA256 = hex.EncodeToString(dsum[:8])
+		if baseCollect == 0 {
+			baseCollect = pt.CollectWallMs
+		}
+		if pt.CollectWallMs > 0 {
+			pt.CollectSpeedup = baseCollect / pt.CollectWallMs
+		}
+
+		res.Points = append(res.Points, pt)
+	}
+	res.CheckpointsIdentical = allSame(res.Points, func(p TrainPoint) string { return p.CheckpointSHA256 })
+	res.DatasetsIdentical = allSame(res.Points, func(p TrainPoint) string { return p.DatasetSHA256 })
+	return res
+}
+
+func allSame(pts []TrainPoint, key func(TrainPoint) string) bool {
+	for i := 1; i < len(pts); i++ {
+		if key(pts[i]) != key(pts[0]) {
+			return false
+		}
+	}
+	return len(pts) > 0
+}
+
+// Render prints the scaling table.
+func (r TrainResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Data-parallel training & harvest scaling (GOMAXPROCS=%d, batch=%d, %d epochs, %d/%d train/val examples) ==\n",
+		r.MaxProcs, r.Batch, r.Epochs, r.TrainExamples, r.ValExamples)
+	fmt.Fprintf(w, "%8s %12s %12s %8s %8s %12s %10s\n",
+		"workers", "epoch-ms", "examples/s", "speedup", "val-F1", "collect-ms", "c-speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %12.1f %12.0f %7.2fx %8.3f %12.1f %9.2fx\n",
+			p.Workers, p.EpochWallMs, p.ExamplesPerSec, p.Speedup, p.FinalValF1, p.CollectWallMs, p.CollectSpeedup)
+	}
+	fmt.Fprintf(w, "checkpoints identical across worker counts: %v\n", r.CheckpointsIdentical)
+	fmt.Fprintf(w, "datasets identical across shard widths:     %v\n", r.DatasetsIdentical)
+	fmt.Fprintf(w, "(scaling is bounded by GOMAXPROCS and the minibatch size; on a multi-core host expect >=2x at 4 workers)\n")
+}

@@ -100,12 +100,17 @@ func (ln *LayerNorm) ForwardOps(ops Ops, x *Tensor) *Tensor {
 
 // layerNormTrain is the autodiff layer-norm op behind TrainOps.LayerNorm.
 func layerNormTrain(x, gamma, beta *Tensor, eps float64) *Tensor {
+	return layerNormVia(heapAlloc{}, x, gamma, beta, eps)
+}
+
+func layerNormVia(al resultAllocator, x, gamma, beta *Tensor, eps float64) *Tensor {
 	m, n := x.Shape[0], x.Shape[1]
-	out := newResult(x.Shape, x, gamma, beta)
-	means := make([]float64, m)
-	invStds := make([]float64, m)
+	out := al.newResult(x.Shape, x, gamma, beta)
+	means := al.scratchFloats(m)
+	invStds := al.scratchFloats(m)
 	layerNormForward(out.Data, x.Data, gamma.Data, beta.Data, m, n, eps, means, invStds)
 	if out.requiresGrad {
+		gh := al.scratchFloats(n)
 		out.backward = func() {
 			for i := 0; i < m; i++ {
 				row := x.Data[i*n : (i+1)*n]
@@ -121,7 +126,6 @@ func layerNormTrain(x, gamma, beta *Tensor, eps float64) *Tensor {
 				if x.requiresGrad {
 					// d xhat_j = g_j * gamma_j ; standard layernorm backward.
 					var sumG, sumGX float64
-					gh := make([]float64, n)
 					for j := 0; j < n; j++ {
 						gh[j] = grow[j] * gamma.Data[j]
 						xhat := (row[j] - mean) * invStd
@@ -200,12 +204,14 @@ func (sa *SelfAttention) Params() []*Tensor {
 }
 
 // Transpose returns the transpose of a 2D tensor.
-func Transpose(a *Tensor) *Tensor {
+func Transpose(a *Tensor) *Tensor { return transposeVia(heapAlloc{}, a) }
+
+func transposeVia(al resultAllocator, a *Tensor) *Tensor {
 	if len(a.Shape) != 2 {
 		panic("nn: Transpose requires a 2D tensor")
 	}
 	m, n := a.Shape[0], a.Shape[1]
-	out := newResult([]int{n, m}, a)
+	out := al.newResult([]int{n, m}, a)
 	transposeForward(out.Data, a.Data, m, n)
 	if out.requiresGrad {
 		out.backward = func() {

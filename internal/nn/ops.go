@@ -2,12 +2,38 @@ package nn
 
 import "math"
 
+// resultAllocator abstracts where an autodiff op's output tensor — and any
+// scratch memory its backward closure captures — lives. The heap allocator
+// backs the package-level ops; TrainArena (train_arena.go) allocates from a
+// Pool so whole training passes recycle their memory. Both run the exact
+// same forward kernels and backward closures, so gradients are bit-identical
+// through either allocator.
+type resultAllocator interface {
+	// newResult constructs an op output over the given inputs, tracking
+	// gradients when some input does (see the package-level newResult).
+	newResult(shape []int, inputs ...*Tensor) *Tensor
+	// scratchFloats returns a zeroed float slice whose lifetime must cover
+	// the backward pass (heap-allocated, or arena-held until Close).
+	scratchFloats(n int) []float64
+}
+
+// heapAlloc is the resultAllocator of the package-level autodiff ops.
+type heapAlloc struct{}
+
+func (heapAlloc) newResult(shape []int, inputs ...*Tensor) *Tensor {
+	return newResult(shape, inputs...)
+}
+
+func (heapAlloc) scratchFloats(n int) []float64 { return make([]float64, n) }
+
 // MatMul returns a × b for 2D tensors of shapes (m,k) and (k,n). The
 // forward pass runs the blocked, vectorized, worker-pool-parallel kernel in
 // matmul.go; results are bit-identical for any worker count.
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul(a, b *Tensor) *Tensor { return matMulVia(heapAlloc{}, a, b) }
+
+func matMulVia(al resultAllocator, a, b *Tensor) *Tensor {
 	m, k, n := checkMatMul(a, b)
-	out := newResult([]int{m, n}, a, b)
+	out := al.newResult([]int{m, n}, a, b)
 	matmulForward(out.Data, a.Data, b.Data, m, k, n)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -48,9 +74,11 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // Add returns a + b elementwise. Shapes must match exactly.
-func Add(a, b *Tensor) *Tensor {
+func Add(a, b *Tensor) *Tensor { return addVia(heapAlloc{}, a, b) }
+
+func addVia(al resultAllocator, a, b *Tensor) *Tensor {
 	checkSameShape("Add", a, b)
-	out := newResult(a.Shape, a, b)
+	out := al.newResult(a.Shape, a, b)
 	addForward(out.Data, a.Data, b.Data)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -71,9 +99,11 @@ func Add(a, b *Tensor) *Tensor {
 
 // AddRowVector adds a length-n vector v (shape (n) or (1,n)) to every row of
 // a 2D tensor a of shape (m,n). This is the standard bias broadcast.
-func AddRowVector(a, v *Tensor) *Tensor {
+func AddRowVector(a, v *Tensor) *Tensor { return addRowVectorVia(heapAlloc{}, a, v) }
+
+func addRowVectorVia(al resultAllocator, a, v *Tensor) *Tensor {
 	m, n := checkRowVector(a, v)
-	out := newResult(a.Shape, a, v)
+	out := al.newResult(a.Shape, a, v)
 	addRowVectorForward(out.Data, a.Data, v.Data, m, n)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -100,9 +130,11 @@ func Sub(a, b *Tensor) *Tensor {
 }
 
 // Mul returns a * b elementwise (Hadamard product).
-func Mul(a, b *Tensor) *Tensor {
+func Mul(a, b *Tensor) *Tensor { return mulVia(heapAlloc{}, a, b) }
+
+func mulVia(al resultAllocator, a, b *Tensor) *Tensor {
 	checkSameShape("Mul", a, b)
-	out := newResult(a.Shape, a, b)
+	out := al.newResult(a.Shape, a, b)
 	mulForward(out.Data, a.Data, b.Data)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -122,8 +154,10 @@ func Mul(a, b *Tensor) *Tensor {
 }
 
 // Scale returns a * c for scalar c.
-func Scale(a *Tensor, c float64) *Tensor {
-	out := newResult(a.Shape, a)
+func Scale(a *Tensor, c float64) *Tensor { return scaleVia(heapAlloc{}, a, c) }
+
+func scaleVia(al resultAllocator, a *Tensor, c float64) *Tensor {
+	out := al.newResult(a.Shape, a)
 	scaleForward(out.Data, a.Data, c)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -136,8 +170,10 @@ func Scale(a *Tensor, c float64) *Tensor {
 }
 
 // ReLU returns max(x, 0) elementwise.
-func ReLU(a *Tensor) *Tensor {
-	out := newResult(a.Shape, a)
+func ReLU(a *Tensor) *Tensor { return reluVia(heapAlloc{}, a) }
+
+func reluVia(al resultAllocator, a *Tensor) *Tensor {
+	out := al.newResult(a.Shape, a)
 	reluForward(out.Data, a.Data)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -186,12 +222,14 @@ func Tanh(a *Tensor) *Tensor {
 }
 
 // SoftmaxRows applies softmax independently to each row of a 2D tensor.
-func SoftmaxRows(a *Tensor) *Tensor {
+func SoftmaxRows(a *Tensor) *Tensor { return softmaxRowsVia(heapAlloc{}, a) }
+
+func softmaxRowsVia(al resultAllocator, a *Tensor) *Tensor {
 	if len(a.Shape) != 2 {
 		panic("nn: SoftmaxRows requires a 2D tensor")
 	}
 	m, n := a.Shape[0], a.Shape[1]
-	out := newResult(a.Shape, a)
+	out := al.newResult(a.Shape, a)
 	softmaxRowsForward(out.Data, a.Data, m, n)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -213,9 +251,11 @@ func SoftmaxRows(a *Tensor) *Tensor {
 
 // Concat concatenates 2D tensors along dimension 1 (columns). All inputs
 // must have the same number of rows.
-func Concat(ts ...*Tensor) *Tensor {
+func Concat(ts ...*Tensor) *Tensor { return concatVia(heapAlloc{}, ts...) }
+
+func concatVia(al resultAllocator, ts ...*Tensor) *Tensor {
 	rows, cols := checkConcat(ts)
-	out := newResult([]int{rows, cols}, ts...)
+	out := al.newResult([]int{rows, cols}, ts...)
 	concatForward(out.Data, ts, rows, cols)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -240,9 +280,11 @@ func Concat(ts ...*Tensor) *Tensor {
 
 // ConcatRows stacks 2D tensors along dimension 0 (rows). All inputs must
 // have the same number of columns.
-func ConcatRows(ts []*Tensor) *Tensor {
+func ConcatRows(ts []*Tensor) *Tensor { return concatRowsVia(heapAlloc{}, ts) }
+
+func concatRowsVia(al resultAllocator, ts []*Tensor) *Tensor {
 	rows, cols := checkConcatRows(ts)
-	out := newResult([]int{rows, cols}, ts...)
+	out := al.newResult([]int{rows, cols}, ts...)
 	concatRowsForward(out.Data, ts)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -287,12 +329,14 @@ func RepeatRow(v *Tensor, rows int) *Tensor {
 
 // RepeatEachRow repeats every row of a 2D tensor `times` consecutive times:
 // rows (a,b) with times=2 become (a,a,b,b).
-func RepeatEachRow(v *Tensor, times int) *Tensor {
+func RepeatEachRow(v *Tensor, times int) *Tensor { return repeatEachRowVia(heapAlloc{}, v, times) }
+
+func repeatEachRowVia(al resultAllocator, v *Tensor, times int) *Tensor {
 	if len(v.Shape) != 2 {
 		panic("nn: RepeatEachRow requires a 2D tensor")
 	}
 	m, n := v.Shape[0], v.Shape[1]
-	out := newResult([]int{m * times, n}, v)
+	out := al.newResult([]int{m * times, n}, v)
 	repeatEachRowForward(out.Data, v.Data, m, n, times)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -312,12 +356,14 @@ func RepeatEachRow(v *Tensor, times int) *Tensor {
 
 // TileRows repeats the whole 2D tensor `times` times along dimension 0:
 // rows (a,b) with times=2 become (a,b,a,b).
-func TileRows(v *Tensor, times int) *Tensor {
+func TileRows(v *Tensor, times int) *Tensor { return tileRowsVia(heapAlloc{}, v, times) }
+
+func tileRowsVia(al resultAllocator, v *Tensor, times int) *Tensor {
 	if len(v.Shape) != 2 {
 		panic("nn: TileRows requires a 2D tensor")
 	}
 	m, n := v.Shape[0], v.Shape[1]
-	out := newResult([]int{m * times, n}, v)
+	out := al.newResult([]int{m * times, n}, v)
 	tileRowsForward(out.Data, v.Data, m, n, times)
 	if out.requiresGrad {
 		out.backward = func() {
@@ -336,8 +382,12 @@ func TileRows(v *Tensor, times int) *Tensor {
 // maximum within each consecutive group of `per` rows. Gradient flows to the
 // argmax row of each group.
 func MaxPerGroup(a *Tensor, groups, per int) *Tensor {
+	return maxPerGroupVia(heapAlloc{}, a, groups, per)
+}
+
+func maxPerGroupVia(al resultAllocator, a *Tensor, groups, per int) *Tensor {
 	checkMaxPerGroup(a, groups, per)
-	out := newResult([]int{groups, 1}, a)
+	out := al.newResult([]int{groups, 1}, a)
 	argmax := make([]int, groups)
 	maxPerGroupForward(out.Data, argmax, a.Data, groups, per)
 	if out.requiresGrad {
@@ -352,12 +402,14 @@ func MaxPerGroup(a *Tensor, groups, per int) *Tensor {
 
 // Gather selects rows of a 2D table by index, producing one output row per
 // index. It is the embedding-lookup primitive.
-func Gather(table *Tensor, indices []int) *Tensor {
+func Gather(table *Tensor, indices []int) *Tensor { return gatherVia(heapAlloc{}, table, indices) }
+
+func gatherVia(al resultAllocator, table *Tensor, indices []int) *Tensor {
 	if len(table.Shape) != 2 {
 		panic("nn: Gather requires a 2D table")
 	}
 	rows, cols := len(indices), table.Shape[1]
-	out := newResult([]int{rows, cols}, table)
+	out := al.newResult([]int{rows, cols}, table)
 	gatherForward(out.Data, table.Data, indices, table.Shape[0], cols)
 	if out.requiresGrad {
 		idxCopy := append([]int(nil), indices...)
@@ -378,12 +430,16 @@ func Gather(table *Tensor, indices []int) *Tensor {
 // mean of all src rows i with dst[i] == d. Buckets that receive no rows stay
 // zero. This is the message-aggregation primitive of the GNN.
 func ScatterMean(src *Tensor, dst []int, dstRows int) *Tensor {
+	return scatterMeanVia(heapAlloc{}, src, dst, dstRows)
+}
+
+func scatterMeanVia(al resultAllocator, src *Tensor, dst []int, dstRows int) *Tensor {
 	if len(src.Shape) != 2 || len(dst) != src.Shape[0] {
 		panic("nn: ScatterMean shape mismatch")
 	}
 	cols := src.Shape[1]
-	out := newResult([]int{dstRows, cols}, src)
-	counts := make([]float64, dstRows)
+	out := al.newResult([]int{dstRows, cols}, src)
+	counts := al.scratchFloats(dstRows)
 	scatterMeanForward(out.Data, counts, src.Data, dst, cols)
 	if out.requiresGrad {
 		dstCopy := append([]int(nil), dst...)
@@ -411,12 +467,14 @@ func SelectRows(a *Tensor, indices []int) *Tensor {
 }
 
 // MeanRows returns a (1,n) tensor holding the column means of a 2D tensor.
-func MeanRows(a *Tensor) *Tensor {
+func MeanRows(a *Tensor) *Tensor { return meanRowsVia(heapAlloc{}, a) }
+
+func meanRowsVia(al resultAllocator, a *Tensor) *Tensor {
 	if len(a.Shape) != 2 {
 		panic("nn: MeanRows requires a 2D tensor")
 	}
 	m, n := a.Shape[0], a.Shape[1]
-	out := newResult([]int{1, n}, a)
+	out := al.newResult([]int{1, n}, a)
 	if m == 0 {
 		return out
 	}
@@ -515,13 +573,17 @@ func CrossEntropyRows(logits *Tensor, labels []int) *Tensor {
 // 0/1 targets, with optional per-element weights (nil for uniform). The
 // formulation max(x,0) - x*y + log(1+exp(-|x|)) is numerically stable.
 func BCEWithLogits(logits *Tensor, targets []float64, weights []float64) *Tensor {
+	return bceWithLogitsVia(heapAlloc{}, logits, targets, weights)
+}
+
+func bceWithLogitsVia(al resultAllocator, logits *Tensor, targets, weights []float64) *Tensor {
 	if len(targets) != logits.Size() {
 		panic("nn: BCEWithLogits target length mismatch")
 	}
 	if weights != nil && len(weights) != len(targets) {
 		panic("nn: BCEWithLogits weight length mismatch")
 	}
-	out := newResult([]int{1}, logits)
+	out := al.newResult([]int{1}, logits)
 	var totalW float64
 	for i, x := range logits.Data {
 		y := targets[i]

@@ -11,21 +11,36 @@ import "sync"
 // Borrow and GetSlice return zeroed memory, so pooled forwards are
 // bit-identical to fresh-allocation forwards.
 type Pool struct {
-	mu      sync.Mutex
-	classes map[int][][]float64
-	borrows int64
-	reuses  int64
+	mu       sync.Mutex
+	classes  map[int][][]float64
+	perClass int
+	borrows  int64
+	reuses   int64
 }
 
-// maxSlabsPerClass bounds the idle slabs retained per size class.
+// maxSlabsPerClass bounds the idle slabs retained per size class for pools
+// created with NewPool. Inference passes keep only a handful of live slabs
+// per class, so a small cap suffices; training tapes keep hundreds live at
+// once and use NewPoolCap with a larger bound.
 const maxSlabsPerClass = 64
 
 // minSlabClass is the smallest slab capacity; tiny requests share it.
 const minSlabClass = 32
 
-// NewPool creates an empty pool.
+// NewPool creates an empty pool with the default per-class retention cap.
 func NewPool() *Pool {
-	return &Pool{classes: map[int][][]float64{}}
+	return NewPoolCap(maxSlabsPerClass)
+}
+
+// NewPoolCap creates an empty pool retaining up to perClass idle slabs per
+// size class. Training arenas, whose tapes hold every intermediate of a
+// forward/backward pass live simultaneously, need a cap at least as large
+// as the pass's tensor count or the pool thrashes back to the heap.
+func NewPoolCap(perClass int) *Pool {
+	if perClass < 1 {
+		perClass = 1
+	}
+	return &Pool{classes: map[int][][]float64{}, perClass: perClass}
 }
 
 // PoolStats reports pool traffic.
@@ -94,7 +109,7 @@ func (p *Pool) PutSlice(s []float64) {
 	}
 	s = s[:0]
 	p.mu.Lock()
-	if len(p.classes[c]) < maxSlabsPerClass {
+	if len(p.classes[c]) < p.perClass {
 		p.classes[c] = append(p.classes[c], s)
 	}
 	p.mu.Unlock()

@@ -1,0 +1,161 @@
+package nn
+
+// TrainArena is a pooled Ops implementation for training: every op output —
+// data and gradient storage alike — is borrowed from a Pool and tracked, and
+// one Close call after the backward pass returns the whole tape's memory for
+// the next example to reuse. It is the training-side counterpart of Infer:
+// both run the same forward kernels, and TrainArena additionally attaches
+// the exact backward closures of the package-level autodiff ops (ops.go), so
+// losses and gradients are bit-identical to the heap path.
+//
+// Unlike Infer, Recycle is a no-op — the tape may need any intermediate
+// during Backward — and Close must not be called until the caller is done
+// with every tensor of the pass, including the loss. A TrainArena is owned
+// by one goroutine; distinct arenas may share a Pool, though per-worker
+// pools avoid lock traffic.
+type TrainArena struct {
+	pool    *Pool
+	tensors []*Tensor
+	scratch [][]float64
+}
+
+// trainArenaPoolCap sizes per-class slab retention for arenas created with
+// NewTrainArena: a forward/backward tape keeps hundreds of same-class
+// tensors live at once, so the inference default of 64 would thrash.
+const trainArenaPoolCap = 8192
+
+// NewTrainArena creates a training arena over its own adequately-capped
+// pool. Use NewTrainArenaPool to share or size the pool explicitly.
+func NewTrainArena() *TrainArena {
+	return NewTrainArenaPool(NewPoolCap(trainArenaPoolCap))
+}
+
+// NewTrainArenaPool creates a training arena over the given pool.
+func NewTrainArenaPool(p *Pool) *TrainArena {
+	return &TrainArena{pool: p}
+}
+
+// PoolStats snapshots the arena pool's traffic counters.
+func (ta *TrainArena) PoolStats() PoolStats { return ta.pool.Stats() }
+
+// newResult implements resultAllocator: output data and (when some input
+// differentiates) gradient storage come from the pool, zeroed — matching
+// the heap allocator bit-for-bit.
+func (ta *TrainArena) newResult(shape []int, inputs ...*Tensor) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	out := &Tensor{Shape: append([]int(nil), shape...), Data: ta.pool.GetSlice(n)}
+	for _, in := range inputs {
+		if in != nil && in.requiresGrad {
+			out.requiresGrad = true
+			out.Grad = ta.pool.GetSlice(n)
+			out.parents = inputs
+			break
+		}
+	}
+	ta.tensors = append(ta.tensors, out)
+	return out
+}
+
+// scratchFloats implements resultAllocator with pool-backed memory held
+// until Close (backward closures capture these slices).
+func (ta *TrainArena) scratchFloats(n int) []float64 {
+	s := ta.pool.GetSlice(n)
+	ta.scratch = append(ta.scratch, s)
+	return s
+}
+
+// Close releases every tensor and scratch slice of the pass back to the
+// pool and severs their tape links. The arena is ready for another pass.
+// No tensor produced during the pass may be used afterwards.
+func (ta *TrainArena) Close() {
+	for _, t := range ta.tensors {
+		ta.pool.PutSlice(t.Data)
+		if t.Grad != nil {
+			ta.pool.PutSlice(t.Grad)
+		}
+		t.Data, t.Grad = nil, nil
+		t.parents, t.backward = nil, nil
+	}
+	ta.tensors = ta.tensors[:0]
+	for _, s := range ta.scratch {
+		ta.pool.PutSlice(s)
+	}
+	ta.scratch = ta.scratch[:0]
+}
+
+// MatMul implements Ops.
+func (ta *TrainArena) MatMul(a, b *Tensor) *Tensor { return matMulVia(ta, a, b) }
+
+// Add implements Ops.
+func (ta *TrainArena) Add(a, b *Tensor) *Tensor { return addVia(ta, a, b) }
+
+// AddRowVector implements Ops.
+func (ta *TrainArena) AddRowVector(a, v *Tensor) *Tensor { return addRowVectorVia(ta, a, v) }
+
+// Mul implements Ops.
+func (ta *TrainArena) Mul(a, b *Tensor) *Tensor { return mulVia(ta, a, b) }
+
+// Scale implements Ops.
+func (ta *TrainArena) Scale(a *Tensor, c float64) *Tensor { return scaleVia(ta, a, c) }
+
+// ReLU implements Ops.
+func (ta *TrainArena) ReLU(a *Tensor) *Tensor { return reluVia(ta, a) }
+
+// SoftmaxRows implements Ops.
+func (ta *TrainArena) SoftmaxRows(a *Tensor) *Tensor { return softmaxRowsVia(ta, a) }
+
+// Transpose implements Ops.
+func (ta *TrainArena) Transpose(a *Tensor) *Tensor { return transposeVia(ta, a) }
+
+// MeanRows implements Ops.
+func (ta *TrainArena) MeanRows(a *Tensor) *Tensor { return meanRowsVia(ta, a) }
+
+// Gather implements Ops.
+func (ta *TrainArena) Gather(table *Tensor, indices []int) *Tensor {
+	return gatherVia(ta, table, indices)
+}
+
+// ScatterMean implements Ops.
+func (ta *TrainArena) ScatterMean(src *Tensor, dst []int, dstRows int) *Tensor {
+	return scatterMeanVia(ta, src, dst, dstRows)
+}
+
+// Concat implements Ops.
+func (ta *TrainArena) Concat(ts ...*Tensor) *Tensor { return concatVia(ta, ts...) }
+
+// ConcatRows implements Ops.
+func (ta *TrainArena) ConcatRows(ts []*Tensor) *Tensor { return concatRowsVia(ta, ts) }
+
+// RepeatEachRow implements Ops.
+func (ta *TrainArena) RepeatEachRow(v *Tensor, times int) *Tensor {
+	return repeatEachRowVia(ta, v, times)
+}
+
+// TileRows implements Ops.
+func (ta *TrainArena) TileRows(v *Tensor, times int) *Tensor { return tileRowsVia(ta, v, times) }
+
+// MaxPerGroup implements Ops.
+func (ta *TrainArena) MaxPerGroup(a *Tensor, groups, per int) *Tensor {
+	return maxPerGroupVia(ta, a, groups, per)
+}
+
+// LayerNorm implements Ops.
+func (ta *TrainArena) LayerNorm(x, gamma, beta *Tensor, eps float64) *Tensor {
+	return layerNormVia(ta, x, gamma, beta, eps)
+}
+
+// Zeros implements Ops.
+func (ta *TrainArena) Zeros(shape ...int) *Tensor { return ta.newResult(shape) }
+
+// Recycle implements Ops as a no-op: the tape may still reference the data;
+// Close reclaims everything at once.
+func (ta *TrainArena) Recycle(ts ...*Tensor) {}
+
+// BCEWithLogits is the arena form of the package-level loss (not part of
+// Ops — only training passes need it).
+func (ta *TrainArena) BCEWithLogits(logits *Tensor, targets, weights []float64) *Tensor {
+	return bceWithLogitsVia(ta, logits, targets, weights)
+}

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// arenaTestNet is a small network touching every op the PMM forward pass
+// uses: attention (MatMul/Transpose/SoftmaxRows/Scale/Add/AddRowVector/
+// LayerNorm), gather/scatter message passing, pairwise readout
+// (RepeatEachRow/TileRows/Mul/Concat/MaxPerGroup) and an MLP head.
+type arenaTestNet struct {
+	attn *SelfAttention
+	mlp  *MLP
+	head *MLP
+}
+
+func newArenaTestNet(seed uint64) *arenaTestNet {
+	r := rng.New(seed)
+	return &arenaTestNet{
+		attn: NewSelfAttention(r, 8),
+		mlp:  NewMLP(r, 8, 8),
+		head: NewMLP(r, 24, 8, 1),
+	}
+}
+
+func (n *arenaTestNet) params() []*Tensor {
+	var ps []*Tensor
+	for _, l := range []Layer{n.attn, n.mlp, n.head} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// forward runs the pass through ops and returns the scalar loss.
+func (n *arenaTestNet) forward(ops Ops, x *Tensor, targets, weights []float64) *Tensor {
+	att := n.attn.ForwardOps(ops, x)
+	enc := n.mlp.ForwardOps(ops, att)
+	ops.Recycle(att)
+	gathered := ops.Gather(enc, []int{0, 1, 2, 3, 2, 1})
+	agg := ops.ScatterMean(gathered, []int{0, 0, 1, 1, 2, 2}, 3)
+	ops.Recycle(gathered)
+	mean := ops.MeanRows(enc)
+	ops.Recycle(enc)
+	big := ops.RepeatEachRow(agg, 2)
+	ctx := ops.TileRows(ops.ConcatRows([]*Tensor{mean, mean}), 3)
+	prod := ops.Mul(big, ctx)
+	cat := ops.Concat(big, ctx, prod)
+	ops.Recycle(agg, mean, big, ctx, prod)
+	scores := n.head.ForwardOps(ops, cat)
+	ops.Recycle(cat)
+	out := ops.MaxPerGroup(scores, 3, 2)
+	ops.Recycle(scores)
+	switch o := ops.(type) {
+	case *TrainArena:
+		return o.BCEWithLogits(out, targets, weights)
+	default:
+		return BCEWithLogits(out, targets, weights)
+	}
+}
+
+// TestTrainArenaMatchesHeapOps verifies the pooled training path end to
+// end: loss and every parameter gradient must be bit-identical to the
+// heap autodiff ops, across repeated passes over warm pool memory.
+func TestTrainArenaMatchesHeapOps(t *testing.T) {
+	net := newArenaTestNet(11)
+	r := rng.New(22)
+	x := New(6, 8)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	targets := []float64{1, 0, 1}
+	weights := []float64{2, 1, 1}
+
+	// Reference pass on the heap.
+	heapLoss := net.forward(TrainOps{}, x, targets, weights)
+	heapLoss.Backward()
+	want := make([][]float64, 0, len(net.params()))
+	for _, p := range net.params() {
+		want = append(want, append([]float64(nil), p.Grad...))
+		p.ZeroGrad()
+	}
+
+	arena := NewTrainArena()
+	for pass := 0; pass < 3; pass++ {
+		loss := net.forward(arena, x, targets, weights)
+		loss.Backward()
+		if loss.Item() != heapLoss.Item() {
+			t.Fatalf("pass %d: arena loss %v != heap loss %v", pass, loss.Item(), heapLoss.Item())
+		}
+		arena.Close()
+		for pi, p := range net.params() {
+			for j, g := range p.Grad {
+				if g != want[pi][j] {
+					t.Fatalf("pass %d: param %d grad[%d] = %v, heap %v (not bit-identical)", pass, pi, j, g, want[pi][j])
+				}
+			}
+			p.ZeroGrad()
+		}
+	}
+	if st := arena.PoolStats(); st.Reuses == 0 {
+		t.Fatalf("warm arena passes reused no pooled slabs: %+v", st)
+	}
+}
+
+// benchPass times one full forward+backward through the given ops.
+func benchPass(b *testing.B, mk func() Ops, close func(Ops)) {
+	net := newArenaTestNet(11)
+	r := rng.New(22)
+	x := New(6, 8)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	targets := []float64{1, 0, 1}
+	weights := []float64{2, 1, 1}
+	ops := mk()
+	// Warm the pool before measuring.
+	loss := net.forward(ops, x, targets, weights)
+	loss.Backward()
+	close(ops)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss := net.forward(ops, x, targets, weights)
+		loss.Backward()
+		close(ops)
+		for _, p := range net.params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// BenchmarkTrainStepHeap is the baseline: every tape tensor heap-allocated.
+func BenchmarkTrainStepHeap(b *testing.B) {
+	benchPass(b, func() Ops { return TrainOps{} }, func(Ops) {})
+}
+
+// BenchmarkTrainStepArena is the pooled path; -benchmem shows the drop in
+// per-step allocations (slab traffic moves to the arena pool).
+func BenchmarkTrainStepArena(b *testing.B) {
+	arena := NewTrainArena()
+	benchPass(b, func() Ops { return arena }, func(o Ops) { o.(*TrainArena).Close() })
+}

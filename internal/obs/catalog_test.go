@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/dataset"
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/obs"
@@ -21,7 +22,9 @@ var vmDigits = regexp.MustCompile(`vm\d+`)
 
 // registerAll runs a small fully instrumented campaign — Snowplow mode so
 // the serving/PMM instruments register, VMs=2 so the per-VM gauges and
-// epoch metrics register — and returns every metric name in the registry.
+// epoch metrics register — plus an instrumented dataset harvest and
+// training run for the collect_*/train_* instruments, and returns every
+// metric name in the registry.
 func registerAll(t *testing.T) []string {
 	t.Helper()
 	k := kernel.MustBuild("6.8")
@@ -49,6 +52,26 @@ func registerAll(t *testing.T) []string {
 	if _, err := fuzzer.New(cfg).Run(); err != nil {
 		t.Fatal(err)
 	}
+
+	// A tiny instrumented harvest + training run so the collect_* and
+	// train_* instruments register too.
+	c := dataset.NewCollector(k, an)
+	c.MutationsPerBase = 40
+	c.Workers = 2
+	c.Metrics = reg
+	var bases []*prog.Prog
+	for i := 0; i < 8; i++ {
+		bases = append(bases, g.Generate(r, 2+r.Intn(3)))
+	}
+	ds, _ := c.Collect(rng.New(11), bases)
+	train, val, _ := ds.Split(0.7, 0.2)
+	tcfg := pmm.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	tcfg.Batch = 4
+	tcfg.Workers = 2
+	tcfg.Metrics = reg
+	pmm.Train(qgraph.NewBuilder(k, an), pmm.DefaultConfig(), tcfg, train, val)
+
 	var names []string
 	for _, metric := range reg.Snapshot() {
 		names = append(names, metric.Name)
@@ -82,7 +105,7 @@ func TestCatalogMatchesDoc(t *testing.T) {
 
 	// Reverse direction: every catalog-table row names a live metric. The
 	// owner prefix distinguishes catalog rows from journal-kind rows.
-	docRow := regexp.MustCompile("(?m)^\\| `((?:fuzzer|corpus|serve|qgraph|nn)_[a-z0-9_<>]+)`")
+	docRow := regexp.MustCompile("(?m)^\\| `((?:fuzzer|corpus|serve|qgraph|nn|train|collect)_[a-z0-9_<>]+)`")
 	documented := 0
 	for _, match := range docRow.FindAllStringSubmatch(doc, -1) {
 		documented++

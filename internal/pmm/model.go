@@ -165,6 +165,31 @@ func (m *Model) Freeze() {
 	}
 }
 
+// newAliasedModel builds a replica that shares the master's weights (every
+// parameter's Data slice is aliased) but owns private gradient storage.
+// Data-parallel training workers forward/backward on replicas so tapes and
+// gradients never collide, while a master Adam step instantly updates every
+// replica. The caller must not use the replica while the master's weights
+// are being written.
+func newAliasedModel(m *Model) *Model {
+	rep := NewModel(rng.New(0), m.Cfg, m.Vocab)
+	src := m.Params()
+	for name, p := range rep.Params() {
+		p.Data = src[name].Data
+	}
+	return rep
+}
+
+// newEvalShadow builds a frozen weight-aliased replica for validation and
+// threshold tuning during training: it sees every weight update of the
+// master immediately and, being frozen, runs through the pooled inference
+// path, which is bit-identical to the training-ops forward.
+func newEvalShadow(m *Model) *Model {
+	shadow := newAliasedModel(m)
+	shadow.Freeze()
+	return shadow
+}
+
 // encodeBlockOps embeds a block's token sequence into a (1, Dim) tensor
 // through the given op set.
 func (m *Model) encodeBlockOps(ops nn.Ops, tokens []string) *nn.Tensor {
