@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,micro,train,ablations,faults,timeseries,all")
+		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,cluster,micro,train,ablations,faults,timeseries,all")
 		scale  = flag.String("scale", "quick", "experiment scale: quick or full")
 		seed   = flag.Uint64("seed", 1, "suite seed")
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
@@ -143,6 +143,13 @@ func main() {
 		res := experiments.Parallel(h, nil)
 		res.Render(os.Stdout)
 		emit("parallel", res)
+		fmt.Println()
+		ran++
+	}
+	if all || want["cluster"] {
+		res := experiments.Cluster(h, nil)
+		res.Render(os.Stdout)
+		emit("cluster", res)
 		fmt.Println()
 		ran++
 	}

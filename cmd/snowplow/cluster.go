@@ -1,0 +1,161 @@
+// Cluster mode: the same binary runs as either the campaign coordinator
+// (-coordinator N) or a shard worker (-worker). The coordinator owns the
+// authoritative corpus, coverage and journal and periodically writes an
+// atomic checkpoint; if the checkpoint file already exists at startup the
+// campaign resumes from it — onto any worker count — with output identical
+// to the uninterrupted run (DESIGN.md §11).
+//
+//	snowplow -coordinator 2 -cluster-addr 127.0.0.1:9035 \
+//	    -mode snowplow -model pmm.model -checkpoint campaign.ckpt
+//	snowplow -worker -cluster-addr 127.0.0.1:9035   # run twice
+
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/cluster"
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/nn"
+	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// clusterFlags groups the distributed-campaign knobs.
+type clusterFlags struct {
+	worker          bool
+	coordinator     int
+	addr            string
+	checkpoint      string
+	checkpointEvery int64
+}
+
+// runClusterWorker joins the coordinator at cf.addr and serves barrier
+// steps until the campaign ends.
+func runClusterWorker(cf clusterFlags, workers int) error {
+	nn.SetWorkers(workers)
+	logger := log.New(os.Stderr, "worker: ", log.Ltime)
+	logger.Printf("joining coordinator at %s", cf.addr)
+	return cluster.RunWorker(cf.addr, cluster.WorkerOptions{
+		ServeWorkers: workers,
+		Logf:         logger.Printf,
+	})
+}
+
+// runClusterCoordinator builds the campaign spec exactly like the
+// single-host path (same seed recipe, same knobs), waits for
+// cf.coordinator workers, and drives the campaign to completion. If the
+// checkpoint file exists the campaign resumes from it instead of starting
+// fresh.
+func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, budget int64, seed uint64, nseeds int, fallback float64, vms int, of obsFlags) error {
+	k, err := kernel.Build(version)
+	if err != nil {
+		return err
+	}
+	fmt.Println(k)
+	cfg := fuzzer.Config{
+		Kernel: k, An: cfa.New(k), Seed: seed, Budget: budget,
+		FallbackProb: fallback, VMs: vms,
+		Journal: obs.NewJournal(1), // flag only: the coordinator owns the real journal
+	}
+	var model []byte
+	switch mode {
+	case "syzkaller":
+		cfg.Mode = fuzzer.ModeSyzkaller
+	case "snowplow":
+		cfg.Mode = fuzzer.ModeSnowplow
+		if modelPath == "" {
+			return fmt.Errorf("-mode snowplow requires -model")
+		}
+		if model, err = os.ReadFile(modelPath); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	g := prog.NewGenerator(k.Target)
+	r := rng.New(seed + 0x5eed)
+	for i := 0; i < nseeds; i++ {
+		cfg.SeedCorpus = append(cfg.SeedCorpus, g.Generate(r, 2+r.Intn(3)))
+	}
+
+	ccfg := cluster.Config{
+		Spec:            cluster.SpecFromConfig(cfg, model),
+		Workers:         cf.coordinator,
+		Addr:            cf.addr,
+		CheckpointPath:  cf.checkpoint,
+		CheckpointEvery: cf.checkpointEvery,
+		Logf:            log.New(os.Stderr, "coordinator: ", log.Ltime).Printf,
+	}
+	var sampler *obs.Sampler
+	if of.addr != "" {
+		reg := obs.NewRegistry()
+		sampler = obs.NewSampler(reg, of.sampleInterval)
+		addr, shutdown, err := obs.Serve(of.addr, reg, nil, sampler)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Printf("observability: http://%s (metrics, timeseries, pprof)\n", addr)
+		ccfg.Metrics = reg
+	}
+
+	var co *cluster.Coordinator
+	if data, err := os.ReadFile(cf.checkpoint); cf.checkpoint != "" && err == nil {
+		co, err = cluster.ResumeCoordinator(ccfg, data)
+		if err != nil {
+			return fmt.Errorf("resuming from %s: %w", cf.checkpoint, err)
+		}
+		fmt.Printf("resuming campaign from %s\n", cf.checkpoint)
+	} else {
+		if co, err = cluster.NewCoordinator(ccfg); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("coordinator listening on %s, waiting for %d workers\n", co.Addr(), cf.coordinator)
+
+	if sampler != nil {
+		sampler.Start()
+	}
+	res, err := co.Run()
+	if sampler != nil {
+		sampler.Stop()
+	}
+	if err != nil {
+		return err
+	}
+
+	// Single-buffer report, same convention as the single-host path.
+	var out bytes.Buffer
+	stats := res.Stats
+	fmt.Fprintf(&out, "mode=%s kernel=%s budget=%d workers=%d\n", stats.Mode, version, budget, res.Workers)
+	fmt.Fprintf(&out, "final: %d edges, %d executions, corpus %d\n",
+		stats.FinalEdges, stats.Executions, stats.CorpusSize)
+	for _, vm := range stats.VMs {
+		fmt.Fprintf(&out, "vm %d: %d execs, %d new edges, %d queries, %d epochs\n",
+			vm.VM, vm.Executions, vm.NewEdges, vm.Queries, vm.Epochs)
+	}
+	if cfg.Mode == fuzzer.ModeSnowplow {
+		fmt.Fprintf(&out, "PMM: %d queries, %d predictions, %d failed, %d shed\n",
+			stats.PMMQueries, stats.PMMPredictions, stats.PMMFailed, stats.PMMShed)
+	}
+	fmt.Fprintf(&out, "digests: corpus=%s cover=%s journal=%s\n",
+		res.CorpusDigest, res.CoverDigest, res.JournalDigest)
+	if cf.checkpoint != "" {
+		fmt.Fprintf(&out, "checkpoint: %s (every %d epochs)\n", cf.checkpoint, cf.checkpointEvery)
+	}
+	if len(stats.Crashes) > 0 {
+		fmt.Fprintf(&out, "\ncrashes (%d unique):\n", len(stats.Crashes))
+		for _, c := range stats.Crashes {
+			fmt.Fprintf(&out, "  [cost %d] %s\n", c.Cost, c.Spec.Title)
+		}
+	}
+	_, err = os.Stdout.Write(out.Bytes())
+	return err
+}

@@ -57,7 +57,18 @@ func main() {
 		vms       = flag.Int("vms", 1, "simulated fuzzing VMs (parallel campaign; 1 = sequential)")
 		sf        serveFlags
 		of        obsFlags
+		cf        clusterFlags
 	)
+	flag.BoolVar(&cf.worker, "worker", false,
+		"run as a cluster shard worker: join the coordinator at -cluster-addr and exit when the campaign ends")
+	flag.IntVar(&cf.coordinator, "coordinator", 0,
+		"run as cluster coordinator and wait for this many workers (0 = single-process campaign)")
+	flag.StringVar(&cf.addr, "cluster-addr", "127.0.0.1:9035",
+		"cluster listen/dial address for -coordinator/-worker")
+	flag.StringVar(&cf.checkpoint, "checkpoint", "",
+		"coordinator checkpoint file; written atomically every -checkpoint-every epochs, resumed from if present")
+	flag.Int64Var(&cf.checkpointEvery, "checkpoint-every", 16,
+		"epoch barriers between checkpoints (with -coordinator and -checkpoint)")
 	flag.StringVar(&of.addr, "obs", "",
 		"observability endpoint address, e.g. :6060 (serves /metrics, /journal, /timeseries, /debug/pprof; empty = disabled)")
 	flag.DurationVar(&of.sampleInterval, "sample-interval", 0,
@@ -69,7 +80,16 @@ func main() {
 	flag.Float64Var(&sf.degraded, "degraded-fallback", 0,
 		"fallback probability while serving is unhealthy (0 = default 0.9)")
 	flag.Parse()
-	if err := run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, sf, of); err != nil {
+	var err error
+	switch {
+	case cf.worker:
+		err = runClusterWorker(cf, *workers)
+	case cf.coordinator > 0:
+		err = runClusterCoordinator(cf, *mode, *version, *modelPath, *budget, *seed, *seeds, *fallback, *vms, of)
+	default:
+		err = run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, sf, of)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,155 @@
+// Checkpoint format: the coordinator's complete barrier state in a
+// versioned binary file, written atomically every CheckpointEvery epochs. A
+// checkpoint taken after the merge of epoch E contains everything the next
+// barrier depends on — spec, corpus in publish order, canonical VM states,
+// journal ring, sampling cursor — so a resumed campaign, resharded onto any
+// worker count, continues bit-identically from epoch E+1. The format reuses
+// the wire codec and inherits its decode hardening (FuzzCheckpointDecode
+// exercises it on corrupt input).
+
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/obs"
+)
+
+// checkpointMagic opens every checkpoint file, followed by a version u32.
+const checkpointMagic = "SPCK"
+
+// checkpointVersion is the current checkpoint format version.
+const checkpointVersion = 1
+
+// Checkpoint is the coordinator's full barrier state.
+type Checkpoint struct {
+	Spec  CampaignSpec
+	Epoch int64  // last merged epoch
+	Seq   uint64 // reconciler merge sequence cursor
+	// NextSample is the cost of the next coverage-series sample.
+	NextSample int64
+	Series     []fuzzer.Point
+	// Entries is the authoritative corpus in publish order (VM -1: snapshot
+	// entries belong to no shard).
+	Entries []fuzzer.Accepted
+	// TotalEdges is the corpus's edge count at capture, verified against
+	// the rebuilt corpus on resume (an integrity check on Entries).
+	TotalEdges int64
+	// States are the canonical VM states for every VM, ascending.
+	States []fuzzer.VMState
+	// PendingSeed holds seed-pass journal events not yet flushed into the
+	// journal (see coordinator.pendingSeed); SeedFlushed records whether
+	// the flush already happened.
+	PendingSeed []obs.Event
+	SeedFlushed bool
+	// Journal is the ring's retained event window with assigned Seqs, plus
+	// the ring cursor state to continue numbering exactly.
+	JournalCap     int
+	Journal        []obs.Event
+	JournalNext    uint64
+	JournalDropped uint64
+	// ModelDigest is sha256(Spec.Model), recomputed and compared on decode
+	// so a corrupted model checkpoint fails loudly instead of silently
+	// changing predictions.
+	ModelDigest [32]byte
+}
+
+// Encode serializes the checkpoint.
+func (c *Checkpoint) Encode() []byte {
+	var e enc
+	e.b = append(e.b, checkpointMagic...)
+	e.u64(checkpointVersion)
+	e.spec(c.Spec)
+	e.i64(c.Epoch)
+	e.u64(c.Seq)
+	e.i64(c.NextSample)
+	e.int(len(c.Series))
+	for _, p := range c.Series {
+		e.i64(p.Cost)
+		e.int(p.Edges)
+	}
+	e.acceptedList(c.Entries)
+	e.i64(c.TotalEdges)
+	e.vmStates(c.States)
+	e.events(c.PendingSeed)
+	e.flag(c.SeedFlushed)
+	e.int(c.JournalCap)
+	e.events(c.Journal)
+	e.u64(c.JournalNext)
+	e.u64(c.JournalDropped)
+	digest := sha256.Sum256(c.Spec.Model)
+	e.b = append(e.b, digest[:]...)
+	return e.b
+}
+
+// DecodeCheckpoint parses and validates a checkpoint. It returns
+// ErrBadVersion for an unknown magic or version, ErrTruncated/ErrBadMessage
+// for corrupt payloads (including a model whose digest does not match).
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < len(checkpointMagic)+8 {
+		return nil, fmt.Errorf("%w: checkpoint header", ErrTruncated)
+	}
+	if string(b[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: not a checkpoint file", ErrBadVersion)
+	}
+	d := dec{b: b, off: len(checkpointMagic)}
+	if v := d.u64(); v != checkpointVersion {
+		return nil, fmt.Errorf("%w: checkpoint version %d (want %d)", ErrBadVersion, v, checkpointVersion)
+	}
+	c := &Checkpoint{
+		Spec:       d.spec(),
+		Epoch:      d.i64(),
+		Seq:        d.u64(),
+		NextSample: d.i64(),
+	}
+	n := d.listLen()
+	for i := 0; i < n && d.err == nil; i++ {
+		c.Series = append(c.Series, fuzzer.Point{Cost: d.i64(), Edges: d.int()})
+	}
+	c.Entries = d.acceptedList()
+	c.TotalEdges = d.i64()
+	c.States = d.vmStates()
+	c.PendingSeed = d.events()
+	c.SeedFlushed = d.flag()
+	c.JournalCap = d.int()
+	c.Journal = d.events()
+	c.JournalNext = d.u64()
+	c.JournalDropped = d.u64()
+	dg := d.take(sha256.Size)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	copy(c.ModelDigest[:], dg)
+	if got := sha256.Sum256(c.Spec.Model); got != c.ModelDigest {
+		return nil, fmt.Errorf("%w: model digest mismatch", ErrBadMessage)
+	}
+	if c.JournalCap < 0 || c.JournalCap > maxWireList {
+		return nil, fmt.Errorf("%w: implausible journal capacity %d", ErrBadMessage, c.JournalCap)
+	}
+	return c, nil
+}
+
+// WriteCheckpointFile writes data to path atomically (temp file + rename in
+// the same directory), so a crash mid-write never leaves a truncated
+// checkpoint where a resumable one used to be.
+func WriteCheckpointFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

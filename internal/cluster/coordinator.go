@@ -1,0 +1,836 @@
+// The coordinator owns a cluster campaign's authoritative state — corpus,
+// coverage, canonical VM states, journal, sampling cursor — and drives N
+// workers in lockstep epochs over TCP. It is the single-host reconciler
+// (fuzzer/parallel.go) with the VM fan-out moved across a network seam:
+// every barrier it broadcasts the previous merge's accepted entries, each
+// worker fuzzes one slice, and the returned deltas are merged in ascending
+// VM order under a global sequence counter. Worker loss is handled at the
+// barrier: the lost shard's canonical states are restored onto a surviving
+// worker, which re-runs the epoch for exactly those VMs — the re-run is
+// bit-identical to what the lost worker would have produced, so the
+// campaign's output is independent of churn.
+
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"github.com/repro/snowplow/internal/corpus"
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/serve"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	Spec CampaignSpec
+	// Workers is how many worker connections to wait for before starting.
+	Workers int
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// CheckpointPath, when set, receives an atomic checkpoint file every
+	// CheckpointEvery epochs.
+	CheckpointPath  string
+	CheckpointEvery int64
+	// OnCheckpoint, when set, observes every encoded checkpoint (tests use
+	// it to capture mid-campaign state without touching the filesystem).
+	OnCheckpoint func(epoch int64, data []byte)
+	// Metrics, when set, receives the cluster_* instrument family.
+	Metrics *obs.Registry
+	// JournalCap bounds the campaign journal (DefaultJournalCap if <= 0).
+	JournalCap int
+	// IOTimeout bounds every network operation, including waiting for
+	// worker connections (default 60s). A worker that misses it is treated
+	// as lost.
+	IOTimeout time.Duration
+	// Logf, when set, receives coordinator progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Result is a finished cluster campaign: the campaign stats (assembled
+// exactly as the single-host engine would) plus digests of the
+// determinism-guaranteed observables.
+type Result struct {
+	Stats         *fuzzer.Stats
+	CorpusDigest  string
+	CoverDigest   string
+	JournalDigest string
+	// Events is the journal's retained window (nil when not journaling).
+	Events []obs.Event
+	// Workers is the configured worker count.
+	Workers int
+}
+
+// Coordinator runs one cluster campaign.
+type Coordinator struct {
+	cfg   Config
+	norm  fuzzer.Config // normalized campaign config (kernel, knob defaults)
+	k     *kernel.Kernel
+	ln    net.Listener
+	corp  *corpus.Corpus
+	jn    *obs.Journal
+	jnCap int
+	m     *clusterMetrics
+
+	states []fuzzer.VMState // canonical, indexed by VM id
+	epoch  int64            // last merged epoch
+	seq    int64            // reconciler merge sequence counter
+	// pendingAccepted is the last merge's outcome, broadcast at the next
+	// barrier.
+	pendingAccepted []fuzzer.Accepted
+	nextSample      int64
+	series          []fuzzer.Point
+	// pendingSeed buffers the seed pass's journal events until VM 0's
+	// first epoch delta is flushed (the single-host engine flushes VM 0's
+	// buffered events — seeds included — at its first active barrier).
+	pendingSeed []obs.Event
+	seedFlushed bool
+	resumed     bool
+}
+
+// NewCoordinator creates a coordinator for a fresh campaign and starts
+// listening. Call Run to admit workers and execute the campaign.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	c, err := newCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for vm := 0; vm < c.norm.VMs; vm++ {
+		c.states = append(c.states, fuzzer.InitialVMState(c.norm, vm))
+	}
+	c.nextSample = c.norm.SampleEvery
+	if c.cfg.Spec.Journal {
+		c.jn = obs.NewJournal(c.jnCap)
+	}
+	return c, nil
+}
+
+// ResumeCoordinator creates a coordinator continuing a checkpointed
+// campaign. The checkpoint's spec overrides cfg.Spec, and the worker count
+// may differ from the checkpointed campaign's — VM shards are recut over
+// the new fleet with identical results.
+func ResumeCoordinator(cfg Config, checkpoint []byte) (*Coordinator, error) {
+	ck, err := DecodeCheckpoint(checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Spec = ck.Spec
+	c, err := newCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range ck.Entries {
+		if err := validateTraces(c.k, a.Traces); err != nil {
+			return nil, fmt.Errorf("cluster: checkpoint corpus: %w", err)
+		}
+		p, err := prog.Parse(c.k.Target, a.Text)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: checkpoint corpus: %w", err)
+		}
+		c.corp.SeedEntry(corpus.EntryFromTraces(p, a.Traces))
+	}
+	if got := int64(c.corp.TotalEdges()); got != ck.TotalEdges {
+		return nil, fmt.Errorf("%w: checkpoint coverage mismatch: rebuilt %d edges, recorded %d",
+			ErrBadMessage, got, ck.TotalEdges)
+	}
+	if len(ck.States) != c.norm.VMs {
+		return nil, fmt.Errorf("%w: checkpoint has %d VM states for %d VMs",
+			ErrBadMessage, len(ck.States), c.norm.VMs)
+	}
+	c.states = append([]fuzzer.VMState(nil), ck.States...)
+	for vm, st := range c.states {
+		if st.VM != vm {
+			return nil, fmt.Errorf("%w: checkpoint VM states out of order", ErrBadMessage)
+		}
+	}
+	c.epoch = ck.Epoch
+	c.seq = int64(ck.Seq)
+	c.nextSample = ck.NextSample
+	c.series = append([]fuzzer.Point(nil), ck.Series...)
+	c.pendingSeed = append([]obs.Event(nil), ck.PendingSeed...)
+	c.seedFlushed = ck.SeedFlushed
+	if c.cfg.Spec.Journal {
+		if ck.JournalCap > 0 {
+			c.jnCap = ck.JournalCap
+		}
+		c.jn = obs.NewJournalFrom(c.jnCap, ck.Journal, ck.JournalNext, ck.JournalDropped)
+	}
+	// The snapshot was taken after a merge, so the accepted entries of the
+	// checkpointed epoch are already inside it; the first post-resume
+	// barrier broadcasts nothing.
+	c.resumed = true
+	return c, nil
+}
+
+func newCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one worker")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 60 * time.Second
+	}
+	rt, err := cfg.Spec.Materialize(false, 0)
+	if err != nil {
+		return nil, err
+	}
+	norm := rt.Cfg.Normalized()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	jnCap := cfg.JournalCap
+	if jnCap <= 0 {
+		jnCap = obs.DefaultJournalCap
+	}
+	return &Coordinator{
+		cfg:   cfg,
+		norm:  norm,
+		k:     rt.Kernel,
+		ln:    ln,
+		corp:  corpus.New(),
+		jnCap: jnCap,
+		m:     newClusterMetrics(cfg.Metrics),
+	}, nil
+}
+
+// Addr returns the coordinator's listen address, for workers to dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// workerConn is one admitted worker connection.
+type workerConn struct {
+	idx     int
+	conn    net.Conn
+	vms     []int // VMs currently owned (informational)
+	alive   bool
+	timeout time.Duration
+	m       *clusterMetrics
+}
+
+func (wc *workerConn) send(typ byte, payload []byte) error {
+	wc.conn.SetWriteDeadline(time.Now().Add(wc.timeout))
+	if err := serve.WriteFrame(wc.conn, typ, payload); err != nil {
+		return err
+	}
+	wc.m.txBytes.Add(int64(len(payload)) + 5)
+	return nil
+}
+
+func (wc *workerConn) recv() (byte, []byte, error) {
+	wc.conn.SetReadDeadline(time.Now().Add(wc.timeout))
+	typ, payload, err := serve.ReadFrame(wc.conn, serve.MaxFramePayload)
+	if err != nil {
+		return 0, nil, err
+	}
+	wc.m.rxBytes.Add(int64(len(payload)) + 5)
+	return typ, payload, nil
+}
+
+// recvDelta reads one DeltaMsg for the given epoch, surfacing worker-sent
+// errors.
+func (wc *workerConn) recvDelta(epoch int64) (DeltaMsg, error) {
+	typ, payload, err := wc.recv()
+	if err != nil {
+		return DeltaMsg{}, err
+	}
+	switch typ {
+	case frameDelta:
+		m, err := DecodeDelta(payload)
+		if err != nil {
+			return DeltaMsg{}, err
+		}
+		if m.Epoch != epoch {
+			return DeltaMsg{}, fmt.Errorf("%w: delta for epoch %d at barrier %d", ErrBadMessage, m.Epoch, epoch)
+		}
+		return m, nil
+	case frameErr:
+		em, _ := DecodeErr(payload)
+		return DeltaMsg{}, fmt.Errorf("cluster: worker %d failed: %s", wc.idx, em.Msg)
+	default:
+		return DeltaMsg{}, fmt.Errorf("%w: unexpected frame 0x%02x, want delta", ErrBadMessage, typ)
+	}
+}
+
+// Run admits Workers connections, executes the campaign to budget
+// exhaustion and returns the assembled result. The listener is closed on
+// return.
+func (c *Coordinator) Run() (*Result, error) {
+	defer c.ln.Close()
+	workers, err := c.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, wc := range workers {
+			wc.conn.Close()
+		}
+	}()
+	c.m.workers.Set(int64(len(workers)))
+
+	if !c.resumed {
+		c.jn.Record(obs.Event{
+			Kind: obs.EventCampaignStart, VM: -1,
+			Detail: fmt.Sprintf("%s seed=%d vms=%d budget=%d", c.norm.Mode, c.norm.Seed, c.norm.VMs, c.norm.Budget),
+		})
+		if err := c.seedPhase(workers); err != nil {
+			return nil, err
+		}
+	}
+
+	for {
+		active := c.activeVMs()
+		if len(active) == 0 {
+			break
+		}
+		if err := c.runEpochBarrier(workers, active); err != nil {
+			return nil, err
+		}
+	}
+	return c.finish(workers)
+}
+
+// admit accepts the configured number of workers, handshakes each, and
+// deals out the VM shards: worker i owns the contiguous range
+// [i*V/W, (i+1)*V/W) (empty when V < W). Failures here are fatal — churn
+// tolerance begins once the campaign is running.
+func (c *Coordinator) admit() ([]*workerConn, error) {
+	if tcp, ok := c.ln.(*net.TCPListener); ok {
+		tcp.SetDeadline(time.Now().Add(c.cfg.IOTimeout))
+	}
+	workers := make([]*workerConn, c.cfg.Workers)
+	for i := range workers {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: waiting for worker %d/%d: %w", i, c.cfg.Workers, err)
+		}
+		workers[i] = &workerConn{idx: i, conn: conn, alive: true, timeout: c.cfg.IOTimeout, m: c.m}
+	}
+	nvm, nw := c.norm.VMs, len(workers)
+	for i, wc := range workers {
+		typ, payload, err := wc.recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d handshake: %w", i, err)
+		}
+		if typ != frameHello {
+			return nil, fmt.Errorf("%w: worker %d sent frame 0x%02x, want hello", ErrBadMessage, i, typ)
+		}
+		h, err := DecodeHello(payload)
+		if err != nil {
+			return nil, err
+		}
+		if h.Proto != protoVersion {
+			wc.send(frameErr, EncodeErr(ErrMsg{Msg: fmt.Sprintf("protocol version %d, want %d", h.Proto, protoVersion)}))
+			return nil, fmt.Errorf("%w: worker %d speaks protocol %d, want %d", ErrBadVersion, i, h.Proto, protoVersion)
+		}
+		lo, hi := i*nvm/nw, (i+1)*nvm/nw
+		for vm := lo; vm < hi; vm++ {
+			wc.vms = append(wc.vms, vm)
+		}
+		a := Assign{
+			Spec:       c.cfg.Spec,
+			VMs:        wc.vms,
+			States:     append([]fuzzer.VMState(nil), c.states[lo:hi]...),
+			StartEpoch: c.epoch,
+			SeedPass:   !c.resumed && lo <= 0 && 0 < hi,
+		}
+		if c.resumed {
+			for _, e := range c.corp.Entries() {
+				a.Snapshot = append(a.Snapshot, fuzzer.Accepted{VM: -1, Seeded: true, Text: e.Text, Traces: e.Traces})
+			}
+		}
+		if err := wc.send(frameAssign, EncodeAssign(a)); err != nil {
+			return nil, fmt.Errorf("cluster: assigning worker %d: %w", i, err)
+		}
+	}
+	for i, wc := range workers {
+		typ, payload, err := wc.recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d ack: %w", i, err)
+		}
+		if typ == frameErr {
+			em, _ := DecodeErr(payload)
+			return nil, fmt.Errorf("cluster: worker %d rejected assignment: %s", i, em.Msg)
+		}
+		if typ != frameAck {
+			return nil, fmt.Errorf("%w: worker %d sent frame 0x%02x, want ack", ErrBadMessage, i, typ)
+		}
+		c.logf("worker %d ready, VMs %v", i, wc.vms)
+	}
+	return workers, nil
+}
+
+// seedPhase runs a fresh campaign's seed pass: the worker owning VM 0
+// executes the seed corpus against its replica and ships the seeded entries,
+// which become the first barrier's broadcast so every replica starts
+// identical. Seed insertions happen outside the reconciler (no sequence
+// numbers), as in the single-host engine.
+func (c *Coordinator) seedPhase(workers []*workerConn) error {
+	var owner *workerConn
+	for _, wc := range workers {
+		if len(wc.vms) > 0 && wc.vms[0] == 0 {
+			owner = wc
+		}
+	}
+	if owner == nil {
+		return fmt.Errorf("cluster: no worker owns VM 0")
+	}
+	m, err := owner.recvDelta(0)
+	if err != nil {
+		return fmt.Errorf("cluster: seed pass: %w", err)
+	}
+	if len(m.Deltas) != 1 || m.Deltas[0].VM != 0 {
+		return fmt.Errorf("%w: seed delta must carry exactly VM 0", ErrBadMessage)
+	}
+	d := m.Deltas[0]
+	for _, l := range d.Locals {
+		if err := c.insertSeed(l); err != nil {
+			return err
+		}
+		c.pendingAccepted = append(c.pendingAccepted, fuzzer.Accepted{VM: 0, Seeded: true, Text: l.Text, Traces: l.Traces})
+	}
+	c.pendingSeed = d.Events
+	c.states[0] = d.State
+	c.m.accepted.Add(int64(len(d.Locals)))
+	return nil
+}
+
+func (c *Coordinator) insertSeed(l fuzzer.Local) error {
+	if err := validateTraces(c.k, l.Traces); err != nil {
+		return err
+	}
+	p, err := prog.Parse(c.k.Target, l.Text)
+	if err != nil {
+		return fmt.Errorf("%w: unparseable program: %v", ErrBadMessage, err)
+	}
+	c.corp.SeedEntry(corpus.EntryFromTraces(p, l.Traces))
+	return nil
+}
+
+// activeVMs returns the VMs with remaining budget, ascending.
+func (c *Coordinator) activeVMs() []int {
+	var out []int
+	for vm := range c.states {
+		if c.states[vm].Cost < c.states[vm].Budget {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// runEpochBarrier executes one epoch: broadcast, collect, reassign lost
+// shards, merge, journal, sample, checkpoint.
+func (c *Coordinator) runEpochBarrier(workers []*workerConn, active []int) error {
+	c.epoch++
+	msg := EncodeEpoch(EpochMsg{Epoch: c.epoch, Accepted: c.pendingAccepted})
+	c.pendingAccepted = nil
+	for _, wc := range workers {
+		if !wc.alive {
+			continue
+		}
+		if err := wc.send(frameEpoch, msg); err != nil {
+			c.loseWorker(wc, err)
+		}
+	}
+
+	ran := map[int]bool{}
+	var deltas []fuzzer.VMDelta
+	collect := func(wc *workerConn) error {
+		m, err := wc.recvDelta(c.epoch)
+		if err != nil {
+			c.loseWorker(wc, err)
+			return nil // partial work is discarded; reassignment re-runs it
+		}
+		c.m.deltas.Inc()
+		for _, d := range m.Deltas {
+			if d.VM < 0 || d.VM >= len(c.states) || ran[d.VM] {
+				return fmt.Errorf("%w: delta for invalid or duplicate VM %d", ErrBadMessage, d.VM)
+			}
+			ran[d.VM] = true
+			deltas = append(deltas, d)
+		}
+		return nil
+	}
+	for _, wc := range workers {
+		if !wc.alive {
+			continue
+		}
+		if err := collect(wc); err != nil {
+			return err
+		}
+	}
+
+	// Reassign: while active VMs are missing a delta (their worker died
+	// before delivering), restore their canonical pre-epoch states onto the
+	// lowest-indexed surviving worker — its replica matches the state the
+	// lost VMs were captured against — and have it re-run this epoch for
+	// exactly those VMs.
+	for {
+		var missing []int
+		for _, vm := range active {
+			if !ran[vm] {
+				missing = append(missing, vm)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		var target *workerConn
+		for _, wc := range workers {
+			if wc.alive {
+				target = wc
+				break
+			}
+		}
+		if target == nil {
+			return fmt.Errorf("cluster: all workers lost at epoch %d", c.epoch)
+		}
+		states := make([]fuzzer.VMState, 0, len(missing))
+		for _, vm := range missing {
+			states = append(states, c.states[vm])
+		}
+		c.logf("epoch %d: reassigning VMs %v to worker %d", c.epoch, missing, target.idx)
+		c.m.reassignments.Inc()
+		if err := target.send(frameRestore, EncodeRestore(RestoreMsg{Epoch: c.epoch, States: states})); err != nil {
+			c.loseWorker(target, err)
+			continue
+		}
+		target.vms = append(target.vms, missing...)
+		if err := collect(target); err != nil {
+			return err
+		}
+	}
+
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].VM < deltas[j].VM })
+	if err := c.merge(deltas); err != nil {
+		return err
+	}
+	c.m.epochs.Inc()
+	if c.cfg.CheckpointEvery > 0 && c.epoch%c.cfg.CheckpointEvery == 0 {
+		if err := c.writeCheckpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) loseWorker(wc *workerConn, err error) {
+	wc.alive = false
+	wc.conn.Close()
+	c.m.workers.Add(-1)
+	c.logf("worker %d lost: %v", wc.idx, err)
+}
+
+// merge applies one barrier's deltas (ascending VM order) to the
+// authoritative state, replaying the single-host reconciler: every local is
+// sequenced, accepted entries are re-gated against the shared cover, and
+// each VM's canonical state is the delta state with the coordinator-owned
+// fields (Reconciled, prediction-window resolution) overridden — the worker
+// cannot know who won the merge.
+func (c *Coordinator) merge(deltas []fuzzer.VMDelta) error {
+	winners := map[string]int{}
+	newEdges := map[int]int64{}
+	var accepted []fuzzer.Accepted
+	for _, d := range deltas {
+		for _, l := range d.Locals {
+			c.seq++
+			if err := validateTraces(c.k, l.Traces); err != nil {
+				return err
+			}
+			p, err := prog.Parse(c.k.Target, l.Text)
+			if err != nil {
+				return fmt.Errorf("%w: unparseable program: %v", ErrBadMessage, err)
+			}
+			e := corpus.EntryFromTraces(p, l.Traces)
+			if l.Seeded {
+				if c.corp.SeedEntry(e) {
+					accepted = append(accepted, fuzzer.Accepted{VM: d.VM, Seeded: true, Text: l.Text, Traces: l.Traces})
+					winners[l.Text] = d.VM
+				}
+				continue
+			}
+			if n := c.corp.AddEntry(e); n > 0 {
+				accepted = append(accepted, fuzzer.Accepted{VM: d.VM, Text: l.Text, Traces: l.Traces})
+				winners[l.Text] = d.VM
+				newEdges[d.VM] += int64(n)
+			}
+		}
+	}
+	c.m.accepted.Add(int64(len(accepted)))
+
+	for _, d := range deltas {
+		st := d.State
+		st.Reconciled = c.states[st.VM].Reconciled + newEdges[st.VM]
+		var preds []fuzzer.PredState
+		for _, ps := range st.Preds {
+			if !ps.Local {
+				preds = append(preds, ps)
+				continue
+			}
+			if w, ok := winners[ps.Text]; ok && w == st.VM {
+				// The VM's own entry survived the merge; the prediction
+				// window rides along (the owning shard spliced the entry
+				// pointer back, so the live cache agrees).
+				ps.Local = false
+				preds = append(preds, ps)
+				continue
+			}
+			// The base entry lost the merge. A pending query's reply is
+			// still owed to the VM (the live worker harvests it next epoch),
+			// so a restored VM must account for it: Phantom counts replies
+			// to settle without a live channel.
+			if ps.Pending {
+				st.Phantom++
+			}
+		}
+		st.Preds = preds
+		c.states[st.VM] = st
+	}
+
+	if c.jn != nil {
+		for _, d := range deltas {
+			evs := d.Events
+			if !c.seedFlushed && d.VM == 0 {
+				evs = append(append([]obs.Event(nil), c.pendingSeed...), evs...)
+				c.pendingSeed = nil
+				c.seedFlushed = true
+			}
+			for _, e := range evs {
+				c.jn.Record(e)
+			}
+		}
+		c.jn.Record(obs.Event{
+			Kind: obs.EventEpoch, VM: -1, Epoch: c.epoch,
+			Value:  int64(c.corp.Len()),
+			Detail: fmt.Sprintf("edges=%d", c.corp.TotalEdges()),
+		})
+	}
+
+	var fleetCost int64
+	for _, st := range c.states {
+		fleetCost += st.Cost
+	}
+	if c.norm.SampleEvery > 0 {
+		for c.nextSample <= fleetCost {
+			c.series = append(c.series, fuzzer.Point{Cost: c.nextSample, Edges: c.corp.TotalEdges()})
+			c.nextSample += c.norm.SampleEvery
+		}
+	}
+	c.pendingAccepted = accepted
+	return nil
+}
+
+// checkpoint snapshots the coordinator's complete post-merge state.
+func (c *Coordinator) checkpoint() *Checkpoint {
+	ck := &Checkpoint{
+		Spec:        c.cfg.Spec,
+		Epoch:       c.epoch,
+		Seq:         uint64(c.seq),
+		NextSample:  c.nextSample,
+		Series:      append([]fuzzer.Point(nil), c.series...),
+		TotalEdges:  int64(c.corp.TotalEdges()),
+		States:      append([]fuzzer.VMState(nil), c.states...),
+		PendingSeed: append([]obs.Event(nil), c.pendingSeed...),
+		SeedFlushed: c.seedFlushed,
+		JournalCap:  c.jnCap,
+	}
+	for _, e := range c.corp.Entries() {
+		ck.Entries = append(ck.Entries, fuzzer.Accepted{VM: -1, Seeded: true, Text: e.Text, Traces: e.Traces})
+	}
+	if c.jn != nil {
+		ck.Journal = c.jn.Events()
+		ck.JournalNext = c.jn.Next()
+		ck.JournalDropped = c.jn.Dropped()
+	}
+	return ck
+}
+
+func (c *Coordinator) writeCheckpoint() error {
+	data := c.checkpoint().Encode()
+	if c.cfg.CheckpointPath != "" {
+		if err := WriteCheckpointFile(c.cfg.CheckpointPath, data); err != nil {
+			return fmt.Errorf("cluster: writing checkpoint: %w", err)
+		}
+	}
+	if c.cfg.OnCheckpoint != nil {
+		c.cfg.OnCheckpoint(c.epoch, data)
+	}
+	c.m.checkpoints.Inc()
+	c.m.checkpointSize.Set(int64(len(data)))
+	c.logf("epoch %d: checkpoint (%d bytes)", c.epoch, len(data))
+	return nil
+}
+
+// finish drains the fleet and assembles the campaign stats exactly as the
+// single-host engine's final merge does. Workers lost before the drain get
+// their final states synthesized from the canonical barrier states: under
+// fault-free serving, the blocking drain only settles owed prediction
+// replies, which Phantom and the pending windows record.
+func (c *Coordinator) finish(workers []*workerConn) (*Result, error) {
+	finals := make([]fuzzer.VMState, len(c.states))
+	got := make([]bool, len(c.states))
+	for _, wc := range workers {
+		if !wc.alive {
+			continue
+		}
+		if err := wc.send(frameDone, nil); err != nil {
+			c.loseWorker(wc, err)
+			continue
+		}
+	}
+	for _, wc := range workers {
+		if !wc.alive {
+			continue
+		}
+		typ, payload, err := wc.recv()
+		if err != nil {
+			c.loseWorker(wc, err)
+			continue
+		}
+		if typ != frameFinal {
+			return nil, fmt.Errorf("%w: worker %d sent frame 0x%02x, want final", ErrBadMessage, wc.idx, typ)
+		}
+		m, err := DecodeFinal(payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range m.States {
+			if st.VM < 0 || st.VM >= len(finals) || got[st.VM] {
+				return nil, fmt.Errorf("%w: final state for invalid or duplicate VM %d", ErrBadMessage, st.VM)
+			}
+			finals[st.VM] = st
+			got[st.VM] = true
+		}
+	}
+	for vm := range finals {
+		if !got[vm] {
+			finals[vm] = synthFinal(c.states[vm])
+		}
+	}
+
+	// Flush seed events never attached to a VM 0 barrier (a campaign whose
+	// budget dies before VM 0's first epoch), as the single-host engine's
+	// leftover flush does.
+	if c.jn != nil && !c.seedFlushed {
+		for _, e := range c.pendingSeed {
+			c.jn.Record(e)
+		}
+		c.pendingSeed = nil
+		c.seedFlushed = true
+	}
+
+	stats := c.assembleStats(finals)
+	c.jn.Record(obs.Event{
+		Kind: obs.EventCampaignEnd, VM: -1, Value: int64(stats.FinalEdges),
+		Detail: fmt.Sprintf("execs=%d corpus=%d", stats.Executions, stats.CorpusSize),
+	})
+	res := &Result{
+		Stats:        stats,
+		CorpusDigest: CorpusDigest(c.corp),
+		CoverDigest:  CoverDigest(c.corp),
+		Workers:      c.cfg.Workers,
+	}
+	if c.jn != nil {
+		res.Events = c.jn.Events()
+		res.JournalDigest = JournalDigest(res.Events)
+	}
+	return res, nil
+}
+
+// synthFinal replays the end-of-campaign blocking drain on a canonical
+// state: every owed phantom reply and every in-flight query settles as one
+// harvested prediction (the fault-free serving assumption the cluster
+// determinism guarantee is scoped to).
+func synthFinal(st fuzzer.VMState) fuzzer.VMState {
+	st.Counters.PMMPredictions += int64(st.Phantom)
+	st.Phantom = 0
+	var preds []fuzzer.PredState
+	for _, ps := range st.Preds {
+		if ps.Pending {
+			st.Counters.PMMPredictions++
+			continue
+		}
+		preds = append(preds, ps)
+	}
+	st.Preds = preds
+	return st
+}
+
+// assembleStats folds the final per-VM states into a campaign Stats in
+// ascending VM order, mirroring the single-host mergeParallelStats. The
+// serving-cache counters stay zero: each worker runs its own inference
+// server, so there is no fleet-wide cache to report (a documented exclusion
+// from the single-host equivalence).
+func (c *Coordinator) assembleStats(finals []fuzzer.VMState) *fuzzer.Stats {
+	stats := &fuzzer.Stats{Mode: c.norm.Mode}
+	var fleet int64
+	for vm, st := range finals {
+		cnt := st.Counters
+		stats.Executions += cnt.Executions
+		stats.PMMQueries += cnt.PMMQueries
+		stats.PMMPredictions += cnt.PMMPredictions
+		stats.PMMFailed += cnt.PMMFailed
+		stats.PMMShed += cnt.PMMShed
+		stats.PMMInvalidSlots += cnt.PMMInvalidSlots
+		stats.DegradedSteps += cnt.DegradedSteps
+		y, o := &stats.Yield, cnt.Yield
+		y.GuidedExecs += o.GuidedExecs
+		y.GuidedEdges += o.GuidedEdges
+		y.RandArgExecs += o.RandArgExecs
+		y.RandArgEdges += o.RandArgEdges
+		y.OtherMutExecs += o.OtherMutExecs
+		y.OtherMutEdges += o.OtherMutEdges
+		y.GenerateExecs += o.GenerateExecs
+		y.GenerateEdges += o.GenerateEdges
+		for _, cr := range st.Crashes {
+			dup := false
+			for _, have := range stats.Crashes {
+				if have.Spec.Title == cr.Title {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				stats.Crashes = append(stats.Crashes, &fuzzer.CrashReport{
+					Spec: &kernel.CrashSpec{
+						Title:      cr.Title,
+						Category:   cr.Category,
+						Detector:   cr.Detector,
+						KnownSince: cr.KnownSince,
+						Flaky:      cr.Flaky,
+					},
+					ProgText: cr.ProgText,
+					Cost:     cr.Cost,
+				})
+			}
+		}
+		stats.VMs = append(stats.VMs, fuzzer.VMStat{
+			VM:          vm,
+			Executions:  cnt.Executions,
+			NewEdges:    c.states[vm].Reconciled,
+			Queries:     cnt.PMMQueries,
+			Epochs:      st.Epochs,
+			QueueWaitNs: st.QueueWaitNs,
+		})
+		fleet += st.Cost
+	}
+	stats.CorpusSize = c.corp.Len()
+	stats.FinalEdges = c.corp.TotalEdges()
+	stats.Series = append([]fuzzer.Point(nil), c.series...)
+	if len(stats.Series) == 0 || stats.Series[len(stats.Series)-1].Cost < fleet {
+		stats.Series = append(stats.Series, fuzzer.Point{Cost: fleet, Edges: stats.FinalEdges})
+	}
+	return stats
+}

@@ -1,0 +1,128 @@
+// Partition and fault tests: sever or delay a worker's connection
+// mid-campaign and assert the coordinator reassigns the lost shard, the
+// campaign completes, and the output still matches the fault-free run —
+// worker churn must be invisible in every determinism-guaranteed
+// observable.
+
+package cluster
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/repro/snowplow/internal/faultinject"
+)
+
+// faultyDial wraps the first dialed connection in a fault link; subsequent
+// dials (other workers) are untouched. The worker goroutines of RunLocal
+// share one WorkerOptions, so the dialer decides per call which worker gets
+// the bad link.
+func faultyDial(opts faultinject.LinkOptions, victims int) func(string) (net.Conn, error) {
+	ch := make(chan bool, 16)
+	for i := 0; i < victims; i++ {
+		ch <- true
+	}
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case <-ch:
+			return faultinject.NewLink(conn, opts), nil
+		default:
+			return conn, nil
+		}
+	}
+}
+
+// TestClusterSurvivesSeveredWorker cuts one worker's link after a fixed
+// number of outbound frames — mid-epoch, after the campaign is underway —
+// and asserts the coordinator reassigns its VMs and finishes with the exact
+// fault-free digests.
+func TestClusterSurvivesSeveredWorker(t *testing.T) {
+	cfg := baseConfig(45, 120_000, 4)
+	spec := SpecFromConfig(withJournalFlag(cfg), nil)
+	want, err := RunLocal(Config{Spec: spec}, 2, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame budget anatomy: hello(1) + ack(1) + one delta per epoch. A
+	// budget of 10 kills the victim around epoch 8 of a ~25-epoch campaign.
+	got, err := RunLocal(Config{Spec: spec}, 2, WorkerOptions{
+		Dial: faultyDial(faultinject.LinkOptions{SeverAfterWrites: 10}, 1),
+	})
+	if err != nil {
+		t.Fatalf("campaign did not survive severed worker: %v", err)
+	}
+	requireSameResult(t, "severed-worker", want, got)
+}
+
+// TestClusterSurvivesEarlySever severs a worker on its very first delta, so
+// reassignment happens while the corpus is still mostly seeds.
+func TestClusterSurvivesEarlySever(t *testing.T) {
+	cfg := baseConfig(46, 120_000, 4)
+	spec := SpecFromConfig(withJournalFlag(cfg), nil)
+	want, err := RunLocal(Config{Spec: spec}, 2, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLocal(Config{Spec: spec}, 2, WorkerOptions{
+		Dial: faultyDial(faultinject.LinkOptions{SeverAfterWrites: 3}, 1),
+	})
+	if err != nil {
+		t.Fatalf("campaign did not survive early sever: %v", err)
+	}
+	requireSameResult(t, "early-sever", want, got)
+}
+
+// TestClusterSurvivesAllButOneSevered severs every worker but the last in a
+// 3-worker cluster; the survivor must absorb both lost shards.
+func TestClusterSurvivesAllButOneSevered(t *testing.T) {
+	cfg := baseConfig(47, 120_000, 4)
+	spec := SpecFromConfig(withJournalFlag(cfg), nil)
+	want, err := RunLocal(Config{Spec: spec}, 3, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLocal(Config{Spec: spec}, 3, WorkerOptions{
+		Dial: faultyDial(faultinject.LinkOptions{SeverAfterWrites: 7}, 2),
+	})
+	if err != nil {
+		t.Fatalf("campaign did not survive double sever: %v", err)
+	}
+	requireSameResult(t, "double-sever", want, got)
+}
+
+// TestClusterToleratesSlowLink delays every frame on one worker's link; a
+// slow worker must change nothing but wall-clock time.
+func TestClusterToleratesSlowLink(t *testing.T) {
+	cfg := baseConfig(48, 80_000, 2)
+	spec := SpecFromConfig(withJournalFlag(cfg), nil)
+	want, err := RunLocal(Config{Spec: spec}, 2, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLocal(Config{Spec: spec}, 2, WorkerOptions{
+		Dial: faultyDial(faultinject.LinkOptions{WriteDelay: 2 * time.Millisecond}, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "slow-link", want, got)
+}
+
+// TestClusterAllWorkersLost pins the failure mode when nobody survives:
+// the coordinator reports a campaign error instead of hanging.
+func TestClusterAllWorkersLost(t *testing.T) {
+	cfg := baseConfig(49, 120_000, 2)
+	spec := SpecFromConfig(withJournalFlag(cfg), nil)
+	_, err := RunLocal(Config{Spec: spec, IOTimeout: 5 * time.Second}, 2, WorkerOptions{
+		Dial: faultyDial(faultinject.LinkOptions{SeverAfterWrites: 5}, 2),
+	})
+	if err == nil {
+		t.Fatal("campaign with every worker severed reported success")
+	}
+}

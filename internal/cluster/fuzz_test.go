@@ -1,0 +1,103 @@
+// Fuzz targets for the cluster codec and the checkpoint container: both
+// decode bytes that cross trust boundaries (network frames, files that
+// survived arbitrary crashes), so malformed input must produce a typed
+// error — never a panic, out-of-memory allocation or silent acceptance of
+// a non-canonical encoding.
+
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/kernel"
+)
+
+// FuzzClusterCodec drives every message decoder over arbitrary bytes. The
+// first seed byte selects the message kind; accepted messages must
+// re-encode byte-identically (the codec admits exactly one encoding per
+// message).
+func FuzzClusterCodec(f *testing.F) {
+	f.Add(byte(0), EncodeHello(Hello{Proto: protoVersion}))
+	f.Add(byte(1), EncodeAssign(Assign{Spec: fixtureSpec(), VMs: []int{0, 1}, States: []fuzzer.VMState{fixtureVMState()}}))
+	f.Add(byte(2), EncodeEpoch(EpochMsg{Epoch: 3, Accepted: []fuzzer.Accepted{{VM: 1, Text: "p", Traces: [][]kernel.BlockID{{1}}}}}))
+	f.Add(byte(3), EncodeDelta(DeltaMsg{Epoch: 3, Deltas: []fuzzer.VMDelta{fixtureDelta()}}))
+	f.Add(byte(4), EncodeRestore(RestoreMsg{Epoch: 4, States: []fuzzer.VMState{fixtureVMState()}}))
+	f.Add(byte(5), EncodeFinal(FinalMsg{States: []fuzzer.VMState{fixtureVMState()}}))
+	f.Add(byte(6), EncodeErr(ErrMsg{Msg: "x"}))
+	f.Add(byte(3), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(byte(1), bytes.Repeat([]byte{0x01}, 64))
+
+	f.Fuzz(func(t *testing.T, kind byte, data []byte) {
+		switch kind % 7 {
+		case 0:
+			if m, err := DecodeHello(data); err == nil {
+				requireSameBytes(t, data, EncodeHello(m))
+			}
+		case 1:
+			if m, err := DecodeAssign(data); err == nil {
+				requireSameBytes(t, data, EncodeAssign(m))
+			}
+		case 2:
+			if m, err := DecodeEpoch(data); err == nil {
+				requireSameBytes(t, data, EncodeEpoch(m))
+			}
+		case 3:
+			if m, err := DecodeDelta(data); err == nil {
+				requireSameBytes(t, data, EncodeDelta(m))
+			}
+		case 4:
+			if m, err := DecodeRestore(data); err == nil {
+				requireSameBytes(t, data, EncodeRestore(m))
+			}
+		case 5:
+			if m, err := DecodeFinal(data); err == nil {
+				requireSameBytes(t, data, EncodeFinal(m))
+			}
+		case 6:
+			if m, err := DecodeErr(data); err == nil {
+				requireSameBytes(t, data, EncodeErr(m))
+			}
+		}
+	})
+}
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the checkpoint loader:
+// corrupt checkpoints must be rejected with a typed error, and anything
+// accepted must re-encode byte-identically.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := (&Checkpoint{
+		Spec:       fixtureSpec(),
+		Epoch:      2,
+		Seq:        5,
+		NextSample: 100,
+		Entries:    []fuzzer.Accepted{{VM: -1, Seeded: true, Text: "p", Traces: [][]kernel.BlockID{{1, 2}}}},
+		TotalEdges: 1,
+		States:     []fuzzer.VMState{fixtureVMState()},
+		JournalCap: 64,
+	}).Encode()
+	f.Add(valid)
+	f.Add([]byte(""))
+	f.Add([]byte("SPCK"))
+	f.Add([]byte("SPCK\x01\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add(valid[:len(valid)/2])
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)-3] ^= 0x40
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeCheckpoint(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		requireSameBytes(t, data, ck.Encode())
+	})
+}
+
+func requireSameBytes(t *testing.T, in, out []byte) {
+	t.Helper()
+	if !bytes.Equal(in, out) {
+		t.Fatalf("accepted message is not canonical: decode/encode changed %d bytes to %d", len(in), len(out))
+	}
+}

@@ -1,0 +1,58 @@
+// Loopback helpers: run a whole cluster (coordinator + N workers) inside
+// one process over 127.0.0.1 sockets. The determinism and fault suites, the
+// bench harness and the CI smoke all drive campaigns through these.
+
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RunLocal runs a fresh cluster campaign with workers in-process workers.
+// Worker errors are ignored when the coordinator completes (a worker lost
+// late in the campaign is part of normal churn); the coordinator's error is
+// authoritative.
+func RunLocal(cfg Config, workers int, wopts WorkerOptions) (*Result, error) {
+	cfg.Workers = workers
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return driveLocal(co, workers, wopts)
+}
+
+// ResumeLocal resumes a checkpointed campaign onto a fresh local cluster;
+// the worker count may differ from the checkpointed run's.
+func ResumeLocal(cfg Config, checkpoint []byte, workers int, wopts WorkerOptions) (*Result, error) {
+	cfg.Workers = workers
+	co, err := ResumeCoordinator(cfg, checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	return driveLocal(co, workers, wopts)
+}
+
+func driveLocal(co *Coordinator, workers int, wopts WorkerOptions) (*Result, error) {
+	addr := co.Addr()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = RunWorker(addr, wopts)
+		}(i)
+	}
+	res, err := co.Run()
+	wg.Wait()
+	if err != nil {
+		for i, werr := range workerErrs {
+			if werr != nil {
+				return nil, fmt.Errorf("%w (worker %d: %v)", err, i, werr)
+			}
+		}
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,33 @@
+// Cluster metrics, registered into an obs.Registry when Config.Metrics is
+// set. All constructors are nil-safe (a nil registry yields no-op
+// instruments), matching the repo-wide observability convention.
+
+package cluster
+
+import "github.com/repro/snowplow/internal/obs"
+
+type clusterMetrics struct {
+	workers        *obs.Gauge
+	epochs         *obs.Counter
+	deltas         *obs.Counter
+	accepted       *obs.Counter
+	reassignments  *obs.Counter
+	checkpoints    *obs.Counter
+	txBytes        *obs.Counter
+	rxBytes        *obs.Counter
+	checkpointSize *obs.Gauge
+}
+
+func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		workers:        reg.Gauge("cluster_workers", "workers", "connected cluster workers"),
+		epochs:         reg.Counter("cluster_epochs_total", "epochs", "epoch barriers merged by the coordinator"),
+		deltas:         reg.Counter("cluster_deltas_total", "messages", "worker epoch deltas received"),
+		accepted:       reg.Counter("cluster_accepted_entries_total", "entries", "corpus entries accepted across all merges"),
+		reassignments:  reg.Counter("cluster_reassignments_total", "shards", "VM shards reassigned after worker loss"),
+		checkpoints:    reg.Counter("cluster_checkpoints_total", "checkpoints", "campaign checkpoints written"),
+		txBytes:        reg.Counter("cluster_tx_bytes_total", "bytes", "protocol bytes sent by the coordinator"),
+		rxBytes:        reg.Counter("cluster_rx_bytes_total", "bytes", "protocol bytes received by the coordinator"),
+		checkpointSize: reg.Gauge("cluster_checkpoint_bytes", "bytes", "size of the most recent checkpoint"),
+	}
+}

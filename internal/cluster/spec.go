@@ -1,0 +1,190 @@
+// Package cluster scales a fuzzing campaign across processes: one
+// coordinator owns the authoritative corpus, coverage, journal and VM
+// states; N workers each host a fuzzer.Shard (a subset of the campaign's
+// VMs over a full corpus replica) and exchange epoch deltas over the
+// length-prefixed framing shared with the inference protocol
+// (internal/serve).
+//
+// The protocol is the single-host reconciler stretched over TCP. Every
+// barrier the coordinator broadcasts the previous merge's accepted entries,
+// each worker applies them to its replica and fuzzes one SyncEvery slice,
+// and the coordinator merges the returned deltas in ascending VM order — so
+// a W-worker cluster is bit-identical per seed to a single host running
+// Config.VMs workers, for the same observables the single-host guarantee
+// covers (corpus, coverage, journal, counters; wall-clock waits and serving
+// cache stats excluded). Checkpoints capture the full barrier state and
+// resume onto any worker count with identical subsequent output.
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/serve"
+)
+
+// CampaignSpec is the self-contained description of a cluster campaign:
+// everything a worker needs to reconstruct its fuzzer.Config locally. The
+// model travels as its serialized checkpoint so each worker runs its own
+// inference server — predictions depend only on the model and the query, so
+// per-worker serving preserves determinism (the existing perf-knob
+// invariance guarantees it).
+type CampaignSpec struct {
+	Mode                   uint8 // 0 = syzkaller, 1 = snowplow
+	KernelVersion          string
+	Seed                   uint64
+	Budget                 int64
+	TotalVMs               int // fleet size; equals the single-host Config.VMs
+	SyncEvery              int64
+	SampleEvery            int64
+	FallbackProb           float64
+	DegradedFallbackProb   float64
+	GenerateProb           float64
+	MutationsPerPrediction int
+	MaxQueryTargets        int
+	MaxPending             int
+	MinimizeCorpus         bool
+	Journal                bool
+	SeedProgs              []string // serialized seed corpus
+	Model                  []byte   // pmm checkpoint (Snowplow mode)
+}
+
+// FuzzerMode converts the wire mode tag.
+func (sp CampaignSpec) FuzzerMode() fuzzer.Mode {
+	if sp.Mode == 1 {
+		return fuzzer.ModeSnowplow
+	}
+	return fuzzer.ModeSyzkaller
+}
+
+// SpecFromConfig builds the wire spec from a single-host campaign config
+// plus the serialized model (nil outside Snowplow mode).
+func SpecFromConfig(cfg fuzzer.Config, model []byte) CampaignSpec {
+	sp := CampaignSpec{
+		KernelVersion:          cfg.Kernel.Version,
+		Seed:                   cfg.Seed,
+		Budget:                 cfg.Budget,
+		TotalVMs:               cfg.VMs,
+		SyncEvery:              cfg.SyncEvery,
+		SampleEvery:            cfg.SampleEvery,
+		FallbackProb:           cfg.FallbackProb,
+		DegradedFallbackProb:   cfg.DegradedFallbackProb,
+		GenerateProb:           cfg.GenerateProb,
+		MutationsPerPrediction: cfg.MutationsPerPrediction,
+		MaxQueryTargets:        cfg.MaxQueryTargets,
+		MaxPending:             cfg.MaxPending,
+		MinimizeCorpus:         cfg.MinimizeCorpus,
+		Journal:                cfg.Journal != nil,
+		Model:                  model,
+	}
+	if cfg.Mode == fuzzer.ModeSnowplow {
+		sp.Mode = 1
+	}
+	for _, p := range cfg.SeedCorpus {
+		sp.SeedProgs = append(sp.SeedProgs, p.Serialize())
+	}
+	return sp
+}
+
+// Runtime is a spec materialized into live campaign objects.
+type Runtime struct {
+	Kernel *kernel.Kernel
+	An     *cfa.Analysis
+	Server *serve.Server // non-nil only when requested in Snowplow mode
+	Cfg    fuzzer.Config
+}
+
+// Materialize builds the kernel, analysis, seed corpus and — when
+// needServer is set in Snowplow mode — a local inference server from the
+// spec's model bytes. The returned config's Journal is a non-recording
+// sentinel when the spec journals (shard workers buffer events for the
+// coordinator; they never write a journal of their own).
+func (sp CampaignSpec) Materialize(needServer bool, serveWorkers int) (*Runtime, error) {
+	k, err := kernel.Build(sp.KernelVersion)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building kernel: %w", err)
+	}
+	an := cfa.New(k)
+	cfg := fuzzer.Config{
+		Mode:                   sp.FuzzerMode(),
+		Kernel:                 k,
+		An:                     an,
+		Seed:                   sp.Seed,
+		Budget:                 sp.Budget,
+		VMs:                    sp.TotalVMs,
+		SyncEvery:              sp.SyncEvery,
+		SampleEvery:            sp.SampleEvery,
+		FallbackProb:           sp.FallbackProb,
+		DegradedFallbackProb:   sp.DegradedFallbackProb,
+		GenerateProb:           sp.GenerateProb,
+		MutationsPerPrediction: sp.MutationsPerPrediction,
+		MaxQueryTargets:        sp.MaxQueryTargets,
+		MaxPending:             sp.MaxPending,
+		MinimizeCorpus:         sp.MinimizeCorpus,
+	}
+	for _, text := range sp.SeedProgs {
+		p, err := prog.Parse(k.Target, text)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad seed program: %w", err)
+		}
+		cfg.SeedCorpus = append(cfg.SeedCorpus, p)
+	}
+	rt := &Runtime{Kernel: k, An: an}
+	if sp.Mode == 1 && needServer {
+		m, err := pmm.Load(bytes.NewReader(sp.Model))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: loading model: %w", err)
+		}
+		if serveWorkers <= 0 {
+			serveWorkers = 2
+		}
+		// Size serving so a fault-free campaign never degrades: the whole
+		// fleet's prediction window must fit the queue (a full queue is a
+		// retryable failure and erodes health), and the deadline must
+		// absorb slow hosts. Serving perf knobs are prediction-invariant,
+		// so this changes robustness only.
+		norm := cfg.Normalized()
+		queue := norm.VMs*norm.MaxPending*2 + serveWorkers*8
+		rt.Server = serve.NewServerOpts(m, qgraph.NewBuilder(k, an), serve.Options{
+			Workers:   serveWorkers,
+			QueueSize: queue,
+			Deadline:  30 * time.Second,
+		})
+		cfg.Server = rt.Server
+	}
+	if sp.Journal {
+		cfg.Journal = obs.NewJournal(1) // sentinel: enables event buffering only
+	}
+	rt.Cfg = cfg
+	return rt, nil
+}
+
+// Close releases the runtime's server, if any.
+func (rt *Runtime) Close() {
+	if rt.Server != nil {
+		rt.Server.Close()
+	}
+}
+
+// validateTraces rejects wire traces referencing blocks outside the kernel,
+// so a corrupt or hostile delta cannot poison the corpus or crash the
+// coverage recomputation.
+func validateTraces(k *kernel.Kernel, traces [][]kernel.BlockID) error {
+	n := kernel.BlockID(k.NumBlocks())
+	for _, tr := range traces {
+		for _, b := range tr {
+			if b < 0 || b >= n {
+				return fmt.Errorf("%w: block id %d out of range [0,%d)", ErrBadMessage, b, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// The worker side of the cluster protocol: dial the coordinator, receive a
+// campaign spec and VM shard, then run barrier steps until told to drain.
+// All campaign logic lives in fuzzer.Shard; this file is the transport
+// loop.
+
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/serve"
+)
+
+// WorkerOptions tune a cluster worker.
+type WorkerOptions struct {
+	// Dial overrides the TCP dialer (fault-injection tests wrap the
+	// connection here).
+	Dial func(addr string) (net.Conn, error)
+	// ServeWorkers sizes the worker's local inference server pool
+	// (Snowplow mode; default 2).
+	ServeWorkers int
+	// IOTimeout bounds every network operation (default 60s).
+	IOTimeout time.Duration
+	// Logf, when set, receives worker progress lines.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker joins the cluster at addr and serves barrier steps until the
+// campaign completes (nil) or the connection/protocol fails. A worker is
+// stateless across calls: everything it needs arrives in the Assign
+// message.
+func RunWorker(addr string, opts WorkerOptions) error {
+	dial := opts.Dial
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	timeout := opts.IOTimeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dialing coordinator: %w", err)
+	}
+	defer conn.Close()
+	send := func(typ byte, payload []byte) error {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		return serve.WriteFrame(conn, typ, payload)
+	}
+	recv := func() (byte, []byte, error) {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		return serve.ReadFrame(conn, serve.MaxFramePayload)
+	}
+	// sendErr reports a local failure to the coordinator before bailing, so
+	// it reads a reason instead of a bare connection reset.
+	sendErr := func(err error) error {
+		send(frameErr, EncodeErr(ErrMsg{Msg: err.Error()}))
+		return err
+	}
+
+	if err := send(frameHello, EncodeHello(Hello{Proto: protoVersion})); err != nil {
+		return err
+	}
+	typ, payload, err := recv()
+	if err != nil {
+		return err
+	}
+	if typ == frameErr {
+		em, _ := DecodeErr(payload)
+		return fmt.Errorf("cluster: coordinator rejected worker: %s", em.Msg)
+	}
+	if typ != frameAssign {
+		return fmt.Errorf("%w: frame 0x%02x, want assign", ErrBadMessage, typ)
+	}
+	a, err := DecodeAssign(payload)
+	if err != nil {
+		return err
+	}
+
+	rt, err := a.Spec.Materialize(a.Spec.Mode == 1, opts.ServeWorkers)
+	if err != nil {
+		return sendErr(err)
+	}
+	defer rt.Close()
+	shard, err := fuzzer.NewShard(rt.Cfg)
+	if err != nil {
+		return sendErr(err)
+	}
+	for _, e := range a.Snapshot {
+		if err := validateTraces(rt.Kernel, e.Traces); err != nil {
+			return sendErr(err)
+		}
+	}
+	if len(a.Snapshot) > 0 {
+		if err := shard.ApplySnapshot(a.Snapshot); err != nil {
+			return sendErr(err)
+		}
+	}
+	if err := shard.Restore(a.States); err != nil {
+		return sendErr(err)
+	}
+	if err := send(frameAck, nil); err != nil {
+		return err
+	}
+	logf("assigned VMs %v from epoch %d", a.VMs, a.StartEpoch)
+
+	if a.SeedPass {
+		delta, err := shard.SeedPass()
+		if err != nil {
+			return sendErr(err)
+		}
+		if err := send(frameDelta, EncodeDelta(DeltaMsg{Epoch: 0, Deltas: []fuzzer.VMDelta{*delta}})); err != nil {
+			return err
+		}
+	}
+
+	for {
+		typ, payload, err := recv()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameEpoch:
+			m, err := DecodeEpoch(payload)
+			if err != nil {
+				return sendErr(err)
+			}
+			for _, e := range m.Accepted {
+				if err := validateTraces(rt.Kernel, e.Traces); err != nil {
+					return sendErr(err)
+				}
+			}
+			if err := shard.ApplyAccepted(m.Accepted); err != nil {
+				return sendErr(err)
+			}
+			deltas, err := shard.RunEpoch(m.Epoch, nil)
+			if err != nil {
+				return sendErr(err)
+			}
+			if err := send(frameDelta, EncodeDelta(DeltaMsg{Epoch: m.Epoch, Deltas: deltas})); err != nil {
+				return err
+			}
+		case frameRestore:
+			m, err := DecodeRestore(payload)
+			if err != nil {
+				return sendErr(err)
+			}
+			if err := shard.Restore(m.States); err != nil {
+				return sendErr(err)
+			}
+			vms := make([]int, 0, len(m.States))
+			for _, st := range m.States {
+				vms = append(vms, st.VM)
+			}
+			logf("adopting VMs %v for epoch %d", vms, m.Epoch)
+			deltas, err := shard.RunEpoch(m.Epoch, vms)
+			if err != nil {
+				return sendErr(err)
+			}
+			if err := send(frameDelta, EncodeDelta(DeltaMsg{Epoch: m.Epoch, Deltas: deltas})); err != nil {
+				return err
+			}
+		case frameDone:
+			states := shard.FinalDrain()
+			return send(frameFinal, EncodeFinal(FinalMsg{States: states}))
+		case frameErr:
+			em, _ := DecodeErr(payload)
+			return fmt.Errorf("cluster: coordinator failed: %s", em.Msg)
+		default:
+			return fmt.Errorf("%w: unexpected frame 0x%02x", ErrBadMessage, typ)
+		}
+	}
+}

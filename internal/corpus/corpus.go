@@ -30,6 +30,21 @@ type Entry struct {
 	Text   string             // serialized form (deduplication key)
 }
 
+// EntryFromTraces rebuilds a corpus entry from its serialized form: the
+// parsed program plus its per-call block traces. Cover and block sets are
+// recomputed from the traces (trace.CoverOfTraces), so an entry
+// reconstructed from a cluster delta or a campaign checkpoint is identical
+// to the entry the originating VM built from the live execution result.
+func EntryFromTraces(p *prog.Prog, traces [][]kernel.BlockID) *Entry {
+	return &Entry{
+		Prog:   p,
+		Cover:  trace.CoverOfTraces(traces),
+		Blocks: trace.BlockSetOfTraces(traces),
+		Traces: traces,
+		Text:   p.Serialize(),
+	}
+}
+
 // numStripes shards the text-dedup index. Power of two.
 const numStripes = 16
 

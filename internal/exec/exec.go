@@ -103,10 +103,35 @@ type Executor struct {
 	baddies []kernel.BlockID // entry blocks usable as background noise
 }
 
+// flakySeed seeds every fresh executor's flaky-crash RNG.
+const flakySeed = 0x5eed
+
 // New creates an executor with a pristine boot snapshot and deterministic
 // execution (no noise).
 func New(k *kernel.Kernel) *Executor {
-	return &Executor{K: k, boot: kernel.NewState(), flakyR: rng.New(0x5eed)}
+	return &Executor{K: k, boot: kernel.NewState(), flakyR: rng.New(flakySeed)}
+}
+
+// InitialFlakyState is the flaky-crash RNG state of a freshly created
+// executor, for building the checkpoint state of a VM that has not executed
+// anything yet.
+func InitialFlakyState() [4]uint64 {
+	return rng.New(flakySeed).State()
+}
+
+// FlakyState exports the flaky-crash RNG's current state. Flaky crash
+// blocks consume this stream once per hit, so an executor's future results
+// depend on how much of the stream past runs consumed; checkpointing a
+// fuzzing VM therefore must capture it alongside the mutation RNG.
+func (e *Executor) FlakyState() [4]uint64 {
+	return e.flakyR.State()
+}
+
+// RestoreFlaky resumes the flaky-crash RNG from a FlakyState export, so a
+// restored VM's flaky-crash outcomes continue exactly where the
+// checkpointed VM left off.
+func (e *Executor) RestoreFlaky(s [4]uint64) {
+	e.flakyR = rng.FromState(s)
 }
 
 // SeedFlaky rewinds the flaky-crash RNG to a fresh stream derived from

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/repro/snowplow/internal/cluster"
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/obs"
+)
+
+// ClusterPoint is one worker-count measurement of the distributed-campaign
+// experiment.
+type ClusterPoint struct {
+	Workers int
+	// WallMs is the cluster campaign's wall-clock time (loopback TCP, all
+	// processes in-process, so this prices protocol + merge overhead, not
+	// network latency).
+	WallMs int64
+	// Matched reports whether the cluster's corpus/coverage/journal
+	// digests are byte-identical to the single-host campaign's.
+	Matched bool
+	// CheckpointBytes is the size of the final periodic checkpoint.
+	CheckpointBytes int
+	// ResumeMatched reports whether resuming from a mid-campaign
+	// checkpoint reproduced the same final digests.
+	ResumeMatched bool
+	// ResumeWallMs is the resumed half-campaign's wall-clock time.
+	ResumeWallMs int64
+}
+
+// ClusterResult is the distributed-campaign determinism/overhead experiment
+// (BENCH_cluster.json): a W-worker loopback cluster must reproduce the
+// single-host campaign bit-for-bit, and the table prices what the protocol
+// costs on top.
+type ClusterResult struct {
+	VMs              int
+	Budget           int64
+	SingleHostWallMs int64
+	// CorpusDigest is the campaign's corpus digest (same for every row
+	// when Matched holds).
+	CorpusDigest string
+	Points       []ClusterPoint
+}
+
+// Cluster runs one single-host campaign and the equivalent cluster
+// campaign at 1, 2 and 4 workers, checking bit-identical output and
+// checkpoint/resume fidelity at each width.
+func Cluster(h *Harness, workerCounts []int) ClusterResult {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	opts := h.Opts
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	const vms = 4
+	cfg := fuzzer.Config{
+		Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+		Seed: opts.Seed, Budget: opts.FuzzBudget,
+		SeedCorpus: seedPrograms(h, "6.8", opts.Seed), VMs: vms,
+	}
+
+	h.logf("cluster: single-host baseline...\n")
+	jn := obs.NewJournal(0)
+	single := cfg
+	single.Journal = jn
+	start := time.Now()
+	f := fuzzer.New(single)
+	mustRun(f)
+	res := ClusterResult{
+		VMs:              vms,
+		Budget:           opts.FuzzBudget,
+		SingleHostWallMs: time.Since(start).Milliseconds(),
+		CorpusDigest:     cluster.CorpusDigest(f.Corpus()),
+	}
+	wantCover := cluster.CoverDigest(f.Corpus())
+	wantJournal := cluster.JournalDigest(jn.Events())
+
+	spec := cluster.SpecFromConfig(single, nil)
+	for _, workers := range workerCounts {
+		h.logf("cluster: %d worker(s)...\n", workers)
+		var checkpoints [][]byte
+		start = time.Now()
+		got, err := cluster.RunLocal(cluster.Config{
+			Spec:            spec,
+			CheckpointEvery: 8,
+			OnCheckpoint:    func(_ int64, data []byte) { checkpoints = append(checkpoints, data) },
+		}, workers, cluster.WorkerOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: cluster campaign (%d workers): %v", workers, err))
+		}
+		pt := ClusterPoint{
+			Workers: workers,
+			WallMs:  time.Since(start).Milliseconds(),
+			Matched: got.CorpusDigest == res.CorpusDigest &&
+				got.CoverDigest == wantCover && got.JournalDigest == wantJournal,
+		}
+		if n := len(checkpoints); n > 0 {
+			pt.CheckpointBytes = len(checkpoints[n-1])
+			start = time.Now()
+			resumed, err := cluster.ResumeLocal(cluster.Config{Spec: spec}, checkpoints[n/2], workers, cluster.WorkerOptions{})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: cluster resume (%d workers): %v", workers, err))
+			}
+			pt.ResumeWallMs = time.Since(start).Milliseconds()
+			pt.ResumeMatched = resumed.CorpusDigest == res.CorpusDigest &&
+				resumed.CoverDigest == wantCover && resumed.JournalDigest == wantJournal
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Render prints the cluster determinism/overhead table.
+func (r ClusterResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Distributed campaign cluster (VMs=%d, budget=%d, single-host %dms) ==\n",
+		r.VMs, r.Budget, r.SingleHostWallMs)
+	fmt.Fprintf(w, "%8s %8s %10s %12s %8s %10s\n", "workers", "wall", "identical", "checkpoint", "resume", "resumed-ok")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %6dms %10v %11dB %6dms %10v\n",
+			p.Workers, p.WallMs, p.Matched, p.CheckpointBytes, p.ResumeWallMs, p.ResumeMatched)
+	}
+	fmt.Fprintf(w, "(identical = corpus+coverage+journal digests equal the single-host campaign's)\n")
+}

@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrSevered is returned by a Link whose fault budget is exhausted; the
+// underlying connection is closed, so the peer observes a reset.
+var ErrSevered = errors.New("faultinject: link severed")
+
+// LinkOptions configure a Link.
+type LinkOptions struct {
+	// SeverAfterWrites kills the connection on the Nth write (0 disables).
+	// The cluster protocol writes one frame per Write call, so this counts
+	// outbound protocol messages.
+	SeverAfterWrites int
+	// SeverAfterReads kills the connection on the Nth successful read (0
+	// disables).
+	SeverAfterReads int
+	// WriteDelay stalls every write, simulating a slow or congested link.
+	WriteDelay time.Duration
+}
+
+// Link wraps a network connection with deterministic transport faults for
+// cluster partition tests: sever the link after a fixed number of frames in
+// either direction, or delay traffic. Faults are positional (message
+// counts), not timed, so a partitioned campaign is as reproducible as a
+// healthy one.
+type Link struct {
+	net.Conn
+	opts LinkOptions
+
+	mu      sync.Mutex
+	writes  int
+	reads   int
+	severed bool
+}
+
+// NewLink wraps conn.
+func NewLink(conn net.Conn, opts LinkOptions) *Link {
+	return &Link{Conn: conn, opts: opts}
+}
+
+// sever closes the underlying connection once.
+func (l *Link) sever() {
+	if !l.severed {
+		l.severed = true
+		l.Conn.Close()
+	}
+}
+
+// Write counts one outbound message, severing when the write budget is
+// exhausted (the message is lost, as a mid-flight partition would lose it).
+func (l *Link) Write(b []byte) (int, error) {
+	if l.opts.WriteDelay > 0 {
+		time.Sleep(l.opts.WriteDelay)
+	}
+	l.mu.Lock()
+	if l.severed {
+		l.mu.Unlock()
+		return 0, ErrSevered
+	}
+	l.writes++
+	if l.opts.SeverAfterWrites > 0 && l.writes >= l.opts.SeverAfterWrites {
+		l.sever()
+		l.mu.Unlock()
+		return 0, ErrSevered
+	}
+	l.mu.Unlock()
+	return l.Conn.Write(b)
+}
+
+// Read counts inbound data, severing after the configured number of
+// successful reads.
+func (l *Link) Read(b []byte) (int, error) {
+	l.mu.Lock()
+	if l.severed {
+		l.mu.Unlock()
+		return 0, ErrSevered
+	}
+	l.mu.Unlock()
+	n, err := l.Conn.Read(b)
+	if err == nil {
+		l.mu.Lock()
+		l.reads++
+		if l.opts.SeverAfterReads > 0 && l.reads >= l.opts.SeverAfterReads {
+			l.sever()
+			l.mu.Unlock()
+			return n, ErrSevered
+		}
+		l.mu.Unlock()
+	}
+	return n, err
+}

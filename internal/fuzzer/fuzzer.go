@@ -308,6 +308,14 @@ type worker struct {
 	// simulated time instead of wall-clock arrival order.
 	deferHarvest bool
 
+	// phantom counts in-flight replies owed to this VM whose base entries
+	// could not be reconstructed when the VM was restored from a cluster
+	// checkpoint (they lost a merge and died before the reply landed). The
+	// original VM would have harvested each as one successful prediction
+	// at its next barrier, so the restored VM settles the same count there
+	// (cluster determinism assumes fault-free serving, like the journal).
+	phantom int
+
 	// scratch buffers reused across executions (trace.EdgesOfInto /
 	// trace.BlockSetOfInto); the corpus clones them on acceptance.
 	scratchCover  *trace.Cover
@@ -324,38 +332,47 @@ type entryPrediction struct {
 	targets []kernel.BlockID // desired targets the prediction was computed for
 }
 
+// Normalized returns the config with the same defaults New applies, so
+// out-of-process campaign engines (internal/cluster) resolve knobs exactly
+// like a single-host campaign: a cluster worker and the local fuzzer must
+// never disagree on an effective probability or window size.
+func (c Config) Normalized() Config {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = c.Budget / 100
+		if c.SampleEvery <= 0 {
+			c.SampleEvery = 1
+		}
+	}
+	if c.VMs <= 0 {
+		c.VMs = 1
+	}
+	if c.FallbackProb == 0 {
+		c.FallbackProb = 0.1
+	}
+	if c.DegradedFallbackProb == 0 {
+		c.DegradedFallbackProb = 0.9
+	}
+	if c.GenerateProb == 0 {
+		c.GenerateProb = 0.15
+	}
+	if c.MutationsPerPrediction == 0 {
+		c.MutationsPerPrediction = 4
+	}
+	if c.MaxQueryTargets == 0 {
+		c.MaxQueryTargets = 16
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 8
+	}
+	return c
+}
+
 // New creates a fuzzer. It panics if Snowplow mode lacks a server.
 func New(cfg Config) *Fuzzer {
 	if cfg.Mode == ModeSnowplow && cfg.Server == nil {
 		panic("fuzzer: Snowplow mode requires an inference server")
 	}
-	if cfg.SampleEvery <= 0 {
-		cfg.SampleEvery = cfg.Budget / 100
-		if cfg.SampleEvery <= 0 {
-			cfg.SampleEvery = 1
-		}
-	}
-	if cfg.VMs <= 0 {
-		cfg.VMs = 1
-	}
-	if cfg.FallbackProb == 0 {
-		cfg.FallbackProb = 0.1
-	}
-	if cfg.DegradedFallbackProb == 0 {
-		cfg.DegradedFallbackProb = 0.9
-	}
-	if cfg.GenerateProb == 0 {
-		cfg.GenerateProb = 0.15
-	}
-	if cfg.MutationsPerPrediction == 0 {
-		cfg.MutationsPerPrediction = 4
-	}
-	if cfg.MaxQueryTargets == 0 {
-		cfg.MaxQueryTargets = 16
-	}
-	if cfg.MaxPending == 0 {
-		cfg.MaxPending = 8
-	}
+	cfg = cfg.Normalized()
 	f := &Fuzzer{
 		cfg:  cfg,
 		corp: corpus.New(),
@@ -684,6 +701,9 @@ func (w *worker) predictionFor(entry *corpus.Entry) *entryPrediction {
 // reply channels are buffered exactly-once, so the drain always
 // terminates.
 func (w *worker) harvestPending() {
+	for ; w.phantom > 0; w.phantom-- {
+		w.countReplyOK()
+	}
 	for _, st := range w.preds {
 		if st.reply == nil {
 			continue

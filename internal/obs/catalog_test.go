@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/cluster"
 	"github.com/repro/snowplow/internal/dataset"
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
@@ -50,6 +51,21 @@ func registerAll(t *testing.T) []string {
 		Metrics: reg, Journal: obs.NewJournal(0),
 	}
 	if _, err := fuzzer.New(cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tiny instrumented cluster campaign (1 loopback worker, checkpoint
+	// every barrier) so the cluster_* instruments register.
+	spec := cluster.SpecFromConfig(fuzzer.Config{
+		Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+		Seed: 13, Budget: 40_000, VMs: 2, SeedCorpus: seeds[:4],
+	}, nil)
+	if _, err := cluster.RunLocal(cluster.Config{
+		Spec:            spec,
+		Metrics:         reg,
+		CheckpointEvery: 4,
+		OnCheckpoint:    func(int64, []byte) {},
+	}, 1, cluster.WorkerOptions{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -105,7 +121,7 @@ func TestCatalogMatchesDoc(t *testing.T) {
 
 	// Reverse direction: every catalog-table row names a live metric. The
 	// owner prefix distinguishes catalog rows from journal-kind rows.
-	docRow := regexp.MustCompile("(?m)^\\| `((?:fuzzer|corpus|serve|qgraph|nn|train|collect)_[a-z0-9_<>]+)`")
+	docRow := regexp.MustCompile("(?m)^\\| `((?:fuzzer|corpus|serve|qgraph|nn|train|collect|cluster)_[a-z0-9_<>]+)`")
 	documented := 0
 	for _, match := range docRow.FindAllStringSubmatch(doc, -1) {
 		documented++

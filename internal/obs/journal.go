@@ -87,6 +87,24 @@ func NewJournal(capacity int) *Journal {
 	return &Journal{buf: make([]Event, capacity), cap: capacity}
 }
 
+// NewJournalFrom reconstructs a journal from a checkpoint export: the
+// retained events (oldest first, with their original Seq values), the next
+// sequence number to assign, and the evicted-event count. If more events
+// than capacity are passed, only the newest are retained (the surplus adds
+// to dropped), matching what the ring would have kept.
+func NewJournalFrom(capacity int, events []Event, next uint64, dropped uint64) *Journal {
+	j := NewJournal(capacity)
+	if over := len(events) - j.cap; over > 0 {
+		events = events[over:]
+		dropped += uint64(over)
+	}
+	copy(j.buf, events)
+	j.n = len(events)
+	j.next = next
+	j.dropped = dropped
+	return j
+}
+
 // Record appends the event, assigning its sequence number. The passed
 // event's Seq field is ignored.
 func (j *Journal) Record(e Event) {
@@ -129,6 +147,17 @@ func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.n
+}
+
+// Next returns the sequence number the next recorded event will receive
+// (checkpoint exports pair it with Events to rebuild the ring exactly).
+func (j *Journal) Next() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
 }
 
 // Dropped returns how many events were evicted by the ring bound.

@@ -46,6 +46,20 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
+// State exports the generator's internal state, so that a paused stream can
+// be checkpointed and resumed elsewhere with FromState. Reading the state
+// does not advance the stream.
+func (r *Rand) State() [4]uint64 {
+	return r.s
+}
+
+// FromState reconstructs a generator from a State export. The returned
+// generator's future output is identical to what the exported generator
+// would have produced.
+func FromState(s [4]uint64) *Rand {
+	return &Rand{s: s}
+}
+
 // Uint64 returns a uniformly distributed 64-bit value.
 func (r *Rand) Uint64() uint64 {
 	s := &r.s

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire framing shared by the inference protocol (net.go) and the cluster
+// protocol (internal/cluster): every message is one length-prefixed frame,
+//
+//	[4-byte big-endian payload length][1-byte frame type][payload]
+//
+// written with a single Write call and read with io.ReadFull, so readers
+// tolerate arbitrary TCP segmentation — a frame split across segments (or
+// delivered byte by byte) reassembles identically. A declared length above
+// the reader's limit fails fast with ErrFrameTooLarge before any
+// allocation, and a connection that dies mid-frame surfaces
+// ErrFrameTruncated rather than a misparse of the next frame.
+
+// frameHeaderSize is the fixed frame prefix: payload length plus type byte.
+const frameHeaderSize = 5
+
+// MaxFramePayload is the default per-frame payload bound of ReadFrame
+// callers in this package. Inference requests are small; the bound exists
+// so a corrupt or hostile length prefix cannot trigger a huge allocation.
+const MaxFramePayload = 16 << 20
+
+// Framing errors. ErrFrameTooLarge rejects a declared payload length above
+// the reader's limit; ErrFrameTruncated reports a connection that closed
+// mid-frame (distinct from io.EOF, which ReadFrame returns only on a clean
+// close between frames).
+var (
+	ErrFrameTooLarge  = errors.New("serve: frame payload exceeds size limit")
+	ErrFrameTruncated = errors.New("serve: truncated frame")
+)
+
+// WriteFrame writes one frame as a single Write call (header and payload in
+// one buffer), so a frame is never interleaved with a concurrent writer's
+// frame at the syscall boundary.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	buf := make([]byte, frameHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	buf[4] = typ
+	copy(buf[frameHeaderSize:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, tolerating short reads: both the header and
+// the payload are assembled with io.ReadFull, so the frame may arrive in
+// any number of TCP segments. maxPayload bounds the declared payload length
+// (<=0 uses MaxFramePayload). A clean connection close between frames
+// returns io.EOF; a close inside a frame returns ErrFrameTruncated.
+func ReadFrame(r io.Reader, maxPayload int) (byte, []byte, error) {
+	if maxPayload <= 0 {
+		maxPayload = MaxFramePayload
+	}
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, ErrFrameTruncated
+		}
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > uint32(maxPayload) {
+		return 0, nil, fmt.Errorf("%w: %d bytes declared, limit %d", ErrFrameTooLarge, n, maxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, ErrFrameTruncated
+		}
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -14,10 +15,19 @@ import (
 
 // The paper deploys PMM behind torchserve and queries it over gRPC from the
 // fuzzer's inference worker pool. NetServer provides the equivalent network
-// boundary: a length-free gob stream over TCP carrying the serialized test
-// program, its traces, and the desired targets. Programs travel in their
-// textual form and are parsed against the server's registry, so client and
-// server only need to agree on the specification, not on Go types.
+// boundary: length-prefixed frames over TCP (see frame.go) carrying the
+// serialized test program, its traces, and the desired targets. Programs
+// travel in their textual form and are parsed against the server's
+// registry, so client and server only need to agree on the specification,
+// not on Go types. Framing (rather than a raw gob stream) lets readers
+// tolerate arbitrary TCP segmentation and lets the cluster protocol share
+// the same transport layer.
+
+// The inference protocol's frame types.
+const (
+	frameInferRequest  byte = 0x01
+	frameInferResponse byte = 0x02
+)
 
 // NetRequest is the wire format of one localization query.
 type NetRequest struct {
@@ -78,15 +88,24 @@ func (ns *NetServer) acceptLoop() {
 
 func (ns *NetServer) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
 	for {
+		typ, payload, err := ReadFrame(conn, MaxFramePayload)
+		if err != nil {
+			return // connection closed or corrupt framing
+		}
+		if typ != frameInferRequest {
+			return
+		}
 		var req NetRequest
-		if err := dec.Decode(&req); err != nil {
-			return // connection closed or corrupt
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&req); err != nil {
+			return
 		}
 		resp := ns.serveOne(&req)
-		if err := enc.Encode(resp); err != nil {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+			return
+		}
+		if err := WriteFrame(conn, frameInferResponse, buf.Bytes()); err != nil {
 			return
 		}
 	}
@@ -134,12 +153,12 @@ func (ns *NetServer) Close() {
 }
 
 // Client is a synchronous network client for a NetServer. It is safe for
-// concurrent use (requests serialize on the connection).
+// concurrent use (requests serialize on the connection). Responses are read
+// frame-wise with io.ReadFull, so a reply split across TCP segments — or
+// trickled in byte by byte — reassembles identically to a whole-frame read.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
 }
 
 // Dial connects to a NetServer.
@@ -148,7 +167,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return &Client{conn: conn}, nil
 }
 
 // Infer sends one query and waits for the prediction.
@@ -169,13 +188,24 @@ func (c *Client) InferText(progText string, traces [][]kernel.BlockID, targets [
 	for _, t := range targets {
 		req.Targets = append(req.Targets, int64(t))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(&req); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
 		return nil, nil, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, frameInferRequest, buf.Bytes()); err != nil {
+		return nil, nil, err
+	}
+	typ, payload, err := ReadFrame(c.conn, MaxFramePayload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if typ != frameInferResponse {
+		return nil, nil, fmt.Errorf("serve: unexpected frame type 0x%02x in response", typ)
+	}
 	var resp NetResponse
-	if err := c.dec.Decode(&resp); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&resp); err != nil {
 		return nil, nil, err
 	}
 	if resp.Err != "" {

@@ -1,8 +1,14 @@
 package serve
 
 import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
 	"sync"
 	"testing"
+	"testing/iotest"
+	"time"
 )
 
 func startNetServer(t *testing.T) (*NetServer, *Server) {
@@ -131,4 +137,119 @@ func TestNetCloseIdempotent(t *testing.T) {
 	defer s.Close()
 	ns.Close()
 	ns.Close()
+}
+
+// TestNetResponseSplitAcrossSegments serves a real response through a relay
+// that trickles it to the client one byte at a time (worst-case TCP
+// segmentation). The framed client reassembles with io.ReadFull, so the
+// prediction must be identical to a whole-frame read.
+func TestNetResponseSplitAcrossSegments(t *testing.T) {
+	ns, s := startNetServer(t)
+	defer s.Close()
+	defer ns.Close()
+
+	relay, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	go func() {
+		cli, err := relay.Accept()
+		if err != nil {
+			return
+		}
+		defer cli.Close()
+		up, err := net.Dial("tcp", ns.Addr())
+		if err != nil {
+			return
+		}
+		defer up.Close()
+		go func() {
+			io.Copy(up, cli) // requests pass through untouched
+			// Propagate the client's close upstream, or the server-side
+			// handler (and NetServer.Close) would wait forever.
+			up.Close()
+		}()
+		// Responses are forwarded one byte at a time with pauses, so the
+		// client sees every possible short-read boundary.
+		buf := make([]byte, 1)
+		for {
+			n, err := up.Read(buf)
+			if n > 0 {
+				if _, werr := cli.Write(buf[:n]); werr != nil {
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(relay.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q := testQuery(t)
+	slots, probs, err := c.Infer(q.Prog, q.Traces, q.Targets)
+	if err != nil {
+		t.Fatalf("split-segment response failed: %v", err)
+	}
+	direct, err := s.Infer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != len(direct.Slots) || len(probs) != len(direct.Probs) {
+		t.Fatalf("split-segment reply shape differs: %d/%d slots, %d/%d probs",
+			len(slots), len(direct.Slots), len(probs), len(direct.Probs))
+	}
+	for i := range slots {
+		if slots[i] != direct.Slots[i] {
+			t.Fatalf("slot %d differs after segmented read", i)
+		}
+	}
+}
+
+func TestFrameRoundTripAndShortReads(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&buf, 0x42, payload); err != nil {
+		t.Fatal(err)
+	}
+	// iotest.OneByteReader forces a short read on every call.
+	typ, got, err := ReadFrame(iotest.OneByteReader(&buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != 0x42 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip got type 0x%02x payload %q", typ, got)
+	}
+}
+
+func TestFrameTypedErrors(t *testing.T) {
+	var whole bytes.Buffer
+	if err := WriteFrame(&whole, 0x01, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	frame := whole.Bytes()
+
+	// Truncation at every byte boundary inside the frame must yield
+	// ErrFrameTruncated, never a misparse (cut == 0 is a clean io.EOF).
+	for cut := 1; cut < len(frame); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(frame[:cut]), 0)
+		if !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("cut at %d: got %v, want ErrFrameTruncated", cut, err)
+		}
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+
+	// A declared length beyond the limit fails before allocating.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, _, err := ReadFrame(bytes.NewReader(huge), 1<<20); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
 }

@@ -227,6 +227,33 @@ func EdgesOfInto(c *Cover, res *exec.Result) *Cover {
 	return c
 }
 
+// CoverOfTraces recomputes edge coverage from bare per-call block traces,
+// applying the same consecutive-pair rule as EdgesOf. Cluster workers ship
+// corpus entries over the wire as (program text, traces); the receiver
+// rebuilds cover and blocks from the traces so the derived sets can never
+// disagree with the trace payload.
+func CoverOfTraces(traces [][]kernel.BlockID) *Cover {
+	c := NewCover()
+	for _, tr := range traces {
+		for i := 1; i < len(tr); i++ {
+			c.Add(MakeEdge(tr[i-1], tr[i]))
+		}
+	}
+	return c
+}
+
+// BlockSetOfTraces recomputes block coverage from bare per-call block
+// traces (the wire-entry counterpart of BlockSetOfInto).
+func BlockSetOfTraces(traces [][]kernel.BlockID) BlockSet {
+	var s BlockSet
+	for _, tr := range traces {
+		for _, b := range tr {
+			s.Add(b)
+		}
+	}
+	return s
+}
+
 // BlocksOf extracts the block coverage of an execution result, as an
 // ordered deduplicated slice.
 func BlocksOf(res *exec.Result) []kernel.BlockID {
