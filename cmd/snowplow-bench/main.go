@@ -8,7 +8,8 @@
 //	snowplow-bench -experiment table1,table5
 //
 // Experiments: stats, table1, fig6, table2 (includes tables 3 and 4),
-// table5, perf, parallel, micro, train, ablations, faults, timeseries, all.
+// table5, perf, parallel, cluster, quant, micro, train, ablations, faults,
+// timeseries, all.
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,cluster,micro,train,ablations,faults,timeseries,all")
+		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,cluster,quant,micro,train,ablations,faults,timeseries,all")
 		scale  = flag.String("scale", "quick", "experiment scale: quick or full")
 		seed   = flag.Uint64("seed", 1, "suite seed")
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
@@ -76,6 +77,10 @@ func main() {
 	emit := func(name string, v interface{}) {
 		if *jsonDir == "" {
 			return
+		}
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "snowplow-bench:", err)
+			os.Exit(1)
 		}
 		data, err := json.MarshalIndent(v, "", "  ")
 		if err != nil {
@@ -150,6 +155,13 @@ func main() {
 		res := experiments.Cluster(h, nil)
 		res.Render(os.Stdout)
 		emit("cluster", res)
+		fmt.Println()
+		ran++
+	}
+	if all || want["quant"] {
+		res := experiments.Quant(h)
+		res.Render(os.Stdout)
+		emit("quant", res)
 		fmt.Println()
 		ran++
 	}

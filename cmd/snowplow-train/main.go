@@ -35,15 +35,16 @@ func main() {
 		pretrain = flag.Bool("pretrain", false, "masked-token pretraining of the assembly encoder first")
 		batch    = flag.Int("batch", 1, "minibatch size (gradients averaged per optimizer step; 1 = per-example)")
 		workers  = flag.Int("train-workers", 1, "data-parallel training width (checkpoints are byte-identical at any width)")
+		quant    = flag.Bool("quant", false, "int8-quantize the trained model and write a mixed-precision checkpoint")
 	)
 	flag.Parse()
-	if err := run(*version, *dsPath, *out, *epochs, *lr, *posw, *seed, *tune, *pretrain, *batch, *workers); err != nil {
+	if err := run(*version, *dsPath, *out, *epochs, *lr, *posw, *seed, *tune, *pretrain, *batch, *workers, *quant); err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(version, dsPath, out string, epochs int, lr, posw float64, seed uint64, tune, pretrain bool, batch, workers int) error {
+func run(version, dsPath, out string, epochs int, lr, posw float64, seed uint64, tune, pretrain bool, batch, workers int, quant bool) error {
 	k, err := kernel.Build(version)
 	if err != nil {
 		return err
@@ -103,6 +104,20 @@ func run(version, dsPath, out string, epochs int, lr, posw float64, seed uint64,
 		return err
 	}
 	defer of.Close()
+	if quant {
+		// Quantize after evaluation so the reported metrics describe the
+		// float64 model; the checkpoint then carries int8 codes plus the
+		// dequantized float64 weights every loader serves from.
+		m.Freeze()
+		if err := m.Quantize(); err != nil {
+			return err
+		}
+		if err := m.SaveQuantized(of); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (int8-quantized)\n", out)
+		return nil
+	}
 	if err := m.Save(of); err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/nn"
 	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/rng"
 )
@@ -38,14 +39,35 @@ type clusterFlags struct {
 
 // runClusterWorker joins the coordinator at cf.addr and serves barrier
 // steps until the campaign ends.
-func runClusterWorker(cf clusterFlags, workers int) error {
+func runClusterWorker(cf clusterFlags, workers int, fused bool) error {
 	nn.SetWorkers(workers)
 	logger := log.New(os.Stderr, "worker: ", log.Ltime)
 	logger.Printf("joining coordinator at %s", cf.addr)
 	return cluster.RunWorker(cf.addr, cluster.WorkerOptions{
 		ServeWorkers: workers,
+		Fused:        fused,
 		Logf:         logger.Printf,
 	})
+}
+
+// quantizeModelBytes re-encodes a float64 model checkpoint as the
+// mixed-precision (int8 codes + dequantized float64) form.
+func quantizeModelBytes(model []byte) ([]byte, error) {
+	m, err := pmm.Load(bytes.NewReader(model))
+	if err != nil {
+		return nil, err
+	}
+	m.Freeze()
+	if m.Quantized() == nil {
+		if err := m.Quantize(); err != nil {
+			return nil, err
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.SaveQuantized(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // runClusterCoordinator builds the campaign spec exactly like the
@@ -53,7 +75,7 @@ func runClusterWorker(cf clusterFlags, workers int) error {
 // cf.coordinator workers, and drives the campaign to completion. If the
 // checkpoint file exists the campaign resumes from it instead of starting
 // fresh.
-func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, budget int64, seed uint64, nseeds int, fallback float64, vms int, of obsFlags) error {
+func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, budget int64, seed uint64, nseeds int, fallback float64, vms int, quant bool, of obsFlags) error {
 	k, err := kernel.Build(version)
 	if err != nil {
 		return err
@@ -75,6 +97,17 @@ func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, bud
 		}
 		if model, err = os.ReadFile(modelPath); err != nil {
 			return err
+		}
+		if quant {
+			// Quantization must be decided once, by the coordinator: the
+			// model is re-encoded as a mixed-precision checkpoint, so every
+			// worker loads identical int8 weights (and the checkpoint's
+			// model digest pins the quantized form). Worker-local flags
+			// could not guarantee that.
+			if model, err = quantizeModelBytes(model); err != nil {
+				return fmt.Errorf("quantizing model: %w", err)
+			}
+			fmt.Println("model: int8-quantized for the cluster")
 		}
 	default:
 		return fmt.Errorf("unknown mode %q", mode)

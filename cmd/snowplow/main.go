@@ -55,6 +55,8 @@ func main() {
 		cache     = flag.Int("cache", 1024, "graph-encoding LRU cache capacity (0 = disabled)")
 		fallback  = flag.Float64("fallback", 0.1, "random-localization fallback probability")
 		vms       = flag.Int("vms", 1, "simulated fuzzing VMs (parallel campaign; 1 = sequential)")
+		fused     = flag.Bool("fused", true, "serve inference through the fused kernels (bit-identical to unfused)")
+		quant     = flag.Bool("quant", false, "int8-quantize model weights before serving (reproducible per seed; coordinator re-encodes the model for workers)")
 		sf        serveFlags
 		of        obsFlags
 		cf        clusterFlags
@@ -83,11 +85,11 @@ func main() {
 	var err error
 	switch {
 	case cf.worker:
-		err = runClusterWorker(cf, *workers)
+		err = runClusterWorker(cf, *workers, *fused)
 	case cf.coordinator > 0:
-		err = runClusterCoordinator(cf, *mode, *version, *modelPath, *budget, *seed, *seeds, *fallback, *vms, of)
+		err = runClusterCoordinator(cf, *mode, *version, *modelPath, *budget, *seed, *seeds, *fallback, *vms, *quant, of)
 	default:
-		err = run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, sf, of)
+		err = run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, *fused, *quant, sf, of)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow:", err)
@@ -95,7 +97,7 @@ func main() {
 	}
 }
 
-func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, vms int, sf serveFlags, of obsFlags) error {
+func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, vms int, fused, quant bool, sf serveFlags, of obsFlags) error {
 	// Size the MatMul worker pool alongside the inference pool; results are
 	// bit-identical for any worker count.
 	nn.SetWorkers(workers)
@@ -156,11 +158,14 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 			return err
 		}
 		opts := serve.Options{
-			Workers:    workers,
-			BatchSize:  batch,
-			Deadline:   sf.deadline,
-			MaxRetries: sf.retries,
-			Metrics:    reg,
+			Workers:       workers,
+			BatchSize:     batch,
+			Deadline:      sf.deadline,
+			MaxRetries:    sf.retries,
+			Metrics:       reg,
+			Fused:         fused,
+			Quant:         quant,
+			KernelProfile: true,
 		}
 		if fault.Enabled() {
 			opts.Fault = fault
@@ -225,8 +230,20 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		ss := cfg.Server.Stats()
 		fmt.Fprintf(&out, "serving: %d ok / %d failed of %d queries, %d retries, %d timeouts, error rate %.2f, healthy %v\n",
 			ss.Succeeded, ss.Failed, ss.Queries, ss.Retries, ss.Timeouts, ss.ErrorRate, ss.Healthy)
-		fmt.Fprintf(&out, "batching: %d passes, %d batched queries, avg batch %.2f; graph cache: %d hits, %d misses\n",
-			ss.Batches, ss.BatchedQueries, ss.AvgBatchSize, ss.CacheHits, ss.CacheMisses)
+		fmt.Fprintf(&out, "batching: %d passes, %d batched queries, avg batch %.2f (fill %.0f%%); graph cache: %d hits, %d misses\n",
+			ss.Batches, ss.BatchedQueries, ss.AvgBatchSize, 100*ss.BatchFill, ss.CacheHits, ss.CacheMisses)
+		kp := ss.Kernel
+		fmt.Fprintf(&out, "inference: fused=%v quant=%v; kernels: %d linear, %d attention, %d add+norm, %d int8\n",
+			ss.Fused, ss.Quantized, kp.FusedLinear, kp.FusedAttention, kp.FusedAddNorm, kp.QuantKernels)
+		if kp.KernelNs() > 0 {
+			fmt.Fprintf(&out, "kernel time: %v total (matmul %v, linear %v, attention %v, norm %v, softmax %v)\n",
+				time.Duration(kp.KernelNs()).Round(time.Microsecond),
+				time.Duration(kp.MatMulNs).Round(time.Microsecond),
+				time.Duration(kp.FusedLinearNs).Round(time.Microsecond),
+				time.Duration(kp.AttentionNs).Round(time.Microsecond),
+				time.Duration(kp.NormNs).Round(time.Microsecond),
+				time.Duration(kp.SoftmaxNs).Round(time.Microsecond))
+		}
 		if ss.InjDropped+ss.InjTransient+ss.InjLatency+ss.InjCorrupt > 0 {
 			fmt.Fprintf(&out, "injected: %d dropped, %d transient, %d latency, %d corrupt\n",
 				ss.InjDropped, ss.InjTransient, ss.InjLatency, ss.InjCorrupt)

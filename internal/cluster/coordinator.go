@@ -177,7 +177,7 @@ func newCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = 60 * time.Second
 	}
-	rt, err := cfg.Spec.Materialize(false, 0)
+	rt, err := cfg.Spec.Materialize(false, 0, false)
 	if err != nil {
 		return nil, err
 	}

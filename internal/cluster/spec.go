@@ -104,10 +104,15 @@ type Runtime struct {
 
 // Materialize builds the kernel, analysis, seed corpus and — when
 // needServer is set in Snowplow mode — a local inference server from the
-// spec's model bytes. The returned config's Journal is a non-recording
+// spec's model bytes. fused routes that server through the fused inference
+// kernels; it is a per-worker serving knob (fused predictions are
+// bit-identical), so heterogeneous fleets stay deterministic. Whether the
+// model serves from int8 weights is pinned by the model bytes themselves
+// (a mixed-precision checkpoint carries its quantization registry), never
+// by a worker-local flag. The returned config's Journal is a non-recording
 // sentinel when the spec journals (shard workers buffer events for the
 // coordinator; they never write a journal of their own).
-func (sp CampaignSpec) Materialize(needServer bool, serveWorkers int) (*Runtime, error) {
+func (sp CampaignSpec) Materialize(needServer bool, serveWorkers int, fused bool) (*Runtime, error) {
 	k, err := kernel.Build(sp.KernelVersion)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: building kernel: %w", err)
@@ -157,6 +162,7 @@ func (sp CampaignSpec) Materialize(needServer bool, serveWorkers int) (*Runtime,
 			Workers:   serveWorkers,
 			QueueSize: queue,
 			Deadline:  30 * time.Second,
+			Fused:     fused,
 		})
 		cfg.Server = rt.Server
 	}

@@ -22,6 +22,9 @@ type WorkerOptions struct {
 	// ServeWorkers sizes the worker's local inference server pool
 	// (Snowplow mode; default 2).
 	ServeWorkers int
+	// Fused serves through the fused inference kernels (bit-identical to
+	// the unfused path, so workers may mix freely).
+	Fused bool
 	// IOTimeout bounds every network operation (default 60s).
 	IOTimeout time.Duration
 	// Logf, when set, receives worker progress lines.
@@ -84,7 +87,7 @@ func RunWorker(addr string, opts WorkerOptions) error {
 		return err
 	}
 
-	rt, err := a.Spec.Materialize(a.Spec.Mode == 1, opts.ServeWorkers)
+	rt, err := a.Spec.Materialize(a.Spec.Mode == 1, opts.ServeWorkers, opts.Fused)
 	if err != nil {
 		return sendErr(err)
 	}

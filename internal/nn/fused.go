@@ -1,0 +1,460 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Fused inference kernels for the frozen-model hot path. Each fused kernel
+// collapses a chain of Ops-interface calls — and their intermediate arena
+// tensors, shape checks and memory passes — into one cache-hot pass that
+// computes every element with exactly the summation order of the unfused
+// chain, so fused and unfused forwards are bit-identical (fused_test.go
+// proves it against both the AVX and scalar MatMul mirrors):
+//
+//   - LinearBias: MatMul → AddRowVector (→ ReLU) in one kernel, with the
+//     bias/ReLU epilogue applied per output-row block while it is still in
+//     cache, and an optional pre-transposed weight (Linear.FreezeFused)
+//     that skips the per-call transpose + scratch-pool round trip.
+//   - ScaledDotAttention: Transpose → MatMul → Scale → SoftmaxRows →
+//     MatMul in one kernel. The unfused chain transposes k and then
+//     matmulForward transposes it *back* internally, so the fused kernel
+//     uses k's rows directly as the pre-transposed operand and softens each
+//     score row in place (softmaxRow is alias-safe) — two transposes, one
+//     m×m intermediate and three arena tensors gone.
+//   - AddLayerNorm: residual Add → LayerNorm in one kernel with the row
+//     sum, mean and inverse-stddev inlined (no separate sum tensor).
+//
+// TrainOps and TrainArena do not implement FusedOps, so training and tape
+// replay always take the unfused chain; layers gate on FusionEnabled so a
+// plain Infer (fusion off) also keeps the op-by-op path for golden replay.
+
+// FusedOps is implemented by op sets that provide fused inference kernels.
+// Layers consult FusionEnabled before taking the fused path; an
+// implementation with fusion disabled must still compute correctly when
+// called directly (Infer falls back to the unfused chain).
+type FusedOps interface {
+	Ops
+	// FusionEnabled reports whether layers should route through the fused
+	// kernels.
+	FusionEnabled() bool
+	// LinearBias computes x×w + b, clamping with ReLU when relu is set.
+	// wt, when non-nil, is w pre-transposed ((out,in) row-major — see
+	// Linear.FreezeFused); nil transposes into pool scratch per call.
+	LinearBias(x, w *Tensor, wt []float64, b *Tensor, relu bool) *Tensor
+	// ScaledDotAttention computes SoftmaxRows(scale·(q×kᵀ))×v for q, k, v
+	// of equal shape (m, d).
+	ScaledDotAttention(q, k, v *Tensor, scale float64) *Tensor
+	// RaggedScaledDotAttention runs ScaledDotAttention independently over
+	// row segments of q, k, v: bounds[s]..bounds[s+1] delimit segment s.
+	// Bit-identical to per-segment calls; the point is that the caller can
+	// batch the q/k/v projections of many variable-length sequences into
+	// single large matmuls, which the plain Ops interface cannot express.
+	RaggedScaledDotAttention(q, k, v *Tensor, bounds []int, scale float64) *Tensor
+	// RaggedMeanRows computes the per-segment row mean: output row s is
+	// MeanRows over x's rows bounds[s]..bounds[s+1] (segments must be
+	// non-empty).
+	RaggedMeanRows(x *Tensor, bounds []int) *Tensor
+	// AddLayerNorm computes LayerNorm(x+y) with the learned affine.
+	AddLayerNorm(x, y, gamma, beta *Tensor, eps float64) *Tensor
+	// AddInto accumulates x into dst in place: dst[i] = dst[i] + x[i], the
+	// exact per-element sum (dst as left operand) Add computes — so a
+	// left-associative accumulation chain can reuse one tensor instead of
+	// allocating a fresh output per step.
+	AddInto(dst, x *Tensor)
+	// ReLUInPlace clamps x in place with the same !(v > 0) → 0 test as
+	// ReLU (NaN and -0 clamp to +0).
+	ReLUInPlace(x *Tensor)
+	// GatherAddInto accumulates table rows into dst in place:
+	// dst[i,:] += table[indices[i],:] — element for element the
+	// Gather → AddInto pair, without materializing the gathered rows.
+	GatherAddInto(dst, table *Tensor, indices []int)
+	// ScatterMeanInto accumulates per-bucket means of src into dst in
+	// place: dst[d,:] += mean(src rows with dstIdx d), rounding exactly
+	// like the ScatterMean → AddInto pair (empty buckets still add +0
+	// rows), without materializing the bucket tensor.
+	ScatterMeanInto(dst, src *Tensor, dstIdx []int)
+	// Arena returns the underlying inference arena. Layers recycle through
+	// it directly — a variadic call on the concrete *Infer keeps its
+	// argument slice on the stack, where the same call through the Ops
+	// interface would heap-allocate it every pass.
+	Arena() *Infer
+}
+
+// AddInto implements FusedOps: dst[i] += x[i], bitwise the sum addForward
+// writes with dst as the left operand.
+func (in *Infer) AddInto(dst, x *Tensor) {
+	checkSameShape("AddInto", dst, x)
+	d := dst.Data
+	for i, v := range x.Data {
+		d[i] += v
+	}
+}
+
+// ReLUInPlace implements FusedOps: the reluForward clamp, in place.
+func (in *Infer) ReLUInPlace(x *Tensor) {
+	reluInPlace(x.Data)
+}
+
+// GatherAddInto implements FusedOps: dst[i,:] += table[indices[i],:],
+// bitwise the gatherForward copy followed by the AddInto sum.
+func (in *Infer) GatherAddInto(dst, table *Tensor, indices []int) {
+	cols := checkGatherAdd(dst, table, indices)
+	gatherAddForward(dst.Data, table.Data, indices, table.Shape[0], cols)
+}
+
+// ScatterMeanInto implements FusedOps: dst[d,:] += mean of src rows with
+// dstIdx d, with the sums, the 1/count multiply and the adds rounding
+// exactly as scatterMeanForward followed by the AddInto sum.
+func (in *Infer) ScatterMeanInto(dst, src *Tensor, dstIdx []int) {
+	if len(src.Shape) != 2 || len(dstIdx) != src.Shape[0] {
+		panic("nn: ScatterMeanInto shape mismatch")
+	}
+	cols := src.Shape[1]
+	if len(dst.Shape) != 2 || dst.Shape[1] != cols {
+		panic("nn: ScatterMeanInto shape mismatch")
+	}
+	rows := dst.Shape[0]
+	sums := in.pool.GetSlice(rows * cols)
+	counts := in.pool.GetSlice(rows)
+	scatterMeanAddForward(dst.Data, sums, counts, src.Data, dstIdx, cols)
+	in.pool.PutSlice(counts)
+	in.pool.PutSlice(sums)
+}
+
+// scatterMeanAddForward is ScatterMeanInto's kernel: bucket sums land in
+// the zeroed caller scratch (sums, counts), then each bucket row folds into
+// agg with the same two roundings per element as the unfused pair —
+// orow[j]*inv first, then the add. Empty buckets still add their +0 row:
+// a -0 in agg must flush to +0 exactly as it does on the unfused chain.
+func scatterMeanAddForward(agg, sums, counts, src []float64, dstIdx []int, cols int) {
+	dstRows := len(counts)
+	for i, d := range dstIdx {
+		if d < 0 || d >= dstRows {
+			panic(fmt.Sprintf("nn: ScatterMeanInto destination %d out of range [0,%d)", d, dstRows))
+		}
+		counts[d]++
+		addInto(sums[d*cols:(d+1)*cols], src[i*cols:(i+1)*cols])
+	}
+	for d := 0; d < dstRows; d++ {
+		orow := sums[d*cols : (d+1)*cols]
+		arow := agg[d*cols : (d+1)*cols]
+		if counts[d] > 1 {
+			mulAddInto(arow, orow, 1/counts[d])
+		} else {
+			addInto(arow, orow)
+		}
+	}
+}
+
+func checkGatherAdd(dst, table *Tensor, indices []int) int {
+	if len(table.Shape) != 2 {
+		panic("nn: GatherAddInto requires a 2D table")
+	}
+	cols := table.Shape[1]
+	if len(dst.Shape) != 2 || dst.Shape[0] != len(indices) || dst.Shape[1] != cols {
+		panic(fmt.Sprintf("nn: GatherAddInto shape mismatch %v += table%v[%d ids]", dst.Shape, table.Shape, len(indices)))
+	}
+	return cols
+}
+
+// EnableFusion turns the fused kernels on for this Infer. Outputs remain
+// bit-identical to the unfused chain; only the number of kernel launches
+// and arena tensors changes.
+func (in *Infer) EnableFusion() { in.fused = true }
+
+// SetFused toggles the fused kernels (see EnableFusion).
+func (in *Infer) SetFused(on bool) { in.fused = on }
+
+// FusionEnabled implements FusedOps.
+func (in *Infer) FusionEnabled() bool { return in.fused }
+
+// Arena implements FusedOps.
+func (in *Infer) Arena() *Infer { return in }
+
+// LinearBias implements FusedOps.
+func (in *Infer) LinearBias(x, w *Tensor, wt []float64, b *Tensor, relu bool) *Tensor {
+	if !in.fused {
+		// Unfused mirror, for callers that bypass the layer gating.
+		xw := in.MatMul(x, w)
+		out := in.AddRowVector(xw, b)
+		in.Recycle(xw)
+		if relu {
+			act := in.ReLU(out)
+			in.Recycle(out)
+			out = act
+		}
+		return out
+	}
+	m, k, n := checkMatMul(x, w)
+	if b.Size() != n {
+		panic("nn: LinearBias bias size mismatch")
+	}
+	out := in.allocRaw(m, n)
+	if kernelProfiling.Load() {
+		t0 := time.Now()
+		linearBiasForward(out.Data, x.Data, w.Data, wt, b.Data, m, k, n, relu)
+		in.prof.fusedLinearNs += time.Since(t0).Nanoseconds()
+	} else {
+		linearBiasForward(out.Data, x.Data, w.Data, wt, b.Data, m, k, n, relu)
+	}
+	in.prof.fusedLinear++
+	return out
+}
+
+// ScaledDotAttention implements FusedOps.
+func (in *Infer) ScaledDotAttention(q, k, v *Tensor, scale float64) *Tensor {
+	checkSameShape("ScaledDotAttention", q, k)
+	checkSameShape("ScaledDotAttention", q, v)
+	if len(q.Shape) != 2 {
+		panic("nn: ScaledDotAttention requires 2D tensors")
+	}
+	m, d := q.Shape[0], q.Shape[1]
+	out := in.allocRaw(m, d)
+	if kernelProfiling.Load() {
+		t0 := time.Now()
+		scaledDotAttentionForward(out.Data, q.Data, k.Data, v.Data, m, d, scale)
+		in.prof.attentionNs += time.Since(t0).Nanoseconds()
+	} else {
+		scaledDotAttentionForward(out.Data, q.Data, k.Data, v.Data, m, d, scale)
+	}
+	in.prof.fusedAttention++
+	return out
+}
+
+// RaggedScaledDotAttention implements FusedOps. Segments are fully
+// independent — attention never crosses a bounds entry — so the kernel
+// parallelizes across segments with each output row written by exactly one
+// worker, preserving the determinism contract.
+func (in *Infer) RaggedScaledDotAttention(q, k, v *Tensor, bounds []int, scale float64) *Tensor {
+	checkSameShape("RaggedScaledDotAttention", q, k)
+	checkSameShape("RaggedScaledDotAttention", q, v)
+	if len(q.Shape) != 2 {
+		panic("nn: RaggedScaledDotAttention requires 2D tensors")
+	}
+	checkBounds("RaggedScaledDotAttention", bounds, q.Shape[0])
+	out := in.allocRaw(q.Shape...)
+	if kernelProfiling.Load() {
+		t0 := time.Now()
+		raggedAttentionForward(out.Data, q.Data, k.Data, v.Data, bounds, q.Shape[1], scale)
+		in.prof.attentionNs += time.Since(t0).Nanoseconds()
+	} else {
+		raggedAttentionForward(out.Data, q.Data, k.Data, v.Data, bounds, q.Shape[1], scale)
+	}
+	in.prof.fusedAttention++
+	return out
+}
+
+// RaggedMeanRows implements FusedOps.
+func (in *Infer) RaggedMeanRows(x *Tensor, bounds []int) *Tensor {
+	if len(x.Shape) != 2 {
+		panic("nn: RaggedMeanRows requires a 2D tensor")
+	}
+	checkBounds("RaggedMeanRows", bounds, x.Shape[0])
+	d := x.Shape[1]
+	// meanRowsForward accumulates into its destination, so borrow zeroed.
+	out := in.alloc(len(bounds)-1, d)
+	for s := 0; s+1 < len(bounds); s++ {
+		b0, b1 := bounds[s], bounds[s+1]
+		if b1 == b0 {
+			panic("nn: RaggedMeanRows empty segment")
+		}
+		meanRowsForward(out.Data[s*d:(s+1)*d], x.Data[b0*d:b1*d], b1-b0, d)
+	}
+	return out
+}
+
+// checkBounds validates a segment-bounds slice over `rows` rows: it must
+// start at 0, end at rows and be non-decreasing.
+func checkBounds(op string, bounds []int, rows int) {
+	if len(bounds) < 1 || bounds[0] != 0 || bounds[len(bounds)-1] != rows {
+		panic("nn: " + op + " bounds must span [0, rows]")
+	}
+	for s := 0; s+1 < len(bounds); s++ {
+		if bounds[s] > bounds[s+1] {
+			panic("nn: " + op + " bounds must be non-decreasing")
+		}
+	}
+}
+
+// AddLayerNorm implements FusedOps.
+func (in *Infer) AddLayerNorm(x, y, gamma, beta *Tensor, eps float64) *Tensor {
+	checkSameShape("AddLayerNorm", x, y)
+	if len(x.Shape) != 2 || x.Shape[1] != gamma.Shape[1] {
+		panic("nn: AddLayerNorm dim mismatch")
+	}
+	out := in.allocRaw(x.Shape...)
+	if kernelProfiling.Load() {
+		t0 := time.Now()
+		addLayerNormForward(out.Data, x.Data, y.Data, gamma.Data, beta.Data, x.Shape[0], x.Shape[1], eps)
+		in.prof.normNs += time.Since(t0).Nanoseconds()
+	} else {
+		addLayerNormForward(out.Data, x.Data, y.Data, gamma.Data, beta.Data, x.Shape[0], x.Shape[1], eps)
+	}
+	in.prof.fusedAddNorm++
+	return out
+}
+
+// linearBiasForward is the fused linear kernel: out = x×w + bias (+ReLU).
+// wt, when non-nil, is w already transposed ((n,k) row-major); otherwise w
+// is transposed into pool scratch exactly like matmulForward. Shapes on
+// matmulForward's zero-padded small-k path take the same padded multiply
+// (the cached transpose cannot serve it), then the scalar epilogue — so the
+// fused output stays bit-identical to the unfused chain for every shape.
+func linearBiasForward(out, x, w, wt, bias []float64, m, k, n int, relu bool) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if k > 0 && padKEligible(k, n) {
+		matmulPadK(out, x, w, m, k, n)
+		biasReluRows(out, bias, 0, m, n, relu)
+		return
+	}
+	if wt != nil {
+		matmulEpilogue(out, x, wt, m, k, n, bias, relu)
+		return
+	}
+	if k == 0 {
+		clear(out[:m*n])
+		biasReluRows(out, bias, 0, m, n, relu)
+		return
+	}
+	bt := scratch.GetSliceRaw(k * n)
+	transposeForward(bt, w, k, n)
+	matmulEpilogue(out, x, bt, m, k, n, bias, relu)
+	scratch.PutSlice(bt)
+}
+
+// scaledDotAttentionForward computes ctx = SoftmaxRows(scale·(q×kᵀ))×v for
+// row-major q, k, v of shape (m, d) into ctx (m, d). k's rows serve
+// directly as the pre-transposed right operand (matmulForward would have
+// reconstructed exactly this layout from kᵀ), the scale folds into the
+// score rows while hot, and the softmax runs in place. Each score row is
+// produced, scaled and softened by exactly one worker, preserving the
+// MatMul determinism contract.
+func scaledDotAttentionForward(ctx, q, k, v []float64, m, d int, scale float64) {
+	if m == 0 {
+		return
+	}
+	scores := scratch.GetSliceRaw(m * m)
+	if m*d*m >= matmulParallelMin {
+		parallelRows(m, 2, func(lo, hi int) {
+			attentionScoreRows(scores, q, k, lo, hi, m, d, scale)
+		})
+	} else {
+		attentionScoreRows(scores, q, k, 0, m, m, d, scale)
+	}
+	matmulForward(ctx, scores, v, m, m, d)
+	scratch.PutSlice(scores)
+}
+
+// raggedAttentionForward runs the attention kernel independently per row
+// segment. The per-segment body is fully serial (parallel jobs are leaves),
+// so the kernel fans the *segments* out across the worker pool instead —
+// each segment's outputs are written by exactly one worker with arithmetic
+// identical to scaledDotAttentionForward's serial path.
+func raggedAttentionForward(ctx, q, k, v []float64, bounds []int, d int, scale float64) {
+	segs := len(bounds) - 1
+	parallelRows(segs, 1, func(lo, hi int) {
+		// One scratch pair per chunk, sized for its largest segment, so the
+		// per-segment cost is pure kernel work with no pool round trips.
+		maxM := 0
+		for s := lo; s < hi; s++ {
+			if m := bounds[s+1] - bounds[s]; m > maxM {
+				maxM = m
+			}
+		}
+		if maxM == 0 {
+			return
+		}
+		maxMp := (maxM + 3) &^ 3
+		scores := scratch.GetSliceRaw(maxM * maxMp)
+		kp := scratch.GetSliceRaw(maxMp * d)
+		vt := scratch.GetSliceRaw(d * maxMp)
+		for s := lo; s < hi; s++ {
+			b0, b1 := bounds[s], bounds[s+1]
+			m := b1 - b0
+			if m == 0 {
+				continue
+			}
+			off, end := b0*d, b1*d
+			attentionSegment(ctx[off:end], q[off:end], k[off:end], v[off:end], scores, kp, vt, m, d, scale)
+		}
+		scratch.PutSlice(vt)
+		scratch.PutSlice(kp)
+		scratch.PutSlice(scores)
+	})
+}
+
+// attentionSegment is the serial one-segment attention body: score rows
+// (scaled, softmaxed in place) then the weighted sum against v, mirroring
+// matmulForward's dispatch and arithmetic on the same shapes exactly —
+// including the zero-padded small-k path (see matmulPadK) — so its outputs
+// are bit-identical to the unfused MatMul(probs, v) on the same rows.
+// scores, kp and vt are caller scratch with capacity for at least m·mp,
+// mp·d and d·mp elements, mp = (m+3)&^3.
+func attentionSegment(ctx, q, k, v, scores, kp, vt []float64, m, d int, scale float64) {
+	if padKEligible(m, d) {
+		// Pad k with zero rows so the score matmul runs every column —
+		// including the m%4 edge — through the packed four-column blocks.
+		// Each real column's dot is the same d-element FMA sequence the
+		// unpadded kernel issues (packed and scalar blocking agree bit for
+		// bit), and the padded columns come out exactly +0, never meet the
+		// softmax, and leave the score rows — stride mp, zero tail — as
+		// precisely the left operand matmulPadK would have copied for the
+		// weighted sum against v.
+		mp := (m + 3) &^ 3
+		copy(kp[:m*d], k)
+		for p := m * d; p < mp*d; p++ {
+			kp[p] = 0
+		}
+		matmulRows(scores, q, kp, 0, m, d, mp, nil, false)
+		for i := 0; i < m; i++ {
+			row := scores[i*mp : i*mp+m]
+			scaleInPlace(row, scale)
+			softmaxRow(row, row)
+		}
+		for j := 0; j < d; j++ {
+			col := vt[j*mp : (j+1)*mp]
+			for p := 0; p < m; p++ {
+				col[p] = v[p*d+j]
+			}
+			for p := m; p < mp; p++ {
+				col[p] = 0
+			}
+		}
+		matmulRows(ctx, scores, vt, 0, m, mp, d, nil, false)
+		return
+	}
+	attentionScoreRows(scores, q, k, 0, m, m, d, scale)
+	transposeForward(vt, v, m, d)
+	matmulRows(ctx, scores, vt, 0, m, m, d, nil, false)
+}
+
+// attentionScoreRows fills score rows [lo, hi): q×kᵀ, scaled in place, then
+// softmaxed in place. A named function so the serial path allocates no
+// closure.
+func attentionScoreRows(scores, q, k []float64, lo, hi, m, d int, scale float64) {
+	matmulRows(scores, q, k, lo, hi, d, m, nil, false)
+	for i := lo; i < hi; i++ {
+		row := scores[i*m : (i+1)*m]
+		scaleInPlace(row, scale)
+		softmaxRow(row, row)
+	}
+}
+
+// addLayerNormForward computes dst = LayerNorm(x+y) row-wise with the
+// learned affine, summing into dst and normalizing in place (each output
+// element is read once, as v, before it is written). The statistics run
+// through the same rowMean/rowVariance kernels as layerNormForward, so the
+// fused output is bitwise the unfused Add → LayerNorm chain's.
+func addLayerNormForward(dst, x, y, gamma, beta []float64, m, n int, eps float64) {
+	for i := 0; i < m; i++ {
+		dr := dst[i*n : (i+1)*n]
+		add2Into(dr, x[i*n:(i+1)*n], y[i*n:(i+1)*n])
+		mean := rowMean(dr)
+		invStd := 1 / math.Sqrt(rowVariance(dr, mean)+eps)
+		normAffineInPlace(dr, gamma, beta, mean, invStd)
+	}
+}

@@ -1,0 +1,63 @@
+//go:build amd64
+
+package nn
+
+import (
+	"testing"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// TestFusedScalarFallbackBitExact re-runs the fused/unfused/quantized
+// equality with the AVX kernel disabled, pinning the scalar fallback (the
+// matmul_other.go build-tag path on non-amd64 hosts) to the same bits.
+func TestFusedScalarFallbackBitExact(t *testing.T) {
+	if !useAVX {
+		t.Skip("host has no AVX; the main tests already run the scalar path")
+	}
+	r := rng.New(97)
+	sa, mlp, params := quantTestModel(r)
+	qz := QuantizeParams(params, QuantMinSize)
+	if err := qz.ApplyDequantized(params); err != nil {
+		t.Fatal(err)
+	}
+	refreshFusedCaches(sa, mlp)
+	x := benchTensor(r, 10, 16)
+	pool := NewPool()
+
+	forward := func(ops Ops) []float64 {
+		h := sa.ForwardOps(ops, x)
+		out := mlp.ForwardOps(ops, h)
+		res := append([]float64(nil), out.Data...)
+		return res
+	}
+
+	un := NewInfer(pool)
+	avx := forward(un)
+	un.Close()
+
+	useAVX = false
+	defer func() { useAVX = true }()
+
+	un2 := NewInfer(pool)
+	scalarUnfused := forward(un2)
+	un2.Close()
+	fu := NewInferFused(pool)
+	scalarFused := forward(fu)
+	fu.Close()
+	qi := NewQuantInfer(pool, qz)
+	scalarQuant := forward(qi)
+	qi.Close()
+
+	for i := range avx {
+		if scalarUnfused[i] != avx[i] {
+			t.Fatalf("scalar unfused differs from AVX at %d: %b vs %b", i, scalarUnfused[i], avx[i])
+		}
+		if scalarFused[i] != avx[i] {
+			t.Fatalf("scalar fused differs from AVX at %d: %b vs %b", i, scalarFused[i], avx[i])
+		}
+		if scalarQuant[i] != avx[i] {
+			t.Fatalf("scalar int8 differs from AVX at %d: %b vs %b", i, scalarQuant[i], avx[i])
+		}
+	}
+}

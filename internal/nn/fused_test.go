@@ -1,0 +1,379 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// frozenLinear builds a Linear with frozen random weights for fused tests.
+func frozenLinear(r *rng.Rand, in, out int) *Linear {
+	l := NewLinear(r, in, out)
+	for i := range l.B.Data {
+		l.B.Data[i] = r.NormFloat64()
+	}
+	l.W.UnrequireGrad()
+	l.B.UnrequireGrad()
+	return l
+}
+
+// TestFusedLinearBiasBitExact checks the fused linear(+bias+ReLU) kernel —
+// with and without the pre-transposed weight cache — against the unfused
+// MatMul→AddRowVector(→ReLU) chain, bit for bit, across shapes on both
+// sides of the parallel threshold.
+func TestFusedLinearBiasBitExact(t *testing.T) {
+	defer SetWorkers(1)
+	r := rng.New(41)
+	shapes := [][2]int{{3, 7}, {24, 24}, {64, 64}, {33, 65}, {128, 48}}
+	for _, s := range shapes {
+		in, out := s[0], s[1]
+		l := frozenLinear(r, in, out)
+		for _, m := range []int{1, 5, 64, 129} {
+			x := benchTensor(r, m, in)
+			for _, relu := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					SetWorkers(workers)
+					pool := NewPool()
+					un := NewInfer(pool)
+					want := un.LinearBias(x, l.W, nil, l.B, relu) // unfused mirror path
+
+					fu := NewInferFused(pool)
+					got := fu.LinearBias(x, l.W, nil, l.B, relu)
+					for i := range want.Data {
+						if got.Data[i] != want.Data[i] {
+							t.Fatalf("shape (%d,%d,%d) relu=%t workers=%d: fused differs at %d: %b vs %b",
+								m, in, out, relu, workers, i, got.Data[i], want.Data[i])
+						}
+					}
+
+					l.FreezeFused()
+					gotWT := fu.LinearBias(x, l.W, l.wt, l.B, relu)
+					for i := range want.Data {
+						if gotWT.Data[i] != want.Data[i] {
+							t.Fatalf("shape (%d,%d,%d) relu=%t workers=%d: pre-transposed fused differs at %d",
+								m, in, out, relu, workers, i)
+						}
+					}
+					un.Close()
+					fu.Close()
+				}
+			}
+		}
+	}
+}
+
+// TestFusedReLUEdgeCases pins the epilogue's handling of the values where a
+// naive `< 0` clamp would diverge from reluForward: -0.0 must clamp to +0,
+// NaN must clamp to 0, and +0 must stay 0.
+func TestFusedReLUEdgeCases(t *testing.T) {
+	// One input row against an identity-ish weight that reproduces tricky
+	// values in the pre-activation: bias drives outputs to -0.0 and 0.
+	w := New(2, 2)
+	w.Data = []float64{1, 0, 0, 1}
+	b := New(1, 2)
+	b.Data = []float64{0, -0.0}
+	x := New(1, 2)
+	x.Data = []float64{-0.0, 0}
+
+	pool := NewPool()
+	un := NewInfer(pool)
+	fu := NewInferFused(pool)
+	want := un.LinearBias(x, w, nil, b, true)
+	got := fu.LinearBias(x, w, nil, b, true)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("relu edge case differs at %d: %b vs %b", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestFusedAttentionBitExact checks the fused attention kernel against the
+// unfused Transpose→MatMul→Scale→Softmax→MatMul chain through the full
+// SelfAttention layer, across sequence lengths on both sides of the
+// parallel threshold and across worker counts.
+func TestFusedAttentionBitExact(t *testing.T) {
+	defer SetWorkers(1)
+	r := rng.New(43)
+	for _, dim := range []int{8, 24} {
+		sa := NewSelfAttention(r, dim)
+		for _, p := range sa.Params() {
+			p.UnrequireGrad()
+		}
+		for _, m := range []int{1, 3, 16, 80, 160} {
+			x := benchTensor(r, m, dim)
+			pool := NewPool()
+			un := NewInfer(pool)
+			want := sa.ForwardOps(un, x)
+			for _, workers := range []int{1, 2, 4} {
+				SetWorkers(workers)
+				fu := NewInferFused(pool)
+				got := sa.ForwardOps(fu, x)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("dim=%d m=%d workers=%d: fused attention differs at %d: %b vs %b",
+							dim, m, workers, i, got.Data[i], want.Data[i])
+					}
+				}
+				fu.Close()
+			}
+			un.Close()
+		}
+	}
+}
+
+// TestFusedAddLayerNormBitExact checks the fused residual-add+norm kernel
+// against the unfused Add→LayerNorm chain.
+func TestFusedAddLayerNormBitExact(t *testing.T) {
+	r := rng.New(47)
+	for _, s := range [][2]int{{1, 8}, {17, 24}, {64, 32}} {
+		m, n := s[0], s[1]
+		ln := NewLayerNorm(n)
+		for i := range ln.Gamma.Data {
+			ln.Gamma.Data[i] = 1 + r.NormFloat64()*0.1
+			ln.Beta.Data[i] = r.NormFloat64() * 0.1
+		}
+		ln.Gamma.UnrequireGrad()
+		ln.Beta.UnrequireGrad()
+		x := benchTensor(r, m, n)
+		y := benchTensor(r, m, n)
+		pool := NewPool()
+		un := NewInfer(pool)
+		fu := NewInferFused(pool)
+		want := ln.ForwardAddOps(un, x, y)
+		got := ln.ForwardAddOps(fu, x, y)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("(%d,%d): fused add+norm differs at %d: %b vs %b", m, n, i, got.Data[i], want.Data[i])
+			}
+		}
+		un.Close()
+		fu.Close()
+	}
+}
+
+// TestFusedMLPBitExact checks the fused linear+ReLU stack against the
+// unfused chain and the training path.
+func TestFusedMLPBitExact(t *testing.T) {
+	r := rng.New(53)
+	mlp := NewMLP(r, 16, 48, 48, 3)
+	for _, p := range mlp.Params() {
+		p.UnrequireGrad()
+	}
+	x := benchTensor(r, 20, 16)
+	want := mlp.Forward(x)
+
+	pool := NewPool()
+	for pass := 0; pass < 3; pass++ {
+		fu := NewInferFused(pool)
+		got := mlp.ForwardOps(fu, x)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("pass %d: fused MLP differs at %d: %b vs %b", pass, i, got.Data[i], want.Data[i])
+			}
+		}
+		fu.Close()
+	}
+}
+
+// TestFusedSteadyStateZeroAlloc is the arena-leak test: once the pool and
+// the tensor-header free list are warm, a fused forward pass through
+// attention + MLP must perform zero heap allocations.
+func TestFusedSteadyStateZeroAlloc(t *testing.T) {
+	SetWorkers(1)
+	r := rng.New(59)
+	sa := NewSelfAttention(r, 16)
+	mlp := NewMLP(r, 16, 32, 1)
+	for _, p := range append(sa.Params(), mlp.Params()...) {
+		p.UnrequireGrad()
+	}
+	for _, l := range []*Linear{sa.Q, sa.K, sa.V, sa.Out} {
+		l.FreezeFused()
+	}
+	for _, l := range mlp.Layers {
+		l.FreezeFused()
+	}
+	x := benchTensor(r, 12, 16)
+	pool := NewPool()
+	in := NewInferFused(pool)
+	pass := func() {
+		h := sa.ForwardOps(in, x)
+		out := mlp.ForwardOps(in, h)
+		in.Recycle(h, out)
+		in.Close()
+	}
+	// Warm the slab classes and header free list.
+	for i := 0; i < 5; i++ {
+		pass()
+	}
+	if allocs := testing.AllocsPerRun(100, pass); allocs != 0 {
+		t.Fatalf("steady-state fused forward allocates %.1f objects per pass, want 0", allocs)
+	}
+}
+
+// rowSlice copies rows [lo, hi) of a 2D tensor into a fresh tensor.
+func rowSlice(x *Tensor, lo, hi int) *Tensor {
+	n := x.Shape[1]
+	out := New(hi-lo, n)
+	copy(out.Data, x.Data[lo*n:hi*n])
+	return out
+}
+
+// TestFusedRaggedBitIdentity checks the batched ragged kernels against the
+// per-segment unfused chain: ForwardRaggedOps must equal running ForwardOps
+// on every segment separately, and RaggedMeanRows must equal per-segment
+// MeanRows. The segment lengths cover the zero-padded small-k matmul path
+// (odd lengths), the AVX pair loop (even), and a length-1 segment.
+func TestFusedRaggedBitIdentity(t *testing.T) {
+	defer SetWorkers(1)
+	r := rng.New(71)
+	const dim = 16
+	sa := NewSelfAttention(r, dim)
+	for _, p := range sa.Params() {
+		p.UnrequireGrad()
+	}
+	for _, l := range []*Linear{sa.Q, sa.K, sa.V, sa.Out} {
+		l.FreezeFused()
+	}
+	segs := []int{5, 1, 8, 7, 12, 3}
+	bounds := []int{0}
+	total := 0
+	for _, s := range segs {
+		total += s
+		bounds = append(bounds, total)
+	}
+	x := benchTensor(r, total, dim)
+
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		pool := NewPool()
+		fu := NewInferFused(pool)
+		got := sa.ForwardRaggedOps(fu, x, bounds)
+		gotMeans := fu.RaggedMeanRows(x, bounds)
+		for s := 0; s < len(segs); s++ {
+			lo, hi := bounds[s], bounds[s+1]
+			seg := rowSlice(x, lo, hi)
+			un := NewInfer(pool)
+			want := sa.ForwardOps(un, seg) // unfused per-segment reference
+			for i := range want.Data {
+				if got.Data[lo*dim+i] != want.Data[i] {
+					t.Fatalf("workers=%d segment %d (rows %d..%d): ragged attention differs at %d: %b vs %b",
+						workers, s, lo, hi, i, got.Data[lo*dim+i], want.Data[i])
+				}
+			}
+			wantMean := un.MeanRows(seg)
+			for j := 0; j < dim; j++ {
+				if gotMeans.Data[s*dim+j] != wantMean.Data[j] {
+					t.Fatalf("workers=%d segment %d: ragged mean differs at %d: %b vs %b",
+						workers, s, j, gotMeans.Data[s*dim+j], wantMean.Data[j])
+				}
+			}
+			un.Close()
+		}
+		fu.Close()
+	}
+}
+
+// TestGatherAddIntoBitExact checks the one-pass embedding-sum kernel against
+// its unfused mirror (Gather then Add), including repeated indices.
+func TestGatherAddIntoBitExact(t *testing.T) {
+	r := rng.New(73)
+	table := benchTensor(r, 9, 12)
+	table.UnrequireGrad()
+	idx := []int{0, 8, 3, 3, 5, 0, 7}
+	pool := NewPool()
+	in := NewInfer(pool)
+	dst := benchTensor(r, len(idx), 12)
+	want := in.Add(dst, in.Gather(table, idx))
+
+	got := benchTensor(r, len(idx), 12)
+	copy(got.Data, dst.Data)
+	in.GatherAddInto(got, table, idx)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("GatherAddInto differs at %d: %b vs %b", i, got.Data[i], want.Data[i])
+		}
+	}
+	in.Close()
+}
+
+// TestScatterMeanIntoBitExact checks the in-place scatter-mean aggregation
+// against the unfused ScatterMean→Add chain, including empty buckets (their
+// +0 add must flush -0 in dst exactly like the unfused add of a zero row).
+func TestScatterMeanIntoBitExact(t *testing.T) {
+	r := rng.New(79)
+	const cols, buckets = 8, 6
+	src := benchTensor(r, 11, cols)
+	dstIdx := []int{0, 4, 4, 2, 0, 5, 5, 5, 2, 0, 4} // bucket 1 and 3 empty
+	pool := NewPool()
+	in := NewInfer(pool)
+	dst := benchTensor(r, buckets, cols)
+	dst.Data[3*cols+2] = negZero() // empty bucket must still flush -0 to +0
+	want := in.Add(dst, in.ScatterMean(src, dstIdx, buckets))
+
+	got := New(buckets, cols)
+	copy(got.Data, dst.Data)
+	in.ScatterMeanInto(got, src, dstIdx)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("ScatterMeanInto differs at %d: %b vs %b", i, got.Data[i], want.Data[i])
+		}
+	}
+	in.Close()
+}
+
+func negZero() float64 { return math.Copysign(0, -1) }
+
+// TestFusedProfileCounters checks that fused kernel invocations are counted
+// and flushed to the pool at Close, and that kernel timing activates with
+// SetKernelProfiling.
+func TestFusedProfileCounters(t *testing.T) {
+	r := rng.New(61)
+	sa := NewSelfAttention(r, 8)
+	for _, p := range sa.Params() {
+		p.UnrequireGrad()
+	}
+	x := benchTensor(r, 6, 8)
+	pool := NewPool()
+
+	SetKernelProfiling(true)
+	defer SetKernelProfiling(false)
+	in := NewInferFused(pool)
+	out := sa.ForwardOps(in, x)
+	_ = out
+	if p := pool.Profile(); p.FusedLinear != 0 {
+		t.Fatalf("profile visible before Close: %+v", p)
+	}
+	in.Close()
+	p := pool.Profile()
+	// Q, K, V, Out projections = 4 fused linears; 1 attention; 1 add+norm.
+	if p.FusedLinear != 4 || p.FusedAttention != 1 || p.FusedAddNorm != 1 {
+		t.Fatalf("fused kernel counts = %+v, want 4/1/1", p)
+	}
+	if p.KernelNs() <= 0 {
+		t.Fatalf("kernel timing inactive under SetKernelProfiling: %+v", p)
+	}
+}
+
+// TestTrainPathUnaffectedByFusion confirms the training ops never take the
+// fused path (TrainOps does not implement FusedOps) and autodiff still
+// works through the refactored MLP forward.
+func TestTrainPathUnaffectedByFusion(t *testing.T) {
+	r := rng.New(67)
+	mlp := NewMLP(r, 4, 8, 1)
+	x := benchTensor(r, 3, 4)
+	out := mlp.Forward(x)
+	loss := MeanRows(out)
+	loss.Backward()
+	var nonZero bool
+	for _, p := range mlp.Params() {
+		for _, g := range p.Grad {
+			if g != 0 {
+				nonZero = true
+			}
+		}
+	}
+	if !nonZero {
+		t.Fatal("no gradient flowed through the training path")
+	}
+}

@@ -1,5 +1,7 @@
 package nn
 
+import "time"
+
 // Ops abstracts the forward-only tensor operations a model needs, with two
 // implementations:
 //
@@ -105,9 +107,39 @@ func (TrainOps) Recycle(ts ...*Tensor) {}
 // frozen models. Every output tensor is borrowed from the pool and
 // registered in the arena; Close releases everything still registered.
 // An Infer is owned by one goroutine; distinct Infers may share a Pool.
+//
+// Infer also implements FusedOps (fused.go); EnableFusion routes layer
+// forwards through the fused kernels, with bit-identical outputs.
 type Infer struct {
 	pool     *Pool
 	borrowed []*Tensor
+	// cache is a per-Infer free list indexed by slab class exponent
+	// (capacity 32<<e). Recycle parks dead tensors here and alloc pops them
+	// without touching the shared pool's mutex; Close drains the cache back
+	// to the pool. Since an Infer is single-goroutine, no locking is needed,
+	// which removes the pool lock from the per-op hot path.
+	cache [inferCacheClasses][]*Tensor
+	fused bool
+	prof  inferCounters
+}
+
+// inferCacheClasses bounds the local size classes an Infer caches; class
+// index e covers slab capacity 32<<e, so the largest cached slab is 4M
+// elements. Bigger tensors go straight back to the shared pool.
+const inferCacheClasses = 18
+
+// cacheClass returns the local-cache index whose slab capacity (32<<e)
+// holds n elements, or -1 if n is too large to cache locally.
+func cacheClass(n int) int {
+	c, e := minSlabClass, 0
+	for c < n {
+		c <<= 1
+		e++
+	}
+	if e >= inferCacheClasses {
+		return -1
+	}
+	return e
 }
 
 // NewInfer creates an inference context over the pool.
@@ -115,9 +147,65 @@ func NewInfer(p *Pool) *Infer {
 	return &Infer{pool: p}
 }
 
+// NewInferFused creates an inference context with the fused kernels enabled.
+func NewInferFused(p *Pool) *Infer {
+	return &Infer{pool: p, fused: true}
+}
+
 // alloc borrows a zeroed tensor and registers it in the arena.
 func (in *Infer) alloc(shape ...int) *Tensor {
-	t := in.pool.Borrow(shape...)
+	return in.borrowLocal(shape, true)
+}
+
+// allocRaw borrows an unzeroed tensor (the caller overwrites every element)
+// and registers it in the arena.
+func (in *Infer) allocRaw(shape ...int) *Tensor {
+	return in.borrowLocal(shape, false)
+}
+
+// borrowLocal satisfies an allocation from the per-Infer cache when a parked
+// tensor of the right class exists, falling back to the shared pool.
+func (in *Infer) borrowLocal(shape []int, zero bool) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n > 0 {
+		if e := cacheClass(n); e >= 0 {
+			if l := len(in.cache[e]); l > 0 {
+				t := in.cache[e][l-1]
+				in.cache[e][l-1] = nil
+				in.cache[e] = in.cache[e][:l-1]
+				t.Shape = append(t.Shape[:0], shape...)
+				t.Data = t.Data[:n]
+				if zero {
+					clear(t.Data)
+				}
+				return in.register(t)
+			}
+		}
+	}
+	if zero {
+		return in.register(in.pool.Borrow(shape...))
+	}
+	return in.register(in.pool.BorrowRaw(shape...))
+}
+
+// park moves a dead arena tensor into the local cache; slabs too large (or
+// not pool-classed) go back to the shared pool instead.
+func (in *Infer) park(t *Tensor) {
+	if c := cap(t.Data); c >= minSlabClass && c&(c-1) == 0 {
+		if e := cacheClass(c); e >= 0 {
+			t.arenaIdx = releasedIdx
+			t.Grad, t.parents, t.backward = nil, nil, nil
+			in.cache[e] = append(in.cache[e], t)
+			return
+		}
+	}
+	in.pool.Release(t)
+}
+
+func (in *Infer) register(t *Tensor) *Tensor {
 	t.arenaIdx = len(in.borrowed)
 	in.borrowed = append(in.borrowed, t)
 	return t
@@ -131,9 +219,9 @@ func (in *Infer) Recycle(ts ...*Tensor) {
 		if t == nil {
 			continue
 		}
-		if i := t.arenaIdx; i < len(in.borrowed) && in.borrowed[i] == t {
+		if i := t.arenaIdx; i >= 0 && i < len(in.borrowed) && in.borrowed[i] == t {
 			in.borrowed[i] = nil
-			in.pool.Release(t)
+			in.park(t)
 		}
 	}
 }
@@ -141,14 +229,15 @@ func (in *Infer) Recycle(ts ...*Tensor) {
 // Keep detaches t from the arena so it survives Close. Its memory is ceded
 // to the caller and never returns to the pool.
 func (in *Infer) Keep(t *Tensor) *Tensor {
-	if i := t.arenaIdx; i < len(in.borrowed) && in.borrowed[i] == t {
+	if i := t.arenaIdx; i >= 0 && i < len(in.borrowed) && in.borrowed[i] == t {
 		in.borrowed[i] = nil
 	}
 	return t
 }
 
-// Close releases every tensor still registered in the arena. The Infer can
-// be reused for another pass afterwards.
+// Close releases every tensor still registered in the arena, drains the
+// local cache back to the shared pool and flushes the kernel counters. The
+// Infer can be reused for another pass.
 func (in *Infer) Close() {
 	for _, t := range in.borrowed {
 		if t != nil {
@@ -156,20 +245,35 @@ func (in *Infer) Close() {
 		}
 	}
 	in.borrowed = in.borrowed[:0]
+	for e := range in.cache {
+		for i, t := range in.cache[e] {
+			in.cache[e][i] = nil
+			t.arenaIdx = 0
+			in.pool.Release(t)
+		}
+		in.cache[e] = in.cache[e][:0]
+	}
+	in.pool.addProfile(&in.prof)
 }
 
 // MatMul implements Ops.
 func (in *Infer) MatMul(a, b *Tensor) *Tensor {
 	m, k, n := checkMatMul(a, b)
-	out := in.alloc(m, n)
-	matmulForward(out.Data, a.Data, b.Data, m, k, n)
+	out := in.allocRaw(m, n)
+	if kernelProfiling.Load() {
+		t0 := time.Now()
+		matmulForward(out.Data, a.Data, b.Data, m, k, n)
+		in.prof.matmulNs += time.Since(t0).Nanoseconds()
+	} else {
+		matmulForward(out.Data, a.Data, b.Data, m, k, n)
+	}
 	return out
 }
 
 // Add implements Ops.
 func (in *Infer) Add(a, b *Tensor) *Tensor {
 	checkSameShape("Add", a, b)
-	out := in.alloc(a.Shape...)
+	out := in.allocRaw(a.Shape...)
 	addForward(out.Data, a.Data, b.Data)
 	return out
 }
@@ -177,7 +281,7 @@ func (in *Infer) Add(a, b *Tensor) *Tensor {
 // AddRowVector implements Ops.
 func (in *Infer) AddRowVector(a, v *Tensor) *Tensor {
 	m, n := checkRowVector(a, v)
-	out := in.alloc(a.Shape...)
+	out := in.allocRaw(a.Shape...)
 	addRowVectorForward(out.Data, a.Data, v.Data, m, n)
 	return out
 }
@@ -185,21 +289,21 @@ func (in *Infer) AddRowVector(a, v *Tensor) *Tensor {
 // Mul implements Ops.
 func (in *Infer) Mul(a, b *Tensor) *Tensor {
 	checkSameShape("Mul", a, b)
-	out := in.alloc(a.Shape...)
+	out := in.allocRaw(a.Shape...)
 	mulForward(out.Data, a.Data, b.Data)
 	return out
 }
 
 // Scale implements Ops.
 func (in *Infer) Scale(a *Tensor, c float64) *Tensor {
-	out := in.alloc(a.Shape...)
+	out := in.allocRaw(a.Shape...)
 	scaleForward(out.Data, a.Data, c)
 	return out
 }
 
 // ReLU implements Ops.
 func (in *Infer) ReLU(a *Tensor) *Tensor {
-	out := in.alloc(a.Shape...)
+	out := in.allocRaw(a.Shape...)
 	reluForward(out.Data, a.Data)
 	return out
 }
@@ -209,8 +313,14 @@ func (in *Infer) SoftmaxRows(a *Tensor) *Tensor {
 	if len(a.Shape) != 2 {
 		panic("nn: SoftmaxRows requires a 2D tensor")
 	}
-	out := in.alloc(a.Shape...)
-	softmaxRowsForward(out.Data, a.Data, a.Shape[0], a.Shape[1])
+	out := in.allocRaw(a.Shape...)
+	if kernelProfiling.Load() {
+		t0 := time.Now()
+		softmaxRowsForward(out.Data, a.Data, a.Shape[0], a.Shape[1])
+		in.prof.softmaxNs += time.Since(t0).Nanoseconds()
+	} else {
+		softmaxRowsForward(out.Data, a.Data, a.Shape[0], a.Shape[1])
+	}
 	return out
 }
 
@@ -220,7 +330,7 @@ func (in *Infer) Transpose(a *Tensor) *Tensor {
 		panic("nn: Transpose requires a 2D tensor")
 	}
 	m, n := a.Shape[0], a.Shape[1]
-	out := in.alloc(n, m)
+	out := in.allocRaw(n, m)
 	transposeForward(out.Data, a.Data, m, n)
 	return out
 }
@@ -241,7 +351,7 @@ func (in *Infer) Gather(table *Tensor, indices []int) *Tensor {
 		panic("nn: Gather requires a 2D table")
 	}
 	cols := table.Shape[1]
-	out := in.alloc(len(indices), cols)
+	out := in.allocRaw(len(indices), cols)
 	gatherForward(out.Data, table.Data, indices, table.Shape[0], cols)
 	return out
 }
@@ -262,7 +372,7 @@ func (in *Infer) ScatterMean(src *Tensor, dst []int, dstRows int) *Tensor {
 // Concat implements Ops.
 func (in *Infer) Concat(ts ...*Tensor) *Tensor {
 	rows, cols := checkConcat(ts)
-	out := in.alloc(rows, cols)
+	out := in.allocRaw(rows, cols)
 	concatForward(out.Data, ts, rows, cols)
 	return out
 }
@@ -270,7 +380,7 @@ func (in *Infer) Concat(ts ...*Tensor) *Tensor {
 // ConcatRows implements Ops.
 func (in *Infer) ConcatRows(ts []*Tensor) *Tensor {
 	rows, cols := checkConcatRows(ts)
-	out := in.alloc(rows, cols)
+	out := in.allocRaw(rows, cols)
 	concatRowsForward(out.Data, ts)
 	return out
 }
@@ -281,7 +391,7 @@ func (in *Infer) RepeatEachRow(v *Tensor, times int) *Tensor {
 		panic("nn: RepeatEachRow requires a 2D tensor")
 	}
 	m, n := v.Shape[0], v.Shape[1]
-	out := in.alloc(m*times, n)
+	out := in.allocRaw(m*times, n)
 	repeatEachRowForward(out.Data, v.Data, m, n, times)
 	return out
 }
@@ -292,7 +402,7 @@ func (in *Infer) TileRows(v *Tensor, times int) *Tensor {
 		panic("nn: TileRows requires a 2D tensor")
 	}
 	m, n := v.Shape[0], v.Shape[1]
-	out := in.alloc(m*times, n)
+	out := in.allocRaw(m*times, n)
 	tileRowsForward(out.Data, v.Data, m, n, times)
 	return out
 }
@@ -300,7 +410,7 @@ func (in *Infer) TileRows(v *Tensor, times int) *Tensor {
 // MaxPerGroup implements Ops.
 func (in *Infer) MaxPerGroup(a *Tensor, groups, per int) *Tensor {
 	checkMaxPerGroup(a, groups, per)
-	out := in.alloc(groups, 1)
+	out := in.allocRaw(groups, 1)
 	maxPerGroupForward(out.Data, nil, a.Data, groups, per)
 	return out
 }
@@ -310,8 +420,14 @@ func (in *Infer) LayerNorm(x, gamma, beta *Tensor, eps float64) *Tensor {
 	if len(x.Shape) != 2 || x.Shape[1] != gamma.Shape[1] {
 		panic("nn: LayerNorm dim mismatch")
 	}
-	out := in.alloc(x.Shape...)
-	layerNormForward(out.Data, x.Data, gamma.Data, beta.Data, x.Shape[0], x.Shape[1], eps, nil, nil)
+	out := in.allocRaw(x.Shape...)
+	if kernelProfiling.Load() {
+		t0 := time.Now()
+		layerNormForward(out.Data, x.Data, gamma.Data, beta.Data, x.Shape[0], x.Shape[1], eps, nil, nil)
+		in.prof.normNs += time.Since(t0).Nanoseconds()
+	} else {
+		layerNormForward(out.Data, x.Data, gamma.Data, beta.Data, x.Shape[0], x.Shape[1], eps, nil, nil)
+	}
 	return out
 }
 

@@ -17,6 +17,10 @@ type Layer interface {
 type Linear struct {
 	W *Tensor // (in, out)
 	B *Tensor // (1, out)
+
+	// wt caches W transposed ((out, in) row-major) for the fused inference
+	// kernel; built by FreezeFused on frozen models, nil during training.
+	wt []float64
 }
 
 // NewLinear creates a Linear layer with Kaiming-uniform initialized weights.
@@ -36,10 +40,25 @@ func (l *Linear) Forward(x *Tensor) *Tensor {
 
 // ForwardOps applies the layer through the given op set.
 func (l *Linear) ForwardOps(ops Ops, x *Tensor) *Tensor {
+	if f, ok := ops.(FusedOps); ok && f.FusionEnabled() {
+		return f.LinearBias(x, l.W, l.wt, l.B, false)
+	}
 	xw := ops.MatMul(x, l.W)
 	out := ops.AddRowVector(xw, l.B)
 	ops.Recycle(xw)
 	return out
+}
+
+// FreezeFused precomputes the transposed weight used by the fused inference
+// kernel, sparing every LinearBias call its transpose + scratch round trip.
+// Call on frozen models only (and again after any weight rewrite, e.g.
+// quantized replay): the cache is a copy, not a view.
+func (l *Linear) FreezeFused() {
+	in, out := l.W.Shape[0], l.W.Shape[1]
+	if len(l.wt) != in*out {
+		l.wt = make([]float64, in*out)
+	}
+	transposeForward(l.wt, l.W.Data, in, out)
 }
 
 // Params implements Layer.
@@ -64,6 +83,13 @@ func (e *Embedding) Forward(ids []int) *Tensor { return Gather(e.Table, ids) }
 
 // ForwardOps looks up one row per id through the given op set.
 func (e *Embedding) ForwardOps(ops Ops, ids []int) *Tensor { return ops.Gather(e.Table, ids) }
+
+// ForwardAddOps accumulates the looked-up rows into dst in place through
+// the fused op set: dst[i,:] += Table[ids[i],:], bitwise the
+// ForwardOps → AddInto pair without the intermediate tensor.
+func (e *Embedding) ForwardAddOps(f FusedOps, dst *Tensor, ids []int) {
+	f.GatherAddInto(dst, e.Table, ids)
+}
 
 // Params implements Layer.
 func (e *Embedding) Params() []*Tensor { return []*Tensor{e.Table} }
@@ -96,6 +122,18 @@ func (ln *LayerNorm) ForwardOps(ops Ops, x *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: LayerNorm dim mismatch %v vs %v", x.Shape, ln.Gamma.Shape))
 	}
 	return ops.LayerNorm(x, ln.Gamma, ln.Beta, ln.eps)
+}
+
+// ForwardAddOps normalizes x+y (the residual-add-then-norm pattern) through
+// the given op set, fusing the add into the norm kernel when available.
+func (ln *LayerNorm) ForwardAddOps(ops Ops, x, y *Tensor) *Tensor {
+	if f, ok := ops.(FusedOps); ok && f.FusionEnabled() {
+		return f.AddLayerNorm(x, y, ln.Gamma, ln.Beta, ln.eps)
+	}
+	sum := ops.Add(x, y)
+	out := ln.ForwardOps(ops, sum)
+	ops.Recycle(sum)
+	return out
 }
 
 // layerNormTrain is the autodiff layer-norm op behind TrainOps.LayerNorm.
@@ -179,6 +217,16 @@ func (sa *SelfAttention) Forward(x *Tensor) *Tensor {
 // old training-only path — are recycled into the pool as soon as they are
 // dead, so repeated attention passes reuse the same scratch memory.
 func (sa *SelfAttention) ForwardOps(ops Ops, x *Tensor) *Tensor {
+	if f, ok := ops.(FusedOps); ok && f.FusionEnabled() {
+		q := f.LinearBias(x, sa.Q.W, sa.Q.wt, sa.Q.B, false)
+		k := f.LinearBias(x, sa.K.W, sa.K.wt, sa.K.B, false)
+		v := f.LinearBias(x, sa.V.W, sa.V.wt, sa.V.B, false)
+		ctx := f.ScaledDotAttention(q, k, v, 1/math.Sqrt(float64(sa.dim)))
+		proj := f.LinearBias(ctx, sa.Out.W, sa.Out.wt, sa.Out.B, false)
+		out := f.AddLayerNorm(x, proj, sa.Norm.Gamma, sa.Norm.Beta, sa.Norm.eps)
+		f.Arena().Recycle(q, k, v, ctx, proj)
+		return out
+	}
 	q := sa.Q.ForwardOps(ops, x)
 	k := sa.K.ForwardOps(ops, x)
 	v := sa.V.ForwardOps(ops, x)
@@ -191,6 +239,25 @@ func (sa *SelfAttention) ForwardOps(ops Ops, x *Tensor) *Tensor {
 	sum := ops.Add(x, proj)
 	out := sa.Norm.ForwardOps(ops, sum)
 	ops.Recycle(q, k, v, kt, qk, scores, attn, ctx, proj, sum)
+	return out
+}
+
+// ForwardRaggedOps applies the attention block independently over row
+// segments of x (bounds[s]..bounds[s+1] delimit segment s) through the fused
+// kernels. The Q/K/V/Out projections and the residual layer norm batch
+// across all segments in single kernels — each of their output rows depends
+// only on its own input row, so batching cannot change a bit — while the
+// score/softmax/weighted-sum step runs per segment. Bit-identical to calling
+// ForwardOps on each segment separately, at a fraction of the kernel
+// launches for many short sequences.
+func (sa *SelfAttention) ForwardRaggedOps(f FusedOps, x *Tensor, bounds []int) *Tensor {
+	q := f.LinearBias(x, sa.Q.W, sa.Q.wt, sa.Q.B, false)
+	k := f.LinearBias(x, sa.K.W, sa.K.wt, sa.K.B, false)
+	v := f.LinearBias(x, sa.V.W, sa.V.wt, sa.V.B, false)
+	ctx := f.RaggedScaledDotAttention(q, k, v, bounds, 1/math.Sqrt(float64(sa.dim)))
+	proj := f.LinearBias(ctx, sa.Out.W, sa.Out.wt, sa.Out.B, false)
+	out := f.AddLayerNorm(x, proj, sa.Norm.Gamma, sa.Norm.Beta, sa.Norm.eps)
+	f.Arena().Recycle(q, k, v, ctx, proj)
 	return out
 }
 
@@ -249,8 +316,21 @@ func (m *MLP) Forward(x *Tensor) *Tensor {
 }
 
 // ForwardOps applies the stack through the given op set. The input x is
-// never recycled; every intermediate is.
+// never recycled; every intermediate is. Under a fused op set each hidden
+// layer runs as a single linear+bias+ReLU kernel.
 func (m *MLP) ForwardOps(ops Ops, x *Tensor) *Tensor {
+	if f, ok := ops.(FusedOps); ok && f.FusionEnabled() {
+		ar := f.Arena()
+		cur := x
+		for i, l := range m.Layers {
+			next := f.LinearBias(cur, l.W, l.wt, l.B, i+1 < len(m.Layers))
+			if cur != x {
+				ar.Recycle(cur)
+			}
+			cur = next
+		}
+		return cur
+	}
 	cur := x
 	for i, l := range m.Layers {
 		next := l.ForwardOps(ops, cur)

@@ -1,13 +1,39 @@
 package nn
 
-// cpuHasAVX reports AVX + OS YMM-state support (implemented in assembly).
-func cpuHasAVX() bool
+// cpuHasAVXFMA reports AVX + FMA3 + OS YMM-state support (implemented in
+// assembly).
+func cpuHasAVXFMA() bool
 
-// dot24avx computes the eight dot products of rows {a0, a1} against columns
-// {b0..b3} over k4 elements (a multiple of 4), storing them to out[0..7].
-// See matmul_amd64.s for the determinism contract with dotScalar.
+// dotRows24avx computes two full output rows against nb four-column blocks
+// of the transposed bt (column stride k), writing the lane-reduced FMA dot
+// products to o0/o1 with an optional packed bias/ReLU epilogue —
+// bit-identical to dotScalar plus the scalar epilogue per element; see
+// matmul_amd64.s. bias/relu may only be passed when k%4 == 0.
 //
 //go:noescape
-func dot24avx(a0, a1, b0, b1, b2, b3 *float64, k4 int, out *float64)
+func dotRows24avx(a0, a1, bt *float64, k, k4, nb int, o0, o1, bias *float64, relu int)
 
-var useAVX = cpuHasAVX()
+// The elementwise kernels below each apply one packed step per element with
+// the exact operand order and rounding count of their scalar mirrors in
+// elemwise.go (never an FMA contraction), so the vector width cannot change
+// a bit. All require n % 4 == 0; the Go wrappers handle tails.
+
+//go:noescape
+func ewAddAvx(dst, a *float64, n int)
+
+//go:noescape
+func ewAdd2Avx(dst, x, y *float64, n int)
+
+//go:noescape
+func ewMulAddAvx(dst, a *float64, c float64, n int)
+
+//go:noescape
+func ewScaleAvx(dst *float64, c float64, n int)
+
+//go:noescape
+func ewReluAvx(dst *float64, n int)
+
+//go:noescape
+func ewNormAvx(dst, gamma, beta *float64, mean, invStd float64, n int)
+
+var useAVX = cpuHasAVXFMA()

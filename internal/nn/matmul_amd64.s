@@ -1,16 +1,16 @@
 #include "textflag.h"
 
-// func cpuHasAVX() bool
+// func cpuHasAVXFMA() bool
 //
-// Reports whether the CPU supports AVX and the OS has enabled YMM state
-// (OSXSAVE + XCR0 bits 1..2). Checked once at package init.
-TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+// Reports whether the CPU supports AVX and FMA3 and the OS has enabled YMM
+// state (OSXSAVE + XCR0 bits 1..2). Checked once at package init.
+TEXT ·cpuHasAVXFMA(SB), NOSPLIT, $0-1
 	MOVL $1, AX
 	XORL CX, CX
 	CPUID
-	// ECX bit 27 = OSXSAVE, bit 28 = AVX.
-	ANDL $0x18000000, CX
-	CMPL CX, $0x18000000
+	// ECX bit 27 = OSXSAVE, bit 28 = AVX, bit 12 = FMA3.
+	ANDL $0x18001000, CX
+	CMPL CX, $0x18001000
 	JNE  noavx
 	// XCR0 bits 1..2: XMM and YMM state enabled by the OS.
 	XORL CX, CX
@@ -24,28 +24,46 @@ noavx:
 	MOVB $0, ret+0(FP)
 	RET
 
-// func dot24avx(a0, a1, b0, b1, b2, b3 *float64, k4 int, out *float64)
+// func dotRows24avx(a0, a1, bt *float64, k, k4, nb int, o0, o1, bias *float64, relu int)
 //
-// Computes the eight dot products of rows {a0, a1} against columns
-// {b0..b3} over k4 elements (k4 must be a multiple of 4) and stores them
-// to out[0..7]: out[c] = a0·bc, out[4+c] = a1·bc.
+// Computes two full output rows against nb blocks of four consecutive
+// bt columns (column stride k elements): for block b and lane c,
+// o0[4b+c] = a0·bt[(4b+c)k : +k4] and o1[4b+c] likewise for a1. Each dot
+// runs four interleaved VFMADD231PD lanes — one rounding per step, the
+// same IEEE fusedMultiplyAdd math.FMA performs in the scalar mirror
+// dotScalar — reduced (l0+l1)+(l2+l3), so results are bit-identical to
+// the fallback path.
 //
-// The kernel deliberately uses VMULPD+VADDPD instead of FMA: every partial
-// product is rounded to float64 before accumulation, exactly like the
-// scalar mirror dotScalar in matmul.go. Each accumulator holds four lanes
-// (lane l sums the products at positions p ≡ l mod 4); the reduction is
-// (l0+l1)+(l2+l3). dotScalar reproduces this order, so results are
-// bit-identical across the assembly and fallback paths — that equivalence
-// is what makes MatMul deterministic regardless of worker count or CPU.
-TEXT ·dot24avx(SB), NOSPLIT, $0-64
+// The epilogue rides along when the caller asks for it: a non-nil bias is
+// added packed (VADDPD, the dot sum as first operand — exactly the
+// orow[j] += bias[j] of biasReluRows), and relu != 0 clamps with
+// VMAXPD(sum, 0), whose NaN and ±0 semantics (second operand wins) match
+// the scalar !(v > 0) → 0 clamp bit for bit. Callers with a k%4 tail must
+// pass bias=nil, relu=0 and finish in Go, since the tail sum has to land
+// before the epilogue. The n%4 edge columns are always the caller's job.
+// o1 may alias o0 when a1 aliases a0: the duplicate stores then write
+// identical values.
+TEXT ·dotRows24avx(SB), NOSPLIT, $0-80
 	MOVQ a0+0(FP), R8
 	MOVQ a1+8(FP), R9
-	MOVQ b0+16(FP), R10
-	MOVQ b1+24(FP), R11
-	MOVQ b2+32(FP), R12
-	MOVQ b3+40(FP), R13
-	MOVQ k4+48(FP), CX
-	MOVQ out+56(FP), DI
+	MOVQ bt+16(FP), AX
+	MOVQ k+24(FP), R14
+	SHLQ $3, R14        // column stride in bytes
+	MOVQ k4+32(FP), CX
+	SHLQ $3, CX         // k4 elements -> bytes
+	MOVQ nb+40(FP), DX
+	MOVQ o0+48(FP), DI
+	MOVQ o1+56(FP), SI
+	MOVQ bias+64(FP), R15
+	VXORPD Y11, Y11, Y11 // packed +0 for the ReLU clamp
+
+blockloop:
+	TESTQ DX, DX
+	JZ    rowsdone
+	MOVQ  AX, R10            // column 4b
+	LEAQ  (AX)(R14*1), R11   // column 4b+1
+	LEAQ  (AX)(R14*2), R12   // column 4b+2
+	LEAQ  (R11)(R14*2), R13  // column 4b+3
 
 	VXORPD Y0, Y0, Y0 // a0·b0
 	VXORPD Y1, Y1, Y1 // a0·b1
@@ -56,84 +74,284 @@ TEXT ·dot24avx(SB), NOSPLIT, $0-64
 	VXORPD Y6, Y6, Y6 // a1·b2
 	VXORPD Y7, Y7, Y7 // a1·b3
 
-	XORQ BX, BX  // byte offset into all seven arrays
-	SHLQ $3, CX  // k4 elements -> bytes
+	XORQ BX, BX // byte offset into the rows and the four columns
 
-dotloop:
+	// Two 4-element steps per iteration; each lane sees the same FMA
+	// sequence (p, then p+4) the single-step loop would issue, so the
+	// unroll cannot change a single bit of the result.
+rowsdotloop2:
+	ADDQ $64, BX // speculative double step; backed out below on overshoot
 	CMPQ BX, CX
-	JGE  reduce
-	VMOVUPD (R8)(BX*1), Y8  // a0[p : p+4]
-	VMOVUPD (R9)(BX*1), Y9  // a1[p : p+4]
+	JG   rowsdot2done
+	VMOVUPD -64(R8)(BX*1), Y8 // a0[p : p+4]
+	VMOVUPD -64(R9)(BX*1), Y9 // a1[p : p+4]
 
-	VMOVUPD (R10)(BX*1), Y10
-	VMULPD  Y10, Y8, Y11
-	VADDPD  Y11, Y0, Y0
-	VMULPD  Y10, Y9, Y11
-	VADDPD  Y11, Y4, Y4
+	VMOVUPD     -64(R10)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y0
+	VFMADD231PD Y10, Y9, Y4
 
-	VMOVUPD (R11)(BX*1), Y10
-	VMULPD  Y10, Y8, Y11
-	VADDPD  Y11, Y1, Y1
-	VMULPD  Y10, Y9, Y11
-	VADDPD  Y11, Y5, Y5
+	VMOVUPD     -64(R11)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y1
+	VFMADD231PD Y10, Y9, Y5
 
-	VMOVUPD (R12)(BX*1), Y10
-	VMULPD  Y10, Y8, Y11
-	VADDPD  Y11, Y2, Y2
-	VMULPD  Y10, Y9, Y11
-	VADDPD  Y11, Y6, Y6
+	VMOVUPD     -64(R12)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y2
+	VFMADD231PD Y10, Y9, Y6
 
-	VMOVUPD (R13)(BX*1), Y10
-	VMULPD  Y10, Y8, Y11
-	VADDPD  Y11, Y3, Y3
-	VMULPD  Y10, Y9, Y11
-	VADDPD  Y11, Y7, Y7
+	VMOVUPD     -64(R13)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y3
+	VFMADD231PD Y10, Y9, Y7
+
+	VMOVUPD -32(R8)(BX*1), Y8 // a0[p+4 : p+8]
+	VMOVUPD -32(R9)(BX*1), Y9 // a1[p+4 : p+8]
+
+	VMOVUPD     -32(R10)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y0
+	VFMADD231PD Y10, Y9, Y4
+
+	VMOVUPD     -32(R11)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y1
+	VFMADD231PD Y10, Y9, Y5
+
+	VMOVUPD     -32(R12)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y2
+	VFMADD231PD Y10, Y9, Y6
+
+	VMOVUPD     -32(R13)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y3
+	VFMADD231PD Y10, Y9, Y7
+
+	JMP  rowsdotloop2
+
+rowsdot2done:
+	SUBQ $64, BX
+
+rowsdotloop1:
+	CMPQ BX, CX
+	JGE  rowsreduce
+	VMOVUPD (R8)(BX*1), Y8 // a0[p : p+4]
+	VMOVUPD (R9)(BX*1), Y9 // a1[p : p+4]
+
+	VMOVUPD     (R10)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y0
+	VFMADD231PD Y10, Y9, Y4
+
+	VMOVUPD     (R11)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y1
+	VFMADD231PD Y10, Y9, Y5
+
+	VMOVUPD     (R12)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y2
+	VFMADD231PD Y10, Y9, Y6
+
+	VMOVUPD     (R13)(BX*1), Y10
+	VFMADD231PD Y10, Y8, Y3
+	VFMADD231PD Y10, Y9, Y7
 
 	ADDQ $32, BX
-	JMP  dotloop
+	JMP  rowsdotloop1
 
-reduce:
-	// Per accumulator [l0 l1 l2 l3]: VHADDPD gives [l0+l1, ·, l2+l3, ·];
-	// adding the high 128 to the low yields (l0+l1)+(l2+l3).
-	VHADDPD      Y0, Y0, Y0
-	VEXTRACTF128 $1, Y0, X12
-	VADDSD       X12, X0, X0
-	VMOVSD       X0, (DI)
+rowsreduce:
+	// Packed 4×4 reduction, two instructions of shuffle per packed store.
+	// VHADDPD pairs adjacent lanes of one accumulator (lane0+lane1 and
+	// lane2+lane3), and the final VADDPD adds (l0+l1) first-operand to
+	// (l2+l3) — the exact dotScalar order, so results stay bit-identical.
+	VHADDPD    Y1, Y0, Y12          // [A01 B01 A23 B23]
+	VHADDPD    Y3, Y2, Y13          // [C01 D01 C23 D23]
+	VPERM2F128 $0x21, Y13, Y12, Y14 // [A23 B23 C01 D01]
+	VBLENDPD   $12, Y14, Y12, Y15   // [A01 B01 C01 D01]
+	VBLENDPD   $12, Y13, Y14, Y14   // [A23 B23 C23 D23]
+	VADDPD     Y14, Y15, Y15        // (l0+l1)+(l2+l3) per output
+	VHADDPD    Y5, Y4, Y12
+	VHADDPD    Y7, Y6, Y13
+	VPERM2F128 $0x21, Y13, Y12, Y14
+	VBLENDPD   $12, Y14, Y12, Y10
+	VBLENDPD   $12, Y13, Y14, Y14
+	VADDPD     Y14, Y10, Y10
 
-	VHADDPD      Y1, Y1, Y1
-	VEXTRACTF128 $1, Y1, X12
-	VADDSD       X12, X1, X1
-	VMOVSD       X1, 8(DI)
+	TESTQ  R15, R15
+	JZ     nobias
+	VMOVUPD (R15), Y12 // bias[j : j+4]
+	VADDPD Y12, Y15, Y15
+	VADDPD Y12, Y10, Y10
+	ADDQ   $32, R15
 
-	VHADDPD      Y2, Y2, Y2
-	VEXTRACTF128 $1, Y2, X12
-	VADDSD       X12, X2, X2
-	VMOVSD       X2, 16(DI)
+nobias:
+	CMPQ   relu+72(FP), $0
+	JE     norelu
+	VMAXPD Y11, Y15, Y15 // second operand +0 wins on NaN and -0
+	VMAXPD Y11, Y10, Y10
 
-	VHADDPD      Y3, Y3, Y3
-	VEXTRACTF128 $1, Y3, X12
-	VADDSD       X12, X3, X3
-	VMOVSD       X3, 24(DI)
+norelu:
+	VMOVUPD Y15, (DI)
+	VMOVUPD Y10, (SI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	LEAQ (AX)(R14*4), AX // next block of four columns
+	DECQ DX
+	JMP  blockloop
 
-	VHADDPD      Y4, Y4, Y4
-	VEXTRACTF128 $1, Y4, X12
-	VADDSD       X12, X4, X4
-	VMOVSD       X4, 32(DI)
+rowsdone:
+	VZEROUPPER
+	RET
 
-	VHADDPD      Y5, Y5, Y5
-	VEXTRACTF128 $1, Y5, X12
-	VADDSD       X12, X5, X5
-	VMOVSD       X5, 40(DI)
+// func ewAddAvx(dst, a *float64, n int)
+//
+// dst[i] += a[i] for i in [0, n), n % 4 == 0. One VADDPD per four
+// elements with dst as the first operand — per element exactly the
+// scalar dst[i] += a[i], so vector width cannot change a bit.
+TEXT ·ewAddAvx(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHLQ $3, CX
+	XORQ BX, BX
 
-	VHADDPD      Y6, Y6, Y6
-	VEXTRACTF128 $1, Y6, X12
-	VADDSD       X12, X6, X6
-	VMOVSD       X6, 48(DI)
+ewaddloop:
+	CMPQ BX, CX
+	JGE  ewadddone
+	VMOVUPD (DI)(BX*1), Y0
+	VMOVUPD (SI)(BX*1), Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	JMP     ewaddloop
 
-	VHADDPD      Y7, Y7, Y7
-	VEXTRACTF128 $1, Y7, X12
-	VADDSD       X12, X7, X7
-	VMOVSD       X7, 56(DI)
+ewadddone:
+	VZEROUPPER
+	RET
 
+// func ewAdd2Avx(dst, x, y *float64, n int)
+//
+// dst[i] = x[i] + y[i] for i in [0, n), n % 4 == 0; x first operand,
+// matching the scalar xr[j] + yr[j].
+TEXT ·ewAdd2Avx(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DX
+	MOVQ n+24(FP), CX
+	SHLQ $3, CX
+	XORQ BX, BX
+
+ewadd2loop:
+	CMPQ BX, CX
+	JGE  ewadd2done
+	VMOVUPD (SI)(BX*1), Y0
+	VMOVUPD (DX)(BX*1), Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	JMP     ewadd2loop
+
+ewadd2done:
+	VZEROUPPER
+	RET
+
+// func ewMulAddAvx(dst, a *float64, c float64, n int)
+//
+// dst[i] += a[i]*c for i in [0, n), n % 4 == 0. Deliberately VMULPD
+// then VADDPD — two roundings, exactly the scalar dst[i] += a[i]*c —
+// never a fused multiply-add, which would round once and change bits.
+TEXT ·ewMulAddAvx(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	VBROADCASTSD c+16(FP), Y2
+	MOVQ n+24(FP), CX
+	SHLQ $3, CX
+	XORQ BX, BX
+
+ewmuladdloop:
+	CMPQ BX, CX
+	JGE  ewmuladddone
+	VMOVUPD (SI)(BX*1), Y1
+	VMULPD  Y2, Y1, Y1
+	VMOVUPD (DI)(BX*1), Y0
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	JMP     ewmuladdloop
+
+ewmuladddone:
+	VZEROUPPER
+	RET
+
+// func ewScaleAvx(dst *float64, c float64, n int)
+//
+// dst[i] *= c for i in [0, n), n % 4 == 0.
+TEXT ·ewScaleAvx(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	VBROADCASTSD c+8(FP), Y2
+	MOVQ n+16(FP), CX
+	SHLQ $3, CX
+	XORQ BX, BX
+
+ewscaleloop:
+	CMPQ BX, CX
+	JGE  ewscaledone
+	VMOVUPD (DI)(BX*1), Y0
+	VMULPD  Y2, Y0, Y0
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	JMP     ewscaleloop
+
+ewscaledone:
+	VZEROUPPER
+	RET
+
+// func ewReluAvx(dst *float64, n int)
+//
+// dst[i] = max(dst[i], +0) for i in [0, n), n % 4 == 0, via VMAXPD with
+// +0 as the second operand (second wins on NaN and -0) — bit for bit the
+// scalar !(v > 0) → 0 clamp, as in dotRows24avx's epilogue.
+TEXT ·ewReluAvx(SB), NOSPLIT, $0-16
+	MOVQ   dst+0(FP), DI
+	MOVQ   n+8(FP), CX
+	SHLQ   $3, CX
+	VXORPD Y2, Y2, Y2
+	XORQ   BX, BX
+
+ewreluloop:
+	CMPQ BX, CX
+	JGE  ewreludone
+	VMOVUPD (DI)(BX*1), Y0
+	VMAXPD  Y2, Y0, Y0
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	JMP     ewreluloop
+
+ewreludone:
+	VZEROUPPER
+	RET
+
+// func ewNormAvx(dst, gamma, beta *float64, mean, invStd float64, n int)
+//
+// dst[i] = (dst[i]-mean)*invStd*gamma[i] + beta[i] for i in [0, n),
+// n % 4 == 0 — VSUBPD, VMULPD, VMULPD, VADDPD in the scalar expression's
+// left-associated order, one rounding per step, no FMA contraction.
+TEXT ·ewNormAvx(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ gamma+8(FP), SI
+	MOVQ beta+16(FP), DX
+	VBROADCASTSD mean+24(FP), Y3
+	VBROADCASTSD invStd+32(FP), Y4
+	MOVQ n+40(FP), CX
+	SHLQ $3, CX
+	XORQ BX, BX
+
+ewnormloop:
+	CMPQ BX, CX
+	JGE  ewnormdone
+	VMOVUPD (DI)(BX*1), Y0
+	VSUBPD  Y3, Y0, Y0       // v - mean
+	VMULPD  Y4, Y0, Y0       // * invStd
+	VMOVUPD (SI)(BX*1), Y1
+	VMULPD  Y1, Y0, Y0       // * gamma[j]
+	VMOVUPD (DX)(BX*1), Y1
+	VADDPD  Y1, Y0, Y0       // + beta[j]
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	JMP     ewnormloop
+
+ewnormdone:
 	VZEROUPPER
 	RET

@@ -4,7 +4,23 @@ package nn
 
 const useAVX = false
 
-// dot24avx is never called when useAVX is false.
-func dot24avx(a0, a1, b0, b1, b2, b3 *float64, k4 int, out *float64) {
-	panic("nn: dot24avx without AVX support")
+// dotRows24avx is never called when useAVX is false.
+func dotRows24avx(a0, a1, bt *float64, k, k4, nb int, o0, o1, bias *float64, relu int) {
+	panic("nn: dotRows24avx without AVX support")
+}
+
+// The elementwise kernels are never called when useAVX is false.
+
+func ewAddAvx(dst, a *float64, n int) { panic("nn: ewAddAvx without AVX support") }
+
+func ewAdd2Avx(dst, x, y *float64, n int) { panic("nn: ewAdd2Avx without AVX support") }
+
+func ewMulAddAvx(dst, a *float64, c float64, n int) { panic("nn: ewMulAddAvx without AVX support") }
+
+func ewScaleAvx(dst *float64, c float64, n int) { panic("nn: ewScaleAvx without AVX support") }
+
+func ewReluAvx(dst *float64, n int) { panic("nn: ewReluAvx without AVX support") }
+
+func ewNormAvx(dst, gamma, beta *float64, mean, invStd float64, n int) {
+	panic("nn: ewNormAvx without AVX support")
 }

@@ -61,11 +61,26 @@ func TestMatMulScalarMirrorBitExact(t *testing.T) {
 		a := benchTensor(r, m, k)
 		b := benchTensor(r, k, n)
 		got := MatMul(a, b) // AVX path where supported
-		bt := make([]float64, k*n)
-		transposeForward(bt, b.Data, k, n)
+		// The small-k shapes take the zero-padded path: the mirror is
+		// dotScalar over the operands zero-padded to a multiple of four,
+		// exactly as matmulPadK lays them out.
+		kd := k
+		if padKEligible(k, n) {
+			kd = (k + 3) &^ 3
+		}
+		bt := make([]float64, kd*n)
+		for j := 0; j < n; j++ {
+			for p := 0; p < k; p++ {
+				bt[j*kd+p] = b.Data[p*n+j]
+			}
+		}
+		ap := make([]float64, m*kd)
+		for i := 0; i < m; i++ {
+			copy(ap[i*kd:i*kd+k], a.Data[i*k:(i+1)*k])
+		}
 		for i := 0; i < m; i++ {
 			for j := 0; j < n; j++ {
-				want := dotScalar(a.Data[i*k:(i+1)*k], bt[j*k:(j+1)*k], k)
+				want := dotScalar(ap[i*kd:(i+1)*kd], bt[j*kd:(j+1)*kd], kd)
 				if got.Data[i*n+j] != want {
 					t.Fatalf("(%d,%d,%d): element (%d,%d) = %b, scalar mirror %b", m, k, n, i, j, got.Data[i*n+j], want)
 				}

@@ -7,15 +7,24 @@ import "sync"
 // released after a forward pass are recycled instead of garbage-collected,
 // so steady-state serving allocates (almost) nothing per query.
 //
+// Tensor structs released through Release are recycled too (data slab and
+// header alike), so a steady-state fused forward pass performs zero heap
+// allocations — see the arena-leak test in fused_test.go.
+//
 // A released slab's contents are undefined until it is borrowed again;
 // Borrow and GetSlice return zeroed memory, so pooled forwards are
 // bit-identical to fresh-allocation forwards.
 type Pool struct {
 	mu       sync.Mutex
 	classes  map[int][][]float64
+	tfree    []*Tensor
 	perClass int
 	borrows  int64
 	reuses   int64
+
+	// prof accumulates the fused/quant kernel counters and (when kernel
+	// profiling is on) per-op kernel time flushed by Infer.Close.
+	prof profileAtomics
 }
 
 // maxSlabsPerClass bounds the idle slabs retained per size class for pools
@@ -26,6 +35,9 @@ const maxSlabsPerClass = 64
 
 // minSlabClass is the smallest slab capacity; tiny requests share it.
 const minSlabClass = 32
+
+// maxFreeTensors bounds the recycled Tensor headers a pool retains.
+const maxFreeTensors = 512
 
 // NewPool creates an empty pool with the default per-class retention cap.
 func NewPool() *Pool {
@@ -118,24 +130,84 @@ func (p *Pool) PutSlice(s []float64) {
 // Borrow returns a zeroed tensor of the given shape backed by pooled
 // memory. It does not participate in differentiation.
 func (p *Pool) Borrow(shape ...int) *Tensor {
+	return p.borrow(shape, true)
+}
+
+// BorrowRaw is Borrow without the zeroing, for callers that overwrite every
+// element (the fused kernels and most elementwise inference ops).
+func (p *Pool) BorrowRaw(shape ...int) *Tensor {
+	return p.borrow(shape, false)
+}
+
+// borrow takes the tensor header and the data slab from the free lists in
+// one critical section. A slab freshly allocated from the heap is already
+// zero, so the clear only runs for reused slabs on the zeroing path.
+func (p *Pool) borrow(shape []int, zero bool) *Tensor {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
-	return &Tensor{Shape: append([]int(nil), shape...), Data: p.GetSlice(n)}
+	var (
+		t     *Tensor
+		s     []float64
+		fresh bool
+	)
+	p.mu.Lock()
+	if l := len(p.tfree); l > 0 {
+		t = p.tfree[l-1]
+		p.tfree[l-1] = nil
+		p.tfree = p.tfree[:l-1]
+	}
+	p.borrows++
+	if n > 0 {
+		c := slabClass(n)
+		if slabs := p.classes[c]; len(slabs) > 0 {
+			s = slabs[len(slabs)-1][:n]
+			p.classes[c] = slabs[:len(slabs)-1]
+			p.reuses++
+		}
+	}
+	p.mu.Unlock()
+	if s == nil && n > 0 {
+		s = make([]float64, n, slabClass(n))
+		fresh = true
+	}
+	if zero && !fresh {
+		clear(s)
+	}
+	if t == nil {
+		t = &Tensor{}
+	}
+	t.Shape = append(t.Shape[:0], shape...)
+	t.Data = s
+	t.arenaIdx = 0
+	return t
 }
 
-// Release returns tensors' backing slabs to the pool. The caller must not
-// use a tensor after releasing it. Nil entries are skipped.
+// Release returns tensors' backing slabs — and their headers — to the pool.
+// The caller must not use a tensor after releasing it (the header may be
+// handed out again by the next Borrow). Nil entries and already-released
+// tensors are skipped.
 func (p *Pool) Release(ts ...*Tensor) {
 	for _, t := range ts {
-		if t == nil {
+		if t == nil || t.arenaIdx == releasedIdx {
 			continue
 		}
 		p.PutSlice(t.Data)
 		t.Data = nil
+		t.arenaIdx = releasedIdx
+		t.Grad, t.parents, t.backward = nil, nil, nil
+		p.mu.Lock()
+		if len(p.tfree) < maxFreeTensors {
+			p.tfree = append(p.tfree, t)
+		}
+		p.mu.Unlock()
 	}
 }
+
+// releasedIdx marks a tensor header as parked in (or dropped by) the header
+// free list, guarding against double release.
+const releasedIdx = -1
 
 // scratch backs package-internal kernel temporaries (the MatMul transposed
 // copy of B). It is shared by all goroutines; Pool is thread-safe.

@@ -137,7 +137,9 @@ func TestInferKeepDetachesFromArena(t *testing.T) {
 }
 
 // TestInferRecycleReuse verifies that Recycle returns memory mid-forward so
-// a chain of same-shaped ops runs in O(1) slabs.
+// a chain of same-shaped ops runs in O(1) slabs: the per-Infer cache absorbs
+// the churn without shared-pool round trips, and Close hands the slabs back
+// so the next pass reuses them.
 func TestInferRecycleReuse(t *testing.T) {
 	pool := NewPool()
 	in := NewInfer(pool)
@@ -149,7 +151,13 @@ func TestInferRecycleReuse(t *testing.T) {
 	}
 	in.Close()
 	st := pool.Stats()
-	if st.Reuses < 9 {
-		t.Fatalf("expected ≥9 reuses from mid-forward recycling, got %+v", st)
+	if st.Borrows > 3 {
+		t.Fatalf("chain of 11 same-shaped tensors took %d pool borrows, want ≤3 (the local cache should absorb the churn)", st.Borrows)
+	}
+	in2 := NewInfer(pool)
+	in2.Recycle(in2.Zeros(8, 8))
+	in2.Close()
+	if st2 := pool.Stats(); st2.Reuses == 0 {
+		t.Fatalf("second pass did not reuse the drained slabs: %+v", st2)
 	}
 }

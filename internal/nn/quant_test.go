@@ -1,0 +1,308 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// TestQuantizeRoundTripBound is the quantization error property test: every
+// finite weight must dequantize within Scale/2 of its original value, and
+// MaxAbsError must agree with a direct scan.
+func TestQuantizeRoundTripBound(t *testing.T) {
+	r := rng.New(71)
+	cases := []*Tensor{
+		benchTensor(r, 24, 24),
+		benchTensor(r, 1, 64),
+		benchTensor(r, 100, 7),
+	}
+	// Adversarial ranges: huge spread, tiny spread, asymmetric.
+	wide := New(8, 8)
+	for i := range wide.Data {
+		wide.Data[i] = (r.Float64() - 0.5) * 1e6
+	}
+	tiny := New(8, 8)
+	for i := range tiny.Data {
+		tiny.Data[i] = 1 + r.Float64()*1e-9
+	}
+	skew := New(8, 8)
+	for i := range skew.Data {
+		skew.Data[i] = r.Float64()*10 - 9.99
+	}
+	cases = append(cases, wide, tiny, skew)
+
+	for ci, x := range cases {
+		q := QuantizeTensor(x)
+		bound := q.Scale/2 + q.Scale*1e-9
+		deq := make([]float64, x.Size())
+		q.Dequantize(deq)
+		var worst float64
+		for i, v := range x.Data {
+			d := math.Abs(v - deq[i])
+			if d > bound {
+				t.Fatalf("case %d: element %d error %g exceeds Scale/2 = %g (scale %g)", ci, i, d, q.Scale/2, q.Scale)
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if got := q.MaxAbsError(x); got != worst {
+			t.Fatalf("case %d: MaxAbsError = %g, scan found %g", ci, got, worst)
+		}
+	}
+}
+
+// TestQuantizeConstantAndEmpty pins the degenerate encodings: constant
+// tensors are exact, all-zero tensors are exact, NaN-only tensors encode
+// zeros with a sane scale.
+func TestQuantizeConstantAndEmpty(t *testing.T) {
+	c := New(4, 4)
+	for i := range c.Data {
+		c.Data[i] = -3.75
+	}
+	q := QuantizeTensor(c)
+	deq := make([]float64, c.Size())
+	q.Dequantize(deq)
+	for i, v := range deq {
+		if v != -3.75 {
+			t.Fatalf("constant tensor not exact at %d: %g", i, v)
+		}
+	}
+
+	z := New(4, 4)
+	qz := QuantizeTensor(z)
+	qz.Dequantize(deq)
+	for i, v := range deq {
+		if v != 0 {
+			t.Fatalf("zero tensor not exact at %d: %g", i, v)
+		}
+	}
+
+	nan := New(2, 2)
+	for i := range nan.Data {
+		nan.Data[i] = math.NaN()
+	}
+	qn := QuantizeTensor(nan)
+	if qn.Scale <= 0 || math.IsNaN(qn.Scale) {
+		t.Fatalf("NaN tensor produced scale %g", qn.Scale)
+	}
+}
+
+// quantTestModel builds a frozen attention+MLP stack with a named parameter
+// map, the shape the quantization registry operates on.
+func quantTestModel(r *rng.Rand) (*SelfAttention, *MLP, map[string]*Tensor) {
+	sa := NewSelfAttention(r, 16)
+	mlp := NewMLP(r, 16, 48, 1)
+	params := map[string]*Tensor{
+		"sa.q.w": sa.Q.W, "sa.q.b": sa.Q.B,
+		"sa.k.w": sa.K.W, "sa.k.b": sa.K.B,
+		"sa.v.w": sa.V.W, "sa.v.b": sa.V.B,
+		"sa.out.w": sa.Out.W, "sa.out.b": sa.Out.B,
+		"sa.norm.gamma": sa.Norm.Gamma, "sa.norm.beta": sa.Norm.Beta,
+		"mlp.0.w": mlp.Layers[0].W, "mlp.0.b": mlp.Layers[0].B,
+		"mlp.1.w": mlp.Layers[1].W, "mlp.1.b": mlp.Layers[1].B,
+	}
+	for _, p := range params {
+		p.UnrequireGrad()
+	}
+	return sa, mlp, params
+}
+
+func refreshFusedCaches(sa *SelfAttention, mlp *MLP) {
+	for _, l := range []*Linear{sa.Q, sa.K, sa.V, sa.Out} {
+		l.FreezeFused()
+	}
+	for _, l := range mlp.Layers {
+		l.FreezeFused()
+	}
+}
+
+// TestQuantReplayBitIdentity is the determinism cornerstone: after
+// ApplyDequantized, the unfused float64 path, the fused float64 path and
+// the live int8 kernels must all produce bit-identical outputs.
+func TestQuantReplayBitIdentity(t *testing.T) {
+	r := rng.New(73)
+	sa, mlp, params := quantTestModel(r)
+	qz := QuantizeParams(params, QuantMinSize)
+	if qz.Len() == 0 {
+		t.Fatal("nothing quantized")
+	}
+	if qz.Of(sa.Q.B) != nil || qz.Of(sa.Norm.Gamma) != nil {
+		t.Fatal("small tensors must not be quantized")
+	}
+	if qz.Of(sa.Q.W) == nil || qz.Of(mlp.Layers[0].W) == nil {
+		t.Fatal("weight matrices must be quantized")
+	}
+	if err := qz.ApplyDequantized(params); err != nil {
+		t.Fatal(err)
+	}
+	refreshFusedCaches(sa, mlp)
+
+	x := benchTensor(r, 10, 16)
+	pool := NewPool()
+
+	forward := func(ops Ops) []float64 {
+		h := sa.ForwardOps(ops, x)
+		out := mlp.ForwardOps(ops, h)
+		res := append([]float64(nil), out.Data...)
+		ops.Recycle(h, out)
+		return res
+	}
+
+	un := NewInfer(pool)
+	want := forward(un)
+	un.Close()
+
+	fu := NewInferFused(pool)
+	fused := forward(fu)
+	fu.Close()
+
+	qi := NewQuantInfer(pool, qz)
+	quant := forward(qi)
+	qi.Close()
+	if pool.Profile().QuantKernels == 0 {
+		t.Fatal("quantized forward never hit an int8 kernel")
+	}
+
+	for i := range want {
+		if fused[i] != want[i] {
+			t.Fatalf("fused f64 differs from unfused at %d: %b vs %b", i, fused[i], want[i])
+		}
+		if quant[i] != want[i] {
+			t.Fatalf("int8 kernel differs from replay at %d: %b vs %b", i, quant[i], want[i])
+		}
+	}
+}
+
+// TestQuantGatherBitIdentity checks the int8 embedding gather against the
+// float64 gather under the replay invariant.
+func TestQuantGatherBitIdentity(t *testing.T) {
+	r := rng.New(79)
+	table := benchTensor(r, 32, 24)
+	table.UnrequireGrad()
+	params := map[string]*Tensor{"emb": table}
+	qz := QuantizeParams(params, QuantMinSize)
+	if err := qz.ApplyDequantized(params); err != nil {
+		t.Fatal(err)
+	}
+	idx := []int{0, 31, 7, 7, 16}
+	pool := NewPool()
+	un := NewInfer(pool)
+	want := un.Gather(table, idx)
+	qi := NewQuantInfer(pool, qz)
+	got := qi.Gather(table, idx)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("quant gather differs at %d: %b vs %b", i, got.Data[i], want.Data[i])
+		}
+	}
+	un.Close()
+	qi.Close()
+}
+
+// TestQuantSerializeRoundTrip checks the SNPQ0001 checkpoint: byte-stable
+// encode, and a load into a fresh model that reproduces both the registry
+// and the dequantized float64 weights bit for bit.
+func TestQuantSerializeRoundTrip(t *testing.T) {
+	r := rng.New(83)
+	sa, mlp, params := quantTestModel(r)
+	qz := QuantizeParams(params, QuantMinSize)
+	if err := qz.ApplyDequantized(params); err != nil {
+		t.Fatal(err)
+	}
+	_ = sa
+	_ = mlp
+
+	var buf1, buf2 bytes.Buffer
+	if err := SaveQuantParams(&buf1, params, qz); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveQuantParams(&buf2, params, qz); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("quant checkpoint encoding is not byte-stable")
+	}
+
+	_, _, params2 := quantTestModel(rng.New(9999))
+	qz2, err := LoadParamsAuto(bytes.NewReader(buf1.Bytes()), params2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qz2 == nil || qz2.Len() != qz.Len() {
+		t.Fatalf("loaded registry has %d tensors, want %d", qz2.Len(), qz.Len())
+	}
+	for name, t1 := range params {
+		t2 := params2[name]
+		for i := range t1.Data {
+			if t1.Data[i] != t2.Data[i] {
+				t.Fatalf("parameter %q differs after round trip at %d", name, i)
+			}
+		}
+		q1, q2 := qz.Named(name), qz2.Named(name)
+		if (q1 == nil) != (q2 == nil) {
+			t.Fatalf("parameter %q quantization presence differs", name)
+		}
+		if q1 != nil {
+			if q1.Scale != q2.Scale || q1.Zero != q2.Zero || !bytes.Equal(int8Bytes(q1.Data), int8Bytes(q2.Data)) {
+				t.Fatalf("parameter %q quantized record differs", name)
+			}
+		}
+	}
+
+	// A float64 checkpoint through LoadParamsAuto behaves like LoadParams.
+	var fbuf bytes.Buffer
+	if err := SaveParams(&fbuf, params); err != nil {
+		t.Fatal(err)
+	}
+	_, _, params3 := quantTestModel(rng.New(777))
+	qz3, err := LoadParamsAuto(bytes.NewReader(fbuf.Bytes()), params3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qz3 != nil {
+		t.Fatal("float64 checkpoint produced a quantization registry")
+	}
+	for name, t1 := range params {
+		for i := range t1.Data {
+			if params3[name].Data[i] != t1.Data[i] {
+				t.Fatalf("parameter %q differs after f64 auto-load at %d", name, i)
+			}
+		}
+	}
+}
+
+func int8Bytes(s []int8) []byte {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		b[i] = byte(v)
+	}
+	return b
+}
+
+// FuzzQuantSerialize hammers the mixed-precision decoder with corrupt
+// checkpoints; it must error or succeed, never panic or over-allocate.
+func FuzzQuantSerialize(f *testing.F) {
+	r := rng.New(89)
+	_, _, params := quantTestModel(r)
+	qz := QuantizeParams(params, QuantMinSize)
+	var seed bytes.Buffer
+	if err := SaveQuantParams(&seed, params, qz); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	var fseed bytes.Buffer
+	if err := SaveParams(&fseed, params); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fseed.Bytes())
+	f.Add([]byte("SNPQ0001"))
+	f.Add([]byte{})
+
+	_, _, target := quantTestModel(rng.New(91))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = LoadParamsAuto(bytes.NewReader(data), target)
+	})
+}

@@ -12,6 +12,17 @@ import (
 // magic identifies the snowplow model checkpoint format.
 const magic = "SNPW0001"
 
+// quantMagic identifies the mixed-precision checkpoint format: the same
+// record layout as SNPW0001 plus a per-record dtype byte, so quantized
+// tensors ship as int8 codes with their (scale, zero-point) pair.
+const quantMagic = "SNPQ0001"
+
+// Per-record dtype tags in a quantMagic checkpoint.
+const (
+	dtypeF64  = 0
+	dtypeInt8 = 1
+)
+
 // SaveParams writes a named set of tensors to w in a simple self-describing
 // binary format (magic, count, then name/shape/data records). Names are
 // written in sorted order so checkpoints are byte-stable.
@@ -51,6 +62,71 @@ func SaveParams(w io.Writer, params map[string]*Tensor) error {
 	return nil
 }
 
+// SaveQuantParams writes a mixed-precision checkpoint: parameters present
+// in qz ship as int8 codes with their (scale, zero-point) pair, the rest as
+// float64. Names are written in sorted order so checkpoints are byte-stable
+// — the cluster's model SHA therefore covers the quantized form directly.
+func SaveQuantParams(w io.Writer, params map[string]*Tensor, qz *Quantized) error {
+	if _, err := io.WriteString(w, quantMagic); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		t := params[name]
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(t.Shape))); err != nil {
+			return err
+		}
+		for _, d := range t.Shape {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if q := qz.Named(name); q != nil {
+			if q.Size() != t.Size() {
+				return fmt.Errorf("nn: quantized parameter %q size mismatch: %d vs %d", name, q.Size(), t.Size())
+			}
+			if _, err := w.Write([]byte{dtypeInt8}); err != nil {
+				return err
+			}
+			var head [12]byte
+			binary.LittleEndian.PutUint64(head[:8], math.Float64bits(q.Scale))
+			binary.LittleEndian.PutUint32(head[8:], uint32(int32(q.Zero)))
+			if _, err := w.Write(head[:]); err != nil {
+				return err
+			}
+			buf := make([]byte, len(q.Data))
+			for i, c := range q.Data {
+				buf[i] = byte(c)
+			}
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := w.Write([]byte{dtypeF64}); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*len(t.Data))
+		for i, v := range t.Data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // LoadParams reads a checkpoint written by SaveParams into the provided
 // tensors. Every checkpoint record must match a tensor of identical shape in
 // params, and every tensor in params must be present in the checkpoint.
@@ -62,6 +138,41 @@ func LoadParams(r io.Reader, params map[string]*Tensor) error {
 	if string(head) != magic {
 		return errors.New("nn: not a snowplow checkpoint")
 	}
+	return loadRecords(r, params, false, nil)
+}
+
+// LoadParamsAuto reads either checkpoint format, dispatching on the magic.
+// For a float64 (SNPW0001) checkpoint it behaves exactly like LoadParams and
+// returns a nil registry. For a mixed (SNPQ0001) checkpoint it loads the
+// float64 records, decodes the int8 records into a Quantized registry bound
+// to params, and writes the *dequantized* values into the float64 tensors —
+// the replay invariant, so callers that ignore the registry still compute
+// exactly what the int8 kernels would.
+func LoadParamsAuto(r io.Reader, params map[string]*Tensor) (*Quantized, error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("nn: reading checkpoint header: %w", err)
+	}
+	switch string(head) {
+	case magic:
+		return nil, loadRecords(r, params, false, nil)
+	case quantMagic:
+		qz := &Quantized{byName: map[string]*QuantTensor{}, byTensor: map[*Tensor]*QuantTensor{}}
+		if err := loadRecords(r, params, true, qz); err != nil {
+			return nil, err
+		}
+		if qz.Len() == 0 {
+			return nil, nil
+		}
+		return qz, nil
+	}
+	return nil, errors.New("nn: not a snowplow checkpoint")
+}
+
+// loadRecords reads the record stream after the magic. With quant set, each
+// record carries a dtype byte and int8 records are decoded into qz and
+// dequantized into the target tensor.
+func loadRecords(r io.Reader, params map[string]*Tensor, quant bool, qz *Quantized) error {
 	var count uint32
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
 		return err
@@ -75,6 +186,9 @@ func LoadParams(r io.Reader, params map[string]*Tensor) error {
 		var ndim uint32
 		if err := binary.Read(r, binary.LittleEndian, &ndim); err != nil {
 			return err
+		}
+		if ndim > 8 {
+			return fmt.Errorf("nn: parameter %q has unreasonable rank %d", name, ndim)
 		}
 		shape := make([]int, ndim)
 		size := 1
@@ -93,12 +207,55 @@ func LoadParams(r io.Reader, params map[string]*Tensor) error {
 		if t.Size() != size {
 			return fmt.Errorf("nn: parameter %q shape mismatch: checkpoint %v vs model %v", name, shape, t.Shape)
 		}
-		buf := make([]byte, 8*size)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return err
+		if loaded[name] {
+			return fmt.Errorf("nn: checkpoint repeats parameter %q", name)
 		}
-		for j := 0; j < size; j++ {
-			t.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		dtype := byte(dtypeF64)
+		if quant {
+			var db [1]byte
+			if _, err := io.ReadFull(r, db[:]); err != nil {
+				return err
+			}
+			dtype = db[0]
+		}
+		switch dtype {
+		case dtypeF64:
+			buf := make([]byte, 8*size)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return err
+			}
+			for j := 0; j < size; j++ {
+				t.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+			}
+		case dtypeInt8:
+			var head [12]byte
+			if _, err := io.ReadFull(r, head[:]); err != nil {
+				return err
+			}
+			scale := math.Float64frombits(binary.LittleEndian.Uint64(head[:8]))
+			zero := int(int32(binary.LittleEndian.Uint32(head[8:])))
+			if math.IsNaN(scale) || math.IsInf(scale, 0) {
+				return fmt.Errorf("nn: parameter %q has non-finite quantization scale", name)
+			}
+			buf := make([]byte, size)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return err
+			}
+			q := &QuantTensor{
+				Shape: append([]int(nil), t.Shape...),
+				Scale: scale,
+				Zero:  zero,
+				Data:  make([]int8, size),
+			}
+			for j, b := range buf {
+				q.Data[j] = int8(b)
+			}
+			q.finish()
+			q.Dequantize(t.Data)
+			qz.byName[name] = q
+			qz.byTensor[t] = q
+		default:
+			return fmt.Errorf("nn: parameter %q has unknown dtype %d", name, dtype)
 		}
 		loaded[name] = true
 	}

@@ -1,0 +1,189 @@
+package pmm
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/repro/snowplow/internal/nn"
+	"github.com/repro/snowplow/internal/rng"
+)
+
+// TestPredictFusedBitIdentity checks the fused-kernel forward against the
+// plain pooled path: EnableFused must not change a single probability bit,
+// across repeated passes and worker counts.
+func TestPredictFusedBitIdentity(t *testing.T) {
+	defer nn.SetWorkers(1)
+	gs := batchGraphs(t, 5, 700)
+	m := NewModel(rng.New(8), DefaultConfig(), BuildVocab(testKernel))
+	m.Freeze()
+	_, want := m.PredictBatch(gs)
+	m.EnableFused()
+	for _, workers := range []int{1, 4} {
+		nn.SetWorkers(workers)
+		for pass := 0; pass < 2; pass++ {
+			_, got := m.PredictBatch(gs)
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("workers=%d pass %d graph %d prob %d: fused %v vs plain %v",
+							workers, pass, i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+	if m.InferProfile().FusedLinear == 0 {
+		t.Fatal("fused forward never hit a fused kernel")
+	}
+}
+
+// TestPredictQuantReplayBitIdentity checks the dequantized-replay contract
+// at the model level: after Quantize, the plain float64 path, the fused
+// float64 path and the live int8 kernels must all agree bit for bit — so a
+// campaign's digests are reproducible per seed whichever path serves it.
+func TestPredictQuantReplayBitIdentity(t *testing.T) {
+	gs := batchGraphs(t, 5, 800)
+	m := NewModel(rng.New(9), DefaultConfig(), BuildVocab(testKernel))
+	m.Freeze()
+	if err := m.Quantize(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Quantized().Len() == 0 {
+		t.Fatal("nothing quantized")
+	}
+	_, replay := m.PredictBatch(gs) // plain path over dequantized weights
+	m.EnableFused()
+	_, quant := m.PredictBatch(gs) // int8 kernels
+	if m.InferProfile().QuantKernels == 0 {
+		t.Fatal("quantized forward never hit an int8 kernel")
+	}
+	for i := range replay {
+		for j := range replay[i] {
+			if quant[i][j] != replay[i][j] {
+				t.Fatalf("graph %d prob %d: int8 %v vs replay %v", i, j, quant[i][j], replay[i][j])
+			}
+		}
+	}
+}
+
+// TestQuantizedCheckpointRoundTrip checks the mixed-precision model file:
+// byte-stable encoding (the cluster model SHA covers the quantized form)
+// and a load that reproduces the quantized model's predictions bit for bit,
+// including through the int8 kernels.
+func TestQuantizedCheckpointRoundTrip(t *testing.T) {
+	gs := batchGraphs(t, 4, 900)
+	m := NewModel(rng.New(10), DefaultConfig(), BuildVocab(testKernel))
+	m.Freeze()
+	if err := m.Quantize(); err != nil {
+		t.Fatal(err)
+	}
+	_, want := m.PredictBatch(gs)
+
+	var buf1, buf2 bytes.Buffer
+	if err := m.SaveQuantized(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveQuantized(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("quantized checkpoint is not byte-stable")
+	}
+	var fbuf bytes.Buffer
+	if err := m.Save(&fbuf); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf1.Bytes()) >= len(fbuf.Bytes()) {
+		t.Fatalf("quantized checkpoint (%d B) not smaller than float64 (%d B)", buf1.Len(), fbuf.Len())
+	}
+
+	m2, err := Load(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Quantized() == nil || m2.Quantized().Len() != m.Quantized().Len() {
+		t.Fatal("loaded model lost the quantization registry")
+	}
+	m2.Freeze()
+	m2.EnableFused()
+	_, got := m2.PredictBatch(gs)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("graph %d prob %d: loaded %v vs saved %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures the frozen-model serving hot path across
+// the inference configurations: the PR-2-era baseline (unfused float64),
+// fused float64, and fused int8. The fused+quant speedup over the baseline
+// is the headline number recorded in BENCH_quant.json (snowplow-bench
+// -experiment quant reproduces it with output digests).
+func BenchmarkPredictBatch(b *testing.B) {
+	gs := batchGraphs(b, 6, 1000)
+	modes := []struct {
+		name         string
+		fused, quant bool
+	}{
+		{"unfused_f64", false, false},
+		{"fused_f64", true, false},
+		{"fused_quant", true, true},
+	}
+	nsPerOp := map[string]float64{}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			m := NewModel(rng.New(11), DefaultConfig(), BuildVocab(testKernel))
+			m.Freeze()
+			if mode.quant {
+				if err := m.Quantize(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if mode.fused {
+				m.EnableFused()
+			}
+			m.PredictBatch(gs) // warm the pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(gs)
+			}
+			nsPerOp[mode.name] = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		})
+	}
+	if base, ok := nsPerOp["unfused_f64"]; ok {
+		if v := nsPerOp["fused_quant"]; v > 0 {
+			b.Logf("fused_quant speedup vs unfused_f64: %.2fx", base/v)
+		}
+	}
+	if dir := os.Getenv("BENCH_JSON"); dir != "" {
+		out := map[string]interface{}{
+			"benchmark": "BenchmarkPredictBatch", "ns_per_op": nsPerOp,
+		}
+		if base := nsPerOp["unfused_f64"]; base > 0 {
+			speedups := map[string]float64{}
+			for name, v := range nsPerOp {
+				if v > 0 {
+					speedups[name] = base / v
+				}
+			}
+			out["speedup_vs_unfused_f64"] = speedups
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, "BENCH_predictbatch.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
+}

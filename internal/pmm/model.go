@@ -76,12 +76,86 @@ type Model struct {
 	// synchronized, so concurrent Predict/PredictBatch calls on a frozen
 	// model share it safely.
 	pool *nn.Pool
+
+	// fused routes frozen forwards through the fused inference kernels
+	// (EnableFused); quant holds the int8 registry after Quantize or a
+	// mixed-precision checkpoint load. Both paths are bit-identical to the
+	// plain pooled forward — see internal/nn's fused.go and quant.go.
+	fused bool
+	quant *nn.Quantized
 }
 
 // PoolStats snapshots the inference tensor-pool traffic counters (the
 // observability layer's pool-hit-rate gauges read these).
 func (m *Model) PoolStats() nn.PoolStats {
 	return m.pool.Stats()
+}
+
+// InferProfile snapshots the fused/quantized kernel counters (and, under
+// nn.SetKernelProfiling, per-op kernel time) accumulated by this model's
+// inference pool.
+func (m *Model) InferProfile() nn.InferProfile {
+	return m.pool.Profile()
+}
+
+// Fused reports whether the fused inference kernels are enabled.
+func (m *Model) Fused() bool { return m.fused }
+
+// Quantized returns the int8 weight registry, or nil on a float64 model.
+func (m *Model) Quantized() *nn.Quantized { return m.quant }
+
+// linears visits every Linear layer in the model.
+func (m *Model) linears(visit func(*nn.Linear)) {
+	for _, l := range []*nn.Linear{m.tokAttn.Q, m.tokAttn.K, m.tokAttn.V, m.tokAttn.Out} {
+		visit(l)
+	}
+	for _, l := range m.tokMLP.Layers {
+		visit(l)
+	}
+	for li := range m.edgeW {
+		for _, l := range m.edgeW[li] {
+			visit(l)
+		}
+		visit(m.selfW[li])
+	}
+	for _, l := range m.head.Layers {
+		visit(l)
+	}
+}
+
+// EnableFused switches frozen forwards to the fused inference kernels,
+// precomputing each Linear's transposed-weight cache. Requires a frozen
+// model; outputs stay bit-identical to the unfused path.
+func (m *Model) EnableFused() {
+	if !m.frozen() {
+		panic("pmm: EnableFused requires a frozen model")
+	}
+	m.linears(func(l *nn.Linear) { l.FreezeFused() })
+	m.fused = true
+}
+
+// Quantize builds the per-tensor int8 encoding of every large parameter
+// (linear weights and embedding tables; nn.QuantMinSize policy) and rewrites
+// the float64 weights with their dequantized values. After Quantize the
+// float64 and int8 kernels compute from identical weight values, so model
+// outputs are reproducible per seed regardless of which path serves them.
+// Requires a frozen model. Call at most once per checkpoint.
+func (m *Model) Quantize() error {
+	if !m.frozen() {
+		panic("pmm: Quantize requires a frozen model")
+	}
+	params := m.Params()
+	qz := nn.QuantizeParams(params, nn.QuantMinSize)
+	if err := qz.ApplyDequantized(params); err != nil {
+		return err
+	}
+	m.quant = qz
+	if m.fused {
+		// Transposed-weight caches were built from the pre-quantization
+		// weights; rebuild them from the dequantized values.
+		m.linears(func(l *nn.Linear) { l.FreezeFused() })
+	}
+	return nil
 }
 
 // NewModel builds a randomly initialized model.
@@ -244,49 +318,57 @@ func (m *Model) forwardMany(ops nn.Ops, gs []*qgraph.Graph) []*nn.Tensor {
 		return out
 	}
 
-	// Initial vertex states for every graph, in batch order.
-	rows := make([]*nn.Tensor, 0, total)
+	// Initial vertex states for every graph, in batch order. Under the
+	// fused kernels the whole construction is batched by vertex class
+	// (vertexStateFused); otherwise each vertex runs its own embedding
+	// chain. Both produce bit-identical rows.
 	targetIdx := make([][]int, len(gs)) // union indices of VTarget vertices
-	for gi, g := range gs {
-		off := offsets[gi]
-		for vi := range g.Vertices {
-			v := &g.Vertices[vi]
-			h := m.kindEmb.ForwardOps(ops, []int{int(v.Kind)})
-			switch v.Kind {
-			case qgraph.VSyscall:
-				h = addConsume(h, m.callEmb.ForwardOps(ops, []int{hashString(v.Name, m.Cfg.CallBuckets)}))
-			case qgraph.VArg:
-				top := v.TopArg
-				if top > m.Cfg.MaxTopArg {
-					top = m.Cfg.MaxTopArg
-				}
-				depth := v.Depth
-				if depth > m.Cfg.MaxDepth {
-					depth = m.Cfg.MaxDepth
-				}
-				absent := 0
-				if v.Absent {
-					absent = 1
-				}
-				h = addConsume(h, m.typeEmb.ForwardOps(ops, []int{int(v.TypeKind)}))
-				h = addConsume(h, m.topEmb.ForwardOps(ops, []int{top}))
-				h = addConsume(h, m.depthEmb.ForwardOps(ops, []int{depth}))
-				h = addConsume(h, m.absentEmb.ForwardOps(ops, []int{absent}))
-				if len(v.Tokens) > 0 {
-					// Access-path tokens share the kernel token embedding.
+	var state *nn.Tensor
+	if f, ok := ops.(nn.FusedOps); ok && f.FusionEnabled() {
+		state = m.vertexStateFused(f, gs, offsets, total, targetIdx)
+	} else {
+		rows := make([]*nn.Tensor, 0, total)
+		for gi, g := range gs {
+			off := offsets[gi]
+			for vi := range g.Vertices {
+				v := &g.Vertices[vi]
+				h := m.kindEmb.ForwardOps(ops, []int{int(v.Kind)})
+				switch v.Kind {
+				case qgraph.VSyscall:
+					h = addConsume(h, m.callEmb.ForwardOps(ops, []int{hashString(v.Name, m.Cfg.CallBuckets)}))
+				case qgraph.VArg:
+					top := v.TopArg
+					if top > m.Cfg.MaxTopArg {
+						top = m.Cfg.MaxTopArg
+					}
+					depth := v.Depth
+					if depth > m.Cfg.MaxDepth {
+						depth = m.Cfg.MaxDepth
+					}
+					absent := 0
+					if v.Absent {
+						absent = 1
+					}
+					h = addConsume(h, m.typeEmb.ForwardOps(ops, []int{int(v.TypeKind)}))
+					h = addConsume(h, m.topEmb.ForwardOps(ops, []int{top}))
+					h = addConsume(h, m.depthEmb.ForwardOps(ops, []int{depth}))
+					h = addConsume(h, m.absentEmb.ForwardOps(ops, []int{absent}))
+					if len(v.Tokens) > 0 {
+						// Access-path tokens share the kernel token embedding.
+						h = addConsume(h, m.encodeBlockOps(ops, v.Tokens))
+					}
+				default:
 					h = addConsume(h, m.encodeBlockOps(ops, v.Tokens))
+					if v.Kind == qgraph.VTarget {
+						targetIdx[gi] = append(targetIdx[gi], off+vi)
+					}
 				}
-			default:
-				h = addConsume(h, m.encodeBlockOps(ops, v.Tokens))
-				if v.Kind == qgraph.VTarget {
-					targetIdx[gi] = append(targetIdx[gi], off+vi)
-				}
+				rows = append(rows, h)
 			}
-			rows = append(rows, h)
 		}
+		state = ops.ConcatRows(rows)
+		ops.Recycle(rows...)
 	}
-	state := ops.ConcatRows(rows)
-	ops.Recycle(rows...)
 
 	// Pre-index union edges by kind+direction once. Edges never cross
 	// graph boundaries, so message passing cannot mix graphs.
@@ -304,7 +386,12 @@ func (m *Model) forwardMany(ops nn.Ops, gs []*qgraph.Graph) []*nn.Tensor {
 		}
 	}
 
-	// Message passing over the union graph.
+	// Message passing over the union graph. Under the fused kernels the
+	// per-bucket aggregation accumulates in place and the activation clamps
+	// in place — the same per-element sums and clamps, minus one arena
+	// tensor and one memory pass per step.
+	fusedMP, mpOn := ops.(nn.FusedOps)
+	mpOn = mpOn && fusedMP.FusionEnabled()
 	for l := 0; l < m.Cfg.Layers; l++ {
 		agg := m.selfW[l].ForwardOps(ops, state)
 		for k := range buckets {
@@ -314,15 +401,24 @@ func (m *Model) forwardMany(ops nn.Ops, gs []*qgraph.Graph) []*nn.Tensor {
 			srcRows := ops.Gather(state, buckets[k].src)
 			msgs := m.edgeW[l][k].ForwardOps(ops, srcRows)
 			ops.Recycle(srcRows)
-			agg = addConsume(agg, ops.ScatterMean(msgs, buckets[k].dst, total))
+			if mpOn {
+				fusedMP.ScatterMeanInto(agg, msgs, buckets[k].dst)
+			} else {
+				agg = addConsume(agg, ops.ScatterMean(msgs, buckets[k].dst, total))
+			}
 			ops.Recycle(msgs)
 		}
-		act := ops.ReLU(agg)
-		ops.Recycle(agg)
-		sum := ops.Add(state, act)
+		var act *nn.Tensor
+		if mpOn {
+			fusedMP.ReLUInPlace(agg)
+			act = agg
+		} else {
+			act = ops.ReLU(agg)
+			ops.Recycle(agg)
+		}
+		next := m.norms[l].ForwardAddOps(ops, state, act)
 		ops.Recycle(act, state)
-		state = m.norms[l].ForwardOps(ops, sum)
-		ops.Recycle(sum)
+		state = next
 	}
 
 	// Pairwise readout, per graph: score every (argument, target) pair and
@@ -366,6 +462,170 @@ func (m *Model) forwardMany(ops nn.Ops, gs []*qgraph.Graph) []*nn.Tensor {
 	return outs
 }
 
+// vertexStateFused builds the initial union vertex-state matrix through the
+// fused kernels. Instead of one embedding chain and one token-encoder pass
+// per vertex, it batches every step across vertices of the same shape: all
+// token blocks run through a single ragged-attention encoder (one big
+// gather, batched Q/K/V/Out projections, per-block attention inside the
+// kernel), every embedding table is gathered once for all its consumers,
+// and the per-class sums apply the same per-row add order as the per-vertex
+// chain. Every row is bit-identical to the unfused construction — the
+// batched kernels are row-independent — at a small fraction of the kernel
+// launches. Also collects targetIdx (union indices of VTarget vertices).
+func (m *Model) vertexStateFused(f nn.FusedOps, gs []*qgraph.Graph, offsets []int, total int, targetIdx [][]int) *nn.Tensor {
+	ar := f.Arena()
+
+	// One walk over the union: ragged token-block bounds plus per-class
+	// index lists. Arg vertices split on token presence so each class has a
+	// uniform add chain.
+	blockRow := make([]int, total)
+	var flat []int
+	bounds := []int{0}
+	var (
+		sysU, sysCall                                        []int
+		argU, argType, argTop, argDepth, argAbsent           []int
+		argTU, argTType, argTTop, argTDepth, argTAbs, argTBl []int
+		blkU, blkKind, blkBl                                 []int
+	)
+	for gi, g := range gs {
+		off := offsets[gi]
+		for vi := range g.Vertices {
+			v := &g.Vertices[vi]
+			u := off + vi
+			blockRow[u] = -1
+			needBlock := false
+			switch v.Kind {
+			case qgraph.VSyscall:
+			case qgraph.VArg:
+				needBlock = len(v.Tokens) > 0
+			default:
+				needBlock = true
+			}
+			if needBlock {
+				blockRow[u] = len(bounds) - 1
+				if len(v.Tokens) == 0 {
+					flat = append(flat, UnkID)
+				} else {
+					for _, tok := range v.Tokens {
+						flat = append(flat, m.Vocab.ID(tok))
+					}
+				}
+				bounds = append(bounds, len(flat))
+			}
+			switch v.Kind {
+			case qgraph.VSyscall:
+				sysU = append(sysU, u)
+				sysCall = append(sysCall, hashString(v.Name, m.Cfg.CallBuckets))
+			case qgraph.VArg:
+				top := v.TopArg
+				if top > m.Cfg.MaxTopArg {
+					top = m.Cfg.MaxTopArg
+				}
+				depth := v.Depth
+				if depth > m.Cfg.MaxDepth {
+					depth = m.Cfg.MaxDepth
+				}
+				absent := 0
+				if v.Absent {
+					absent = 1
+				}
+				if blockRow[u] >= 0 {
+					argTU = append(argTU, u)
+					argTType = append(argTType, int(v.TypeKind))
+					argTTop = append(argTTop, top)
+					argTDepth = append(argTDepth, depth)
+					argTAbs = append(argTAbs, absent)
+					argTBl = append(argTBl, blockRow[u])
+				} else {
+					argU = append(argU, u)
+					argType = append(argType, int(v.TypeKind))
+					argTop = append(argTop, top)
+					argDepth = append(argDepth, depth)
+					argAbsent = append(argAbsent, absent)
+				}
+			default:
+				if v.Kind == qgraph.VTarget {
+					targetIdx[gi] = append(targetIdx[gi], u)
+				}
+				blkU = append(blkU, u)
+				blkKind = append(blkKind, int(v.Kind))
+				blkBl = append(blkBl, blockRow[u])
+			}
+		}
+	}
+
+	// All token blocks → (numBlocks, dim) through the ragged encoder.
+	var blockOuts *nn.Tensor
+	if len(bounds) > 1 {
+		emb := m.tokEmb.ForwardOps(f, flat)
+		if m.Cfg.UseAttention {
+			att := m.tokAttn.ForwardRaggedOps(f, emb, bounds)
+			ar.Recycle(emb)
+			emb = att
+		}
+		mean := f.RaggedMeanRows(emb, bounds)
+		ar.Recycle(emb)
+		blockOuts = m.tokMLP.ForwardOps(f, mean)
+		ar.Recycle(mean)
+	}
+
+	constIDs := func(id, n int) []int {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = id
+		}
+		return ids
+	}
+	argChain := func(n int, typ, top, depth, absent []int) *nn.Tensor {
+		h := m.kindEmb.ForwardOps(f, constIDs(int(qgraph.VArg), n))
+		m.typeEmb.ForwardAddOps(f, h, typ)
+		m.topEmb.ForwardAddOps(f, h, top)
+		m.depthEmb.ForwardAddOps(f, h, depth)
+		m.absentEmb.ForwardAddOps(f, h, absent)
+		return h
+	}
+
+	// Per-class batched chains, then one permutation gather into union
+	// order. Each row of cat is the same sum, in the same order, as the
+	// per-vertex chain would produce.
+	var parts []*nn.Tensor
+	var order []int
+	if len(sysU) > 0 {
+		h := m.kindEmb.ForwardOps(f, constIDs(int(qgraph.VSyscall), len(sysU)))
+		m.callEmb.ForwardAddOps(f, h, sysCall)
+		parts = append(parts, h)
+		order = append(order, sysU...)
+	}
+	if len(argU) > 0 {
+		parts = append(parts, argChain(len(argU), argType, argTop, argDepth, argAbsent))
+		order = append(order, argU...)
+	}
+	if len(argTU) > 0 {
+		h := argChain(len(argTU), argTType, argTTop, argTDepth, argTAbs)
+		f.GatherAddInto(h, blockOuts, argTBl)
+		parts = append(parts, h)
+		order = append(order, argTU...)
+	}
+	if len(blkU) > 0 {
+		h := m.kindEmb.ForwardOps(f, blkKind)
+		f.GatherAddInto(h, blockOuts, blkBl)
+		parts = append(parts, h)
+		order = append(order, blkU...)
+	}
+	if blockOuts != nil {
+		ar.Recycle(blockOuts)
+	}
+	cat := f.ConcatRows(parts)
+	ar.Recycle(parts...)
+	perm := make([]int, total)
+	for pos, u := range order {
+		perm[u] = pos
+	}
+	state := f.Gather(cat, perm)
+	ar.Recycle(cat)
+	return state
+}
+
 // frozen reports whether the model's parameters are outside differentiation
 // (after Freeze); only then may the pooled inference path be used.
 func (m *Model) frozen() bool {
@@ -403,12 +663,12 @@ func (m *Model) PredictBatch(gs []*qgraph.Graph) ([][]prog.GlobalSlot, [][]float
 		return slots, probs
 	}
 	if m.frozen() {
-		in := nn.NewInfer(m.pool)
+		in, done := m.inferOps()
 		outs := m.forwardMany(in, live)
 		for li, out := range outs {
 			slots[liveIdx[li]], probs[liveIdx[li]] = m.pickSlots(live[li], out.Data)
 		}
-		in.Close()
+		done()
 	} else {
 		outs := m.forwardMany(nn.TrainOps{}, live)
 		for li, out := range outs {
@@ -416,6 +676,25 @@ func (m *Model) PredictBatch(gs []*qgraph.Graph) ([][]prog.GlobalSlot, [][]float
 		}
 	}
 	return slots, probs
+}
+
+// inferOps picks the inference op set for a frozen forward: quantized
+// kernels when an int8 registry is live and fusion is on, fused float64
+// kernels under EnableFused alone, the plain pooled path otherwise. All
+// three produce bit-identical outputs (quantization rewrote the float64
+// weights with dequantized values), so the choice is purely a speed knob.
+func (m *Model) inferOps() (nn.Ops, func()) {
+	switch {
+	case m.quant != nil && m.fused:
+		qi := nn.NewQuantInfer(m.pool, m.quant)
+		return qi, qi.Close
+	case m.fused:
+		in := nn.NewInferFused(m.pool)
+		return in, in.Close
+	default:
+		in := nn.NewInfer(m.pool)
+		return in, in.Close
+	}
 }
 
 // pickSlots converts per-argument logits into the thresholded,
@@ -466,6 +745,24 @@ func (m *Model) Save(w io.Writer) error {
 	return nn.SaveParams(w, m.Params())
 }
 
+// SaveQuantized writes config, vocabulary and mixed-precision weights: int8
+// codes for quantized tensors, float64 for the rest. The encoding is
+// byte-stable, so the cluster's model SHA pins the quantized form. The model
+// must have been Quantized first.
+func (m *Model) SaveQuantized(w io.Writer) error {
+	if m.quant == nil {
+		return fmt.Errorf("pmm: SaveQuantized on a model without a quantization registry")
+	}
+	if _, err := fmt.Fprintf(w, "snowplow-pmm v1 dim=%d layers=%d callbuckets=%d maxtop=%d maxdepth=%d attn=%t threshold=%g\n",
+		m.Cfg.Dim, m.Cfg.Layers, m.Cfg.CallBuckets, m.Cfg.MaxTopArg, m.Cfg.MaxDepth, m.Cfg.UseAttention, m.Cfg.Threshold); err != nil {
+		return err
+	}
+	if err := m.Vocab.Save(w); err != nil {
+		return err
+	}
+	return nn.SaveQuantParams(w, m.Params(), m.quant)
+}
+
 // Load reads a model written by Save.
 func Load(r io.Reader) (*Model, error) {
 	var cfg Config
@@ -486,9 +783,14 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, err
 	}
 	m := NewModel(rng.New(0), cfg, vocab)
-	if err := nn.LoadParams(r, m.Params()); err != nil {
+	qz, err := nn.LoadParamsAuto(r, m.Params())
+	if err != nil {
 		return nil, err
 	}
+	// A mixed-precision checkpoint arrives with the float64 weights already
+	// rewritten to their dequantized values; keep the registry so frozen
+	// fused forwards can serve from the int8 kernels directly.
+	m.quant = qz
 	return m, nil
 }
 

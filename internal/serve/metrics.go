@@ -67,4 +67,19 @@ func (s *Server) registerPullGauges(reg *obs.Registry) {
 	reg.GaugeFunc("nn_pool_idle", "slabs", "slabs parked in the free lists", func() int64 {
 		return int64(s.model.PoolStats().Idle)
 	})
+	reg.GaugeFunc("nn_infer_fused_linear", "kernels", "fused linear+bias(+ReLU) kernel invocations", func() int64 {
+		return s.model.InferProfile().FusedLinear
+	})
+	reg.GaugeFunc("nn_infer_fused_attention", "kernels", "fused attention kernel invocations", func() int64 {
+		return s.model.InferProfile().FusedAttention
+	})
+	reg.GaugeFunc("nn_infer_fused_addnorm", "kernels", "fused add+LayerNorm kernel invocations", func() int64 {
+		return s.model.InferProfile().FusedAddNorm
+	})
+	reg.GaugeFunc("nn_infer_quant_kernels", "kernels", "kernel invocations that read int8 weights", func() int64 {
+		return s.model.InferProfile().QuantKernels
+	})
+	reg.GaugeFunc("nn_infer_kernel_ns", "ns", "total inference-kernel time (requires kernel profiling)", func() int64 {
+		return s.model.InferProfile().KernelNs()
+	})
 }

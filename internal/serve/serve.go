@@ -23,6 +23,7 @@ import (
 
 	"github.com/repro/snowplow/internal/faultinject"
 	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/nn"
 	"github.com/repro/snowplow/internal/obs"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
@@ -85,6 +86,15 @@ type Stats struct {
 	InjTransient int64
 	InjLatency   int64
 	InjCorrupt   int64
+	// BatchFill is AvgBatchSize / Options.BatchSize — how full the
+	// micro-batches ran (1.0 = every forward pass served a full batch).
+	BatchFill float64
+	// Fused and Quantized report which inference path served the run.
+	Fused     bool
+	Quantized bool
+	// Kernel snapshots the fused/quantized kernel counters and — when
+	// kernel profiling is on — per-op kernel time (see nn.InferProfile).
+	Kernel nn.InferProfile
 	// MeanLatency averages over succeeded queries.
 	MeanLatency time.Duration
 	// Throughput is succeeded queries per second over the serving lifetime.
@@ -146,9 +156,25 @@ type Options struct {
 	// reports unhealthy. Default 0.5.
 	UnhealthyAt float64
 	// Metrics, when non-nil, receives the serving instrument bundle plus
-	// pull-model gauges over the graph cache and tensor pool (see
-	// OBSERVABILITY.md). Nil disables metrics at zero measurable cost.
+	// pull-model gauges over the graph cache, tensor pool and inference
+	// kernels (see OBSERVABILITY.md). Nil disables metrics at zero
+	// measurable cost.
 	Metrics *obs.Registry
+	// Fused routes frozen forwards through the fused inference kernels
+	// (pmm.Model.EnableFused): linear+bias+ReLU, attention and add+LayerNorm
+	// collapse into single arena-aware kernels, bit-identical to the unfused
+	// chain. cmd/snowplow passes -fused (default true).
+	Fused bool
+	// Quant int8-quantizes the model's large weights before serving
+	// (pmm.Model.Quantize): weights are stored as int8 codes and the float64
+	// weights are rewritten with their dequantized values, so predictions
+	// stay reproducible per seed. No-op if the model already carries a
+	// quantized registry (e.g. loaded from a mixed-precision checkpoint).
+	Quant bool
+	// KernelProfile enables per-op kernel timing (nn.SetKernelProfiling,
+	// process-wide): Stats.Kernel then reports time per kernel class.
+	// Implied by Metrics so the nn_infer_*_ns gauges are live.
+	KernelProfile bool
 }
 
 func (o Options) withDefaults() Options {
@@ -249,6 +275,19 @@ func NewServer(model *pmm.Model, builder *qgraph.Builder, workers int) *Server {
 func NewServerOpts(model *pmm.Model, builder *qgraph.Builder, opts Options) *Server {
 	opts = opts.withDefaults()
 	model.Freeze()
+	if opts.Quant && model.Quantized() == nil {
+		if err := model.Quantize(); err != nil {
+			// Quantization fails only on a registry/model shape mismatch —
+			// a programming error, not an input condition.
+			panic("serve: quantize model: " + err.Error())
+		}
+	}
+	if opts.Fused && !model.Fused() {
+		model.EnableFused()
+	}
+	if opts.KernelProfile || opts.Metrics != nil {
+		nn.SetKernelProfiling(true)
+	}
 	s := &Server{
 		model:   model,
 		builder: builder,
@@ -578,6 +617,10 @@ func (s *Server) Stats() Stats {
 		cs := s.builder.Cache.Stats()
 		cacheHits, cacheMisses = cs.Hits, cs.Misses
 	}
+	var fill float64
+	if batches > 0 && s.opts.BatchSize > 0 {
+		fill = avgBatch / float64(s.opts.BatchSize)
+	}
 	return Stats{
 		Served:         s.served.Load(),
 		Rejected:       s.rejected.Load(),
@@ -589,6 +632,10 @@ func (s *Server) Stats() Stats {
 		Batches:        batches,
 		BatchedQueries: s.batchedQueries.Load(),
 		AvgBatchSize:   avgBatch,
+		BatchFill:      fill,
+		Fused:          s.model.Fused(),
+		Quantized:      s.model.Quantized() != nil,
+		Kernel:         s.model.InferProfile(),
 		CacheHits:      cacheHits,
 		CacheMisses:    cacheMisses,
 		InjDropped:     s.injDropped.Load(),
