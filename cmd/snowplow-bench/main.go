@@ -9,7 +9,7 @@
 //
 // Experiments: stats, table1, fig6, table2 (includes tables 3 and 4),
 // table5, perf, parallel, cluster, quant, micro, train, ablations, faults,
-// timeseries, all.
+// timeseries, tenants, all.
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,cluster,quant,micro,train,ablations,faults,timeseries,all")
+		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,cluster,quant,micro,train,ablations,faults,timeseries,tenants,all")
 		scale  = flag.String("scale", "quick", "experiment scale: quick or full")
 		seed   = flag.Uint64("seed", 1, "suite seed")
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
@@ -203,6 +203,13 @@ func main() {
 		res := experiments.AblationFaultSweep(h)
 		res.Render(os.Stdout)
 		emit("faults", res)
+		fmt.Println()
+		ran++
+	}
+	if all || want["tenants"] {
+		res := experiments.Tenants(h)
+		res.Render(os.Stdout)
+		emit("tenants", res)
 		fmt.Println()
 		ran++
 	}

@@ -36,6 +36,17 @@ type serveFlags struct {
 	degraded float64
 }
 
+// tenantFlags groups the multi-tenant serving knobs: how many concurrent
+// campaigns share one model server, their weighted-fair shares and quotas,
+// and the autoscaling worker-pool bounds.
+type tenantFlags struct {
+	tenants    int
+	weights    string
+	quota      int
+	minWorkers int
+	maxWorkers int
+}
+
 // obsFlags groups the observability knobs.
 type obsFlags struct {
 	addr           string
@@ -60,7 +71,18 @@ func main() {
 		sf        serveFlags
 		of        obsFlags
 		cf        clusterFlags
+		tf        tenantFlags
 	)
+	flag.IntVar(&tf.tenants, "tenants", 1,
+		"concurrent snowplow campaigns sharing one multi-tenant model server via weighted-fair tenant handles (1 = single campaign)")
+	flag.StringVar(&tf.weights, "tenant-weight", "",
+		"comma-separated deficit-round-robin weights for -tenants campaigns (short list repeats its last value; empty = all 1)")
+	flag.IntVar(&tf.quota, "quota", 0,
+		"per-tenant in-flight query quota for -tenants campaigns (0 = default 2x queue)")
+	flag.IntVar(&tf.minWorkers, "min-workers", 0,
+		"autoscaling worker-pool floor (0 = fixed pool of -workers)")
+	flag.IntVar(&tf.maxWorkers, "max-workers", 0,
+		"autoscaling worker-pool ceiling (0 = fixed pool of -workers)")
 	flag.BoolVar(&cf.worker, "worker", false,
 		"run as a cluster shard worker: join the coordinator at -cluster-addr and exit when the campaign ends")
 	flag.IntVar(&cf.coordinator, "coordinator", 0,
@@ -89,7 +111,7 @@ func main() {
 	case cf.coordinator > 0:
 		err = runClusterCoordinator(cf, *mode, *version, *modelPath, *budget, *seed, *seeds, *fallback, *vms, *quant, of)
 	default:
-		err = run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, *fused, *quant, sf, of)
+		err = run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, *fused, *quant, sf, of, tf)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow:", err)
@@ -97,7 +119,7 @@ func main() {
 	}
 }
 
-func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, vms int, fused, quant bool, sf serveFlags, of obsFlags) error {
+func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, vms int, fused, quant bool, sf serveFlags, of obsFlags, tf tenantFlags) error {
 	// Size the MatMul worker pool alongside the inference pool; results are
 	// bit-identical for any worker count.
 	nn.SetWorkers(workers)
@@ -138,6 +160,9 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 	}
 	switch mode {
 	case "syzkaller":
+		if tf.tenants > 1 {
+			return fmt.Errorf("-tenants requires -mode snowplow")
+		}
 		cfg.Mode = fuzzer.ModeSyzkaller
 	case "snowplow":
 		cfg.Mode = fuzzer.ModeSnowplow
@@ -159,6 +184,8 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		}
 		opts := serve.Options{
 			Workers:       workers,
+			MinWorkers:    tf.minWorkers,
+			MaxWorkers:    tf.maxWorkers,
 			BatchSize:     batch,
 			Deadline:      sf.deadline,
 			MaxRetries:    sf.retries,
@@ -178,6 +205,9 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		srv := serve.NewServerOpts(m, builder, opts)
 		defer srv.Close()
 		cfg.Server = srv
+		if tf.tenants > 1 {
+			return runTenantCampaigns(cfg, srv, tf, seed, nseeds, k, sampler)
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}

@@ -93,6 +93,10 @@ type Coordinator struct {
 	resumed     bool
 }
 
+// Spec returns the campaign spec the coordinator is running — for a
+// resumed campaign, the spec restored from the checkpoint.
+func (c *Coordinator) Spec() CampaignSpec { return c.cfg.Spec }
+
 // NewCoordinator creates a coordinator for a fresh campaign and starts
 // listening. Call Run to admit workers and execute the campaign.
 func NewCoordinator(cfg Config) (*Coordinator, error) {

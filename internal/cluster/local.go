@@ -1,12 +1,32 @@
 // Loopback helpers: run a whole cluster (coordinator + N workers) inside
 // one process over 127.0.0.1 sockets. The determinism and fault suites, the
 // bench harness and the CI smoke all drive campaigns through these.
+//
+// In Snowplow mode the loopback cluster is also where serving multiplexing
+// lives: instead of N private model replicas, driveLocal loads the spec's
+// model once into one multi-tenant serve.Server and hands each in-process
+// worker its own tenant. Predictions depend only on the model bytes and the
+// query, so shared serving is bit-identical to private serving — the
+// determinism digests don't move — while the model's weights, graph cache
+// and tensor arenas are paid for once. TCP workers (RunWorker from another
+// process) still materialize a private server from the spec; a handle can't
+// cross the wire. WorkerOptions.PrivateServing opts local workers back into
+// that behavior for A/B comparisons.
 
 package cluster
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
+
+	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/serve"
 )
 
 // RunLocal runs a fresh cluster campaign with workers in-process workers.
@@ -19,7 +39,7 @@ func RunLocal(cfg Config, workers int, wopts WorkerOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return driveLocal(co, workers, wopts)
+	return driveLocal(co, cfg.Spec, workers, wopts)
 }
 
 // ResumeLocal resumes a checkpointed campaign onto a fresh local cluster;
@@ -30,18 +50,92 @@ func ResumeLocal(cfg Config, checkpoint []byte, workers int, wopts WorkerOptions
 	if err != nil {
 		return nil, err
 	}
-	return driveLocal(co, workers, wopts)
+	return driveLocal(co, co.Spec(), workers, wopts)
 }
 
-func driveLocal(co *Coordinator, workers int, wopts WorkerOptions) (*Result, error) {
+// kernelPair bundles the built kernel with its control-flow analysis, the
+// two inputs the shared server's graph builder needs.
+type kernelPair struct {
+	k  *kernel.Kernel
+	an *cfa.Analysis
+}
+
+func kernelFor(version string) (kernelPair, error) {
+	k, err := kernel.Build(version)
+	if err != nil {
+		return kernelPair{}, fmt.Errorf("cluster: building kernel: %w", err)
+	}
+	return kernelPair{k: k, an: cfa.New(k)}, nil
+}
+
+// sharedServer builds the multi-tenant model server for an in-process
+// Snowplow cluster: one server, one tenant per worker. Sizing mirrors
+// Materialize — the whole fleet's prediction window fits every tenant's
+// queue, so a fault-free campaign never degrades; the tenant quota default
+// (2× queue) is likewise never reached by a well-behaved shard.
+func sharedServer(sp CampaignSpec, workers int, wopts WorkerOptions) (*serve.Server, []*serve.Tenant, error) {
+	m, err := pmm.Load(bytes.NewReader(sp.Model))
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: loading shared model: %w", err)
+	}
+	k, err := kernelFor(sp.KernelVersion)
+	if err != nil {
+		return nil, nil, err
+	}
+	serveWorkers := wopts.ServeWorkers
+	if serveWorkers <= 0 {
+		serveWorkers = 2
+	}
+	vms := sp.TotalVMs
+	if vms <= 0 {
+		vms = 1
+	}
+	pending := sp.MaxPending
+	if pending <= 0 {
+		pending = 8
+	}
+	queue := vms*pending*2 + serveWorkers*8
+	srv := serve.NewServerOpts(m, qgraph.NewBuilder(k.k, k.an), serve.Options{
+		Workers:   serveWorkers,
+		QueueSize: queue,
+		Deadline:  30 * time.Second,
+		Fused:     wopts.Fused,
+	})
+	tenants := make([]*serve.Tenant, workers)
+	for i := range tenants {
+		t, err := srv.Tenant(serve.TenantConfig{Name: "worker" + strconv.Itoa(i)})
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		tenants[i] = t
+	}
+	return srv, tenants, nil
+}
+
+func driveLocal(co *Coordinator, sp CampaignSpec, workers int, wopts WorkerOptions) (*Result, error) {
 	addr := co.Addr()
+	perWorker := make([]WorkerOptions, workers)
+	for i := range perWorker {
+		perWorker[i] = wopts
+	}
+	if sp.Mode == 1 && wopts.Inference == nil && !wopts.PrivateServing {
+		srv, tenants, err := sharedServer(sp, workers, wopts)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		for i := range perWorker {
+			perWorker[i].Inference = tenants[i]
+		}
+	}
 	var wg sync.WaitGroup
 	workerErrs := make([]error, workers)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			workerErrs[i] = RunWorker(addr, wopts)
+			workerErrs[i] = RunWorker(addr, perWorker[i])
 		}(i)
 	}
 	res, err := co.Run()

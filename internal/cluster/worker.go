@@ -19,6 +19,16 @@ type WorkerOptions struct {
 	// Dial overrides the TCP dialer (fault-injection tests wrap the
 	// connection here).
 	Dial func(addr string) (net.Conn, error)
+	// Inference, when non-nil, serves the worker's PMM queries instead of
+	// a private model server — typically one tenant of a shared
+	// multi-tenant server (see RunLocal, which multiplexes every
+	// in-process worker campaign onto one model this way). Predictions
+	// depend only on the model and the query, so shared and private
+	// serving are bit-identical. Ignored outside Snowplow mode.
+	Inference serve.Inferrer
+	// PrivateServing forces a per-worker model server even where a shared
+	// one would be provided (determinism comparisons, A/B benchmarks).
+	PrivateServing bool
 	// ServeWorkers sizes the worker's local inference server pool
 	// (Snowplow mode; default 2).
 	ServeWorkers int
@@ -87,11 +97,15 @@ func RunWorker(addr string, opts WorkerOptions) error {
 		return err
 	}
 
-	rt, err := a.Spec.Materialize(a.Spec.Mode == 1, opts.ServeWorkers, opts.Fused)
+	needServer := a.Spec.Mode == 1 && (opts.Inference == nil || opts.PrivateServing)
+	rt, err := a.Spec.Materialize(needServer, opts.ServeWorkers, opts.Fused)
 	if err != nil {
 		return sendErr(err)
 	}
 	defer rt.Close()
+	if a.Spec.Mode == 1 && !needServer {
+		rt.Cfg.Server = opts.Inference
+	}
 	shard, err := fuzzer.NewShard(rt.Cfg)
 	if err != nil {
 		return sendErr(err)

@@ -1,0 +1,248 @@
+// The multi-tenant serving benchmark: how much does consolidating N
+// concurrent campaigns onto one shared, weighted-fair, autoscaling model
+// server cost against giving every campaign its own dedicated server?
+//
+// For each fleet size the dedicated baseline runs N single-worker servers
+// (one per campaign) and the shared side runs one multi-tenant server with
+// cross-tenant micro-batching and an autoscaling pool; each campaign drives
+// its side with one synchronous submitter for a fixed wall-clock window.
+// Reported per scenario: aggregate throughput of both sides, their ratio
+// (the consolidation efficiency), and the fairness ratio — the max/min
+// per-tenant served share normalized by weight, 1.0 being perfectly fair
+// deficit round-robin. The single-campaign scenario doubles as the
+// regression guard for the pre-tenancy serving path, measured in interleaved
+// rounds so host-load noise hits both sides alike.
+
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/repro/snowplow/internal/serve"
+)
+
+// TenantScenario is one fleet-size row of the multi-tenant benchmark.
+type TenantScenario struct {
+	// Tenants is the number of concurrent campaigns.
+	Tenants int
+	// SharedQPS and DedicatedQPS are aggregate succeeded queries/second on
+	// the one-shared-server and N-dedicated-servers platforms.
+	SharedQPS    float64
+	DedicatedQPS float64
+	// QPSRatio is SharedQPS/DedicatedQPS — the consolidation efficiency.
+	QPSRatio float64
+	// FairnessRatio is max/min per-tenant served count divided by weight on
+	// the shared server (1.0 = perfectly weight-proportional service).
+	FairnessRatio float64
+	// MaxMeanQueueWait is the worst tenant's mean scheduler-queue wait.
+	MaxMeanQueueWait time.Duration
+	// BatchFill is the shared server's batch occupancy (AvgBatchSize /
+	// BatchSize).
+	BatchFill float64
+	// ScaleUps/ScaleDowns count the shared pool's journaled autoscale
+	// decisions; Shed counts admission sheds (zero without an SLO).
+	ScaleUps   int64
+	ScaleDowns int64
+	Shed       int64
+}
+
+// TenantsResult is the multi-tenant serving benchmark artifact
+// (BENCH_tenants.json).
+type TenantsResult struct {
+	Scenarios []TenantScenario
+	// SingleTenantSharedQPS / SingleTenantDedicatedQPS are the interleaved
+	// single-campaign measurements behind the regression figure.
+	SingleTenantSharedQPS    float64
+	SingleTenantDedicatedQPS float64
+	// SingleTenantRegressionPct is how much slower the shared platform
+	// serves a lone campaign than a dedicated server (negative = faster).
+	SingleTenantRegressionPct float64
+	// SpecDigest fingerprints the 16-tenant TenantSpec encoding the
+	// benchmark ran (EncodeTenantSpec, SHA-256).
+	SpecDigest string
+}
+
+// tenantBenchWindow is the per-measurement wall-clock window.
+const tenantBenchWindow = 250 * time.Millisecond
+
+// driveTenants hammers each Inferrer with one synchronous submitter for the
+// window and returns per-tenant succeeded counts and the aggregate QPS.
+func driveTenants(infs []serve.Inferrer, q serve.Query, window time.Duration) ([]int64, float64) {
+	counts := make([]int64, len(infs))
+	start := time.Now()
+	deadline := start.Add(window)
+	var wg sync.WaitGroup
+	for i, inf := range infs {
+		wg.Add(1)
+		go func(i int, inf serve.Inferrer) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if _, err := inf.Infer(q); err == nil {
+					counts[i]++
+				}
+			}
+		}(i, inf)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return counts, float64(total) / elapsed
+}
+
+// sharedPlatform builds the consolidated server for n campaigns and returns
+// its tenant handles.
+func sharedPlatform(h *Harness, n int) (*serve.Server, []serve.Inferrer) {
+	maxW := n
+	if maxW > 4 {
+		maxW = 4
+	}
+	opts := serve.Options{
+		Workers:       1,
+		MinWorkers:    1,
+		MaxWorkers:    maxW,
+		ScaleInterval: 2 * time.Millisecond,
+		ScaleHold:     2,
+		BatchSize:     8,
+		QueueSize:     256,
+	}
+	if n > 1 {
+		// A generous SLO arms queue-wait tracking (for the wait column)
+		// without ever shedding a healthy benchmark run. The single-campaign
+		// scenario stays on the PR-7-default untracked path, since it is the
+		// regression guard for exactly that configuration.
+		opts.SLOQueueWait = time.Hour
+	}
+	srv := h.ServerOpts("6.8", opts)
+	infs := make([]serve.Inferrer, n)
+	for i := range infs {
+		t, err := srv.Tenant(serve.TenantConfig{Name: fmt.Sprintf("t%d", i)})
+		if err != nil {
+			panic(err)
+		}
+		infs[i] = t
+	}
+	return srv, infs
+}
+
+// dedicatedPlatform builds n single-worker servers, one per campaign.
+func dedicatedPlatform(h *Harness, n int) ([]*serve.Server, []serve.Inferrer) {
+	srvs := make([]*serve.Server, n)
+	infs := make([]serve.Inferrer, n)
+	for i := range srvs {
+		srvs[i] = h.ServerOpts("6.8", serve.Options{Workers: 1})
+		infs[i] = srvs[i]
+	}
+	return srvs, infs
+}
+
+func fairnessRatio(counts []int64) float64 {
+	lo, hi := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if lo <= 0 {
+		return 0
+	}
+	return float64(hi) / float64(lo)
+}
+
+// Tenants runs the multi-tenant serving benchmark over 1, 4 and 16
+// concurrent campaigns.
+func Tenants(h *Harness) TenantsResult {
+	k := h.Kernel("6.8")
+	q := sampleQuery(h, k)
+	var res TenantsResult
+
+	// Warm the model cache before timing anything.
+	h.Model()
+
+	for _, n := range []int{1, 4, 16} {
+		h.logf("tenants: %d concurrent campaigns...\n", n)
+		var sc TenantScenario
+		sc.Tenants = n
+		// Interleave dedicated and shared rounds so wall-clock noise from a
+		// busy host degrades both sides alike.
+		const rounds = 3
+		var sharedCounts []int64
+		for r := 0; r < rounds; r++ {
+			srvs, dinfs := dedicatedPlatform(h, n)
+			_, dqps := driveTenants(dinfs, q, tenantBenchWindow)
+			for _, s := range srvs {
+				s.Close()
+			}
+			sc.DedicatedQPS += dqps
+
+			shared, sinfs := sharedPlatform(h, n)
+			counts, sqps := driveTenants(sinfs, q, tenantBenchWindow)
+			sc.SharedQPS += sqps
+			if sharedCounts == nil {
+				sharedCounts = counts
+			} else {
+				for i, c := range counts {
+					sharedCounts[i] += c
+				}
+			}
+			st := shared.Stats()
+			sc.ScaleUps += st.ScaleUps
+			sc.ScaleDowns += st.ScaleDowns
+			sc.Shed += st.Shed
+			sc.BatchFill += st.BatchFill / rounds
+			for _, ts := range shared.TenantStats() {
+				if ts.MeanQueueWait > sc.MaxMeanQueueWait {
+					sc.MaxMeanQueueWait = ts.MeanQueueWait
+				}
+			}
+			shared.Close()
+		}
+		sc.SharedQPS /= rounds
+		sc.DedicatedQPS /= rounds
+		if sc.DedicatedQPS > 0 {
+			sc.QPSRatio = sc.SharedQPS / sc.DedicatedQPS
+		}
+		sc.FairnessRatio = fairnessRatio(sharedCounts)
+		res.Scenarios = append(res.Scenarios, sc)
+		if n == 1 {
+			res.SingleTenantSharedQPS = sc.SharedQPS
+			res.SingleTenantDedicatedQPS = sc.DedicatedQPS
+			if sc.DedicatedQPS > 0 {
+				res.SingleTenantRegressionPct = 100 * (1 - sc.SharedQPS/sc.DedicatedQPS)
+			}
+		}
+	}
+
+	spec, err := serve.ParseTenantSpec(16, "", 0, 1, 4)
+	if err != nil {
+		panic(err)
+	}
+	sum := sha256.Sum256(serve.EncodeTenantSpec(spec))
+	res.SpecDigest = hex.EncodeToString(sum[:])
+	return res
+}
+
+// Render prints the benchmark table.
+func (r TenantsResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Multi-tenant serving (1/4/16 concurrent campaigns) ==\n")
+	fmt.Fprintf(w, "%-8s %12s %12s %8s %9s %10s %7s %7s\n",
+		"tenants", "shared q/s", "dedic. q/s", "ratio", "fairness", "max wait", "fill", "scale")
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(w, "%-8d %12.0f %12.0f %8.2f %9.2f %10v %7.2f %4d/%d\n",
+			sc.Tenants, sc.SharedQPS, sc.DedicatedQPS, sc.QPSRatio, sc.FairnessRatio,
+			sc.MaxMeanQueueWait.Round(time.Microsecond), sc.BatchFill, sc.ScaleUps, sc.ScaleDowns)
+	}
+	fmt.Fprintf(w, "single campaign on the shared platform: %.1f%% regression vs a dedicated server\n",
+		r.SingleTenantRegressionPct)
+	fmt.Fprintf(w, "16-tenant spec digest: %s\n", r.SpecDigest)
+}

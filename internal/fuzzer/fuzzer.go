@@ -72,8 +72,11 @@ type Config struct {
 	// SyncEvery is the per-VM simulated cost between corpus
 	// synchronization barriers in parallel mode (0 = per-VM budget / 32).
 	SyncEvery int64
-	// Server performs PMM inference (required in ModeSnowplow).
-	Server *serve.Server
+	// Server performs PMM inference (required in ModeSnowplow). It is any
+	// serve.Inferrer: a dedicated *serve.Server, or one *serve.Tenant of a
+	// shared multi-tenant server when several campaigns run against the
+	// same model.
+	Server serve.Inferrer
 	// FallbackProb is the probability of random argument localization in
 	// Snowplow mode (§3.4's fallback mechanism).
 	FallbackProb float64

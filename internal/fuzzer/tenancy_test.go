@@ -1,0 +1,88 @@
+package fuzzer
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/repro/snowplow/internal/pmm"
+	"github.com/repro/snowplow/internal/qgraph"
+	"github.com/repro/snowplow/internal/rng"
+	"github.com/repro/snowplow/internal/serve"
+)
+
+// snowplowCampaignOn runs one synchronous-inference campaign against a
+// server built with the given options, optionally as a registered tenant of
+// that server rather than through its default tenant.
+func snowplowCampaignOn(t *testing.T, seed uint64, opts serve.Options, asTenant bool) *Stats {
+	t.Helper()
+	m := pmm.NewModel(rng.New(77), pmm.DefaultConfig(), pmm.BuildVocab(testKernel))
+	srv := serve.NewServerOpts(m, qgraph.NewBuilder(testKernel, testAn).WithCache(256), opts)
+	defer srv.Close()
+	var inf serve.Inferrer = srv
+	if asTenant {
+		h, err := srv.Tenant(serve.TenantConfig{Name: "campaign", Weight: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf = h
+	}
+	cfg := baselineConfig(seed, 200_000)
+	cfg.Mode = ModeSnowplow
+	cfg.Server = inf
+	cfg.SyncInference = true
+	stats, err := New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestCampaignBitIdenticalAcrossServingPlatform is the multi-tenancy
+// backward-compat contract: the same campaign produces byte-for-byte
+// identical stats whether it runs through a dedicated server's default
+// tenant (the pre-tenancy PR-7 path), as a registered tenant of a shared
+// server, or on an autoscaling worker pool — with the fused kernels on or
+// off. Tenancy and scaling change who is served when, never what is
+// predicted.
+func TestCampaignBitIdenticalAcrossServingPlatform(t *testing.T) {
+	const seed = 57
+	base := snowplowCampaignOn(t, seed, serve.Options{Workers: 1}, false)
+	if base.FinalEdges == 0 || base.PMMQueries == 0 {
+		t.Fatal("baseline campaign did no PMM-guided work")
+	}
+	variants := []struct {
+		name     string
+		opts     serve.Options
+		asTenant bool
+	}{
+		{"registered-tenant", serve.Options{Workers: 1}, true},
+		{"fused", serve.Options{Workers: 1, Fused: true}, false},
+		{"fused-tenant-batched", serve.Options{Workers: 2, BatchSize: 4, Fused: true}, true},
+		{"autoscaled", serve.Options{Workers: 1, MinWorkers: 1, MaxWorkers: 4, ScaleHold: 1}, false},
+		{"autoscaled-tenant", serve.Options{Workers: 1, MinWorkers: 1, MaxWorkers: 4, ScaleHold: 1, Fused: true}, true},
+	}
+	for _, v := range variants {
+		if got := snowplowCampaignOn(t, seed, v.opts, v.asTenant); !reflect.DeepEqual(got, base) {
+			t.Errorf("%s: campaign diverged from the dedicated-server baseline:\nbase: edges=%d execs=%d queries=%d preds=%d cacheHits=%d\ngot:  edges=%d execs=%d queries=%d preds=%d cacheHits=%d",
+				v.name,
+				base.FinalEdges, base.Executions, base.PMMQueries, base.PMMPredictions, base.PMMCacheHits,
+				got.FinalEdges, got.Executions, got.PMMQueries, got.PMMPredictions, got.PMMCacheHits)
+		}
+	}
+}
+
+// TestCampaignQuantReproducible pins the quantized path the same way:
+// int8-quantized serving reproduces itself exactly across platform shapes
+// (it legitimately differs from the float baseline — weights are rewritten
+// dequantized — but must be deterministic and tenancy-invariant).
+func TestCampaignQuantReproducible(t *testing.T) {
+	const seed = 58
+	qbase := snowplowCampaignOn(t, seed, serve.Options{Workers: 1, Quant: true}, false)
+	if qbase.FinalEdges == 0 || qbase.PMMQueries == 0 {
+		t.Fatal("quantized campaign did no PMM-guided work")
+	}
+	qTenant := snowplowCampaignOn(t, seed, serve.Options{Workers: 2, BatchSize: 4, Quant: true, Fused: true}, true)
+	if !reflect.DeepEqual(qbase, qTenant) {
+		t.Fatal("quantized campaign diverged between dedicated server and shared-server tenant")
+	}
+}

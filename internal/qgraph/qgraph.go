@@ -199,16 +199,24 @@ func (b *Builder) WithCache(capacity int) *Builder {
 // With a Cache attached, a structurally identical repeat query returns the
 // cached graph without rebuilding.
 func (b *Builder) Build(p *prog.Prog, traces [][]kernel.BlockID, targets []kernel.BlockID) *Graph {
+	g, _ := b.BuildCached(p, traces, targets)
+	return g
+}
+
+// BuildCached is Build plus a report of whether the graph was served from
+// the attached cache (always false without one), so multi-tenant serving
+// can attribute the shared cache's hit/miss traffic to the querying tenant.
+func (b *Builder) BuildCached(p *prog.Prog, traces [][]kernel.BlockID, targets []kernel.BlockID) (*Graph, bool) {
 	if b.Cache == nil {
-		return b.build(p, traces, targets)
+		return b.build(p, traces, targets), false
 	}
 	key := hashQuery(p, traces, targets)
 	if g, ok := b.Cache.get(key); ok {
-		return g
+		return g, true
 	}
 	g := b.build(p, traces, targets)
 	b.Cache.put(key, g)
-	return g
+	return g, false
 }
 
 // build is the uncached graph construction.

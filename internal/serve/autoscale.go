@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Worker-pool autoscaling. An evaluator goroutine samples the scheduler's
+// queue depth every ScaleInterval — the same signal the PR-4
+// serve_queue_depth gauge exports — and votes: depth above
+// ScaleUpAt×workers to grow, below ScaleDownAt×workers to shrink. A vote
+// must repeat for ScaleHold consecutive evaluations before it is applied
+// (hysteresis), growth takes half-pool steps toward MaxWorkers, shrinkage
+// single-worker steps toward MinWorkers. Scale-down is graceful: the target
+// drops and workers with id ≥ target exit at their next pickup, so no
+// in-flight batch is interrupted.
+//
+// Every decision is journaled as a ScaleEvent. The journal is deliberately
+// separate from the campaign journal (internal/obs): scaling reacts to
+// wall-clock load and differs run to run, while campaign replay must not —
+// predictions are bit-identical at any pool size, so the autoscale
+// trajectory can vary freely without perturbing tenant-visible results.
+
+// ScaleEvent is one journaled autoscaling decision.
+type ScaleEvent struct {
+	// Seq numbers decisions from 0 in decision order.
+	Seq int
+	// At is the decision instant relative to server start.
+	At time.Duration
+	// From and To are the worker-pool targets before and after.
+	From int
+	To   int
+	// Queued is the scheduler depth that drove the decision.
+	Queued int
+	// Reason is "queue depth over high-water" or "queue idle below
+	// low-water".
+	Reason string
+}
+
+// maxScaleLog bounds the journal; campaigns long enough to overflow it keep
+// the newest events and count the overflow.
+const maxScaleLog = 4096
+
+// autoscaler runs the evaluator and owns the scale journal. It is embedded
+// in Server and inert (no goroutine) when MinWorkers == MaxWorkers.
+type autoscaler struct {
+	on   bool
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	ups, downs atomic.Int64
+
+	mu      sync.Mutex
+	events  []ScaleEvent
+	dropped int
+}
+
+func (a *autoscaler) start(s *Server) {
+	if s.opts.MinWorkers == s.opts.MaxWorkers {
+		return
+	}
+	a.on = true
+	a.stop = make(chan struct{})
+	a.wg.Add(1)
+	go a.run(s)
+}
+
+func (a *autoscaler) run(s *Server) {
+	defer a.wg.Done()
+	tick := time.NewTicker(s.opts.ScaleInterval)
+	defer tick.Stop()
+	upStreak, downStreak := 0, 0
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-tick.C:
+			a.evaluate(s, &upStreak, &downStreak)
+		}
+	}
+}
+
+// evaluate applies one hysteresis step of the watermark policy.
+func (a *autoscaler) evaluate(s *Server, upStreak, downStreak *int) {
+	sc := s.sched
+	sc.mu.Lock()
+	queued, cur := sc.queued, sc.target
+	sc.mu.Unlock()
+	opts := s.opts
+	if float64(queued) > opts.ScaleUpAt*float64(cur) && cur < opts.MaxWorkers {
+		*upStreak++
+		*downStreak = 0
+	} else if float64(queued) < opts.ScaleDownAt*float64(cur) && cur > opts.MinWorkers {
+		*downStreak++
+		*upStreak = 0
+	} else {
+		*upStreak, *downStreak = 0, 0
+	}
+	switch {
+	case *upStreak >= opts.ScaleHold:
+		*upStreak = 0
+		next := cur + max(1, cur/2)
+		if next > opts.MaxWorkers {
+			next = opts.MaxWorkers
+		}
+		a.apply(s, cur, next, queued, "queue depth over high-water")
+	case *downStreak >= opts.ScaleHold:
+		*downStreak = 0
+		a.apply(s, cur, cur-1, queued, "queue idle below low-water")
+	}
+}
+
+// apply retargets the pool and journals the decision. Growth spawns workers
+// for dead ids below the target; shrinkage just lowers the target and wakes
+// idle workers so the excess ids observe it and exit.
+func (a *autoscaler) apply(s *Server, from, to, queued int, reason string) {
+	if to == from {
+		return
+	}
+	sc := s.sched
+	sc.mu.Lock()
+	if sc.closed || sc.target != from {
+		sc.mu.Unlock()
+		return
+	}
+	sc.target = to
+	if to > from {
+		for id := 0; id < to; id++ {
+			if !sc.alive[id] {
+				sc.alive[id] = true
+				s.workerWG.Add(1)
+				go s.workerLoop(id)
+			}
+		}
+	} else {
+		sc.cond.Broadcast()
+	}
+	sc.mu.Unlock()
+	if to > from {
+		a.ups.Add(1)
+		s.m.scaleUps.Inc()
+	} else {
+		a.downs.Add(1)
+		s.m.scaleDowns.Inc()
+	}
+	s.m.scaleWorkers.Set(int64(to))
+	a.mu.Lock()
+	if len(a.events) >= maxScaleLog {
+		copy(a.events, a.events[1:])
+		a.events = a.events[:maxScaleLog-1]
+		a.dropped++
+	}
+	a.events = append(a.events, ScaleEvent{
+		Seq:    len(a.events) + a.dropped,
+		At:     time.Since(s.started),
+		From:   from,
+		To:     to,
+		Queued: queued,
+		Reason: reason,
+	})
+	a.mu.Unlock()
+}
+
+func (a *autoscaler) stopEvaluator() {
+	if !a.on {
+		return
+	}
+	close(a.stop)
+	a.wg.Wait()
+}
+
+func (a *autoscaler) workersNow(s *Server) int {
+	sc := s.sched
+	sc.mu.Lock()
+	n := sc.target
+	sc.mu.Unlock()
+	return n
+}
+
+// ScaleLog returns the journaled autoscaling decisions in order. The slice
+// is a copy; with more than maxScaleLog decisions the oldest are dropped
+// (Seq still reflects the absolute decision number).
+func (s *Server) ScaleLog() []ScaleEvent {
+	s.scaler.mu.Lock()
+	defer s.scaler.mu.Unlock()
+	out := make([]ScaleEvent, len(s.scaler.events))
+	copy(out, s.scaler.events)
+	return out
+}

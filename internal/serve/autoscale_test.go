@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// floodUntil submits async queries until cond holds or the deadline passes,
+// returning every reply channel for draining.
+func floodUntil(t *testing.T, s *Server, q Query, cond func() bool, deadline time.Duration) []<-chan Prediction {
+	t.Helper()
+	var replies []<-chan Prediction
+	stop := time.Now().Add(deadline)
+	for !cond() {
+		if time.Now().After(stop) {
+			t.Fatalf("condition not reached within %v (stats %+v)", deadline, s.Stats())
+		}
+		for i := 0; i < 16; i++ {
+			r, err := s.InferAsync(q)
+			if err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+			replies = append(replies, r)
+		}
+	}
+	return replies
+}
+
+func waitFor(t *testing.T, what string, cond func() bool, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for !cond() {
+		if time.Now().After(stop) {
+			t.Fatalf("%s not reached within %v", what, deadline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAutoscaleGrowsAndShrinks(t *testing.T) {
+	s := newTestServerOpts(t, Options{
+		Workers:       1,
+		MinWorkers:    1,
+		MaxWorkers:    4,
+		ScaleInterval: time.Millisecond,
+		ScaleHold:     2,
+		QueueSize:     512,
+		// The race detector slows inference ~15x; a generous deadline keeps
+		// the flooded queue's tail from timing out under instrumentation.
+		Deadline: 2 * time.Minute,
+	})
+	defer s.Close()
+	q := testQuery(t)
+
+	replies := floodUntil(t, s, q, func() bool { return s.Stats().ScaleUps > 0 }, 10*time.Second)
+	var ok int
+	for _, r := range replies {
+		p := <-r
+		switch {
+		case p.Err == nil:
+			ok++
+		case errors.Is(p.Err, ErrQueueFull):
+			// Legitimate backpressure: the flood intentionally outruns the
+			// queue to trip the high-water mark.
+		default:
+			t.Fatalf("prediction under autoscale: %v", p.Err)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no query survived the flood")
+	}
+	// Idle queue: the pool must drain back to MinWorkers.
+	waitFor(t, "scale-down to MinWorkers", func() bool {
+		st := s.Stats()
+		return st.ScaleDowns > 0 && st.Workers == 1
+	}, 10*time.Second)
+
+	log := s.ScaleLog()
+	if len(log) == 0 {
+		t.Fatal("ScaleLog empty after observed scale decisions")
+	}
+	if first := log[0]; first.From != 1 || first.To <= first.From || first.Reason == "" {
+		t.Fatalf("first scale event %+v, want a journaled grow from 1", first)
+	}
+	sawDown := false
+	for i, ev := range log {
+		if ev.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+		if ev.To < 1 || ev.To > 4 {
+			t.Fatalf("event %d target %d outside [MinWorkers, MaxWorkers]", i, ev.To)
+		}
+		if ev.To < ev.From {
+			sawDown = true
+			if ev.To != ev.From-1 {
+				t.Fatalf("event %d shrinks %d -> %d, want single-worker steps", i, ev.From, ev.To)
+			}
+		}
+	}
+	if !sawDown {
+		t.Fatal("no scale-down event journaled")
+	}
+}
+
+func TestAutoscaleDisabledByDefault(t *testing.T) {
+	s := newTestServer(t, 2)
+	defer s.Close()
+	q := testQuery(t)
+	for i := 0; i < 8; i++ {
+		if _, err := s.Infer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.ScaleUps != 0 || st.ScaleDowns != 0 || st.Workers != 2 {
+		t.Fatalf("fixed pool moved: %+v", st)
+	}
+	if log := s.ScaleLog(); len(log) != 0 {
+		t.Fatalf("ScaleLog = %+v, want empty without autoscaling", log)
+	}
+}
+
+// TestPredictionsIdenticalAcrossPoolConfigs is the determinism contract:
+// worker-pool size, batching and the autoscale trajectory change only
+// throughput, never a prediction's bits.
+func TestPredictionsIdenticalAcrossPoolConfigs(t *testing.T) {
+	base := testQuery(t)
+	queries := []Query{base}
+	for n := 1; n < len(base.Targets); n++ {
+		q := base
+		q.Targets = base.Targets[:n]
+		queries = append(queries, q)
+	}
+
+	configs := []Options{
+		{Workers: 1, QueueSize: 64},
+		{Workers: 4, BatchSize: 4, QueueSize: 64},
+		{Workers: 1, MinWorkers: 1, MaxWorkers: 8, ScaleInterval: time.Millisecond, ScaleHold: 1, BatchSize: 2, QueueSize: 64},
+	}
+	var want []Prediction
+	for ci, opts := range configs {
+		s := newTestServerOpts(t, opts)
+		// Load the server concurrently so the autoscaled config actually
+		// scales mid-run, then measure the queries of record synchronously.
+		var replies []<-chan Prediction
+		for i := 0; i < 32; i++ {
+			r, err := s.InferAsync(queries[i%len(queries)])
+			if err != nil {
+				t.Fatalf("config %d warm-up submit: %v", ci, err)
+			}
+			replies = append(replies, r)
+		}
+		got := make([]Prediction, len(queries))
+		for i, q := range queries {
+			p, err := s.Infer(q)
+			if err != nil {
+				t.Fatalf("config %d query %d: %v", ci, i, err)
+			}
+			got[i] = p
+		}
+		for _, r := range replies {
+			if p := <-r; p.Err != nil {
+				t.Fatalf("config %d warm-up: %v", ci, p.Err)
+			}
+		}
+		s.Close()
+		if ci == 0 {
+			want = got
+			continue
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].Slots, want[i].Slots) || !reflect.DeepEqual(got[i].Probs, want[i].Probs) {
+				t.Fatalf("config %d query %d prediction differs from single-worker baseline", ci, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTenantConfig checks the tenant-spec codec's two contracts, mirroring
+// the cluster wire codec's FuzzClusterCodec: DecodeTenantSpec accepts only
+// encodings that validate (reject-invalid — arbitrary bytes must error, not
+// yield an out-of-range spec), and on everything it accepts, encode∘decode
+// is the identity (the encoding is canonical).
+func FuzzTenantConfig(f *testing.F) {
+	seeds := []TenantSpec{
+		{Tenants: []TenantConfig{{Name: "default", Weight: 1, Quota: 1 << 20, QueueSize: 64}}},
+		{MinWorkers: 1, MaxWorkers: 8, Tenants: []TenantConfig{
+			{Name: "t0", Weight: 3, Quota: 16, QueueSize: 8},
+			{Name: "t1", Weight: 1, Priority: PriorityDirected},
+		}},
+		{MaxWorkers: 16, Tenants: []TenantConfig{{Name: "worker0"}, {Name: "worker1"}, {Name: "worker2"}}},
+	}
+	for _, sp := range seeds {
+		f.Add(EncodeTenantSpec(sp))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("sptn"))
+	f.Add(append([]byte{'s', 'p', 't', 'n', 1}, make([]byte, 24)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeTenantSpec(data)
+		if err != nil {
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("decoded spec fails validation: %v (%+v)", err, sp)
+		}
+		re := EncodeTenantSpec(sp)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode∘encode not identity:\n in: %x\nout: %x", data, re)
+		}
+		sp2, err := DecodeTenantSpec(re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !bytes.Equal(EncodeTenantSpec(sp2), re) {
+			t.Fatal("second round trip diverged")
+		}
+	})
+}

@@ -4,6 +4,16 @@
 // and the server tracks the §5.5 performance characteristics (throughput at
 // saturation, mean latency).
 //
+// Since PR 8 the server is a multi-tenant platform: many campaigns share
+// one model, one graph-encoding cache and one set of tensor arenas, with
+// per-tenant queues scheduled by deterministic deficit round-robin under
+// strict priority classes (tenant.go, sched.go), per-tenant quotas and
+// SLO-aware shedding at admission, and a worker pool that autoscales
+// between MinWorkers and MaxWorkers on queue depth (autoscale.go). The
+// single-campaign API is unchanged — a Server routes Infer/InferAsync
+// through an implicit default tenant whose behavior is bit-identical to the
+// pre-tenancy server.
+//
 // Unlike a lab-bench server, this one has a failure story. Every query gets
 // a per-attempt deadline and a bounded retry budget with exponential backoff
 // whose jitter is seeded (internal/rng, not wall clock), a fault-injection
@@ -37,6 +47,11 @@ type Query struct {
 	Prog    *prog.Prog
 	Traces  [][]kernel.BlockID
 	Targets []kernel.BlockID
+	// Priority optionally raises the query's class above its tenant's
+	// default (it never lowers it): directed-mode runners tag
+	// PriorityDirected so their queries outrank background snowplow
+	// traffic on a shared server. Zero keeps the tenant default.
+	Priority Priority
 }
 
 // Prediction is the model's localization answer. Exactly one Prediction is
@@ -67,6 +82,10 @@ type Stats struct {
 	Queries   int64
 	Succeeded int64
 	Failed    int64
+	// QuotaRejected and Shed count admission-control refusals: tenant
+	// quota overruns and SLO/health sheds of background-class queries.
+	QuotaRejected int64
+	Shed          int64
 	// Retries counts extra attempts beyond each query's first.
 	Retries int64
 	// Timeouts counts attempts that hit the per-query deadline.
@@ -103,15 +122,26 @@ type Stats struct {
 	ErrorRate float64
 	// Healthy mirrors Server.Healthy at snapshot time.
 	Healthy bool
+	// TenantCount and Workers report the registered-tenant count and the
+	// current worker-pool target; ScaleUps/ScaleDowns count autoscale
+	// decisions (see Server.ScaleLog for the full journal).
+	TenantCount int
+	Workers     int
+	ScaleUps    int64
+	ScaleDowns  int64
 }
 
 // Sentinel errors. ErrServerClosed is returned (or delivered via
 // Prediction.Err) for queries submitted to, or in flight across, Close.
+// ErrQuotaExceeded and ErrShed are admission refusals: the query was never
+// accepted, no Prediction is owed, and neither counts against health.
 var (
-	ErrServerClosed = errors.New("serve: server closed")
-	ErrDeadline     = errors.New("serve: deadline exceeded")
-	ErrQueueFull    = errors.New("serve: queue full")
-	ErrUnavailable  = errors.New("serve: unavailable after retries")
+	ErrServerClosed  = errors.New("serve: server closed")
+	ErrDeadline      = errors.New("serve: deadline exceeded")
+	ErrQueueFull     = errors.New("serve: queue full")
+	ErrUnavailable   = errors.New("serve: unavailable after retries")
+	ErrQuotaExceeded = errors.New("serve: tenant quota exceeded")
+	ErrShed          = errors.New("serve: shed by admission control")
 )
 
 // ErrClosed is a deprecated alias for ErrServerClosed.
@@ -119,17 +149,43 @@ var ErrClosed = ErrServerClosed
 
 // Options configures a Server. The zero value of any field takes a default.
 type Options struct {
-	// Workers is the inference pool size (the paper's GPU replicas).
-	// Default 1.
+	// Workers is the initial inference pool size (the paper's GPU
+	// replicas). Default 1. With autoscaling enabled it is clamped into
+	// [MinWorkers, MaxWorkers].
 	Workers int
+	// MinWorkers/MaxWorkers bound the autoscaling worker pool. Both
+	// default to Workers, which disables autoscaling; set MaxWorkers >
+	// MinWorkers to let the pool grow under queue pressure and shrink when
+	// idle (see autoscale.go). Scaling never changes predictions — only
+	// how many attempts are in flight at once.
+	MinWorkers int
+	MaxWorkers int
+	// ScaleInterval is the autoscaler evaluation period. Default 5ms.
+	ScaleInterval time.Duration
+	// ScaleUpAt/ScaleDownAt are queue-depth watermarks in units of queued
+	// attempts per current worker: depth > ScaleUpAt*workers votes to grow,
+	// depth < ScaleDownAt*workers votes to shrink. Defaults 2.0 / 0.25.
+	ScaleUpAt   float64
+	ScaleDownAt float64
+	// ScaleHold is the hysteresis: how many consecutive evaluations must
+	// agree before a scaling decision is applied. Default 2.
+	ScaleHold int
+	// SLOQueueWait enables SLO-aware shedding: when the smoothed queue
+	// wait exceeds it — or the health tracker reports the server degraded —
+	// background-class submissions are refused with ErrShed at admission.
+	// Directed-class queries are never shed. Zero disables shedding, which
+	// keeps deterministic single-campaign replays byte-identical.
+	SLOQueueWait time.Duration
 	// BatchSize is the micro-batch limit: a worker picking up a query
-	// drains up to BatchSize-1 more already-queued queries and serves
-	// them all in one union-graph forward pass (pmm.PredictBatch).
-	// Batching changes only throughput — each query's prediction is
-	// bit-identical to an unbatched one. Default 1 (no batching).
+	// drains up to BatchSize-1 more already-queued queries — across
+	// tenants, in scheduler order — and serves them all in one union-graph
+	// forward pass (pmm.PredictBatch). Batching changes only throughput —
+	// each query's prediction is bit-identical to an unbatched one.
+	// Default 1 (no batching).
 	BatchSize int
-	// QueueSize bounds the pending-attempt queue. Default
-	// Workers*8*BatchSize, so a saturated queue can feed full batches.
+	// QueueSize bounds each tenant's pending-attempt queue (the default
+	// for TenantConfig.QueueSize). Default MaxWorkers*8*BatchSize, so a
+	// saturated queue can feed full batches at full scale.
 	QueueSize int
 	// Deadline bounds one attempt's queue+inference wait. Default 5s.
 	Deadline time.Duration
@@ -181,11 +237,38 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	if o.MinWorkers <= 0 {
+		o.MinWorkers = o.Workers
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = o.Workers
+	}
+	if o.MaxWorkers < o.MinWorkers {
+		o.MaxWorkers = o.MinWorkers
+	}
+	if o.Workers < o.MinWorkers {
+		o.Workers = o.MinWorkers
+	}
+	if o.Workers > o.MaxWorkers {
+		o.Workers = o.MaxWorkers
+	}
+	if o.ScaleInterval <= 0 {
+		o.ScaleInterval = 5 * time.Millisecond
+	}
+	if o.ScaleUpAt <= 0 {
+		o.ScaleUpAt = 2.0
+	}
+	if o.ScaleDownAt <= 0 {
+		o.ScaleDownAt = 0.25
+	}
+	if o.ScaleHold <= 0 {
+		o.ScaleHold = 2
+	}
 	if o.BatchSize <= 0 {
 		o.BatchSize = 1
 	}
 	if o.QueueSize <= 0 {
-		o.QueueSize = o.Workers * 8 * o.BatchSize
+		o.QueueSize = o.MaxWorkers * 8 * o.BatchSize
 	}
 	if o.Deadline <= 0 {
 		o.Deadline = 5 * time.Second
@@ -218,12 +301,24 @@ func (o Options) withDefaults() Options {
 
 // attempt is one unit of worker-pool work. done is buffered so the worker
 // never blocks on a waiter that already gave up (deadline or close).
+// Attempts are pooled (attemptPool): a dispatcher that receives the result
+// resets and recycles the struct and its channel; an abandoned attempt is
+// left to the garbage collector, since the worker may still deliver into it.
 type attempt struct {
 	q    Query
+	t    *tenant
+	prio Priority
 	done chan attemptResult
-	// enq is the enqueue instant for the queue-wait histogram; zero when
-	// metrics are disabled (time.Now is skipped entirely).
+	// enq is the enqueue instant for the queue-wait histogram and the SLO
+	// tracker; zero when both are disabled (time.Now is skipped entirely).
 	enq time.Time
+}
+
+func (a *attempt) reset() {
+	a.q = Query{}
+	a.t = nil
+	a.prio = 0
+	a.enq = time.Time{}
 }
 
 type attemptResult struct {
@@ -231,14 +326,46 @@ type attemptResult struct {
 	probs []float64
 }
 
+// attemptPool recycles attempt structs and their reply channels through the
+// dispatch path: steady-state inference allocates no per-attempt channel.
+var attemptPool = sync.Pool{New: func() any {
+	return &attempt{done: make(chan attemptResult, 1)}
+}}
+
+// timerPool recycles deadline/backoff timers. A timer is recycled only by
+// the goroutine that owns its channel, after Stop-and-drain (or after its
+// fire was consumed), so Reset on reuse is race-free.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // Server runs a worker pool over a frozen model, fronted by per-query
-// dispatchers that own deadlines, retries, and fault injection.
+// dispatchers that own deadlines, retries, and fault injection, and a
+// cross-tenant scheduler that owns who is served next.
 type Server struct {
 	model   *pmm.Model
 	builder *qgraph.Builder
 	opts    Options
 
-	jobs     chan *attempt
+	sched    *sched
+	def      *tenant
 	workerWG sync.WaitGroup
 	queryWG  sync.WaitGroup
 	closeCh  chan struct{}
@@ -250,6 +377,14 @@ type Server struct {
 
 	health *healthTracker
 
+	// scaler owns the autoscaling evaluator and the scale journal.
+	scaler autoscaler
+
+	// ewmaWaitNs smooths observed queue waits for SLO shedding; sloOn
+	// gates the time.Now calls it needs.
+	ewmaWaitNs atomic.Int64
+	sloOn      bool
+
 	// m holds the obs instruments (nil-safe fields when Options.Metrics
 	// is nil); obsOn gates the time.Now calls metrics need.
 	m     *serveMetrics
@@ -257,6 +392,7 @@ type Server struct {
 
 	served, rejected           atomic.Int64
 	queries, succeeded, failed atomic.Int64
+	quotaRejected, shed        atomic.Int64
 	retries, timeouts          atomic.Int64
 	batches, batchedQueries    atomic.Int64
 	injDropped, injTransient   atomic.Int64
@@ -292,137 +428,264 @@ func NewServerOpts(model *pmm.Model, builder *qgraph.Builder, opts Options) *Ser
 		model:   model,
 		builder: builder,
 		opts:    opts,
-		jobs:    make(chan *attempt, opts.QueueSize),
+		sched:   newSched(),
 		closeCh: make(chan struct{}),
 		started: time.Now(),
 		health:  newHealthTracker(opts.HealthWindow),
+		sloOn:   opts.SLOQueueWait > 0,
 		m:       newServeMetrics(opts.Metrics),
 		obsOn:   opts.Metrics != nil,
 	}
 	if opts.Metrics != nil {
 		s.registerPullGauges(opts.Metrics)
 	}
-	for i := 0; i < opts.Workers; i++ {
-		s.workerWG.Add(1)
-		go s.worker()
+	// The default tenant carries the pre-tenancy contract: weight 1,
+	// background class, and no quota (admission bounded only by the
+	// retryable queue, exactly as before multi-tenancy).
+	def, err := s.sched.register(TenantConfig{
+		Name:      "default",
+		Weight:    1,
+		Quota:     int(^uint(0) >> 1),
+		QueueSize: opts.QueueSize,
+	}, s)
+	if err != nil {
+		panic("serve: register default tenant: " + err.Error())
 	}
+	s.def = def
+	s.m.tenantCount.Set(1)
+	s.sched.alive = make([]bool, opts.MaxWorkers)
+	s.startWorkers(opts.Workers)
+	s.scaler.start(s)
 	return s
 }
 
-// worker serves queries from the shared queue. With BatchSize > 1 it
-// opportunistically drains whatever is already queued (never waiting for a
-// batch to fill — an idle queue must not add latency) and serves the whole
+// startWorkers raises the pool target to n, spawning worker goroutines for
+// every dead id below n.
+func (s *Server) startWorkers(n int) {
+	sc := s.sched
+	sc.mu.Lock()
+	sc.target = n
+	for id := 0; id < n; id++ {
+		if !sc.alive[id] {
+			sc.alive[id] = true
+			s.workerWG.Add(1)
+			go s.workerLoop(id)
+		}
+	}
+	sc.mu.Unlock()
+	s.m.scaleWorkers.Set(int64(n))
+}
+
+// workerLoop serves scheduler batches until the server closes or the pool
+// scales below this worker's id. With BatchSize > 1 it opportunistically
+// tops the batch up with whatever is already queued — never waiting for a
+// batch to fill, an idle queue must not add latency — and serves the whole
 // micro-batch in one union-graph forward pass.
-func (s *Server) worker() {
+func (s *Server) workerLoop(id int) {
 	defer s.workerWG.Done()
 	maxBatch := s.opts.BatchSize
 	batch := make([]*attempt, 0, maxBatch)
 	gs := make([]*qgraph.Graph, 0, maxBatch)
-	for a := range s.jobs {
-		batch = append(batch[:0], a)
-		if maxBatch > 1 && len(s.jobs) == 0 {
-			// Yield once so dispatchers that are runnable but not yet
-			// scheduled can enqueue; without this, channel direct-handoff
-			// ping-pongs worker and dispatcher on a loaded single-core
-			// host and batches never form. Skipped when the queue already
-			// holds work — yielding then would only starve serving behind
-			// compute-heavy goroutines. Free when nothing else runs.
-			runtime.Gosched()
+	for {
+		batch = s.sched.popBlocking(batch[:0], 1, id)
+		if len(batch) == 0 {
+			return
 		}
-	drain:
-		for len(batch) < maxBatch {
-			select {
-			case more, ok := <-s.jobs:
-				if !ok {
-					break drain
-				}
-				batch = append(batch, more)
-			default:
-				break drain
+		if maxBatch > 1 {
+			if s.sched.depth() == 0 {
+				// Yield once so dispatchers that are runnable but not yet
+				// scheduled can enqueue; without this, pickup ping-pongs
+				// worker and dispatcher on a loaded single-core host and
+				// batches never form. Skipped when the queue already holds
+				// work — yielding then would only starve serving behind
+				// compute-heavy goroutines. Free when nothing else runs.
+				runtime.Gosched()
 			}
+			batch = s.sched.popMore(batch, maxBatch-len(batch))
 		}
-		if s.obsOn {
-			s.m.queueDepth.Set(int64(len(s.jobs)))
-			now := time.Now()
-			for _, at := range batch {
-				if !at.enq.IsZero() {
-					s.m.queueWait.Observe(now.Sub(at.enq).Nanoseconds())
-				}
-			}
-			s.m.batchSize.Observe(int64(len(batch)))
-		}
-		gs = gs[:0]
-		for _, at := range batch {
-			gs = append(gs, s.builder.Build(at.q.Prog, at.q.Traces, at.q.Targets))
-		}
-		slots, probs := s.model.PredictBatch(gs)
-		s.batches.Add(1)
-		s.m.batches.Inc()
-		if len(batch) > 1 {
-			s.batchedQueries.Add(int64(len(batch)))
-			s.m.batchedQueries.Add(int64(len(batch)))
-		}
-		for i, at := range batch {
-			s.served.Add(1)
-			at.done <- attemptResult{slots: slots[i], probs: probs[i]}
-		}
+		s.serveBatch(batch, &gs)
 	}
 }
 
-// InferAsync submits a query and returns a channel delivering exactly one
-// prediction (with Err set on terminal failure). The error is non-nil only
-// if the server is already closed.
-func (s *Server) InferAsync(q Query) (<-chan Prediction, error) {
+// serveBatch runs one union-graph forward pass over a scheduler batch and
+// delivers each attempt's result, attributing cache traffic, batch shares
+// and queue waits to the owning tenants.
+func (s *Server) serveBatch(batch []*attempt, gs *[]*qgraph.Graph) {
+	cached := s.builder.Cache != nil
+	if s.obsOn || s.sloOn {
+		now := time.Now()
+		for _, at := range batch {
+			if at.enq.IsZero() {
+				continue
+			}
+			wait := now.Sub(at.enq).Nanoseconds()
+			if s.obsOn {
+				s.m.queueWait.Observe(wait)
+			}
+			at.t.queueWaitNs.Add(wait)
+			at.t.queueWaited.Add(1)
+			if s.sloOn {
+				// Racy read-modify-write is fine: the EWMA is an
+				// approximate load signal, not an accounting counter.
+				old := s.ewmaWaitNs.Load()
+				s.ewmaWaitNs.Store(old + (wait-old)/8)
+			}
+		}
+		if s.obsOn {
+			s.m.queueDepth.Set(int64(s.sched.depth()))
+			s.m.batchSize.Observe(int64(len(batch)))
+		}
+	}
+	g := (*gs)[:0]
+	for _, at := range batch {
+		bg, hit := s.builder.BuildCached(at.q.Prog, at.q.Traces, at.q.Targets)
+		g = append(g, bg)
+		if cached {
+			if hit {
+				at.t.cacheHits.Add(1)
+			} else {
+				at.t.cacheMisses.Add(1)
+			}
+		}
+	}
+	*gs = g
+	slots, probs := s.model.PredictBatch(g)
+	s.batches.Add(1)
+	s.m.batches.Inc()
+	if len(batch) > 1 {
+		s.batchedQueries.Add(int64(len(batch)))
+		s.m.batchedQueries.Add(int64(len(batch)))
+	}
+	// All per-attempt bookkeeping happens before any result is delivered:
+	// the first send hands the attempt back to its dispatcher, which may
+	// reset and recycle it while this loop is still walking the batch.
+	for i, at := range batch {
+		// Credit each distinct tenant's batch share once per pass.
+		shared := false
+		for j := 0; j < i; j++ {
+			if batch[j].t == at.t {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			at.t.batches.Add(1)
+		}
+		s.served.Add(1)
+		at.t.served.Add(1)
+	}
+	for i, at := range batch {
+		at.done <- attemptResult{slots: slots[i], probs: probs[i]}
+	}
+}
+
+// effectivePriority resolves a query's class: the tenant default, raised
+// (never lowered) by an explicit Query.Priority tag.
+func effectivePriority(t *tenant, q Query) Priority {
+	p := t.cfg.Priority
+	if q.Priority > p && q.Priority < numPriorities {
+		p = q.Priority
+	}
+	return p
+}
+
+// accept is admission control: it refuses on a closed server, a tenant over
+// quota, or (background class, SLO configured) degraded serving, and
+// otherwise registers the query as in flight. Refusals are immediate errors
+// — no Prediction is owed — and none count against health: they are load
+// control, not serving failure.
+func (s *Server) accept(t *tenant, prio Priority) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		s.m.rejected.Inc()
-		return nil, ErrServerClosed
+		t.rejected.Add(1)
+		return ErrServerClosed
 	}
+	if t.pending.Load() >= int64(t.cfg.Quota) {
+		s.mu.Unlock()
+		s.quotaRejected.Add(1)
+		s.m.tenantQuotaRejected.Inc()
+		t.quotaRejected.Add(1)
+		return ErrQuotaExceeded
+	}
+	if s.sloOn && prio == PriorityBackground &&
+		(time.Duration(s.ewmaWaitNs.Load()) > s.opts.SLOQueueWait || !s.Healthy()) {
+		s.mu.Unlock()
+		s.shed.Add(1)
+		s.m.tenantShed.Inc()
+		t.shed.Add(1)
+		return ErrShed
+	}
+	t.pending.Add(1)
 	s.queryWG.Add(1)
 	s.mu.Unlock()
-	seq := s.seq.Add(1) - 1
 	s.queries.Add(1)
 	s.m.queries.Inc()
-	reply := make(chan Prediction, 1)
-	go s.dispatch(q, seq, reply)
-	return reply, nil
+	s.m.tenantAdmitted.Inc()
+	t.queries.Add(1)
+	return nil
+}
+
+// InferAsync submits a query and returns a channel delivering exactly one
+// prediction (with Err set on terminal failure). The error is non-nil only
+// if the query is refused at admission (closed, over quota, or shed).
+func (s *Server) InferAsync(q Query) (<-chan Prediction, error) {
+	return s.inferAsync(s.def, q)
 }
 
 // Infer submits a query and blocks for the prediction, applying the same
 // deadline/retry/fault machinery as InferAsync.
 func (s *Server) Infer(q Query) (Prediction, error) {
-	reply, err := s.InferAsync(q)
-	if err != nil {
+	return s.infer(s.def, q)
+}
+
+func (s *Server) inferAsync(t *tenant, q Query) (<-chan Prediction, error) {
+	prio := effectivePriority(t, q)
+	if err := s.accept(t, prio); err != nil {
+		return nil, err
+	}
+	seq := s.seq.Add(1) - 1
+	reply := make(chan Prediction, 1)
+	go func() {
+		reply <- s.dispatch(t, q, prio, seq)
+	}()
+	return reply, nil
+}
+
+func (s *Server) infer(t *tenant, q Query) (Prediction, error) {
+	prio := effectivePriority(t, q)
+	if err := s.accept(t, prio); err != nil {
 		return Prediction{}, err
 	}
-	p := <-reply
+	seq := s.seq.Add(1) - 1
+	// The blocking path dispatches inline: no goroutine, no reply channel.
+	p := s.dispatch(t, q, prio, seq)
 	if p.Err != nil {
 		return Prediction{}, p.Err
 	}
 	return p, nil
 }
 
-// dispatch owns one query end to end: it plans faults, enqueues attempts on
-// the worker pool, enforces the deadline, retries with seeded backoff, and
-// delivers exactly one Prediction.
-func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
-	defer s.queryWG.Done()
+// dispatch owns one accepted query end to end: it plans faults, enqueues
+// attempts on the scheduler, enforces the deadline, retries with seeded
+// backoff, and returns exactly one terminal Prediction.
+func (s *Server) dispatch(t *tenant, q Query, prio Priority, seq uint64) Prediction {
 	start := time.Now()
-	finish := func(p Prediction) {
+	finish := func(p Prediction) Prediction {
 		p.Latency = time.Since(start)
 		if p.Err != nil {
 			s.failed.Add(1)
 			s.m.failed.Inc()
+			t.failed.Add(1)
 		} else {
 			s.succeeded.Add(1)
 			s.totalLat.Add(int64(p.Latency))
+			s.m.succeeded.Inc()
+			t.succeeded.Add(1)
 		}
 		s.m.latency.Observe(p.Latency.Nanoseconds())
-		if p.Err == nil {
-			s.m.succeeded.Inc()
-		}
 		// Queue-full is backpressure from the caller, not server
 		// ill-health — counting it would let a hot client talk a healthy
 		// server into degraded mode. Close-time terminations are likewise
@@ -430,7 +693,9 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 		if !errors.Is(p.Err, ErrQueueFull) && !errors.Is(p.Err, ErrServerClosed) {
 			s.health.record(p.Err == nil)
 		}
-		reply <- p
+		t.pending.Add(-1)
+		s.queryWG.Done()
+		return p
 	}
 	lastErr := ErrUnavailable
 	for att := 0; att <= s.opts.MaxRetries; att++ {
@@ -438,8 +703,7 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 			s.retries.Add(1)
 			s.m.retries.Inc()
 			if !s.sleep(s.backoff(seq, att)) {
-				finish(Prediction{Err: ErrServerClosed})
-				return
+				return finish(Prediction{Err: ErrServerClosed})
 			}
 		}
 		var d faultinject.Decision
@@ -467,15 +731,13 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 			s.injLatency.Add(1)
 			s.m.injLatency.Inc()
 			if !s.sleep(d.Latency) {
-				finish(Prediction{Err: ErrServerClosed})
-				return
+				return finish(Prediction{Err: ErrServerClosed})
 			}
 		}
-		res, err := s.runAttempt(q)
+		res, err := s.runAttempt(t, q, prio)
 		if err != nil {
 			if errors.Is(err, ErrServerClosed) {
-				finish(Prediction{Err: err})
-				return
+				return finish(Prediction{Err: err})
 			}
 			if errors.Is(err, ErrDeadline) {
 				s.timeouts.Add(1)
@@ -489,40 +751,43 @@ func (s *Server) dispatch(q Query, seq uint64, reply chan<- Prediction) {
 			s.m.injCorrupt.Inc()
 			res = corruptResult(seq, q, res)
 		}
-		finish(Prediction{Slots: res.slots, Probs: res.probs})
-		return
+		return finish(Prediction{Slots: res.slots, Probs: res.probs})
 	}
-	finish(Prediction{Err: lastErr})
+	return finish(Prediction{Err: lastErr})
 }
 
-// runAttempt enqueues one attempt on the worker pool and waits for it under
-// the per-attempt deadline. A full queue is a retryable failure, as in the
-// paper's deployment where an overloaded replica sheds load.
-func (s *Server) runAttempt(q Query) (attemptResult, error) {
-	a := &attempt{q: q, done: make(chan attemptResult, 1)}
-	if s.obsOn {
+// runAttempt enqueues one attempt on the scheduler and waits for it under
+// the per-attempt deadline. A full tenant queue is a retryable failure, as
+// in the paper's deployment where an overloaded replica sheds load.
+func (s *Server) runAttempt(t *tenant, q Query, prio Priority) (attemptResult, error) {
+	a := attemptPool.Get().(*attempt)
+	a.q = q
+	a.t = t
+	a.prio = prio
+	if s.obsOn || s.sloOn {
 		a.enq = time.Now()
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return attemptResult{}, ErrServerClosed
+	if err := s.sched.enqueue(a); err != nil {
+		// Never reached a worker: the struct and channel are clean.
+		a.reset()
+		attemptPool.Put(a)
+		return attemptResult{}, err
 	}
-	select {
-	case s.jobs <- a:
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		return attemptResult{}, ErrQueueFull
-	}
-	timer := time.NewTimer(s.opts.Deadline)
-	defer timer.Stop()
+	timer := getTimer(s.opts.Deadline)
 	select {
 	case r := <-a.done:
+		putTimer(timer)
+		a.reset()
+		attemptPool.Put(a)
 		return r, nil
 	case <-timer.C:
+		// The worker may still deliver into a.done; the attempt is
+		// abandoned to the GC rather than recycled. The fired timer's
+		// channel is drained, so it is safe to reuse.
+		timerPool.Put(timer)
 		return attemptResult{}, ErrDeadline
 	case <-s.closeCh:
+		putTimer(timer)
 		return attemptResult{}, ErrServerClosed
 	}
 }
@@ -551,12 +816,13 @@ func (s *Server) sleep(d time.Duration) bool {
 			return true
 		}
 	}
-	timer := time.NewTimer(d)
-	defer timer.Stop()
+	timer := getTimer(d)
 	select {
 	case <-timer.C:
+		timerPool.Put(timer)
 		return true
 	case <-s.closeCh:
+		putTimer(timer)
 		return false
 	}
 }
@@ -627,6 +893,8 @@ func (s *Server) Stats() Stats {
 		Queries:        s.queries.Load(),
 		Succeeded:      succeeded,
 		Failed:         s.failed.Load(),
+		QuotaRejected:  s.quotaRejected.Load(),
+		Shed:           s.shed.Load(),
 		Retries:        s.retries.Load(),
 		Timeouts:       s.timeouts.Load(),
 		Batches:        batches,
@@ -646,13 +914,18 @@ func (s *Server) Stats() Stats {
 		Throughput:     tput,
 		ErrorRate:      rate,
 		Healthy:        s.Healthy(),
+		TenantCount:    s.sched.numTenants(),
+		Workers:        s.scaler.workersNow(s),
+		ScaleUps:       s.scaler.ups.Load(),
+		ScaleDowns:     s.scaler.downs.Load(),
 	}
 }
 
 // Close stops the server. In-flight queries complete promptly: each still
 // delivers exactly one Prediction, with Err set to ErrServerClosed if it was
-// interrupted. Submissions after Close return ErrServerClosed. Close is
-// idempotent and safe to call concurrently with submissions.
+// interrupted. Submissions racing or following Close return ErrServerClosed.
+// Close is idempotent and safe to call concurrently with submitters and
+// other closers.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -662,8 +935,12 @@ func (s *Server) Close() {
 	s.closed = true
 	close(s.closeCh)
 	s.mu.Unlock()
+	// Only the first closer reaches this point: stop the autoscaler, wait
+	// out every accepted query (all abort promptly on closeCh), then wake
+	// the workers to observe the closed scheduler and drain out.
+	s.scaler.stopEvaluator()
 	s.queryWG.Wait()
-	close(s.jobs)
+	s.sched.close()
 	s.workerWG.Wait()
 }
 
