@@ -9,7 +9,7 @@
 //
 // Experiments: stats, table1, fig6, table2 (includes tables 3 and 4),
 // table5, perf, parallel, cluster, quant, micro, train, ablations, faults,
-// timeseries, tenants, all.
+// timeseries, tenants, online, all.
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,cluster,quant,micro,train,ablations,faults,timeseries,tenants,all")
+		which  = flag.String("experiment", "all", "comma-separated experiments: stats,table1,fig6,table2,table5,perf,parallel,cluster,quant,micro,train,ablations,faults,timeseries,tenants,online,all")
 		scale  = flag.String("scale", "quick", "experiment scale: quick or full")
 		seed   = flag.Uint64("seed", 1, "suite seed")
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
@@ -210,6 +210,13 @@ func main() {
 		res := experiments.Tenants(h)
 		res.Render(os.Stdout)
 		emit("tenants", res)
+		fmt.Println()
+		ran++
+	}
+	if all || want["online"] {
+		res := experiments.Online(h)
+		res.Render(os.Stdout)
+		emit("online", res)
 		fmt.Println()
 		ran++
 	}

@@ -75,7 +75,7 @@ func quantizeModelBytes(model []byte) ([]byte, error) {
 // cf.coordinator workers, and drives the campaign to completion. If the
 // checkpoint file exists the campaign resumes from it instead of starting
 // fresh.
-func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, budget int64, seed uint64, nseeds int, fallback float64, vms int, quant bool, of obsFlags) error {
+func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, budget int64, seed uint64, nseeds int, fallback float64, vms int, quant bool, of obsFlags, onf onlineFlags) error {
 	k, err := kernel.Build(version)
 	if err != nil {
 		return err
@@ -89,6 +89,9 @@ func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, bud
 	var model []byte
 	switch mode {
 	case "syzkaller":
+		if onf.enabled {
+			return fmt.Errorf("-online requires -mode snowplow")
+		}
 		cfg.Mode = fuzzer.ModeSyzkaller
 	case "snowplow":
 		cfg.Mode = fuzzer.ModeSnowplow
@@ -109,6 +112,13 @@ func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, bud
 			}
 			fmt.Println("model: int8-quantized for the cluster")
 		}
+		if oc := onf.config(); oc != nil {
+			// The schedule travels in the campaign spec; the coordinator
+			// trains and gates, then pushes accepted checkpoints to every
+			// worker with the two-phase prep/commit frames.
+			cfg.Online = oc
+			fmt.Printf("online learning: retrain every %d barriers, swap lag %d (see TRAINING.md)\n", oc.Every, oc.Lag)
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
@@ -124,6 +134,8 @@ func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, bud
 		Addr:            cf.addr,
 		CheckpointPath:  cf.checkpoint,
 		CheckpointEvery: cf.checkpointEvery,
+		TrainWorkers:    onf.trainWorkers,
+		CollectWorkers:  onf.collectWorkers,
 		Logf:            log.New(os.Stderr, "coordinator: ", log.Ltime).Printf,
 	}
 	var sampler *obs.Sampler
@@ -177,6 +189,10 @@ func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, bud
 	if cfg.Mode == fuzzer.ModeSnowplow {
 		fmt.Fprintf(&out, "PMM: %d queries, %d predictions, %d failed, %d shed\n",
 			stats.PMMQueries, stats.PMMPredictions, stats.PMMFailed, stats.PMMShed)
+	}
+	if cfg.Online != nil {
+		fmt.Fprintf(&out, "online: %d retrains, %d swaps applied, %d skipped by the gate, serving model v%d\n",
+			stats.ModelRetrains, stats.ModelSwaps, stats.ModelSwapsSkipped, stats.ModelVersion)
 	}
 	fmt.Fprintf(&out, "digests: corpus=%s cover=%s journal=%s\n",
 		res.CorpusDigest, res.CoverDigest, res.JournalDigest)

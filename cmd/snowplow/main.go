@@ -16,11 +16,13 @@ import (
 	"time"
 
 	"github.com/repro/snowplow/internal/cfa"
+	"github.com/repro/snowplow/internal/cluster"
 	"github.com/repro/snowplow/internal/faultinject"
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/nn"
 	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/online"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/qgraph"
@@ -53,6 +55,38 @@ type obsFlags struct {
 	sampleInterval time.Duration
 }
 
+// onlineFlags groups the continual-learning knobs: whether the campaign
+// retrains on its own corpus and hot-swaps checkpoints at epoch barriers,
+// the retrain schedule, and the wall-clock-only worker widths (TRAINING.md).
+type onlineFlags struct {
+	enabled        bool
+	every          int64
+	lag            int64
+	minCorpus      int
+	mutations      int
+	trainEpochs    int
+	trainBatch     int
+	trainWorkers   int
+	collectWorkers int
+}
+
+// config resolves the flags into the campaign schedule, nil when -online is
+// off. Zero-valued knobs take the online.Config defaults.
+func (o onlineFlags) config() *online.Config {
+	if !o.enabled {
+		return nil
+	}
+	c := online.Config{
+		Every:            o.every,
+		Lag:              o.lag,
+		MinCorpus:        o.minCorpus,
+		MutationsPerBase: o.mutations,
+		TrainEpochs:      o.trainEpochs,
+		TrainBatch:       o.trainBatch,
+	}.Normalized()
+	return &c
+}
+
 func main() {
 	var (
 		mode      = flag.String("mode", "syzkaller", "fuzzer mode: syzkaller or snowplow")
@@ -72,7 +106,26 @@ func main() {
 		of        obsFlags
 		cf        clusterFlags
 		tf        tenantFlags
+		onf       onlineFlags
 	)
+	flag.BoolVar(&onf.enabled, "online", false,
+		"continually retrain the model on the campaign's own corpus and hot-swap checkpoints at epoch barriers (requires -mode snowplow; see TRAINING.md)")
+	flag.Int64Var(&onf.every, "online-every", 0,
+		"retrain kickoff cadence in epoch barriers (0 = default 8)")
+	flag.Int64Var(&onf.lag, "online-lag", 0,
+		"barriers between a retrain kickoff and its hot swap (0 = default 2)")
+	flag.IntVar(&onf.minCorpus, "online-min-corpus", 0,
+		"minimum corpus entries before a retrain kicks off (0 = default 8)")
+	flag.IntVar(&onf.mutations, "online-mutations", 0,
+		"harvest mutations per corpus base when building retrain datasets (0 = default 24)")
+	flag.IntVar(&onf.trainEpochs, "online-train-epochs", 0,
+		"training epochs per retrain (0 = default 4)")
+	flag.IntVar(&onf.trainBatch, "online-train-batch", 0,
+		"retrain minibatch size (0 = default 8)")
+	flag.IntVar(&onf.trainWorkers, "train-workers", 0,
+		"data-parallel retrain width for -online (wall-clock only, results identical; 0 = single-threaded)")
+	flag.IntVar(&onf.collectWorkers, "collect-workers", 0,
+		"harvest shard width for -online retrains (wall-clock only, results identical; 0 = single-threaded)")
 	flag.IntVar(&tf.tenants, "tenants", 1,
 		"concurrent snowplow campaigns sharing one multi-tenant model server via weighted-fair tenant handles (1 = single campaign)")
 	flag.StringVar(&tf.weights, "tenant-weight", "",
@@ -109,9 +162,9 @@ func main() {
 	case cf.worker:
 		err = runClusterWorker(cf, *workers, *fused)
 	case cf.coordinator > 0:
-		err = runClusterCoordinator(cf, *mode, *version, *modelPath, *budget, *seed, *seeds, *fallback, *vms, *quant, of)
+		err = runClusterCoordinator(cf, *mode, *version, *modelPath, *budget, *seed, *seeds, *fallback, *vms, *quant, of, onf)
 	default:
-		err = run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, *fused, *quant, sf, of, tf)
+		err = run(*mode, *version, *modelPath, *budget, *seed, *seeds, *workers, *batch, *cache, *fallback, *vms, *fused, *quant, sf, of, tf, onf)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snowplow:", err)
@@ -119,7 +172,7 @@ func main() {
 	}
 }
 
-func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, vms int, fused, quant bool, sf serveFlags, of obsFlags, tf tenantFlags) error {
+func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, workers, batch, cache int, fallback float64, vms int, fused, quant bool, sf serveFlags, of obsFlags, tf tenantFlags, onf onlineFlags) error {
 	// Size the MatMul worker pool alongside the inference pool; results are
 	// bit-identical for any worker count.
 	nn.SetWorkers(workers)
@@ -158,10 +211,20 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		cfg.Metrics = reg
 		cfg.Journal = journal
 	}
+	// Online campaigns always journal: the model_train / model_swap records
+	// are part of the replayable output, and the end-of-run digest line is
+	// computed from them.
+	if onf.enabled && journal == nil {
+		journal = obs.NewJournal(obs.DefaultJournalCap)
+		cfg.Journal = journal
+	}
 	switch mode {
 	case "syzkaller":
 		if tf.tenants > 1 {
 			return fmt.Errorf("-tenants requires -mode snowplow")
+		}
+		if onf.enabled {
+			return fmt.Errorf("-online requires -mode snowplow")
 		}
 		cfg.Mode = fuzzer.ModeSyzkaller
 	case "snowplow":
@@ -206,7 +269,16 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		defer srv.Close()
 		cfg.Server = srv
 		if tf.tenants > 1 {
+			if onf.enabled {
+				return fmt.Errorf("-online is incompatible with -tenants (each campaign would retrain the shared model)")
+			}
 			return runTenantCampaigns(cfg, srv, tf, seed, nseeds, k, sampler)
+		}
+		if oc := onf.config(); oc != nil {
+			cfg.Online = oc
+			cfg.OnlineTrainWorkers = onf.trainWorkers
+			cfg.OnlineCollectWorkers = onf.collectWorkers
+			fmt.Printf("online learning: retrain every %d barriers, swap lag %d (see TRAINING.md)\n", oc.Every, oc.Lag)
 		}
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
@@ -221,7 +293,8 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 	if sampler != nil {
 		sampler.Start()
 	}
-	stats, err := fuzzer.New(cfg).Run()
+	f := fuzzer.New(cfg)
+	stats, err := f.Run()
 	if sampler != nil {
 		sampler.Stop()
 	}
@@ -277,6 +350,14 @@ func run(mode, version, modelPath string, budget int64, seed uint64, nseeds, wor
 		if ss.InjDropped+ss.InjTransient+ss.InjLatency+ss.InjCorrupt > 0 {
 			fmt.Fprintf(&out, "injected: %d dropped, %d transient, %d latency, %d corrupt\n",
 				ss.InjDropped, ss.InjTransient, ss.InjLatency, ss.InjCorrupt)
+		}
+		if cfg.Online != nil {
+			fmt.Fprintf(&out, "online: %d retrains, %d swaps applied, %d skipped by the gate, serving model v%d\n",
+				stats.ModelRetrains, stats.ModelSwaps, stats.ModelSwapsSkipped, stats.ModelVersion)
+			// The digest line is the replay fingerprint: two same-seed
+			// -online runs must print it identically (TRAINING.md).
+			fmt.Fprintf(&out, "online digests: corpus=%s journal=%s\n",
+				cluster.CorpusDigest(f.Corpus()), cluster.JournalDigest(journal.Events()))
 		}
 	}
 	if journal != nil {

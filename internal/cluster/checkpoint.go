@@ -22,8 +22,11 @@ import (
 // checkpointMagic opens every checkpoint file, followed by a version u32.
 const checkpointMagic = "SPCK"
 
-// checkpointVersion is the current checkpoint format version.
-const checkpointVersion = 1
+// checkpointVersion is the current checkpoint format version. Version 2
+// added the online continual-learning spec fields and state (serving
+// generation, lifetime counters, pending retrain); version-1 files are
+// rejected with ErrBadVersion, as the embedded spec encoding also changed.
+const checkpointVersion = 2
 
 // Checkpoint is the coordinator's full barrier state.
 type Checkpoint struct {
@@ -52,6 +55,25 @@ type Checkpoint struct {
 	Journal        []obs.Event
 	JournalNext    uint64
 	JournalDropped uint64
+	// Online continual-learning state (all zero for frozen-model
+	// campaigns). OnlineApplied is the last barrier-resolved checkpoint
+	// generation (applied or skipped) — the next kickoff hands out
+	// OnlineApplied+1 unless a retrain is pending. OnlineModelVersion is
+	// the serving generation (the last accepted swap; Spec.Model holds its
+	// canonical bytes). OnlineRetrains/Swaps/Skips are the lifetime
+	// counters. OnlinePending* describe a retrain in flight at capture —
+	// the version being trained, its kickoff epoch, and the corpus
+	// publish-order prefix length its harvest snapshot saw (the corpus only
+	// grows, so the prefix reconstructs the identical snapshot);
+	// OnlinePendingVersion 0 means none.
+	OnlineApplied        int64
+	OnlineModelVersion   int64
+	OnlineRetrains       int64
+	OnlineSwaps          int64
+	OnlineSkips          int64
+	OnlinePendingVersion int64
+	OnlinePendingEpoch   int64
+	OnlinePendingBase    int
 	// ModelDigest is sha256(Spec.Model), recomputed and compared on decode
 	// so a corrupted model checkpoint fails loudly instead of silently
 	// changing predictions.
@@ -81,6 +103,14 @@ func (c *Checkpoint) Encode() []byte {
 	e.events(c.Journal)
 	e.u64(c.JournalNext)
 	e.u64(c.JournalDropped)
+	e.i64(c.OnlineApplied)
+	e.i64(c.OnlineModelVersion)
+	e.i64(c.OnlineRetrains)
+	e.i64(c.OnlineSwaps)
+	e.i64(c.OnlineSkips)
+	e.i64(c.OnlinePendingVersion)
+	e.i64(c.OnlinePendingEpoch)
+	e.int(c.OnlinePendingBase)
 	digest := sha256.Sum256(c.Spec.Model)
 	e.b = append(e.b, digest[:]...)
 	return e.b
@@ -119,6 +149,14 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	c.Journal = d.events()
 	c.JournalNext = d.u64()
 	c.JournalDropped = d.u64()
+	c.OnlineApplied = d.i64()
+	c.OnlineModelVersion = d.i64()
+	c.OnlineRetrains = d.i64()
+	c.OnlineSwaps = d.i64()
+	c.OnlineSkips = d.i64()
+	c.OnlinePendingVersion = d.i64()
+	c.OnlinePendingEpoch = d.i64()
+	c.OnlinePendingBase = d.int()
 	dg := d.take(sha256.Size)
 	if err := d.finish(); err != nil {
 		return nil, err
@@ -129,6 +167,14 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	}
 	if c.JournalCap < 0 || c.JournalCap > maxWireList {
 		return nil, fmt.Errorf("%w: implausible journal capacity %d", ErrBadMessage, c.JournalCap)
+	}
+	if c.OnlinePendingBase < 0 || c.OnlinePendingBase > len(c.Entries) {
+		return nil, fmt.Errorf("%w: pending retrain snapshot %d beyond %d corpus entries",
+			ErrBadMessage, c.OnlinePendingBase, len(c.Entries))
+	}
+	if c.OnlinePendingVersion != 0 && c.OnlinePendingVersion != c.OnlineApplied+1 {
+		return nil, fmt.Errorf("%w: pending retrain version %d after resolved version %d",
+			ErrBadMessage, c.OnlinePendingVersion, c.OnlineApplied)
 	}
 	return c, nil
 }

@@ -13,15 +13,19 @@
 package cluster
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"sort"
 	"time"
 
+	"github.com/repro/snowplow/internal/cfa"
 	"github.com/repro/snowplow/internal/corpus"
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/online"
+	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/serve"
 )
@@ -48,6 +52,11 @@ type Config struct {
 	// worker connections (default 60s). A worker that misses it is treated
 	// as lost.
 	IOTimeout time.Duration
+	// TrainWorkers / CollectWorkers bound the online-learning retrain's
+	// data-parallel training and harvest pools (0 = library defaults).
+	// Wall-clock only: retrains are bit-identical at any width.
+	TrainWorkers   int
+	CollectWorkers int
 	// Logf, when set, receives coordinator progress lines.
 	Logf func(format string, args ...any)
 }
@@ -71,11 +80,18 @@ type Coordinator struct {
 	cfg   Config
 	norm  fuzzer.Config // normalized campaign config (kernel, knob defaults)
 	k     *kernel.Kernel
+	an    *cfa.Analysis
 	ln    net.Listener
 	corp  *corpus.Corpus
 	jn    *obs.Journal
 	jnCap int
 	m     *clusterMetrics
+
+	// ctl drives online continual learning (nil for frozen-model
+	// campaigns); modelVersion is the serving checkpoint generation (the
+	// last accepted swap, 0 = initial model).
+	ctl          *online.Controller
+	modelVersion int64
 
 	states []fuzzer.VMState // canonical, indexed by VM id
 	epoch  int64            // last merged epoch
@@ -110,6 +126,9 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	c.nextSample = c.norm.SampleEvery
 	if c.cfg.Spec.Journal {
 		c.jn = obs.NewJournal(c.jnCap)
+	}
+	if err := c.initOnline(); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -164,6 +183,25 @@ func ResumeCoordinator(cfg Config, checkpoint []byte) (*Coordinator, error) {
 		}
 		c.jn = obs.NewJournalFrom(c.jnCap, ck.Journal, ck.JournalNext, ck.JournalDropped)
 	}
+	if err := c.initOnline(); err != nil {
+		return nil, err
+	}
+	if c.ctl != nil {
+		c.ctl.SetApplied(ck.OnlineApplied)
+		c.ctl.RestoreCounts(ck.OnlineRetrains, ck.OnlineSwaps, ck.OnlineSkips)
+		c.modelVersion = ck.OnlineModelVersion
+		if ck.OnlinePendingVersion > 0 {
+			// Restart the in-flight retrain from the corpus publish-order
+			// prefix the original kickoff snapshotted; it produces the
+			// identical swap at the identical barrier.
+			entries := c.corp.Entries()
+			bases := make([]*prog.Prog, ck.OnlinePendingBase)
+			for i := range bases {
+				bases[i] = entries[i].Prog
+			}
+			c.ctl.ResumePending(ck.OnlinePendingVersion, ck.OnlinePendingEpoch, bases)
+		}
+	}
 	// The snapshot was taken after a merge, so the accepted entries of the
 	// checkpointed epoch are already inside it; the first post-resume
 	// barrier broadcasts nothing.
@@ -198,11 +236,48 @@ func newCoordinator(cfg Config) (*Coordinator, error) {
 		cfg:   cfg,
 		norm:  norm,
 		k:     rt.Kernel,
+		an:    rt.An,
 		ln:    ln,
 		corp:  corpus.New(),
 		jnCap: jnCap,
 		m:     newClusterMetrics(cfg.Metrics),
 	}, nil
+}
+
+// initOnline builds the continual-learning controller when the spec enables
+// it. The gate incumbent is the spec's model bytes loaded fresh — the same
+// canonical serving form every worker materializes — so the coordinator's
+// validation decisions match what a single-host engine serving those bytes
+// would make.
+func (c *Coordinator) initOnline() error {
+	oc := c.cfg.Spec.OnlineConfig()
+	if oc == nil {
+		return nil
+	}
+	if c.cfg.Spec.Mode != 1 {
+		return fmt.Errorf("cluster: online learning requires snowplow mode")
+	}
+	m, err := pmm.Load(bytes.NewReader(c.cfg.Spec.Model))
+	if err != nil {
+		return fmt.Errorf("cluster: loading model for online learning: %w", err)
+	}
+	m.Freeze()
+	ctl, err := online.New(online.Params{
+		Config:         *oc,
+		Kernel:         c.k,
+		An:             c.an,
+		Seed:           c.cfg.Spec.Seed,
+		Current:        m,
+		TrainWorkers:   c.cfg.TrainWorkers,
+		CollectWorkers: c.cfg.CollectWorkers,
+		Metrics:        c.cfg.Metrics,
+		Logf:           c.cfg.Logf,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	c.ctl = ctl
+	return nil
 }
 
 // Addr returns the coordinator's listen address, for workers to dial.
@@ -241,6 +316,23 @@ func (wc *workerConn) recv() (byte, []byte, error) {
 	}
 	wc.m.rxBytes.Add(int64(len(payload)) + 5)
 	return typ, payload, nil
+}
+
+// recvAck reads one ack frame, surfacing worker-sent errors.
+func (wc *workerConn) recvAck() error {
+	typ, payload, err := wc.recv()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case frameAck:
+		return nil
+	case frameErr:
+		em, _ := DecodeErr(payload)
+		return fmt.Errorf("cluster: worker %d failed: %s", wc.idx, em.Msg)
+	default:
+		return fmt.Errorf("%w: unexpected frame 0x%02x, want ack", ErrBadMessage, typ)
+	}
 }
 
 // recvDelta reads one DeltaMsg for the given epoch, surfacing worker-sent
@@ -521,6 +613,11 @@ func (c *Coordinator) runEpochBarrier(workers []*workerConn, active []int) error
 	if err := c.merge(deltas); err != nil {
 		return err
 	}
+	if c.ctl != nil {
+		if err := c.onlineBarrier(workers); err != nil {
+			return err
+		}
+	}
 	c.m.epochs.Inc()
 	if c.cfg.CheckpointEvery > 0 && c.epoch%c.cfg.CheckpointEvery == 0 {
 		if err := c.writeCheckpoint(); err != nil {
@@ -528,6 +625,90 @@ func (c *Coordinator) runEpochBarrier(workers []*workerConn, active []int) error
 		}
 	}
 	return nil
+}
+
+// onlineBarrier runs the continual-learning schedule after the merge of
+// epoch c.epoch, mirroring the single-host engine's barrier hook event for
+// event: first resolve a due swap (pushing an accepted model fleet-wide),
+// then kick off a due retrain from the freshly merged corpus — so the
+// journal, stats and version numbering are bit-identical across engines. A
+// swap that loses the gate is journaled but not pushed; the cluster skips
+// the single-host engine's prediction drain in that case, which is
+// unobservable because every worker blocking-drains at its next epoch start
+// anyway and no model changed underneath the in-flight queries.
+func (c *Coordinator) onlineBarrier(workers []*workerConn) error {
+	if sw := c.ctl.SwapDue(c.epoch); sw != nil {
+		if sw.Accepted {
+			if err := c.pushModel(workers, sw); err != nil {
+				return err
+			}
+			// The spec's model bytes track the serving generation, so
+			// checkpoints resume onto the swapped model and late-joining
+			// state (reassigned shards) materializes it.
+			c.cfg.Spec.Model = sw.Bytes
+			c.modelVersion = sw.Version
+			c.m.modelPushes.Inc()
+		}
+		c.jn.Record(obs.Event{
+			Kind: obs.EventModelSwap, VM: -1, Epoch: c.epoch,
+			Value: sw.Version, Detail: sw.Detail(),
+		})
+	}
+	if c.ctl.ShouldKickoff(c.epoch, c.corp.Len()) {
+		entries := c.corp.Entries()
+		bases := make([]*prog.Prog, len(entries))
+		for i, e := range entries {
+			bases[i] = e.Prog
+		}
+		v := c.ctl.Kickoff(c.epoch, bases)
+		c.jn.Record(obs.Event{
+			Kind: obs.EventModelTrain, VM: -1, Epoch: c.epoch,
+			Value: v, Detail: online.KickoffDetail(len(bases)),
+		})
+	}
+	return nil
+}
+
+// pushModel distributes an accepted swap fleet-wide in two phases: every
+// surviving worker first drains its shard's in-flight predictions and
+// stages the new model (prep), and only after the whole fleet has
+// acknowledged the prep does the commit go out. The barrier matters when
+// several workers share one serving process: no worker may swap the shared
+// server while another still has undrained queries against the old
+// generation. A worker lost mid-push is ordinary churn — its VMs are
+// reassigned at the next barrier onto a survivor holding the committed
+// model.
+func (c *Coordinator) pushModel(workers []*workerConn, sw *online.Swap) error {
+	phase := func(frame byte, payload []byte) {
+		var sent []*workerConn
+		for _, wc := range workers {
+			if !wc.alive {
+				continue
+			}
+			if err := wc.send(frame, payload); err != nil {
+				c.loseWorker(wc, err)
+				continue
+			}
+			sent = append(sent, wc)
+		}
+		for _, wc := range sent {
+			if !wc.alive {
+				continue
+			}
+			if err := wc.recvAck(); err != nil {
+				c.loseWorker(wc, err)
+			}
+		}
+	}
+	phase(frameModelPrep, EncodeModelMsg(ModelMsg{Version: sw.Version, Model: sw.Bytes}))
+	phase(frameModelCommit, EncodeModelMsg(ModelMsg{Version: sw.Version}))
+	for _, wc := range workers {
+		if wc.alive {
+			c.logf("epoch %d: model v%d (digest %s) committed fleet-wide", c.epoch, sw.Version, sw.Digest)
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: all workers lost during model push at epoch %d", c.epoch)
 }
 
 func (c *Coordinator) loseWorker(wc *workerConn, err error) {
@@ -658,6 +839,16 @@ func (c *Coordinator) checkpoint() *Checkpoint {
 		ck.JournalNext = c.jn.Next()
 		ck.JournalDropped = c.jn.Dropped()
 	}
+	if c.ctl != nil {
+		ck.OnlineApplied = c.ctl.Version()
+		ck.OnlineModelVersion = c.modelVersion
+		ck.OnlineRetrains, ck.OnlineSwaps, ck.OnlineSkips = c.ctl.Stats()
+		if v, kickoff, bases, ok := c.ctl.Pending(); ok {
+			ck.OnlinePendingVersion = v
+			ck.OnlinePendingEpoch = kickoff
+			ck.OnlinePendingBase = bases
+		}
+	}
 	return ck
 }
 
@@ -683,6 +874,11 @@ func (c *Coordinator) writeCheckpoint() error {
 // fault-free serving, the blocking drain only settles owed prediction
 // replies, which Phantom and the pending windows record.
 func (c *Coordinator) finish(workers []*workerConn) (*Result, error) {
+	// An in-flight retrain's swap is never applied — the campaign is over —
+	// but the trainer goroutine must not outlive the run.
+	if c.ctl != nil {
+		c.ctl.Wait()
+	}
 	finals := make([]fuzzer.VMState, len(c.states))
 	got := make([]bool, len(c.states))
 	for _, wc := range workers {
@@ -736,6 +932,10 @@ func (c *Coordinator) finish(workers []*workerConn) (*Result, error) {
 	}
 
 	stats := c.assembleStats(finals)
+	if c.ctl != nil {
+		stats.ModelRetrains, stats.ModelSwaps, stats.ModelSwapsSkipped = c.ctl.Stats()
+		stats.ModelVersion = c.modelVersion
+	}
 	c.jn.Record(obs.Event{
 		Kind: obs.EventCampaignEnd, VM: -1, Value: int64(stats.FinalEdges),
 		Detail: fmt.Sprintf("execs=%d corpus=%d", stats.Executions, stats.CorpusSize),

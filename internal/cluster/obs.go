@@ -16,6 +16,7 @@ type clusterMetrics struct {
 	txBytes        *obs.Counter
 	rxBytes        *obs.Counter
 	checkpointSize *obs.Gauge
+	modelPushes    *obs.Counter
 }
 
 func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
@@ -29,5 +30,6 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 		txBytes:        reg.Counter("cluster_tx_bytes_total", "bytes", "protocol bytes sent by the coordinator"),
 		rxBytes:        reg.Counter("cluster_rx_bytes_total", "bytes", "protocol bytes received by the coordinator"),
 		checkpointSize: reg.Gauge("cluster_checkpoint_bytes", "bytes", "size of the most recent checkpoint"),
+		modelPushes:    reg.Counter("cluster_model_pushes_total", "pushes", "accepted model swaps pushed fleet-wide"),
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/online"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/qgraph"
@@ -53,8 +54,35 @@ type CampaignSpec struct {
 	MaxPending             int
 	MinimizeCorpus         bool
 	Journal                bool
+	// Online* carry the continual-learning schedule (see online.Config);
+	// OnlineEnabled false means a frozen model. Campaign-semantic: the
+	// schedule changes what the campaign computes, so it travels in the spec
+	// and is pinned by checkpoints. The values are stored normalized.
+	OnlineEnabled          bool
+	OnlineEvery            int64
+	OnlineLag              int64
+	OnlineMinCorpus        int
+	OnlineMutationsPerBase int
+	OnlineTrainEpochs      int
+	OnlineTrainBatch       int
 	SeedProgs              []string // serialized seed corpus
 	Model                  []byte   // pmm checkpoint (Snowplow mode)
+}
+
+// OnlineConfig returns the spec's continual-learning schedule, or nil when
+// the campaign serves a frozen model.
+func (sp CampaignSpec) OnlineConfig() *online.Config {
+	if !sp.OnlineEnabled {
+		return nil
+	}
+	return &online.Config{
+		Every:            sp.OnlineEvery,
+		Lag:              sp.OnlineLag,
+		MinCorpus:        sp.OnlineMinCorpus,
+		MutationsPerBase: sp.OnlineMutationsPerBase,
+		TrainEpochs:      sp.OnlineTrainEpochs,
+		TrainBatch:       sp.OnlineTrainBatch,
+	}
 }
 
 // FuzzerMode converts the wire mode tag.
@@ -87,6 +115,16 @@ func SpecFromConfig(cfg fuzzer.Config, model []byte) CampaignSpec {
 	}
 	if cfg.Mode == fuzzer.ModeSnowplow {
 		sp.Mode = 1
+	}
+	if cfg.Online != nil {
+		oc := cfg.Online.Normalized()
+		sp.OnlineEnabled = true
+		sp.OnlineEvery = oc.Every
+		sp.OnlineLag = oc.Lag
+		sp.OnlineMinCorpus = oc.MinCorpus
+		sp.OnlineMutationsPerBase = oc.MutationsPerBase
+		sp.OnlineTrainEpochs = oc.TrainEpochs
+		sp.OnlineTrainBatch = oc.TrainBatch
 	}
 	for _, p := range cfg.SeedCorpus {
 		sp.SeedProgs = append(sp.SeedProgs, p.Serialize())
@@ -134,6 +172,7 @@ func (sp CampaignSpec) Materialize(needServer bool, serveWorkers int, fused bool
 		MaxQueryTargets:        sp.MaxQueryTargets,
 		MaxPending:             sp.MaxPending,
 		MinimizeCorpus:         sp.MinimizeCorpus,
+		Online:                 sp.OnlineConfig(),
 	}
 	for _, text := range sp.SeedProgs {
 		p, err := prog.Parse(k.Target, text)

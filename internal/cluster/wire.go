@@ -20,21 +20,25 @@ import (
 	"github.com/repro/snowplow/internal/prog"
 )
 
-// protoVersion is the cluster protocol version, checked at Hello.
-const protoVersion = 1
+// protoVersion is the cluster protocol version, checked at Hello. Version 2
+// added the online-learning spec fields and the two-phase model hot-swap
+// push (frameModelPrep/frameModelCommit).
+const protoVersion = 2
 
 // The cluster protocol's frame types (disjoint from the inference
 // protocol's 0x0x range, so a cross-wired connection fails fast).
 const (
-	frameHello   byte = 0x10 // worker -> coordinator: version handshake
-	frameAssign  byte = 0x11 // coordinator -> worker: spec + VM shard
-	frameAck     byte = 0x12 // worker -> coordinator: assignment applied
-	frameEpoch   byte = 0x13 // coordinator -> worker: barrier + accepted entries
-	frameDelta   byte = 0x14 // worker -> coordinator: epoch deltas
-	frameRestore byte = 0x15 // coordinator -> worker: adopt VMs mid-campaign
-	frameDone    byte = 0x16 // coordinator -> worker: campaign over, drain
-	frameFinal   byte = 0x17 // worker -> coordinator: drained VM states
-	frameErr     byte = 0x18 // either direction: fatal error
+	frameHello       byte = 0x10 // worker -> coordinator: version handshake
+	frameAssign      byte = 0x11 // coordinator -> worker: spec + VM shard
+	frameAck         byte = 0x12 // worker -> coordinator: assignment applied
+	frameEpoch       byte = 0x13 // coordinator -> worker: barrier + accepted entries
+	frameDelta       byte = 0x14 // worker -> coordinator: epoch deltas
+	frameRestore     byte = 0x15 // coordinator -> worker: adopt VMs mid-campaign
+	frameDone        byte = 0x16 // coordinator -> worker: campaign over, drain
+	frameFinal       byte = 0x17 // worker -> coordinator: drained VM states
+	frameErr         byte = 0x18 // either direction: fatal error
+	frameModelPrep   byte = 0x19 // coordinator -> worker: drain + stage pushed model
+	frameModelCommit byte = 0x1a // coordinator -> worker: swap the staged model in
 )
 
 // Decode errors. All decoders return one of these (wrapped with context);
@@ -92,6 +96,19 @@ type RestoreMsg struct {
 // FinalMsg carries a worker's end-of-campaign drained VM states.
 type FinalMsg struct {
 	States []fuzzer.VMState
+}
+
+// ModelMsg carries one phase of the two-phase model hot-swap push. The prep
+// phase ships the versioned canonical checkpoint bytes (the worker drains
+// its shard's in-flight predictions and stages the loaded model); the commit
+// phase re-sends only the version (the worker swaps the staged model into
+// its serving surface). The barrier between the phases — every worker acks
+// prep before any receives commit — guarantees no query is ever answered by
+// a newer generation than its submission epoch's, even when several
+// in-process workers share one multi-tenant server.
+type ModelMsg struct {
+	Version int64
+	Model   []byte // nil in the commit phase
 }
 
 // ErrMsg reports a fatal error to the peer.
@@ -246,6 +263,13 @@ func (e *enc) spec(sp CampaignSpec) {
 	e.int(sp.MaxPending)
 	e.flag(sp.MinimizeCorpus)
 	e.flag(sp.Journal)
+	e.flag(sp.OnlineEnabled)
+	e.i64(sp.OnlineEvery)
+	e.i64(sp.OnlineLag)
+	e.int(sp.OnlineMinCorpus)
+	e.int(sp.OnlineMutationsPerBase)
+	e.int(sp.OnlineTrainEpochs)
+	e.int(sp.OnlineTrainBatch)
 	e.int(len(sp.SeedProgs))
 	for _, s := range sp.SeedProgs {
 		e.str(s)
@@ -525,6 +549,13 @@ func (d *dec) spec() CampaignSpec {
 		MaxPending:             d.int(),
 		MinimizeCorpus:         d.flag(),
 		Journal:                d.flag(),
+		OnlineEnabled:          d.flag(),
+		OnlineEvery:            d.i64(),
+		OnlineLag:              d.i64(),
+		OnlineMinCorpus:        d.int(),
+		OnlineMutationsPerBase: d.int(),
+		OnlineTrainEpochs:      d.int(),
+		OnlineTrainBatch:       d.int(),
 	}
 	if sp.Mode > 1 {
 		d.fail(fmt.Errorf("%w: unknown mode %d", ErrBadMessage, sp.Mode))
@@ -665,6 +696,24 @@ func EncodeFinal(m FinalMsg) []byte {
 func DecodeFinal(b []byte) (FinalMsg, error) {
 	d := dec{b: b}
 	m := FinalMsg{States: d.vmStates()}
+	return m, d.finish()
+}
+
+// EncodeModelMsg serializes a ModelMsg.
+func EncodeModelMsg(m ModelMsg) []byte {
+	var e enc
+	e.i64(m.Version)
+	e.blob(m.Model)
+	return e.b
+}
+
+// DecodeModelMsg parses a ModelMsg.
+func DecodeModelMsg(b []byte) (ModelMsg, error) {
+	d := dec{b: b}
+	m := ModelMsg{Version: d.i64(), Model: d.blob()}
+	if m.Version <= 0 && d.err == nil {
+		d.fail(fmt.Errorf("%w: model push version %d", ErrBadMessage, m.Version))
+	}
 	return m, d.finish()
 }
 

@@ -6,11 +6,13 @@
 package cluster
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"time"
 
 	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/serve"
 )
 
@@ -138,6 +140,11 @@ func RunWorker(addr string, opts WorkerOptions) error {
 		}
 	}
 
+	// stagedModel holds a pushed-but-uncommitted swap between the two phases
+	// of a fleet-wide model push (see frameModelPrep).
+	var stagedModel *pmm.Model
+	var stagedVersion int64
+
 	for {
 		typ, payload, err := recv()
 		if err != nil {
@@ -182,6 +189,46 @@ func RunWorker(addr string, opts WorkerOptions) error {
 				return sendErr(err)
 			}
 			if err := send(frameDelta, EncodeDelta(DeltaMsg{Epoch: m.Epoch, Deltas: deltas})); err != nil {
+				return err
+			}
+		case frameModelPrep:
+			m, err := DecodeModelMsg(payload)
+			if err != nil {
+				return sendErr(err)
+			}
+			if _, ok := rt.Cfg.Server.(serve.ModelSwapper); !ok {
+				return sendErr(fmt.Errorf("cluster: serving surface cannot hot-swap models"))
+			}
+			// Drain before acking: once every worker acks, the coordinator
+			// commits, and no in-flight query may straddle the generation
+			// change (the drain is the single-host swap barrier's).
+			shard.DrainPredictions()
+			staged, err := pmm.Load(bytes.NewReader(m.Model))
+			if err != nil {
+				return sendErr(fmt.Errorf("cluster: staging model v%d: %w", m.Version, err))
+			}
+			stagedModel, stagedVersion = staged, m.Version
+			logf("model v%d staged", m.Version)
+			if err := send(frameAck, nil); err != nil {
+				return err
+			}
+		case frameModelCommit:
+			m, err := DecodeModelMsg(payload)
+			if err != nil {
+				return sendErr(err)
+			}
+			if stagedModel == nil || stagedVersion != m.Version {
+				return sendErr(fmt.Errorf("cluster: commit for model v%d but v%d staged", m.Version, stagedVersion))
+			}
+			sw := rt.Cfg.Server.(serve.ModelSwapper) // checked at prep
+			// Swapped=false means a co-tenant of a shared server won the
+			// race to this version — identical bytes, so it is equivalent.
+			if _, err := sw.SwapModel(stagedModel, stagedVersion); err != nil {
+				return sendErr(fmt.Errorf("cluster: hot-swap model v%d: %w", stagedVersion, err))
+			}
+			logf("model v%d live", stagedVersion)
+			stagedModel, stagedVersion = nil, 0
+			if err := send(frameAck, nil); err != nil {
 				return err
 			}
 		case frameDone:

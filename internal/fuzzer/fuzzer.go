@@ -28,7 +28,9 @@ import (
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/mutation"
 	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/online"
 	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/qgraph"
 	"github.com/repro/snowplow/internal/rng"
 	"github.com/repro/snowplow/internal/serve"
 	"github.com/repro/snowplow/internal/trace"
@@ -121,6 +123,20 @@ type Config struct {
 	// coverage are removed (the extra executions are charged to the
 	// budget, as triage work is on the real fuzzing machine).
 	MinimizeCorpus bool
+	// Online, when non-nil, enables continual learning: a background
+	// controller (internal/online) retrains the PMM on the campaign's own
+	// corpus at fixed epoch barriers and hot-swaps accepted checkpoints into
+	// the server at barrier epochs, without pausing VMs. Requires
+	// ModeSnowplow and a Server implementing serve.ModelSwapper (a local
+	// *serve.Server or *serve.Tenant; the TCP client cannot swap). Online
+	// campaigns always run through the epoch-barrier engine, even at VMs=1,
+	// so the swap schedule is defined by barrier epochs.
+	Online *online.Config
+	// OnlineTrainWorkers / OnlineCollectWorkers bound the background
+	// retrain's data-parallel training and harvest pools (0 = library
+	// defaults). Wall-clock only: results are bit-identical at any width.
+	OnlineTrainWorkers   int
+	OnlineCollectWorkers int
 }
 
 // Point is one coverage time-series sample.
@@ -175,8 +191,13 @@ type Stats struct {
 	// PMMInvalidSlots counts predicted slots rejected as out of range
 	// (corrupt or stale predictions must never crash the mutator).
 	PMMInvalidSlots int64
-	// PMMCacheHits/PMMCacheMisses mirror the serving builder's
-	// graph-encoding cache counters at campaign end (zero without a cache).
+	// PMMCacheHits/PMMCacheMisses attribute the campaign's inference
+	// queries to the serving graph-encoding cache. When the server exposes
+	// its cache capacity (a local *serve.Server or *serve.Tenant) they come
+	// from a deterministic campaign-side LRU simulation fed in reconcile
+	// order, so the split is a pure function of the seed even under
+	// concurrent serving workers; otherwise they mirror the server's
+	// wall-clock counters at campaign end (zero without a cache).
 	PMMCacheHits   int64
 	PMMCacheMisses int64
 	// DegradedSteps counts mutation rounds taken while the server was
@@ -187,6 +208,15 @@ type Stats struct {
 	Yield YieldStats
 	// VMs holds per-VM counters (one element per simulated VM).
 	VMs []VMStat
+	// ModelRetrains / ModelSwaps / ModelSwapsSkipped count online-learning
+	// retrain kickoffs and the gate outcomes of their candidate
+	// checkpoints; ModelVersion is the serving checkpoint generation at
+	// campaign end (0 = the initial frozen model). All zero unless
+	// Config.Online is set.
+	ModelRetrains     int64
+	ModelSwaps        int64
+	ModelSwapsSkipped int64
+	ModelVersion      int64
 }
 
 // YieldStats attributes executions and new edges to work classes.
@@ -265,6 +295,15 @@ type Fuzzer struct {
 	stats        Stats
 	seq          *worker          // the sequential (VMs<=1) worker
 	metrics      *campaignMetrics // nil when Config.Metrics is nil
+
+	// cacheSim replays the serving graph-cache LRU over the campaign's
+	// query keys in reconcile order, making the hit/miss split
+	// seed-deterministic (nil when the server's cache capacity is unknown).
+	cacheSim *qgraph.CacheSim
+
+	// online / swapper drive continual learning when Config.Online is set.
+	online  *online.Controller
+	swapper serve.ModelSwapper
 }
 
 // worker is one simulated fuzzing VM: the full generate→exec→trace→triage
@@ -310,6 +349,14 @@ type worker struct {
 	// barriers, pinning the parallel campaign's query schedule to
 	// simulated time instead of wall-clock arrival order.
 	deferHarvest bool
+
+	// Cache-simulation plumbing: a sequential worker folds each submitted
+	// query's key into the shared simulator immediately (cacheSim non-nil);
+	// a parallel VM buffers keys in submission order (trackKeys) for the
+	// reconciler to fold at the barrier in VM order.
+	cacheSim  *qgraph.CacheSim
+	trackKeys bool
+	keyBuf    []qgraph.QueryKey
 
 	// phantom counts in-flight replies owed to this VM whose base entries
 	// could not be reconstructed when the VM was restored from a cluster
@@ -384,6 +431,13 @@ func New(cfg Config) *Fuzzer {
 	if cfg.Metrics != nil {
 		f.metrics = newCampaignMetrics(cfg.Metrics, f.corp)
 	}
+	if cfg.Server != nil {
+		if gc, ok := cfg.Server.(interface{ GraphCacheCapacity() int }); ok {
+			if capacity := gc.GraphCacheCapacity(); capacity > 0 {
+				f.cacheSim = qgraph.NewCacheSim(capacity)
+			}
+		}
+	}
 	f.seq = &worker{
 		cfg:          &f.cfg,
 		id:           0,
@@ -400,6 +454,7 @@ func New(cfg Config) *Fuzzer {
 		scratchCover: trace.NewCover(),
 		m:            f.metrics,
 		jn:           cfg.Journal,
+		cacheSim:     f.cacheSim,
 	}
 	return f
 }
@@ -430,10 +485,46 @@ func (f *Fuzzer) Run() (*Stats, error) {
 }
 
 func (f *Fuzzer) run() (*Stats, error) {
+	if f.cfg.Online != nil {
+		if err := f.initOnline(); err != nil {
+			return nil, err
+		}
+		// Online campaigns always run the epoch-barrier engine: swap
+		// scheduling is defined in barrier epochs, even at VMs=1.
+		return f.runParallel()
+	}
 	if f.cfg.VMs > 1 {
 		return f.runParallel()
 	}
 	return f.runSequential()
+}
+
+// initOnline builds the continual-learning controller against the campaign
+// server's currently served model.
+func (f *Fuzzer) initOnline() error {
+	if f.cfg.Mode != ModeSnowplow {
+		return fmt.Errorf("fuzzer: online learning requires Snowplow mode")
+	}
+	sw, ok := f.cfg.Server.(serve.ModelSwapper)
+	if !ok {
+		return fmt.Errorf("fuzzer: online learning requires a hot-swappable server (serve.ModelSwapper), got %T", f.cfg.Server)
+	}
+	ctl, err := online.New(online.Params{
+		Config:         *f.cfg.Online,
+		Kernel:         f.cfg.Kernel,
+		An:             f.cfg.An,
+		Seed:           f.cfg.Seed,
+		Current:        sw.Model(),
+		TrainWorkers:   f.cfg.OnlineTrainWorkers,
+		CollectWorkers: f.cfg.OnlineCollectWorkers,
+		Metrics:        f.cfg.Metrics,
+	})
+	if err != nil {
+		return fmt.Errorf("fuzzer: %w", err)
+	}
+	f.online = ctl
+	f.swapper = sw
+	return nil
 }
 
 // runSequential is the single-VM campaign: the worker is bound directly to
@@ -456,11 +547,7 @@ func (f *Fuzzer) runSequential() (*Stats, error) {
 	w.drainPending()
 	f.stats.CorpusSize = f.corp.Len()
 	f.stats.FinalEdges = f.corp.TotalEdges()
-	if f.cfg.Server != nil {
-		ss := f.cfg.Server.Stats()
-		f.stats.PMMCacheHits = ss.CacheHits
-		f.stats.PMMCacheMisses = ss.CacheMisses
-	}
+	f.fillCacheStats()
 	if len(f.stats.Series) == 0 || f.stats.Series[len(f.stats.Series)-1].Cost < w.cost {
 		f.stats.Series = append(f.stats.Series, Point{Cost: w.cost, Edges: f.corp.TotalEdges()})
 	}
@@ -472,6 +559,32 @@ func (f *Fuzzer) runSequential() (*Stats, error) {
 		Epochs:     1,
 	}}
 	return &f.stats, nil
+}
+
+// fillCacheStats sets the campaign's cache hit/miss counters: from the
+// deterministic simulation when it is running, else mirroring the server's
+// wall-clock counters.
+func (f *Fuzzer) fillCacheStats() {
+	if f.cacheSim != nil {
+		f.stats.PMMCacheHits, f.stats.PMMCacheMisses = f.cacheSim.Stats()
+		return
+	}
+	if f.cfg.Server != nil {
+		ss := f.cfg.Server.Stats()
+		f.stats.PMMCacheHits = ss.CacheHits
+		f.stats.PMMCacheMisses = ss.CacheMisses
+	}
+}
+
+// noteCacheKey accounts one submitted query to the cache simulation: folded
+// immediately when this worker owns the simulator (sequential campaigns),
+// buffered in submission order for the reconciler otherwise.
+func (w *worker) noteCacheKey(p *prog.Prog, traces [][]kernel.BlockID, targets []kernel.BlockID) {
+	if w.cacheSim != nil {
+		w.cacheSim.Touch(qgraph.HashQuery(p, traces, targets))
+	} else if w.trackKeys {
+		w.keyBuf = append(w.keyBuf, qgraph.HashQuery(p, traces, targets))
+	}
 }
 
 // step performs one iteration of the Figure 1 loop. The two modes differ
@@ -644,6 +757,7 @@ func (w *worker) syncGuidedArgMutation(entry *corpus.Entry) error {
 	if w.m != nil {
 		w.m.queries.Inc()
 	}
+	w.noteCacheKey(entry.Prog, entry.Traces, targets)
 	pred, err := w.cfg.Server.Infer(serve.Query{Prog: entry.Prog, Traces: entry.Traces, Targets: targets})
 	if err != nil {
 		w.countReplyFailed()
@@ -760,6 +874,7 @@ func (w *worker) submitQuery(entry *corpus.Entry, st *entryPrediction) {
 	if w.m != nil {
 		w.m.queries.Inc()
 	}
+	w.noteCacheKey(entry.Prog, entry.Traces, targets)
 	st.reply = reply
 	st.targets = targets
 }

@@ -35,6 +35,7 @@ import (
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/mutation"
 	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/online"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/rng"
 	"github.com/repro/snowplow/internal/trace"
@@ -159,6 +160,7 @@ func (f *Fuzzer) runParallel() (*Stats, error) {
 			scratchCover: trace.NewCover(),
 			m:            f.metrics,
 			jn:           f.cfg.Journal,
+			trackKeys:    f.cacheSim != nil,
 		}
 		if i == 0 {
 			w.budget += f.cfg.Budget - per*int64(nvm) // remainder to VM 0
@@ -234,6 +236,18 @@ func (f *Fuzzer) runParallel() (*Stats, error) {
 			}
 		}
 
+		// Fold each VM's buffered cache keys into the shared simulation in
+		// ascending VM order (submission order within a VM), pinning the
+		// hit/miss split to reconcile order instead of wall-clock arrival.
+		if f.cacheSim != nil {
+			for _, w := range active {
+				for _, k := range w.keyBuf {
+					f.cacheSim.Touch(k)
+				}
+				w.keyBuf = w.keyBuf[:0]
+			}
+		}
+
 		// Reconcile in ascending VM order: each VM's local additions are
 		// applied in their local order under a global sequence number, so
 		// corpus contents are a pure function of (epoch, VM, order).
@@ -269,6 +283,14 @@ func (f *Fuzzer) runParallel() (*Stats, error) {
 				Value:  int64(f.corp.Len()),
 				Detail: fmt.Sprintf("edges=%d", f.corp.TotalEdges()),
 			})
+		}
+
+		// Online continual learning runs strictly after the merge and the
+		// epoch event: apply a due swap, then kick off the next retrain.
+		if f.online != nil {
+			if err := f.onlineBarrier(epochNo, workers); err != nil {
+				return nil, err
+			}
 		}
 
 		// Sample the coverage series against fleet simulated time (the sum
@@ -315,8 +337,68 @@ func (f *Fuzzer) runParallel() (*Stats, error) {
 	for _, w := range workers {
 		w.harvestPending()
 	}
+
+	// Fold any cache keys still buffered (mirrors the journal flush above)
+	// and wait out an in-flight retrain: its swap is never applied — the
+	// campaign is over — but the goroutine must not outlive the run.
+	if f.cacheSim != nil {
+		for _, w := range workers {
+			for _, k := range w.keyBuf {
+				f.cacheSim.Touch(k)
+			}
+			w.keyBuf = w.keyBuf[:0]
+		}
+	}
+	if f.online != nil {
+		f.online.Wait()
+	}
 	f.mergeParallelStats(workers, vmStats)
 	return &f.stats, nil
+}
+
+// onlineBarrier applies the continual-learning schedule at one epoch
+// barrier: hot-swap a due checkpoint generation, then kick off the next
+// retrain if this barrier is a kickoff point. Both outcomes are journaled
+// here with their canonical payloads (Swap.Detail, online.KickoffDetail),
+// and the cluster coordinator journals byte-identical records at the same
+// epochs, so swap-for-swap replay holds across engines.
+func (f *Fuzzer) onlineBarrier(epochNo int64, workers []*worker) error {
+	if sw := f.online.SwapDue(epochNo); sw != nil {
+		// Drain every VM's in-flight predictions before swapping so each
+		// query is answered by the model generation of its submission
+		// epoch. Harvested replies stay invisible until the VM's next
+		// epoch (deferHarvest), so the drain moves no information forward.
+		for _, w := range workers {
+			w.harvestPending()
+		}
+		if sw.Accepted {
+			if _, err := f.swapper.SwapModel(sw.Model, sw.Version); err != nil {
+				return fmt.Errorf("fuzzer: hot-swap model v%d: %w", sw.Version, err)
+			}
+			f.stats.ModelSwaps++
+			f.stats.ModelVersion = sw.Version
+		} else {
+			f.stats.ModelSwapsSkipped++
+		}
+		f.cfg.Journal.Record(obs.Event{
+			Kind: obs.EventModelSwap, VM: -1, Epoch: epochNo,
+			Value: sw.Version, Detail: sw.Detail(),
+		})
+	}
+	if f.online.ShouldKickoff(epochNo, f.corp.Len()) {
+		entries := f.corp.Entries()
+		bases := make([]*prog.Prog, len(entries))
+		for i, e := range entries {
+			bases[i] = e.Prog
+		}
+		v := f.online.Kickoff(epochNo, bases)
+		f.stats.ModelRetrains++
+		f.cfg.Journal.Record(obs.Event{
+			Kind: obs.EventModelTrain, VM: -1, Epoch: epochNo,
+			Value: v, Detail: online.KickoffDetail(len(bases)),
+		})
+	}
+	return nil
 }
 
 // runEpoch fuzzes until the worker has consumed one SyncEvery slice of its
@@ -373,11 +455,7 @@ func (f *Fuzzer) mergeParallelStats(workers []*worker, vmStats []Stats) {
 	}
 	f.stats.CorpusSize = f.corp.Len()
 	f.stats.FinalEdges = f.corp.TotalEdges()
-	if f.cfg.Server != nil {
-		ss := f.cfg.Server.Stats()
-		f.stats.PMMCacheHits = ss.CacheHits
-		f.stats.PMMCacheMisses = ss.CacheMisses
-	}
+	f.fillCacheStats()
 	if len(f.stats.Series) == 0 || f.stats.Series[len(f.stats.Series)-1].Cost < fleet {
 		f.stats.Series = append(f.stats.Series, Point{Cost: fleet, Edges: f.stats.FinalEdges})
 	}

@@ -439,6 +439,19 @@ func (s *Shard) RunEpoch(epoch int64, only []int) ([]VMDelta, error) {
 	return deltas, nil
 }
 
+// DrainPredictions blocking-drains every owned VM's in-flight prediction
+// replies in ascending VM order without capturing state. The cluster model
+// hot-swap calls it before a worker's server swaps generations, so every
+// query is answered by the model generation of its submission epoch — the
+// same drain the single-host engine performs at a swap barrier. Harvested
+// replies stay invisible until each VM's next epoch (deferred harvest), so
+// the drain moves no information across the barrier.
+func (s *Shard) DrainPredictions() {
+	for _, id := range s.Owned() {
+		s.workers[id].harvestPending()
+	}
+}
+
 // FinalDrain blocking-drains every owned VM's outstanding prediction
 // replies (the end-of-campaign drain of runParallel) and returns the final
 // states in ascending VM order.

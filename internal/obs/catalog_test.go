@@ -12,6 +12,7 @@ import (
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/online"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
 	"github.com/repro/snowplow/internal/qgraph"
@@ -23,9 +24,10 @@ var vmDigits = regexp.MustCompile(`vm\d+`)
 
 // registerAll runs a small fully instrumented campaign — Snowplow mode so
 // the serving/PMM instruments register, VMs=2 so the per-VM gauges and
-// epoch metrics register — plus an instrumented dataset harvest and
-// training run for the collect_*/train_* instruments, and returns every
-// metric name in the registry.
+// epoch metrics register, continual learning on so the online_* instruments
+// register — plus an instrumented dataset harvest and training run for the
+// collect_*/train_* instruments, and returns every metric name in the
+// registry.
 func registerAll(t *testing.T) []string {
 	t.Helper()
 	k := kernel.MustBuild("6.8")
@@ -49,6 +51,10 @@ func registerAll(t *testing.T) []string {
 		Seed: 9, Budget: 150_000, SeedCorpus: seeds,
 		Server: srv, SyncInference: true, VMs: 2,
 		Metrics: reg, Journal: obs.NewJournal(0),
+		Online: &online.Config{
+			Every: 2, Lag: 1, MinCorpus: 2,
+			MutationsPerBase: 4, TrainEpochs: 1, TrainBatch: 8,
+		},
 	}
 	if _, err := fuzzer.New(cfg).Run(); err != nil {
 		t.Fatal(err)
@@ -121,7 +127,7 @@ func TestCatalogMatchesDoc(t *testing.T) {
 
 	// Reverse direction: every catalog-table row names a live metric. The
 	// owner prefix distinguishes catalog rows from journal-kind rows.
-	docRow := regexp.MustCompile("(?m)^\\| `((?:fuzzer|corpus|serve|qgraph|nn|train|collect|cluster)_[a-z0-9_<>]+)`")
+	docRow := regexp.MustCompile("(?m)^\\| `((?:fuzzer|corpus|serve|qgraph|nn|train|collect|cluster|online)_[a-z0-9_<>]+)`")
 	documented := 0
 	for _, match := range docRow.FindAllStringSubmatch(doc, -1) {
 		documented++

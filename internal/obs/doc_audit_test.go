@@ -1,6 +1,7 @@
 package obs_test
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
@@ -55,6 +56,44 @@ func TestPackageDocAudit(t *testing.T) {
 				if docs > 1 {
 					t.Errorf("package %s (%s) has %d package doc comments; keep one canonical doc",
 						name, dir, docs)
+				}
+			}
+		}
+	}
+}
+
+// TestExportedTypeDocAudit requires a doc comment on every exported type in
+// the packages listed — currently the continual-learning package, whose
+// exported surface (Controller, Swap, Config, Params) is the hot-swap
+// contract both campaign engines program against.
+func TestExportedTypeDocAudit(t *testing.T) {
+	for _, dir := range []string{"../online"} {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			for file, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok || gd.Tok != token.TYPE {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok || !ts.Name.IsExported() {
+							continue
+						}
+						if gd.Doc == nil && ts.Doc == nil {
+							pos := fset.Position(ts.Pos())
+							t.Errorf("%s:%d: exported type %s.%s has no doc comment",
+								file, pos.Line, name, ts.Name.Name)
+						}
+					}
 				}
 			}
 		}

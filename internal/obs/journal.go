@@ -57,6 +57,19 @@ const (
 	// fault-free campaigns).
 	EventDegraded  = "degraded"
 	EventRecovered = "recovered"
+	// EventModelTrain records an online-learning retrain kickoff at an
+	// epoch barrier: Value is the checkpoint version being trained, Detail
+	// is "SPMV bases=N" (the deterministic corpus snapshot size the harvest
+	// draws from). Part of the journal determinism guarantee: kickoffs are
+	// scheduled purely on barrier epochs and corpus state.
+	EventModelTrain = "model_train"
+	// EventModelSwap records an online-learning model hot-swap applied at
+	// an epoch barrier — the versioned SPMV (SnowPlow Model Version)
+	// record. Value is the checkpoint version, Detail is
+	// "SPMV digest=<16 hex> f1=<val F1> applied|skipped". The digest is
+	// over the canonical serving-form checkpoint bytes, so single-host and
+	// cluster campaigns journal byte-identical swap records.
+	EventModelSwap = "model_swap"
 	// EventCampaignEnd closes a campaign: Value is final edge coverage,
 	// Detail is "execs=N corpus=C".
 	EventCampaignEnd = "campaign_end"

@@ -132,6 +132,9 @@ func (c *Cache) put(key cacheKey, g *Graph) {
 	}
 }
 
+// Capacity returns the cache's configured entry bound.
+func (c *Cache) Capacity() int { return c.cap }
+
 // CacheStats reports cache effectiveness counters.
 type CacheStats struct {
 	Hits, Misses int64

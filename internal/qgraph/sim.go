@@ -1,0 +1,68 @@
+package qgraph
+
+import (
+	"container/list"
+
+	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/prog"
+)
+
+// QueryKey is the exported form of the cache's 128-bit query fingerprint,
+// so campaign-side accounting (fuzzer cache simulation) can key the same
+// space the serving cache does without rebuilding graphs.
+type QueryKey struct {
+	lo, hi uint64
+}
+
+// HashQuery fingerprints a (program, traces, targets) query exactly as the
+// serving cache does: equal inputs produce equal keys on both sides.
+func HashQuery(p *prog.Prog, traces [][]kernel.BlockID, targets []kernel.BlockID) QueryKey {
+	k := hashQuery(p, traces, targets)
+	return QueryKey{lo: k.lo, hi: k.hi}
+}
+
+// CacheSim replays the serving Cache's LRU policy over a deterministic key
+// stream. The real cache counts hits and misses in wall-clock arrival order,
+// which makes the split schedule-dependent under concurrent serving workers;
+// the simulator is fed the same keys in the campaign's reconcile order
+// (submission order per VM, VM order at each epoch barrier), so the split is
+// a pure function of the seed. It models exactly the Cache policy — hit
+// promotes to most-recently-used, miss inserts at the front and evicts past
+// capacity — and is not safe for concurrent use: the single reconciler owns
+// it.
+type CacheSim struct {
+	cap    int
+	ll     *list.List
+	m      map[QueryKey]*list.Element
+	hits   int64
+	misses int64
+}
+
+// NewCacheSim creates a simulator mirroring a Cache of the given capacity.
+func NewCacheSim(capacity int) *CacheSim {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &CacheSim{cap: capacity, ll: list.New(), m: make(map[QueryKey]*list.Element, capacity)}
+}
+
+// Touch folds one query into the simulated LRU and reports whether it was a
+// hit.
+func (s *CacheSim) Touch(k QueryKey) bool {
+	if el, ok := s.m[k]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
+		return true
+	}
+	s.misses++
+	s.m[k] = s.ll.PushFront(k)
+	for s.ll.Len() > s.cap {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.m, last.Value.(QueryKey))
+	}
+	return false
+}
+
+// Stats returns the accumulated hit/miss counts.
+func (s *CacheSim) Stats() (hits, misses int64) { return s.hits, s.misses }

@@ -33,18 +33,18 @@ type serveMetrics struct {
 // nil instruments — the zero-cost disabled path).
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	return &serveMetrics{
-		queries:        reg.Counter("serve_queries_total", "queries", "accepted inference queries"),
-		succeeded:      reg.Counter("serve_succeeded_total", "queries", "queries with a delivered prediction"),
-		failed:         reg.Counter("serve_failed_total", "queries", "queries terminally failed (deadline, retries, close)"),
-		rejected:       reg.Counter("serve_rejected_total", "queries", "submissions refused outright (server closed)"),
-		retries:        reg.Counter("serve_retries_total", "attempts", "extra attempts beyond each query's first"),
-		timeouts:       reg.Counter("serve_timeouts_total", "attempts", "attempts that hit the per-attempt deadline"),
-		batches:        reg.Counter("serve_batches_total", "passes", "model forward passes"),
-		batchedQueries: reg.Counter("serve_batched_queries_total", "queries", "queries served in passes of two or more"),
-		injDropped:     reg.Counter("serve_inj_dropped_total", "faults", "injected dropped replies"),
-		injTransient:   reg.Counter("serve_inj_transient_total", "faults", "injected transient errors"),
-		injLatency:     reg.Counter("serve_inj_latency_total", "faults", "injected latency spikes"),
-		injCorrupt:     reg.Counter("serve_inj_corrupt_total", "faults", "injected corrupt predictions"),
+		queries:             reg.Counter("serve_queries_total", "queries", "accepted inference queries"),
+		succeeded:           reg.Counter("serve_succeeded_total", "queries", "queries with a delivered prediction"),
+		failed:              reg.Counter("serve_failed_total", "queries", "queries terminally failed (deadline, retries, close)"),
+		rejected:            reg.Counter("serve_rejected_total", "queries", "submissions refused outright (server closed)"),
+		retries:             reg.Counter("serve_retries_total", "attempts", "extra attempts beyond each query's first"),
+		timeouts:            reg.Counter("serve_timeouts_total", "attempts", "attempts that hit the per-attempt deadline"),
+		batches:             reg.Counter("serve_batches_total", "passes", "model forward passes"),
+		batchedQueries:      reg.Counter("serve_batched_queries_total", "queries", "queries served in passes of two or more"),
+		injDropped:          reg.Counter("serve_inj_dropped_total", "faults", "injected dropped replies"),
+		injTransient:        reg.Counter("serve_inj_transient_total", "faults", "injected transient errors"),
+		injLatency:          reg.Counter("serve_inj_latency_total", "faults", "injected latency spikes"),
+		injCorrupt:          reg.Counter("serve_inj_corrupt_total", "faults", "injected corrupt predictions"),
 		tenantAdmitted:      reg.Counter("serve_tenant_admitted_total", "queries", "queries past admission control, all tenants"),
 		tenantQuotaRejected: reg.Counter("serve_tenant_quota_rejected_total", "queries", "submissions refused on tenant quota"),
 		tenantShed:          reg.Counter("serve_tenant_shed_total", "queries", "background submissions shed on SLO/health"),
@@ -52,10 +52,10 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 		scaleDowns:          reg.Counter("serve_scale_down_total", "decisions", "autoscaler shrink decisions"),
 		tenantCount:         reg.Gauge("serve_tenant_count", "tenants", "registered tenants"),
 		scaleWorkers:        reg.Gauge("serve_scale_workers", "workers", "current worker-pool target"),
-		latency:        reg.Histogram("serve_latency_ns", "ns", "terminal query latency (queue+inference+retries)", obs.LatencyBucketsNs()),
-		batchSize:      reg.Histogram("serve_batch_size", "queries", "queries packed into one union-graph forward pass", obs.SizeBuckets()),
-		queueWait:      reg.Histogram("serve_queue_wait_ns", "ns", "attempt wait in the worker queue", obs.LatencyBucketsNs()),
-		queueDepth:     reg.Gauge("serve_queue_depth", "attempts", "queued attempts at last worker pickup"),
+		latency:             reg.Histogram("serve_latency_ns", "ns", "terminal query latency (queue+inference+retries)", obs.LatencyBucketsNs()),
+		batchSize:           reg.Histogram("serve_batch_size", "queries", "queries packed into one union-graph forward pass", obs.SizeBuckets()),
+		queueWait:           reg.Histogram("serve_queue_wait_ns", "ns", "attempt wait in the worker queue", obs.LatencyBucketsNs()),
+		queueDepth:          reg.Gauge("serve_queue_depth", "attempts", "queued attempts at last worker pickup"),
 	}
 }
 
@@ -75,27 +75,27 @@ func (s *Server) registerPullGauges(reg *obs.Registry) {
 		})
 	}
 	reg.GaugeFunc("nn_pool_borrows", "slabs", "tensor-arena slab borrows", func() int64 {
-		return s.model.PoolStats().Borrows
+		return s.Model().PoolStats().Borrows
 	})
 	reg.GaugeFunc("nn_pool_reuses", "slabs", "borrows satisfied from the free list", func() int64 {
-		return s.model.PoolStats().Reuses
+		return s.Model().PoolStats().Reuses
 	})
 	reg.GaugeFunc("nn_pool_idle", "slabs", "slabs parked in the free lists", func() int64 {
-		return int64(s.model.PoolStats().Idle)
+		return int64(s.Model().PoolStats().Idle)
 	})
 	reg.GaugeFunc("nn_infer_fused_linear", "kernels", "fused linear+bias(+ReLU) kernel invocations", func() int64 {
-		return s.model.InferProfile().FusedLinear
+		return s.Model().InferProfile().FusedLinear
 	})
 	reg.GaugeFunc("nn_infer_fused_attention", "kernels", "fused attention kernel invocations", func() int64 {
-		return s.model.InferProfile().FusedAttention
+		return s.Model().InferProfile().FusedAttention
 	})
 	reg.GaugeFunc("nn_infer_fused_addnorm", "kernels", "fused add+LayerNorm kernel invocations", func() int64 {
-		return s.model.InferProfile().FusedAddNorm
+		return s.Model().InferProfile().FusedAddNorm
 	})
 	reg.GaugeFunc("nn_infer_quant_kernels", "kernels", "kernel invocations that read int8 weights", func() int64 {
-		return s.model.InferProfile().QuantKernels
+		return s.Model().InferProfile().QuantKernels
 	})
 	reg.GaugeFunc("nn_infer_kernel_ns", "ns", "total inference-kernel time (requires kernel profiling)", func() int64 {
-		return s.model.InferProfile().KernelNs()
+		return s.Model().InferProfile().KernelNs()
 	})
 }

@@ -26,6 +26,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,6 +66,11 @@ type Prediction struct {
 	Probs []float64
 	// Latency is the queue+inference+retry time of this query.
 	Latency time.Duration
+	// ModelVersion identifies the hot-swap generation of the model that
+	// served this prediction (0 = the model the server started with). A
+	// batch is always served wholly by one version: the worker reads the
+	// atomic model slot once per forward pass.
+	ModelVersion int64
 	// Err is the terminal failure, if the query could not be served.
 	Err error
 }
@@ -111,6 +117,9 @@ type Stats struct {
 	// Fused and Quantized report which inference path served the run.
 	Fused     bool
 	Quantized bool
+	// ModelVersion is the current hot-swap generation of the serving model
+	// (0 until the first SwapModel).
+	ModelVersion int64
 	// Kernel snapshots the fused/quantized kernel counters and — when
 	// kernel profiling is on — per-op kernel time (see nn.InferProfile).
 	Kernel nn.InferProfile
@@ -322,8 +331,9 @@ func (a *attempt) reset() {
 }
 
 type attemptResult struct {
-	slots []prog.GlobalSlot
-	probs []float64
+	slots   []prog.GlobalSlot
+	probs   []float64
+	version int64
 }
 
 // attemptPool recycles attempt structs and their reply channels through the
@@ -356,11 +366,21 @@ func putTimer(t *time.Timer) {
 	timerPool.Put(t)
 }
 
+// modelSlot pairs a serving-ready model with its hot-swap generation. The
+// server publishes exactly one slot at a time behind an atomic pointer:
+// workers load it once per forward pass, so every batch — and therefore
+// every reply — is attributable to exactly one version, and a swap can never
+// be observed torn.
+type modelSlot struct {
+	m       *pmm.Model
+	version int64
+}
+
 // Server runs a worker pool over a frozen model, fronted by per-query
 // dispatchers that own deadlines, retries, and fault injection, and a
 // cross-tenant scheduler that owns who is served next.
 type Server struct {
-	model   *pmm.Model
+	model   atomic.Pointer[modelSlot]
 	builder *qgraph.Builder
 	opts    Options
 
@@ -410,22 +430,15 @@ func NewServer(model *pmm.Model, builder *qgraph.Builder, workers int) *Server {
 // NewServerOpts creates and starts a server with explicit options.
 func NewServerOpts(model *pmm.Model, builder *qgraph.Builder, opts Options) *Server {
 	opts = opts.withDefaults()
-	model.Freeze()
-	if opts.Quant && model.Quantized() == nil {
-		if err := model.Quantize(); err != nil {
-			// Quantization fails only on a registry/model shape mismatch —
-			// a programming error, not an input condition.
-			panic("serve: quantize model: " + err.Error())
-		}
-	}
-	if opts.Fused && !model.Fused() {
-		model.EnableFused()
+	if err := prepareModel(model, opts); err != nil {
+		// Quantization fails only on a registry/model shape mismatch —
+		// a programming error, not an input condition.
+		panic("serve: prepare model: " + err.Error())
 	}
 	if opts.KernelProfile || opts.Metrics != nil {
 		nn.SetKernelProfiling(true)
 	}
 	s := &Server{
-		model:   model,
 		builder: builder,
 		opts:    opts,
 		sched:   newSched(),
@@ -436,6 +449,7 @@ func NewServerOpts(model *pmm.Model, builder *qgraph.Builder, opts Options) *Ser
 		m:       newServeMetrics(opts.Metrics),
 		obsOn:   opts.Metrics != nil,
 	}
+	s.model.Store(&modelSlot{m: model})
 	if opts.Metrics != nil {
 		s.registerPullGauges(opts.Metrics)
 	}
@@ -457,6 +471,68 @@ func NewServerOpts(model *pmm.Model, builder *qgraph.Builder, opts Options) *Ser
 	s.startWorkers(opts.Workers)
 	s.scaler.start(s)
 	return s
+}
+
+// prepareModel makes a model serving-ready under the server's options:
+// frozen for concurrent pooled inference, quantized when the server serves
+// int8 weights, fused when the server serves fused kernels. Every swapped-in
+// checkpoint passes through here, so a hot swap can never silently downgrade
+// the inference path the campaign was configured with.
+func prepareModel(m *pmm.Model, opts Options) error {
+	m.Freeze()
+	if opts.Quant && m.Quantized() == nil {
+		if err := m.Quantize(); err != nil {
+			return err
+		}
+	}
+	if opts.Fused && !m.Fused() {
+		m.EnableFused()
+	}
+	return nil
+}
+
+// Model returns the currently served model (the latest swapped-in
+// generation). The returned model is frozen and safe for concurrent
+// read-only use, but callers must not mutate it.
+func (s *Server) Model() *pmm.Model { return s.model.Load().m }
+
+// ModelVersion returns the current hot-swap generation (0 until the first
+// SwapModel).
+func (s *Server) ModelVersion() int64 { return s.model.Load().version }
+
+// SwapModel atomically replaces the serving model with a new checkpoint
+// generation, without pausing workers or in-flight queries: batches already
+// holding the old slot finish on the old model, batches picked up after the
+// store run wholly on the new one. The model is prepared (Freeze, and
+// Quantize/EnableFused when the server's options demand them) before it
+// becomes visible. Versions are monotonic: a swap at or below the current
+// version is a no-op returning false, which makes concurrent swap attempts
+// of the same generation — e.g. every tenant of a shared cluster server
+// applying the same coordinator push — idempotent.
+func (s *Server) SwapModel(m *pmm.Model, version int64) (bool, error) {
+	if m == nil {
+		return false, errors.New("serve: swap of nil model")
+	}
+	if err := prepareModel(m, s.opts); err != nil {
+		return false, fmt.Errorf("serve: prepare swapped model: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if version <= s.model.Load().version {
+		return false, nil
+	}
+	s.model.Store(&modelSlot{m: m, version: version})
+	return true, nil
+}
+
+// GraphCacheCapacity reports the builder's graph-encoding cache capacity
+// (0 when no cache is attached). Campaigns use it to mirror the cache's LRU
+// policy in deterministic, schedule-independent accounting.
+func (s *Server) GraphCacheCapacity() int {
+	if s.builder.Cache == nil {
+		return 0
+	}
+	return s.builder.Cache.Capacity()
 }
 
 // startWorkers raises the pool target to n, spawning worker goroutines for
@@ -549,7 +625,8 @@ func (s *Server) serveBatch(batch []*attempt, gs *[]*qgraph.Graph) {
 		}
 	}
 	*gs = g
-	slots, probs := s.model.PredictBatch(g)
+	slot := s.model.Load()
+	slots, probs := slot.m.PredictBatch(g)
 	s.batches.Add(1)
 	s.m.batches.Inc()
 	if len(batch) > 1 {
@@ -575,7 +652,7 @@ func (s *Server) serveBatch(batch []*attempt, gs *[]*qgraph.Graph) {
 		at.t.served.Add(1)
 	}
 	for i, at := range batch {
-		at.done <- attemptResult{slots: slots[i], probs: probs[i]}
+		at.done <- attemptResult{slots: slots[i], probs: probs[i], version: slot.version}
 	}
 }
 
@@ -751,7 +828,7 @@ func (s *Server) dispatch(t *tenant, q Query, prio Priority, seq uint64) Predict
 			s.m.injCorrupt.Inc()
 			res = corruptResult(seq, q, res)
 		}
-		return finish(Prediction{Slots: res.slots, Probs: res.probs})
+		return finish(Prediction{Slots: res.slots, Probs: res.probs, ModelVersion: res.version})
 	}
 	return finish(Prediction{Err: lastErr})
 }
@@ -887,6 +964,7 @@ func (s *Server) Stats() Stats {
 	if batches > 0 && s.opts.BatchSize > 0 {
 		fill = avgBatch / float64(s.opts.BatchSize)
 	}
+	slot := s.model.Load()
 	return Stats{
 		Served:         s.served.Load(),
 		Rejected:       s.rejected.Load(),
@@ -901,9 +979,10 @@ func (s *Server) Stats() Stats {
 		BatchedQueries: s.batchedQueries.Load(),
 		AvgBatchSize:   avgBatch,
 		BatchFill:      fill,
-		Fused:          s.model.Fused(),
-		Quantized:      s.model.Quantized() != nil,
-		Kernel:         s.model.InferProfile(),
+		Fused:          slot.m.Fused(),
+		Quantized:      slot.m.Quantized() != nil,
+		ModelVersion:   slot.version,
+		Kernel:         slot.m.InferProfile(),
 		CacheHits:      cacheHits,
 		CacheMisses:    cacheMisses,
 		InjDropped:     s.injDropped.Load(),

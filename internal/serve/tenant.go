@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"github.com/repro/snowplow/internal/pmm"
 )
 
 // Multi-tenant serving: tenant registration, admission control and the
@@ -239,6 +241,23 @@ func (h *Tenant) TenantStats() TenantStats { return h.t.stats() }
 // Server returns the shared server backing this tenant.
 func (h *Tenant) Server() *Server { return h.t.srv }
 
+// SwapModel hot-swaps the shared server's model (see Server.SwapModel). On
+// a multi-tenant server every tenant that applies the same versioned push
+// races to the same monotonic version, so exactly one swap wins and the rest
+// are no-ops.
+func (h *Tenant) SwapModel(m *pmm.Model, version int64) (bool, error) {
+	return h.t.srv.SwapModel(m, version)
+}
+
+// Model returns the shared server's currently served model.
+func (h *Tenant) Model() *pmm.Model { return h.t.srv.Model() }
+
+// ModelVersion returns the shared server's current hot-swap generation.
+func (h *Tenant) ModelVersion() int64 { return h.t.srv.ModelVersion() }
+
+// GraphCacheCapacity reports the shared server's graph-cache capacity.
+func (h *Tenant) GraphCacheCapacity() int { return h.t.srv.GraphCacheCapacity() }
+
 // Inferrer is the inference surface campaigns program against: a dedicated
 // *Server (routing through its default tenant) or one *Tenant of a shared
 // multi-tenant server. (The TCP NetServer client is the separate Client
@@ -250,9 +269,28 @@ type Inferrer interface {
 	Stats() Stats
 }
 
+// ModelSwapper is the optional inference surface for online continual
+// learning: an Inferrer whose serving model can be hot-swapped to a new
+// versioned checkpoint generation without pausing callers. Both *Server and
+// *Tenant implement it; the TCP Client does not (a model handle cannot cross
+// the wire — cluster workers swap their local server when the coordinator
+// pushes re-encoded weights).
+type ModelSwapper interface {
+	Inferrer
+	// SwapModel installs a strictly newer generation; it reports false for
+	// stale or duplicate versions.
+	SwapModel(m *pmm.Model, version int64) (bool, error)
+	// Model returns the currently served model.
+	Model() *pmm.Model
+	// ModelVersion returns the current generation (0 = initial model).
+	ModelVersion() int64
+}
+
 var (
-	_ Inferrer = (*Server)(nil)
-	_ Inferrer = (*Tenant)(nil)
+	_ Inferrer     = (*Server)(nil)
+	_ Inferrer     = (*Tenant)(nil)
+	_ ModelSwapper = (*Server)(nil)
+	_ ModelSwapper = (*Tenant)(nil)
 )
 
 // Tenant registers a new tenant on the server. It fails on an invalid
