@@ -15,10 +15,13 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"time"
 
 	"github.com/repro/snowplow/internal/cfa"
 	"github.com/repro/snowplow/internal/cluster"
+	"github.com/repro/snowplow/internal/faultinject"
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/nn"
@@ -35,19 +38,40 @@ type clusterFlags struct {
 	addr            string
 	checkpoint      string
 	checkpointEvery int64
+	compress        int
+	legacyWire      bool
+	wanBandwidth    int64
+	wanLatency      time.Duration
 }
 
 // runClusterWorker joins the coordinator at cf.addr and serves barrier
-// steps until the campaign ends.
+// steps until the campaign ends. -wan-bandwidth/-wan-latency shape the
+// coordinator link with deterministic write stalls (the WAN stand-in used
+// by the wire experiment); -wire-v1 pins the legacy codec.
 func runClusterWorker(cf clusterFlags, workers int, fused bool) error {
 	nn.SetWorkers(workers)
 	logger := log.New(os.Stderr, "worker: ", log.Ltime)
 	logger.Printf("joining coordinator at %s", cf.addr)
-	return cluster.RunWorker(cf.addr, cluster.WorkerOptions{
+	opts := cluster.WorkerOptions{
 		ServeWorkers: workers,
 		Fused:        fused,
+		LegacyWire:   cf.legacyWire,
 		Logf:         logger.Printf,
-	})
+	}
+	if cf.wanBandwidth > 0 || cf.wanLatency > 0 {
+		logger.Printf("shaping coordinator link: %d B/s, +%v per write", cf.wanBandwidth, cf.wanLatency)
+		opts.Dial = func(addr string) (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return faultinject.NewLink(conn, faultinject.LinkOptions{
+				Bandwidth: cf.wanBandwidth,
+				Latency:   cf.wanLatency,
+			}), nil
+		}
+	}
+	return cluster.RunWorker(cf.addr, opts)
 }
 
 // quantizeModelBytes re-encodes a float64 model checkpoint as the
@@ -134,6 +158,7 @@ func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, bud
 		Addr:            cf.addr,
 		CheckpointPath:  cf.checkpoint,
 		CheckpointEvery: cf.checkpointEvery,
+		Compress:        cf.compress,
 		TrainWorkers:    onf.trainWorkers,
 		CollectWorkers:  onf.collectWorkers,
 		Logf:            log.New(os.Stderr, "coordinator: ", log.Ltime).Printf,
@@ -196,6 +221,11 @@ func runClusterCoordinator(cf clusterFlags, mode, version, modelPath string, bud
 	}
 	fmt.Fprintf(&out, "digests: corpus=%s cover=%s journal=%s\n",
 		res.CorpusDigest, res.CoverDigest, res.JournalDigest)
+	if res.Wire.TxWireBytes+res.Wire.RxWireBytes > 0 {
+		fmt.Fprintf(&out, "wire: tx %d B (%d raw), rx %d B (%d raw), %d/%d workers compressed\n",
+			res.Wire.TxWireBytes, res.Wire.TxRawBytes, res.Wire.RxWireBytes, res.Wire.RxRawBytes,
+			res.Wire.CompressedWorkers, res.Workers)
+	}
 	if cf.checkpoint != "" {
 		fmt.Fprintf(&out, "checkpoint: %s (every %d epochs)\n", cf.checkpoint, cf.checkpointEvery)
 	}

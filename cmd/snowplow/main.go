@@ -146,6 +146,14 @@ func main() {
 		"coordinator checkpoint file; written atomically every -checkpoint-every epochs, resumed from if present")
 	flag.Int64Var(&cf.checkpointEvery, "checkpoint-every", 16,
 		"epoch barriers between checkpoints (with -coordinator and -checkpoint)")
+	flag.IntVar(&cf.compress, "compress", 0,
+		"coordinator: flate level (1-9) negotiated for cluster frame compression; 0 = uncompressed (v1 workers always get uncompressed frames)")
+	flag.BoolVar(&cf.legacyWire, "wire-v1", false,
+		"worker: speak only the legacy v1 wire codec (no sparse traces, no compression), as a pre-v2 build would")
+	flag.Int64Var(&cf.wanBandwidth, "wan-bandwidth", 0,
+		"worker: shape the coordinator link to this many bytes/sec (deterministic write stalls; 0 = unshaped)")
+	flag.DurationVar(&cf.wanLatency, "wan-latency", 0,
+		"worker: add this fixed delay to every coordinator-link write (with -wan-bandwidth; 0 = none)")
 	flag.StringVar(&of.addr, "obs", "",
 		"observability endpoint address, e.g. :6060 (serves /metrics, /journal, /timeseries, /debug/pprof; empty = disabled)")
 	flag.DurationVar(&of.sampleInterval, "sample-interval", 0,

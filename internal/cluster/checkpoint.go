@@ -5,28 +5,45 @@
 // journal ring, sampling cursor — so a resumed campaign, resharded onto any
 // worker count, continues bit-identically from epoch E+1. The format reuses
 // the wire codec and inherits its decode hardening (FuzzCheckpointDecode
-// exercises it on corrupt input).
+// exercises it on corrupt input). Since version 3 the body after the magic
+// and version is flate-compressed (with the declared size bomb-guarded
+// before inflating) and carries the corpus cover in the sparse bitmap
+// encoding; version-2 files still decode, so a coordinator upgrade can
+// resume a campaign checkpointed by the previous format.
 
 package cluster
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/obs"
+	"github.com/repro/snowplow/internal/trace"
 )
 
 // checkpointMagic opens every checkpoint file, followed by a version u32.
 const checkpointMagic = "SPCK"
 
-// checkpointVersion is the current checkpoint format version. Version 2
-// added the online continual-learning spec fields and state (serving
-// generation, lifetime counters, pending retrain); version-1 files are
-// rejected with ErrBadVersion, as the embedded spec encoding also changed.
-const checkpointVersion = 2
+// checkpointVersion is the current checkpoint format version. Version 3
+// flate-compressed the body, switched the embedded messages to the v2 wire
+// codec, and added the sparse corpus cover; version-2 files (uncompressed,
+// v1 codec, no cover) are still accepted. Version 2 added the online
+// continual-learning spec fields and state; version-1 files are rejected
+// with ErrBadVersion, as the embedded spec encoding also changed.
+const checkpointVersion = 3
+
+// legacyCheckpointVersion is the oldest format DecodeCheckpoint accepts.
+const legacyCheckpointVersion = 2
+
+// maxCheckpointBody caps the declared decompressed size of a v3 checkpoint
+// body, rejected before inflating (the decompression-bomb guard for the
+// persistence format, the counterpart of the frame payload cap).
+const maxCheckpointBody = 1 << 28
 
 // Checkpoint is the coordinator's full barrier state.
 type Checkpoint struct {
@@ -42,6 +59,11 @@ type Checkpoint struct {
 	// TotalEdges is the corpus's edge count at capture, verified against
 	// the rebuilt corpus on resume (an integrity check on Entries).
 	TotalEdges int64
+	// Cover is the corpus's total edge cover at capture in the canonical
+	// sparse bitmap encoding (trace.AppendSparse) — a stronger integrity
+	// check than the bare count: resume re-derives the cover from Entries
+	// and requires byte equality. Nil in legacy (v2) checkpoints.
+	Cover []byte
 	// States are the canonical VM states for every VM, ascending.
 	States []fuzzer.VMState
 	// PendingSeed holds seed-pass journal events not yet flushed into the
@@ -78,13 +100,16 @@ type Checkpoint struct {
 	// so a corrupted model checkpoint fails loudly instead of silently
 	// changing predictions.
 	ModelDigest [32]byte
+
+	// legacy records that this checkpoint was decoded from a pre-v3 file;
+	// Encode always writes the current format, so byte-identity checks do
+	// not apply to a legacy round trip.
+	legacy bool
 }
 
-// Encode serializes the checkpoint.
-func (c *Checkpoint) Encode() []byte {
-	var e enc
-	e.b = append(e.b, checkpointMagic...)
-	e.u64(checkpointVersion)
+// appendBody appends the checkpoint's field sequence (everything after the
+// magic, version, and size header) using e's codec version.
+func (c *Checkpoint) appendBody(e *enc) {
 	e.spec(c.Spec)
 	e.i64(c.Epoch)
 	e.u64(c.Seq)
@@ -96,6 +121,9 @@ func (c *Checkpoint) Encode() []byte {
 	}
 	e.acceptedList(c.Entries)
 	e.i64(c.TotalEdges)
+	if e.v2 {
+		e.blob(c.Cover)
+	}
 	e.vmStates(c.States)
 	e.events(c.PendingSeed)
 	e.flag(c.SeedFlushed)
@@ -113,35 +141,23 @@ func (c *Checkpoint) Encode() []byte {
 	e.int(c.OnlinePendingBase)
 	digest := sha256.Sum256(c.Spec.Model)
 	e.b = append(e.b, digest[:]...)
-	return e.b
 }
 
-// DecodeCheckpoint parses and validates a checkpoint. It returns
-// ErrBadVersion for an unknown magic or version, ErrTruncated/ErrBadMessage
-// for corrupt payloads (including a model whose digest does not match).
-func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
-	if len(b) < len(checkpointMagic)+8 {
-		return nil, fmt.Errorf("%w: checkpoint header", ErrTruncated)
-	}
-	if string(b[:len(checkpointMagic)]) != checkpointMagic {
-		return nil, fmt.Errorf("%w: not a checkpoint file", ErrBadVersion)
-	}
-	d := dec{b: b, off: len(checkpointMagic)}
-	if v := d.u64(); v != checkpointVersion {
-		return nil, fmt.Errorf("%w: checkpoint version %d (want %d)", ErrBadVersion, v, checkpointVersion)
-	}
-	c := &Checkpoint{
-		Spec:       d.spec(),
-		Epoch:      d.i64(),
-		Seq:        d.u64(),
-		NextSample: d.i64(),
-	}
+// decodeBody parses the checkpoint field sequence using d's codec version.
+func (c *Checkpoint) decodeBody(d *dec) {
+	c.Spec = d.spec()
+	c.Epoch = d.i64()
+	c.Seq = d.u64()
+	c.NextSample = d.i64()
 	n := d.listLen()
 	for i := 0; i < n && d.err == nil; i++ {
 		c.Series = append(c.Series, fuzzer.Point{Cost: d.i64(), Edges: d.int()})
 	}
 	c.Entries = d.acceptedList()
 	c.TotalEdges = d.i64()
+	if d.v2 {
+		c.Cover = d.blob()
+	}
 	c.States = d.vmStates()
 	c.PendingSeed = d.events()
 	c.SeedFlushed = d.flag()
@@ -157,11 +173,72 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	c.OnlinePendingVersion = d.i64()
 	c.OnlinePendingEpoch = d.i64()
 	c.OnlinePendingBase = d.int()
-	dg := d.take(sha256.Size)
-	if err := d.finish(); err != nil {
-		return nil, err
+	copy(c.ModelDigest[:], d.take(sha256.Size))
+}
+
+// Encode serializes the checkpoint in the current (v3) format: magic,
+// version, uvarint declared body size, then the flate-compressed v2-codec
+// body. The flate level is fixed (blobFlateLevel), so encoding is a pure
+// function of the struct and the file stays canonical.
+func (c *Checkpoint) Encode() []byte {
+	body := enc{v2: true}
+	c.appendBody(&body)
+	out := enc{b: append([]byte(nil), checkpointMagic...)}
+	out.u64(checkpointVersion)
+	out.b = binary.AppendUvarint(out.b, uint64(len(body.b)))
+	out.b = appendFlate(out.b, body.b, blobFlateLevel)
+	return out.b
+}
+
+// DecodeCheckpoint parses and validates a checkpoint. It returns
+// ErrBadVersion for an unknown magic or version, ErrTruncated/ErrBadMessage
+// for corrupt payloads — including a declared decompressed size over the
+// cap (rejected before inflating), a corrupt flate stream, a model whose
+// digest does not match, a cover that contradicts the edge count, or a v3
+// file whose bytes differ from the canonical re-encoding of its contents.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < len(checkpointMagic)+8 {
+		return nil, fmt.Errorf("%w: checkpoint header", ErrTruncated)
 	}
-	copy(c.ModelDigest[:], dg)
+	if string(b[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: not a checkpoint file", ErrBadVersion)
+	}
+	c := &Checkpoint{}
+	switch v := binary.LittleEndian.Uint64(b[len(checkpointMagic):]); v {
+	case legacyCheckpointVersion:
+		c.legacy = true
+		d := dec{b: b, off: len(checkpointMagic) + 8}
+		c.decodeBody(&d)
+		if err := d.finish(); err != nil {
+			return nil, err
+		}
+	case checkpointVersion:
+		hdr := b[len(checkpointMagic)+8:]
+		rawLen, n := binary.Uvarint(hdr)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: checkpoint size header", ErrBadMessage)
+		}
+		if rawLen > maxCheckpointBody {
+			return nil, fmt.Errorf("%w: declared checkpoint body %d exceeds cap %d",
+				ErrBadMessage, rawLen, maxCheckpointBody)
+		}
+		bodyBytes, err := inflateExact(hdr[n:], int(rawLen))
+		if err != nil {
+			return nil, err
+		}
+		d := dec{b: bodyBytes, v2: true}
+		c.decodeBody(&d)
+		if err := d.finish(); err != nil {
+			return nil, err
+		}
+		// Canonical-bytes check: exactly one valid file per barrier state,
+		// the same property the wire codec's fuzz targets enforce.
+		if !bytes.Equal(c.Encode(), b) {
+			return nil, fmt.Errorf("%w: non-canonical checkpoint encoding", ErrBadMessage)
+		}
+	default:
+		return nil, fmt.Errorf("%w: checkpoint version %d (want %d)", ErrBadVersion, v, checkpointVersion)
+	}
 	if got := sha256.Sum256(c.Spec.Model); got != c.ModelDigest {
 		return nil, fmt.Errorf("%w: model digest mismatch", ErrBadMessage)
 	}
@@ -175,6 +252,16 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	if c.OnlinePendingVersion != 0 && c.OnlinePendingVersion != c.OnlineApplied+1 {
 		return nil, fmt.Errorf("%w: pending retrain version %d after resolved version %d",
 			ErrBadMessage, c.OnlinePendingVersion, c.OnlineApplied)
+	}
+	if !c.legacy {
+		cov, err := trace.CoverFromSparse(c.Cover)
+		if err != nil {
+			return nil, fmt.Errorf("%w: checkpoint cover: %v", ErrBadMessage, err)
+		}
+		if int64(cov.Len()) != c.TotalEdges {
+			return nil, fmt.Errorf("%w: cover holds %d edges, checkpoint claims %d",
+				ErrBadMessage, cov.Len(), c.TotalEdges)
+		}
 	}
 	return c, nil
 }

@@ -27,7 +27,6 @@ import (
 	"github.com/repro/snowplow/internal/online"
 	"github.com/repro/snowplow/internal/pmm"
 	"github.com/repro/snowplow/internal/prog"
-	"github.com/repro/snowplow/internal/serve"
 )
 
 // Config parameterizes a coordinator.
@@ -52,6 +51,12 @@ type Config struct {
 	// worker connections (default 60s). A worker that misses it is treated
 	// as lost.
 	IOTimeout time.Duration
+	// Compress is the per-frame flate level (1-9) the coordinator offers
+	// when negotiating with v2 workers; 0 disables frame compression. The
+	// effective level per connection is min(Compress, the worker's
+	// advertised maximum). Wire-level only: merged state, digests and
+	// checkpoints are bit-identical at every level.
+	Compress int
 	// TrainWorkers / CollectWorkers bound the online-learning retrain's
 	// data-parallel training and harvest pools (0 = library defaults).
 	// Wall-clock only: retrains are bit-identical at any width.
@@ -73,6 +78,24 @@ type Result struct {
 	Events []obs.Event
 	// Workers is the configured worker count.
 	Workers int
+	// Wire aggregates the coordinator's frame-level byte accounting across
+	// all worker connections (experiments read the compression ratio off
+	// it).
+	Wire WireStats
+}
+
+// WireStats is the coordinator's aggregated frame accounting: payload
+// bytes before compression (raw) and bytes actually on the wire, in each
+// direction, plus the epoch count the traffic amortizes over.
+type WireStats struct {
+	TxRawBytes  int64 // sent payload+header bytes before compression
+	TxWireBytes int64 // sent bytes on the wire
+	RxRawBytes  int64 // received payload+header bytes after inflation
+	RxWireBytes int64 // received bytes on the wire
+	Epochs      int64 // merged epochs the traffic spans
+	// CompressedWorkers counts connections that negotiated a non-zero
+	// flate level.
+	CompressedWorkers int
 }
 
 // Coordinator runs one cluster campaign.
@@ -160,6 +183,14 @@ func ResumeCoordinator(cfg Config, checkpoint []byte) (*Coordinator, error) {
 	if got := int64(c.corp.TotalEdges()); got != ck.TotalEdges {
 		return nil, fmt.Errorf("%w: checkpoint coverage mismatch: rebuilt %d edges, recorded %d",
 			ErrBadMessage, got, ck.TotalEdges)
+	}
+	if ck.Cover != nil {
+		// v3 checkpoints carry the full cover bitmap; the sparse encoding is
+		// canonical, so byte equality against the rebuilt corpus cover is an
+		// exact set comparison (strictly stronger than the count check).
+		if rebuilt := c.corp.TotalCover().AppendSparse(nil); !bytes.Equal(rebuilt, ck.Cover) {
+			return nil, fmt.Errorf("%w: checkpoint cover does not match rebuilt corpus cover", ErrBadMessage)
+		}
 	}
 	if len(ck.States) != c.norm.VMs {
 		return nil, fmt.Errorf("%w: checkpoint has %d VM states for %d VMs",
@@ -289,7 +320,9 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// workerConn is one admitted worker connection.
+// workerConn is one admitted worker connection. Its framer holds the
+// negotiated wire version and flate level plus the pooled frame buffers;
+// wire names the codec for message payloads on this connection.
 type workerConn struct {
 	idx     int
 	conn    net.Conn
@@ -297,24 +330,31 @@ type workerConn struct {
 	alive   bool
 	timeout time.Duration
 	m       *clusterMetrics
+	fr      framer
+	wire    Wire
 }
 
 func (wc *workerConn) send(typ byte, payload []byte) error {
 	wc.conn.SetWriteDeadline(time.Now().Add(wc.timeout))
-	if err := serve.WriteFrame(wc.conn, typ, payload); err != nil {
+	n, err := wc.fr.writeFrame(wc.conn, typ, payload)
+	if err != nil {
 		return err
 	}
-	wc.m.txBytes.Add(int64(len(payload)) + 5)
+	wc.m.txBytes.Add(int64(n))
+	wc.m.wireTx.Add(int64(n))
+	wc.m.wireRaw.Add(int64(len(payload)) + wireFrameHeader)
 	return nil
 }
 
 func (wc *workerConn) recv() (byte, []byte, error) {
 	wc.conn.SetReadDeadline(time.Now().Add(wc.timeout))
-	typ, payload, err := serve.ReadFrame(wc.conn, serve.MaxFramePayload)
+	typ, payload, n, err := wc.fr.readFrame(wc.conn)
 	if err != nil {
 		return 0, nil, err
 	}
-	wc.m.rxBytes.Add(int64(len(payload)) + 5)
+	wc.m.rxBytes.Add(int64(n))
+	wc.m.wireRx.Add(int64(n))
+	wc.m.wireRaw.Add(int64(len(payload)) + wireFrameHeader)
 	return typ, payload, nil
 }
 
@@ -344,7 +384,7 @@ func (wc *workerConn) recvDelta(epoch int64) (DeltaMsg, error) {
 	}
 	switch typ {
 	case frameDelta:
-		m, err := DecodeDelta(payload)
+		m, err := wc.wire.DecodeDelta(payload)
 		if err != nil {
 			return DeltaMsg{}, err
 		}
@@ -358,6 +398,34 @@ func (wc *workerConn) recvDelta(epoch int64) (DeltaMsg, error) {
 	default:
 		return DeltaMsg{}, fmt.Errorf("%w: unexpected frame 0x%02x, want delta", ErrBadMessage, typ)
 	}
+}
+
+// restoreCrashes re-prepends the crash-table prefix a v2 worker elided
+// from each delta: CrashBase leading entries, which the coordinator holds
+// in the VM's canonical state from the previous barrier (the table is
+// append-only, so that state's table is an exact prefix of the worker's).
+// The claimed base is validated against the stored table, so a confused
+// or hostile worker cannot make the coordinator fabricate entries. After
+// this call every delta carries its full crash table and CrashBase is
+// zero, exactly as if the connection spoke v1.
+func (c *Coordinator) restoreCrashes(m *DeltaMsg) error {
+	for i := range m.Deltas {
+		d := &m.Deltas[i]
+		if d.CrashBase == 0 {
+			continue
+		}
+		if d.VM < 0 || d.VM >= len(c.states) {
+			return fmt.Errorf("%w: crash base for invalid VM %d", ErrBadMessage, d.VM)
+		}
+		known := c.states[d.VM].Crashes
+		if d.CrashBase > len(known) {
+			return fmt.Errorf("%w: crash base %d exceeds the %d known entries for VM %d",
+				ErrBadMessage, d.CrashBase, len(known), d.VM)
+		}
+		d.State.Crashes = append(known[:d.CrashBase:d.CrashBase], d.State.Crashes...)
+		d.CrashBase = 0
+	}
+	return nil
 }
 
 // Run admits Workers connections, executes the campaign to budget
@@ -412,7 +480,7 @@ func (c *Coordinator) admit() ([]*workerConn, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: waiting for worker %d/%d: %w", i, c.cfg.Workers, err)
 		}
-		workers[i] = &workerConn{idx: i, conn: conn, alive: true, timeout: c.cfg.IOTimeout, m: c.m}
+		workers[i] = &workerConn{idx: i, conn: conn, alive: true, timeout: c.cfg.IOTimeout, m: c.m, wire: WireV1}
 	}
 	nvm, nw := c.norm.VMs, len(workers)
 	for i, wc := range workers {
@@ -431,6 +499,29 @@ func (c *Coordinator) admit() ([]*workerConn, error) {
 			wc.send(frameErr, EncodeErr(ErrMsg{Msg: fmt.Sprintf("protocol version %d, want %d", h.Proto, protoVersion)}))
 			return nil, fmt.Errorf("%w: worker %d speaks protocol %d, want %d", ErrBadVersion, i, h.Proto, protoVersion)
 		}
+		// Negotiate the wire settings: the newest codec both ends speak, at
+		// the flate level min(Config.Compress, worker's advertised max). A
+		// legacy (8-byte) Hello skips the exchange and stays on v1
+		// uncompressed — the pre-negotiation framing — so old workers slot
+		// into a compressed fleet unchanged.
+		if h.Wire >= 2 {
+			wire := wireMax
+			if Wire(h.Wire) < wire {
+				wire = Wire(h.Wire)
+			}
+			level := min(c.cfg.Compress, int(h.MaxLevel))
+			if level < 0 {
+				level = 0
+			}
+			wm := WireMsg{Wire: uint32(wire), Level: uint32(level)}
+			if err := wc.send(frameWire, EncodeWireMsg(wm)); err != nil {
+				return nil, fmt.Errorf("cluster: negotiating with worker %d: %w", i, err)
+			}
+			wc.wire = wire
+			wc.fr.wire = wire
+			wc.fr.level = level
+			c.logf("worker %d: wire v%d, flate level %d", i, wire, level)
+		}
 		lo, hi := i*nvm/nw, (i+1)*nvm/nw
 		for vm := lo; vm < hi; vm++ {
 			wc.vms = append(wc.vms, vm)
@@ -447,7 +538,7 @@ func (c *Coordinator) admit() ([]*workerConn, error) {
 				a.Snapshot = append(a.Snapshot, fuzzer.Accepted{VM: -1, Seeded: true, Text: e.Text, Traces: e.Traces})
 			}
 		}
-		if err := wc.send(frameAssign, EncodeAssign(a)); err != nil {
+		if err := wc.send(frameAssign, wc.wire.AppendAssign(nil, a)); err != nil {
 			return nil, fmt.Errorf("cluster: assigning worker %d: %w", i, err)
 		}
 	}
@@ -490,6 +581,9 @@ func (c *Coordinator) seedPhase(workers []*workerConn) error {
 	if len(m.Deltas) != 1 || m.Deltas[0].VM != 0 {
 		return fmt.Errorf("%w: seed delta must carry exactly VM 0", ErrBadMessage)
 	}
+	if err := c.restoreCrashes(&m); err != nil {
+		return err
+	}
 	d := m.Deltas[0]
 	for _, l := range d.Locals {
 		if err := c.insertSeed(l); err != nil {
@@ -530,13 +624,23 @@ func (c *Coordinator) activeVMs() []int {
 // shards, merge, journal, sample, checkpoint.
 func (c *Coordinator) runEpochBarrier(workers []*workerConn, active []int) error {
 	c.epoch++
-	msg := EncodeEpoch(EpochMsg{Epoch: c.epoch, Accepted: c.pendingAccepted})
+	// The broadcast is encoded lazily once per wire version present in the
+	// fleet, so a mixed-version fleet pays one encode per codec, not per
+	// worker.
+	em := EpochMsg{Epoch: c.epoch, Accepted: c.pendingAccepted}
+	var perWire [wireMax + 1][]byte
+	payloadFor := func(w Wire) []byte {
+		if perWire[w] == nil {
+			perWire[w] = w.AppendEpoch(nil, em)
+		}
+		return perWire[w]
+	}
 	c.pendingAccepted = nil
 	for _, wc := range workers {
 		if !wc.alive {
 			continue
 		}
-		if err := wc.send(frameEpoch, msg); err != nil {
+		if err := wc.send(frameEpoch, payloadFor(wc.wire)); err != nil {
 			c.loseWorker(wc, err)
 		}
 	}
@@ -548,6 +652,9 @@ func (c *Coordinator) runEpochBarrier(workers []*workerConn, active []int) error
 		if err != nil {
 			c.loseWorker(wc, err)
 			return nil // partial work is discarded; reassignment re-runs it
+		}
+		if err := c.restoreCrashes(&m); err != nil {
+			return err
 		}
 		c.m.deltas.Inc()
 		for _, d := range m.Deltas {
@@ -599,7 +706,7 @@ func (c *Coordinator) runEpochBarrier(workers []*workerConn, active []int) error
 		}
 		c.logf("epoch %d: reassigning VMs %v to worker %d", c.epoch, missing, target.idx)
 		c.m.reassignments.Inc()
-		if err := target.send(frameRestore, EncodeRestore(RestoreMsg{Epoch: c.epoch, States: states})); err != nil {
+		if err := target.send(frameRestore, target.wire.AppendRestore(nil, RestoreMsg{Epoch: c.epoch, States: states})); err != nil {
 			c.loseWorker(target, err)
 			continue
 		}
@@ -679,13 +786,17 @@ func (c *Coordinator) onlineBarrier(workers []*workerConn) error {
 // reassigned at the next barrier onto a survivor holding the committed
 // model.
 func (c *Coordinator) pushModel(workers []*workerConn, sw *online.Swap) error {
-	phase := func(frame byte, payload []byte) {
+	phase := func(frame byte, m ModelMsg) {
+		var perWire [wireMax + 1][]byte
 		var sent []*workerConn
 		for _, wc := range workers {
 			if !wc.alive {
 				continue
 			}
-			if err := wc.send(frame, payload); err != nil {
+			if perWire[wc.wire] == nil {
+				perWire[wc.wire] = wc.wire.AppendModelMsg(nil, m)
+			}
+			if err := wc.send(frame, perWire[wc.wire]); err != nil {
 				c.loseWorker(wc, err)
 				continue
 			}
@@ -700,8 +811,8 @@ func (c *Coordinator) pushModel(workers []*workerConn, sw *online.Swap) error {
 			}
 		}
 	}
-	phase(frameModelPrep, EncodeModelMsg(ModelMsg{Version: sw.Version, Model: sw.Bytes}))
-	phase(frameModelCommit, EncodeModelMsg(ModelMsg{Version: sw.Version}))
+	phase(frameModelPrep, ModelMsg{Version: sw.Version, Model: sw.Bytes})
+	phase(frameModelCommit, ModelMsg{Version: sw.Version})
 	for _, wc := range workers {
 		if wc.alive {
 			c.logf("epoch %d: model v%d (digest %s) committed fleet-wide", c.epoch, sw.Version, sw.Digest)
@@ -826,6 +937,7 @@ func (c *Coordinator) checkpoint() *Checkpoint {
 		NextSample:  c.nextSample,
 		Series:      append([]fuzzer.Point(nil), c.series...),
 		TotalEdges:  int64(c.corp.TotalEdges()),
+		Cover:       c.corp.TotalCover().AppendSparse(nil),
 		States:      append([]fuzzer.VMState(nil), c.states...),
 		PendingSeed: append([]obs.Event(nil), c.pendingSeed...),
 		SeedFlushed: c.seedFlushed,
@@ -902,7 +1014,7 @@ func (c *Coordinator) finish(workers []*workerConn) (*Result, error) {
 		if typ != frameFinal {
 			return nil, fmt.Errorf("%w: worker %d sent frame 0x%02x, want final", ErrBadMessage, wc.idx, typ)
 		}
-		m, err := DecodeFinal(payload)
+		m, err := wc.wire.DecodeFinal(payload)
 		if err != nil {
 			return nil, err
 		}
@@ -945,6 +1057,16 @@ func (c *Coordinator) finish(workers []*workerConn) (*Result, error) {
 		CorpusDigest: CorpusDigest(c.corp),
 		CoverDigest:  CoverDigest(c.corp),
 		Workers:      c.cfg.Workers,
+	}
+	res.Wire.Epochs = c.epoch
+	for _, wc := range workers {
+		res.Wire.TxRawBytes += wc.fr.txRaw
+		res.Wire.TxWireBytes += wc.fr.txWire
+		res.Wire.RxRawBytes += wc.fr.rxRaw
+		res.Wire.RxWireBytes += wc.fr.rxWire
+		if wc.fr.level > 0 {
+			res.Wire.CompressedWorkers++
+		}
 	}
 	if c.jn != nil {
 		res.Events = c.jn.Events()

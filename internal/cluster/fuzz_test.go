@@ -2,62 +2,112 @@
 // decode bytes that cross trust boundaries (network frames, files that
 // survived arbitrary crashes), so malformed input must produce a typed
 // error — never a panic, out-of-memory allocation or silent acceptance of
-// a non-canonical encoding.
+// a non-canonical encoding. Both wire versions are driven: a selector byte
+// picks v1 or v2, and the frame layer gets its own case exercising the
+// flate stage (compress∘decompress identity on the send path, bomb-guarded
+// rejection of arbitrary bytes on the receive path).
 
 package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"github.com/repro/snowplow/internal/fuzzer"
 	"github.com/repro/snowplow/internal/kernel"
+	"github.com/repro/snowplow/internal/serve"
 )
 
 // FuzzClusterCodec drives every message decoder over arbitrary bytes. The
-// first seed byte selects the message kind; accepted messages must
-// re-encode byte-identically (the codec admits exactly one encoding per
-// message).
+// first seed byte selects the message kind, the second the wire version;
+// accepted messages must re-encode byte-identically (the codec admits
+// exactly one encoding per message, per version).
 func FuzzClusterCodec(f *testing.F) {
-	f.Add(byte(0), EncodeHello(Hello{Proto: protoVersion}))
-	f.Add(byte(1), EncodeAssign(Assign{Spec: fixtureSpec(), VMs: []int{0, 1}, States: []fuzzer.VMState{fixtureVMState()}}))
-	f.Add(byte(2), EncodeEpoch(EpochMsg{Epoch: 3, Accepted: []fuzzer.Accepted{{VM: 1, Text: "p", Traces: [][]kernel.BlockID{{1}}}}}))
-	f.Add(byte(3), EncodeDelta(DeltaMsg{Epoch: 3, Deltas: []fuzzer.VMDelta{fixtureDelta()}}))
-	f.Add(byte(4), EncodeRestore(RestoreMsg{Epoch: 4, States: []fuzzer.VMState{fixtureVMState()}}))
-	f.Add(byte(5), EncodeFinal(FinalMsg{States: []fuzzer.VMState{fixtureVMState()}}))
-	f.Add(byte(6), EncodeErr(ErrMsg{Msg: "x"}))
-	f.Add(byte(3), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
-	f.Add(byte(1), bytes.Repeat([]byte{0x01}, 64))
+	for _, w := range []byte{1, 2} {
+		wire := WireV1
+		if w == 2 {
+			wire = WireV2
+		}
+		f.Add(byte(1), w, wire.AppendAssign(nil, Assign{Spec: fixtureSpec(), VMs: []int{0, 1}, States: []fuzzer.VMState{fixtureVMState()}}))
+		f.Add(byte(2), w, wire.AppendEpoch(nil, EpochMsg{Epoch: 3, Accepted: []fuzzer.Accepted{{VM: 1, Text: "p", Traces: [][]kernel.BlockID{{1}}}}}))
+		f.Add(byte(3), w, wire.AppendDelta(nil, DeltaMsg{Epoch: 3, Deltas: []fuzzer.VMDelta{fixtureDelta()}}))
+		f.Add(byte(4), w, wire.AppendRestore(nil, RestoreMsg{Epoch: 4, States: []fuzzer.VMState{fixtureVMState()}}))
+		f.Add(byte(5), w, wire.AppendFinal(nil, FinalMsg{States: []fuzzer.VMState{fixtureVMState()}}))
+		f.Add(byte(7), w, wire.AppendModelMsg(nil, ModelMsg{Version: 2, Model: bytes.Repeat([]byte{9, 8}, 300)}))
+	}
+	f.Add(byte(0), byte(1), EncodeHello(Hello{Proto: protoVersion}))
+	f.Add(byte(0), byte(2), EncodeHello(Hello{Proto: protoVersion, Wire: 2, MaxLevel: 9}))
+	f.Add(byte(6), byte(1), EncodeErr(ErrMsg{Msg: "x"}))
+	f.Add(byte(8), byte(2), EncodeWireMsg(WireMsg{Wire: 2, Level: 6}))
+	f.Add(byte(3), byte(2), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(byte(1), byte(2), bytes.Repeat([]byte{0x01}, 64))
+	f.Add(byte(9), byte(2), bytes.Repeat([]byte("frame payload"), 64))
+	bomb := binary.AppendUvarint(nil, 1<<40)
+	f.Add(byte(9), byte(2), appendFlate(bomb, bytes.Repeat([]byte{0}, 1024), 9))
 
-	f.Fuzz(func(t *testing.T, kind byte, data []byte) {
-		switch kind % 7 {
+	f.Fuzz(func(t *testing.T, kind, wireSel byte, data []byte) {
+		wire := WireV1
+		if wireSel%2 == 0 {
+			wire = WireV2
+		}
+		switch kind % 10 {
 		case 0:
 			if m, err := DecodeHello(data); err == nil {
 				requireSameBytes(t, data, EncodeHello(m))
 			}
 		case 1:
-			if m, err := DecodeAssign(data); err == nil {
-				requireSameBytes(t, data, EncodeAssign(m))
+			if m, err := wire.DecodeAssign(data); err == nil {
+				requireSameBytes(t, data, wire.AppendAssign(nil, m))
 			}
 		case 2:
-			if m, err := DecodeEpoch(data); err == nil {
-				requireSameBytes(t, data, EncodeEpoch(m))
+			if m, err := wire.DecodeEpoch(data); err == nil {
+				requireSameBytes(t, data, wire.AppendEpoch(nil, m))
 			}
 		case 3:
-			if m, err := DecodeDelta(data); err == nil {
-				requireSameBytes(t, data, EncodeDelta(m))
+			if m, err := wire.DecodeDelta(data); err == nil {
+				requireSameBytes(t, data, wire.AppendDelta(nil, m))
 			}
 		case 4:
-			if m, err := DecodeRestore(data); err == nil {
-				requireSameBytes(t, data, EncodeRestore(m))
+			if m, err := wire.DecodeRestore(data); err == nil {
+				requireSameBytes(t, data, wire.AppendRestore(nil, m))
 			}
 		case 5:
-			if m, err := DecodeFinal(data); err == nil {
-				requireSameBytes(t, data, EncodeFinal(m))
+			if m, err := wire.DecodeFinal(data); err == nil {
+				requireSameBytes(t, data, wire.AppendFinal(nil, m))
 			}
 		case 6:
 			if m, err := DecodeErr(data); err == nil {
 				requireSameBytes(t, data, EncodeErr(m))
+			}
+		case 7:
+			if m, err := wire.DecodeModelMsg(data); err == nil {
+				requireSameBytes(t, data, wire.AppendModelMsg(nil, m))
+			}
+		case 8:
+			if m, err := DecodeWireMsg(data); err == nil {
+				requireSameBytes(t, data, EncodeWireMsg(m))
+			}
+		case 9:
+			// Frame layer. Send path: any payload must survive a
+			// compressing framer round trip intact. Receive path: the same
+			// bytes presented as a hostile compressed frame must inflate
+			// cleanly or fail typed — never panic or over-allocate (the
+			// declared-size cap bounds the inflate buffer).
+			var tx, rx framer
+			tx.level = 6
+			var buf bytes.Buffer
+			if _, err := tx.writeFrame(&buf, frameDelta, data); err != nil {
+				t.Fatalf("writeFrame: %v", err)
+			}
+			typ, got, _, err := rx.readFrame(&buf)
+			if err != nil || typ != frameDelta || !bytes.Equal(got, data) {
+				t.Fatalf("frame round trip: typ=0x%02x err=%v", typ, err)
+			}
+			if _, err := rx.inflateFrame(data); err == nil {
+				if cap(rx.dbuf) > serve.MaxFramePayload {
+					t.Fatalf("inflate buffer grew to %d", cap(rx.dbuf))
+				}
 			}
 		}
 	})
@@ -65,18 +115,21 @@ func FuzzClusterCodec(f *testing.F) {
 
 // FuzzCheckpointDecode feeds arbitrary bytes to the checkpoint loader:
 // corrupt checkpoints must be rejected with a typed error, and anything
-// accepted must re-encode byte-identically.
+// accepted must re-encode byte-identically — except files in the legacy v2
+// format, which Encode deliberately rewrites into v3.
 func FuzzCheckpointDecode(f *testing.F) {
-	valid := (&Checkpoint{
+	ck := &Checkpoint{
 		Spec:       fixtureSpec(),
 		Epoch:      2,
 		Seq:        5,
 		NextSample: 100,
 		Entries:    []fuzzer.Accepted{{VM: -1, Seeded: true, Text: "p", Traces: [][]kernel.BlockID{{1, 2}}}},
 		TotalEdges: 1,
+		Cover:      fixtureCover(1),
 		States:     []fuzzer.VMState{fixtureVMState()},
 		JournalCap: 64,
-	}).Encode()
+	}
+	valid := ck.Encode()
 	f.Add(valid)
 	f.Add([]byte(""))
 	f.Add([]byte("SPCK"))
@@ -85,11 +138,30 @@ func FuzzCheckpointDecode(f *testing.F) {
 	corrupted := append([]byte(nil), valid...)
 	corrupted[len(corrupted)-3] ^= 0x40
 	f.Add(corrupted)
+	// A legacy v2 file: uncompressed v1-codec body, no cover.
+	legacyCk := *ck
+	legacyCk.Cover = nil
+	legacy := enc{b: append([]byte(nil), checkpointMagic...)}
+	legacy.u64(legacyCheckpointVersion)
+	legacyCk.appendBody(&legacy)
+	f.Add(legacy.b)
+	// A v3 header declaring a body over the cap.
+	bomb := append([]byte(checkpointMagic), make([]byte, 8)...)
+	binary.LittleEndian.PutUint64(bomb[4:], checkpointVersion)
+	bomb = binary.AppendUvarint(bomb, maxCheckpointBody+1)
+	f.Add(appendFlate(bomb, []byte("x"), 9))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ck, err := DecodeCheckpoint(data)
 		if err != nil {
 			return // rejection is fine; panicking is not
+		}
+		if ck.legacy {
+			// Legacy v2 files carry no cover, so they cannot round-trip
+			// through the v3 encoder (which the resume path never asks
+			// for — it re-derives the cover from the corpus). Decoding
+			// without panicking is the whole contract here.
+			return
 		}
 		requireSameBytes(t, data, ck.Encode())
 	})

@@ -34,23 +34,44 @@ import (
 // late in the campaign is part of normal churn); the coordinator's error is
 // authoritative.
 func RunLocal(cfg Config, workers int, wopts WorkerOptions) (*Result, error) {
-	cfg.Workers = workers
+	return RunLocalOpts(cfg, uniformOpts(workers, wopts))
+}
+
+// RunLocalOpts is RunLocal with per-worker options: worker i runs with
+// wopts[i], so a single fleet can mix configurations — legacy-wire workers
+// beside current ones, fused beside unfused, private serving beside shared.
+// The worker count is len(wopts).
+func RunLocalOpts(cfg Config, wopts []WorkerOptions) (*Result, error) {
+	cfg.Workers = len(wopts)
 	co, err := NewCoordinator(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return driveLocal(co, cfg.Spec, workers, wopts)
+	return driveLocal(co, cfg.Spec, wopts)
 }
 
 // ResumeLocal resumes a checkpointed campaign onto a fresh local cluster;
 // the worker count may differ from the checkpointed run's.
 func ResumeLocal(cfg Config, checkpoint []byte, workers int, wopts WorkerOptions) (*Result, error) {
-	cfg.Workers = workers
+	return ResumeLocalOpts(cfg, checkpoint, uniformOpts(workers, wopts))
+}
+
+// ResumeLocalOpts is ResumeLocal with per-worker options (see RunLocalOpts).
+func ResumeLocalOpts(cfg Config, checkpoint []byte, wopts []WorkerOptions) (*Result, error) {
+	cfg.Workers = len(wopts)
 	co, err := ResumeCoordinator(cfg, checkpoint)
 	if err != nil {
 		return nil, err
 	}
-	return driveLocal(co, co.Spec(), workers, wopts)
+	return driveLocal(co, co.Spec(), wopts)
+}
+
+func uniformOpts(workers int, wopts WorkerOptions) []WorkerOptions {
+	per := make([]WorkerOptions, workers)
+	for i := range per {
+		per[i] = wopts
+	}
+	return per
 }
 
 // kernelPair bundles the built kernel with its control-flow analysis, the
@@ -113,20 +134,26 @@ func sharedServer(sp CampaignSpec, workers int, wopts WorkerOptions) (*serve.Ser
 	return srv, tenants, nil
 }
 
-func driveLocal(co *Coordinator, sp CampaignSpec, workers int, wopts WorkerOptions) (*Result, error) {
+func driveLocal(co *Coordinator, sp CampaignSpec, wopts []WorkerOptions) (*Result, error) {
 	addr := co.Addr()
-	perWorker := make([]WorkerOptions, workers)
-	for i := range perWorker {
-		perWorker[i] = wopts
+	workers := len(wopts)
+	perWorker := append([]WorkerOptions(nil), wopts...) // callers keep their slice
+	// Workers that neither bring their own inference surface nor insist on a
+	// private server share one multi-tenant server, one tenant each.
+	var shared []int
+	for i, w := range perWorker {
+		if w.Inference == nil && !w.PrivateServing {
+			shared = append(shared, i)
+		}
 	}
-	if sp.Mode == 1 && wopts.Inference == nil && !wopts.PrivateServing {
-		srv, tenants, err := sharedServer(sp, workers, wopts)
+	if sp.Mode == 1 && len(shared) > 0 {
+		srv, tenants, err := sharedServer(sp, len(shared), perWorker[shared[0]])
 		if err != nil {
 			return nil, err
 		}
 		defer srv.Close()
-		for i := range perWorker {
-			perWorker[i].Inference = tenants[i]
+		for j, i := range shared {
+			perWorker[i].Inference = tenants[j]
 		}
 	}
 	var wg sync.WaitGroup

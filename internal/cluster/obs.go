@@ -15,6 +15,9 @@ type clusterMetrics struct {
 	checkpoints    *obs.Counter
 	txBytes        *obs.Counter
 	rxBytes        *obs.Counter
+	wireTx         *obs.Counter
+	wireRx         *obs.Counter
+	wireRaw        *obs.Counter
 	checkpointSize *obs.Gauge
 	modelPushes    *obs.Counter
 }
@@ -29,6 +32,9 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 		checkpoints:    reg.Counter("cluster_checkpoints_total", "checkpoints", "campaign checkpoints written"),
 		txBytes:        reg.Counter("cluster_tx_bytes_total", "bytes", "protocol bytes sent by the coordinator"),
 		rxBytes:        reg.Counter("cluster_rx_bytes_total", "bytes", "protocol bytes received by the coordinator"),
+		wireTx:         reg.Counter("cluster_wire_tx_bytes", "bytes", "on-the-wire bytes sent (after frame compression)"),
+		wireRx:         reg.Counter("cluster_wire_rx_bytes", "bytes", "on-the-wire bytes received (after frame compression)"),
+		wireRaw:        reg.Counter("cluster_wire_raw_bytes", "bytes", "frame payload bytes before compression, both directions"),
 		checkpointSize: reg.Gauge("cluster_checkpoint_bytes", "bytes", "size of the most recent checkpoint"),
 		modelPushes:    reg.Counter("cluster_model_pushes_total", "pushes", "accepted model swaps pushed fleet-wide"),
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-budget assertions are meaningless under it.
+const raceEnabled = true

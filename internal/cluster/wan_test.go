@@ -1,0 +1,127 @@
+// WAN-wire determinism suite: the v2 wire protocol — sparse varint message
+// encoding plus negotiated per-frame flate — must not move a single merged
+// bit. Compressed clusters, mixed v1/v2 fleets, campaigns resumed from
+// compressed checkpoints and campaigns run over a bandwidth-shaped link all
+// have to land on exactly the single-host digests; the only thing the wire
+// stage may change is the byte count, which Result.Wire makes observable.
+
+package cluster
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/repro/snowplow/internal/faultinject"
+)
+
+// TestClusterCompressedMatchesSingleHost reruns the core determinism
+// guarantee with frame compression negotiated on: identical digests at 1, 2
+// and 4 workers, and the wire accounting must show compression engaged and
+// winning.
+func TestClusterCompressedMatchesSingleHost(t *testing.T) {
+	cfg := baseConfig(41, 200_000, 4)
+	want := runSingleHost(t, cfg)
+	spec := SpecFromConfig(withJournalFlag(cfg), nil)
+	for _, workers := range []int{1, 2, 4} {
+		got, err := RunLocal(Config{Spec: spec, Compress: 6}, workers, WorkerOptions{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireSameResult(t, "compressed-"+labelWorkers(workers), want, got)
+		if got.Wire.CompressedWorkers != workers {
+			t.Errorf("workers=%d: %d negotiated compression", workers, got.Wire.CompressedWorkers)
+		}
+		if got.Wire.TxWireBytes >= got.Wire.TxRawBytes {
+			t.Errorf("workers=%d: compression never won on tx: %d wire vs %d raw",
+				workers, got.Wire.TxWireBytes, got.Wire.TxRawBytes)
+		}
+		if got.Wire.RxWireBytes >= got.Wire.RxRawBytes {
+			t.Errorf("workers=%d: compression never won on rx: %d wire vs %d raw",
+				workers, got.Wire.RxWireBytes, got.Wire.RxRawBytes)
+		}
+	}
+}
+
+// TestClusterMixedWireVersions runs a fleet with one legacy-wire worker
+// (v1 codec, no compression — a binary from before this protocol shipped)
+// beside a current one, compression on: the coordinator speaks each
+// worker's dialect and the merge is still bit-identical to single-host.
+func TestClusterMixedWireVersions(t *testing.T) {
+	cfg := baseConfig(41, 200_000, 4)
+	want := runSingleHost(t, cfg)
+	spec := SpecFromConfig(withJournalFlag(cfg), nil)
+	got, err := RunLocalOpts(Config{Spec: spec, Compress: 6}, []WorkerOptions{
+		{LegacyWire: true},
+		{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "mixed-wire", want, got)
+	if got.Wire.CompressedWorkers != 1 {
+		t.Errorf("mixed fleet negotiated compression on %d workers, want 1", got.Wire.CompressedWorkers)
+	}
+}
+
+// TestClusterResumeFromCompressedCheckpoint checkpoints a compressed-wire
+// campaign (v3 flate-compressed checkpoint files) and resumes mid-campaign
+// onto both a compressed and an uncompressed fleet of a different size;
+// both must finish with the uninterrupted run's digests.
+func TestClusterResumeFromCompressedCheckpoint(t *testing.T) {
+	cfg := baseConfig(43, 200_000, 4)
+	spec := SpecFromConfig(withJournalFlag(cfg), nil)
+
+	var checkpoints [][]byte
+	full, err := RunLocal(Config{
+		Spec:            spec,
+		Compress:        6,
+		CheckpointEvery: 8,
+		OnCheckpoint:    func(epoch int64, data []byte) { checkpoints = append(checkpoints, data) },
+	}, 2, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checkpoints) < 2 {
+		t.Fatalf("campaign produced %d checkpoints, want at least 2", len(checkpoints))
+	}
+	mid := checkpoints[len(checkpoints)/2]
+	for _, compress := range []int{6, 0} {
+		got, err := ResumeLocal(Config{Spec: spec, Compress: compress}, mid, 4, WorkerOptions{})
+		if err != nil {
+			t.Fatalf("resume compress=%d: %v", compress, err)
+		}
+		requireSameResult(t, "resume-compressed", full, got)
+	}
+}
+
+// shapedDial wraps every worker connection in a bandwidth/latency-shaped
+// link, the loopback stand-in for a WAN path.
+func shapedDial(opts faultinject.LinkOptions) func(string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return faultinject.NewLink(conn, opts), nil
+	}
+}
+
+// TestClusterShapedLinkDeterminism runs a compressed campaign over links
+// shaped to 4 MiB/s with 200µs of per-frame latency: slower wall-clock,
+// same digests — the shaping stage must be invisible to the merge.
+func TestClusterShapedLinkDeterminism(t *testing.T) {
+	cfg := baseConfig(47, 120_000, 4)
+	spec := SpecFromConfig(withJournalFlag(cfg), nil)
+	want, err := RunLocal(Config{Spec: spec}, 2, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLocal(Config{Spec: spec, Compress: 6}, 2, WorkerOptions{
+		Dial: shapedDial(faultinject.LinkOptions{Bandwidth: 4 << 20, Latency: 200 * time.Microsecond}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "shaped-link", want, got)
+}

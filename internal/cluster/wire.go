@@ -5,10 +5,21 @@
 // the remaining payload before allocation — so decoding untrusted bytes can
 // reject with a typed error but never panic or balloon memory
 // (FuzzClusterCodec enforces this).
+//
+// Two wire codec versions coexist, negotiated per connection at Hello (see
+// Wire): v1 is the original all-fixed-width layout; v2 keeps every scalar
+// fixed-width but encodes block traces as canonical varint counts and
+// zigzag-varint deltas between consecutive block IDs, flate-wraps ModelMsg
+// model bytes, and elides the append-only crash-table prefix the receiver
+// already holds from epoch deltas (VMDelta.CrashBase). Both versions keep
+// the "exactly one byte form per message" property: varints must be
+// minimal, and compressed model blobs must match a re-compression of their
+// contents.
 
 package cluster
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -25,8 +36,10 @@ import (
 // push (frameModelPrep/frameModelCommit).
 const protoVersion = 2
 
-// The cluster protocol's frame types (disjoint from the inference
-// protocol's 0x0x range, so a cross-wired connection fails fast).
+// The cluster protocol's frame types, spanning 0x10–0x1b (disjoint from
+// the inference protocol's 0x0x range, so a cross-wired connection fails
+// fast). A frame whose type byte has frameCompressed (0x80) set carries a
+// flate-compressed payload; the low bits still name one of these types.
 const (
 	frameHello       byte = 0x10 // worker -> coordinator: version handshake
 	frameAssign      byte = 0x11 // coordinator -> worker: spec + VM shard
@@ -39,7 +52,32 @@ const (
 	frameErr         byte = 0x18 // either direction: fatal error
 	frameModelPrep   byte = 0x19 // coordinator -> worker: drain + stage pushed model
 	frameModelCommit byte = 0x1a // coordinator -> worker: swap the staged model in
+	frameWire        byte = 0x1b // coordinator -> worker: negotiated wire settings
 )
+
+// Wire selects a wire codec version for the versioned Append*/Decode*
+// message methods. The version is negotiated per connection: workers
+// advertise the newest version they speak in Hello, the coordinator
+// replies with the effective version (and flate level) in a WireMsg, and
+// every frame after the handshake uses the negotiated codec. Merged
+// campaign state is identical under every version — only the bytes on the
+// wire differ.
+type Wire int
+
+const (
+	// WireV1 is the original all-fixed-width encoding, spoken by pre-v2
+	// peers and by workers started with the legacy-wire option.
+	WireV1 Wire = 1
+	// WireV2 encodes block traces as canonical varint counts plus
+	// zigzag-varint deltas between consecutive block IDs, flate-wraps
+	// ModelMsg model bytes, and carries VMDelta.CrashBase so epoch deltas
+	// elide the crash-table prefix the coordinator already holds.
+	WireV2 Wire = 2
+	// wireMax is the newest wire version this build speaks.
+	wireMax = WireV2
+)
+
+func (w Wire) v2() bool { return w >= WireV2 }
 
 // Decode errors. All decoders return one of these (wrapped with context);
 // they never panic on corrupt input.
@@ -54,9 +92,33 @@ var (
 // allocation.
 const maxWireList = 1 << 20
 
-// Hello is the worker's opening handshake.
+// maxFlateLevel is the highest negotiable per-frame flate level.
+const maxFlateLevel = 9
+
+// Hello is the worker's opening handshake. Two encodings exist: the legacy
+// 8-byte form (proto only, implying Wire 1 and no compression) sent by
+// pre-v2 workers, and the 24-byte extended form carrying the newest wire
+// version the worker speaks plus the highest flate level it accepts. The
+// coordinator answers an extended Hello with a WireMsg; a legacy Hello
+// gets the v1 protocol unchanged, so mixed-version fleets keep running.
 type Hello struct {
 	Proto uint32
+	// Wire is the newest wire codec version the worker speaks. Decoding a
+	// legacy Hello yields 1; the extended form requires >= 2 (a lower value
+	// would re-encode to the legacy form, violating canonicality).
+	Wire uint32
+	// MaxLevel is the highest per-frame flate level the worker accepts
+	// (0 = refuses compression). The coordinator negotiates the effective
+	// level as min(Config.Compress, MaxLevel).
+	MaxLevel uint32
+}
+
+// WireMsg is the coordinator's reply to an extended Hello: the negotiated
+// wire codec version and per-frame flate level that both ends apply to
+// every subsequent frame on the connection.
+type WireMsg struct {
+	Wire  uint32
+	Level uint32
 }
 
 // Assign hands a worker its campaign spec and VM shard. For a resumed
@@ -118,9 +180,14 @@ type ErrMsg struct {
 
 // --- encoder ---
 
-type enc struct{ b []byte }
+type enc struct {
+	b  []byte
+	v2 bool // wire v2: varint/zigzag-delta trace encoding
+}
 
-func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+func (e *enc) u8(v byte)   { e.b = append(e.b, v) }
+func (e *enc) uv(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) sv(v int64)  { e.b = binary.AppendVarint(e.b, v) }
 func (e *enc) flag(v bool) {
 	if v {
 		e.u8(1)
@@ -140,13 +207,29 @@ func (e *enc) state4(s [4]uint64) {
 	}
 }
 func (e *enc) blocks(tr []kernel.BlockID) {
+	if e.v2 {
+		// Varint count, then zigzag-varint deltas between consecutive IDs:
+		// traces walk nearby basic blocks, so deltas are small and most
+		// blocks cost one byte instead of eight.
+		e.uv(uint64(len(tr)))
+		prev := int64(0)
+		for _, b := range tr {
+			e.sv(int64(b) - prev)
+			prev = int64(b)
+		}
+		return
+	}
 	e.int(len(tr))
 	for _, b := range tr {
 		e.i64(int64(b))
 	}
 }
 func (e *enc) traces(tr [][]kernel.BlockID) {
-	e.int(len(tr))
+	if e.v2 {
+		e.uv(uint64(len(tr)))
+	} else {
+		e.int(len(tr))
+	}
 	for _, t := range tr {
 		e.blocks(t)
 	}
@@ -238,6 +321,12 @@ func (e *enc) vmStates(sts []fuzzer.VMState) {
 }
 func (e *enc) delta(d fuzzer.VMDelta) {
 	e.int(d.VM)
+	if e.v2 {
+		// v2 elides the crash-table prefix the coordinator already holds;
+		// only the count travels. v1 always carries the full table, so the
+		// field (necessarily zero there) is not encoded.
+		e.int(d.CrashBase)
+	}
 	e.int(len(d.Locals))
 	for _, l := range d.Locals {
 		e.str(l.Text)
@@ -283,6 +372,7 @@ type dec struct {
 	b   []byte
 	off int
 	err error
+	v2  bool // wire v2: varint/zigzag-delta trace encoding
 }
 
 func (d *dec) fail(err error) {
@@ -338,6 +428,50 @@ func (d *dec) int() int {
 	return int(v)
 }
 
+// uv reads a canonical uvarint: minimal-length encodings only, so every
+// value keeps exactly one wire form.
+func (d *dec) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n == 0 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	if n < 0 {
+		d.fail(fmt.Errorf("%w: varint overflow", ErrBadMessage))
+		return 0
+	}
+	if n > 1 && d.b[d.off+n-1] == 0 {
+		d.fail(fmt.Errorf("%w: non-minimal varint", ErrBadMessage))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// sv reads a canonical zigzag varint.
+func (d *dec) sv() int64 {
+	v := d.uv()
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// uvLen reads a varint slice length with the same bounds policy as
+// listLen: capped by maxWireList and by the remaining payload (items are
+// at least one byte each).
+func (d *dec) uvLen() int {
+	v := d.uv()
+	if d.err != nil {
+		return 0
+	}
+	if v > maxWireList || v > uint64(len(d.b)-d.off) {
+		d.fail(fmt.Errorf("%w: implausible length %d", ErrBadMessage, v))
+		return 0
+	}
+	return int(v)
+}
+
 // listLen reads a slice/string length, rejecting negative values and
 // anything beyond both the wire bound and the remaining payload (lengths
 // are counts of at-least-one-byte items, so a valid length never exceeds
@@ -369,6 +503,22 @@ func (d *dec) state4() [4]uint64 {
 	return s
 }
 func (d *dec) blocks() []kernel.BlockID {
+	if d.v2 {
+		n := d.uvLen()
+		if d.err != nil || n == 0 {
+			return nil
+		}
+		out := make([]kernel.BlockID, n)
+		prev := int64(0)
+		for i := range out {
+			prev += d.sv()
+			out[i] = kernel.BlockID(prev)
+		}
+		if d.err != nil {
+			return nil
+		}
+		return out
+	}
 	n := d.listLen()
 	if d.err != nil || n == 0 {
 		return nil
@@ -385,7 +535,12 @@ func (d *dec) blocks() []kernel.BlockID {
 	return out
 }
 func (d *dec) traces() [][]kernel.BlockID {
-	n := d.listLen()
+	var n int
+	if d.v2 {
+		n = d.uvLen()
+	} else {
+		n = d.listLen()
+	}
 	if d.err != nil || n == 0 {
 		return nil
 	}
@@ -520,6 +675,13 @@ func (d *dec) vmStates() []fuzzer.VMState {
 }
 func (d *dec) delta() fuzzer.VMDelta {
 	dl := fuzzer.VMDelta{VM: d.int()}
+	if d.v2 {
+		dl.CrashBase = d.int()
+		if dl.CrashBase < 0 || dl.CrashBase > maxWireList {
+			d.fail(fmt.Errorf("%w: implausible crash base %d", ErrBadMessage, dl.CrashBase))
+			return dl
+		}
+	}
 	nl := d.listLen()
 	for i := 0; i < nl && d.err == nil; i++ {
 		dl.Locals = append(dl.Locals, fuzzer.Local{
@@ -585,27 +747,67 @@ func (d *dec) finish() error {
 
 // --- message encode/decode ---
 
-// EncodeHello serializes a Hello message.
+// EncodeHello serializes a Hello message: the legacy 8-byte form when the
+// worker speaks only wire v1, the 24-byte extended form otherwise.
 func EncodeHello(h Hello) []byte {
 	var e enc
 	e.u64(uint64(h.Proto))
+	if h.Wire <= 1 {
+		return e.b
+	}
+	e.u64(uint64(h.Wire))
+	e.u64(uint64(h.MaxLevel))
 	return e.b
 }
 
-// DecodeHello parses a Hello message.
+// DecodeHello parses a Hello message in either form. A legacy Hello
+// normalizes to Wire 1 / MaxLevel 0; the extended form must carry Wire >=
+// 2 (anything lower would re-encode to the legacy form).
 func DecodeHello(b []byte) (Hello, error) {
 	d := dec{b: b}
 	v := d.u64()
 	if v > math.MaxUint32 {
 		d.fail(fmt.Errorf("%w: implausible protocol version", ErrBadMessage))
 	}
-	h := Hello{Proto: uint32(v)}
+	h := Hello{Proto: uint32(v), Wire: 1}
+	if d.err == nil && d.off < len(d.b) {
+		w, lvl := d.u64(), d.u64()
+		if d.err == nil && (w < 2 || w > math.MaxUint32) {
+			d.fail(fmt.Errorf("%w: extended hello with wire version %d", ErrBadMessage, w))
+		}
+		if d.err == nil && lvl > maxFlateLevel {
+			d.fail(fmt.Errorf("%w: implausible flate level %d", ErrBadMessage, lvl))
+		}
+		h.Wire, h.MaxLevel = uint32(w), uint32(lvl)
+	}
 	return h, d.finish()
 }
 
-// EncodeAssign serializes an Assign message.
-func EncodeAssign(a Assign) []byte {
+// EncodeWireMsg serializes a WireMsg.
+func EncodeWireMsg(m WireMsg) []byte {
 	var e enc
+	e.u64(uint64(m.Wire))
+	e.u64(uint64(m.Level))
+	return e.b
+}
+
+// DecodeWireMsg parses a WireMsg, rejecting versions this build cannot
+// speak and out-of-range flate levels.
+func DecodeWireMsg(b []byte) (WireMsg, error) {
+	d := dec{b: b}
+	w, lvl := d.u64(), d.u64()
+	if d.err == nil && (w < 1 || Wire(w) > wireMax) {
+		d.fail(fmt.Errorf("%w: negotiated wire version %d", ErrBadVersion, w))
+	}
+	if d.err == nil && lvl > maxFlateLevel {
+		d.fail(fmt.Errorf("%w: implausible flate level %d", ErrBadMessage, lvl))
+	}
+	return WireMsg{Wire: uint32(w), Level: uint32(lvl)}, d.finish()
+}
+
+// AppendAssign appends a's encoding at wire version w to dst.
+func (w Wire) AppendAssign(dst []byte, a Assign) []byte {
+	e := enc{b: dst, v2: w.v2()}
 	e.spec(a.Spec)
 	e.int(len(a.VMs))
 	for _, vm := range a.VMs {
@@ -618,9 +820,9 @@ func EncodeAssign(a Assign) []byte {
 	return e.b
 }
 
-// DecodeAssign parses an Assign message.
-func DecodeAssign(b []byte) (Assign, error) {
-	d := dec{b: b}
+// DecodeAssign parses an Assign message at wire version w.
+func (w Wire) DecodeAssign(b []byte) (Assign, error) {
+	d := dec{b: b, v2: w.v2()}
 	a := Assign{Spec: d.spec()}
 	n := d.listLen()
 	for i := 0; i < n && d.err == nil; i++ {
@@ -633,24 +835,26 @@ func DecodeAssign(b []byte) (Assign, error) {
 	return a, d.finish()
 }
 
-// EncodeEpoch serializes an EpochMsg.
-func EncodeEpoch(m EpochMsg) []byte {
-	var e enc
+// AppendEpoch appends m's encoding at wire version w to dst.
+func (w Wire) AppendEpoch(dst []byte, m EpochMsg) []byte {
+	e := enc{b: dst, v2: w.v2()}
 	e.i64(m.Epoch)
 	e.acceptedList(m.Accepted)
 	return e.b
 }
 
-// DecodeEpoch parses an EpochMsg.
-func DecodeEpoch(b []byte) (EpochMsg, error) {
-	d := dec{b: b}
+// DecodeEpoch parses an EpochMsg at wire version w.
+func (w Wire) DecodeEpoch(b []byte) (EpochMsg, error) {
+	d := dec{b: b, v2: w.v2()}
 	m := EpochMsg{Epoch: d.i64(), Accepted: d.acceptedList()}
 	return m, d.finish()
 }
 
-// EncodeDelta serializes a DeltaMsg.
-func EncodeDelta(m DeltaMsg) []byte {
-	var e enc
+// AppendDelta appends m's encoding at wire version w to dst. The per-epoch
+// hot path passes a reused buffer here so steady-state encoding does not
+// allocate.
+func (w Wire) AppendDelta(dst []byte, m DeltaMsg) []byte {
+	e := enc{b: dst, v2: w.v2()}
 	e.i64(m.Epoch)
 	e.int(len(m.Deltas))
 	for _, dl := range m.Deltas {
@@ -659,9 +863,9 @@ func EncodeDelta(m DeltaMsg) []byte {
 	return e.b
 }
 
-// DecodeDelta parses a DeltaMsg.
-func DecodeDelta(b []byte) (DeltaMsg, error) {
-	d := dec{b: b}
+// DecodeDelta parses a DeltaMsg at wire version w.
+func (w Wire) DecodeDelta(b []byte) (DeltaMsg, error) {
+	d := dec{b: b, v2: w.v2()}
 	m := DeltaMsg{Epoch: d.i64()}
 	n := d.listLen()
 	for i := 0; i < n && d.err == nil; i++ {
@@ -670,52 +874,127 @@ func DecodeDelta(b []byte) (DeltaMsg, error) {
 	return m, d.finish()
 }
 
-// EncodeRestore serializes a RestoreMsg.
-func EncodeRestore(m RestoreMsg) []byte {
-	var e enc
+// AppendRestore appends m's encoding at wire version w to dst.
+func (w Wire) AppendRestore(dst []byte, m RestoreMsg) []byte {
+	e := enc{b: dst, v2: w.v2()}
 	e.i64(m.Epoch)
 	e.vmStates(m.States)
 	return e.b
 }
 
-// DecodeRestore parses a RestoreMsg.
-func DecodeRestore(b []byte) (RestoreMsg, error) {
-	d := dec{b: b}
+// DecodeRestore parses a RestoreMsg at wire version w.
+func (w Wire) DecodeRestore(b []byte) (RestoreMsg, error) {
+	d := dec{b: b, v2: w.v2()}
 	m := RestoreMsg{Epoch: d.i64(), States: d.vmStates()}
 	return m, d.finish()
 }
 
-// EncodeFinal serializes a FinalMsg.
-func EncodeFinal(m FinalMsg) []byte {
-	var e enc
+// AppendFinal appends m's encoding at wire version w to dst.
+func (w Wire) AppendFinal(dst []byte, m FinalMsg) []byte {
+	e := enc{b: dst, v2: w.v2()}
 	e.vmStates(m.States)
 	return e.b
 }
 
-// DecodeFinal parses a FinalMsg.
-func DecodeFinal(b []byte) (FinalMsg, error) {
-	d := dec{b: b}
+// DecodeFinal parses a FinalMsg at wire version w.
+func (w Wire) DecodeFinal(b []byte) (FinalMsg, error) {
+	d := dec{b: b, v2: w.v2()}
 	m := FinalMsg{States: d.vmStates()}
 	return m, d.finish()
 }
 
-// EncodeModelMsg serializes a ModelMsg.
-func EncodeModelMsg(m ModelMsg) []byte {
-	var e enc
+// AppendModelMsg appends m's encoding at wire version w to dst. Wire v2
+// flate-wraps the model bytes (uvarint raw length + uvarint compressed
+// length + deflate stream) — model pushes repeat quantized tables that
+// compress well, and they fan out to the whole fleet.
+func (w Wire) AppendModelMsg(dst []byte, m ModelMsg) []byte {
+	e := enc{b: dst, v2: w.v2()}
 	e.i64(m.Version)
-	e.blob(m.Model)
+	if !e.v2 {
+		e.blob(m.Model)
+		return e.b
+	}
+	e.uv(uint64(len(m.Model)))
+	if len(m.Model) > 0 {
+		comp := appendFlate(nil, m.Model, blobFlateLevel)
+		e.uv(uint64(len(comp)))
+		e.b = append(e.b, comp...)
+	}
 	return e.b
 }
 
-// DecodeModelMsg parses a ModelMsg.
-func DecodeModelMsg(b []byte) (ModelMsg, error) {
-	d := dec{b: b}
-	m := ModelMsg{Version: d.i64(), Model: d.blob()}
+// DecodeModelMsg parses a ModelMsg at wire version w. The v2 form guards
+// against decompression bombs (declared raw length capped at maxWireList,
+// checked before inflating) and enforces canonical compressed bytes: the
+// decoded model must re-compress to exactly the wire bytes, preserving the
+// one-encoding-per-message property for fuzzing and digests.
+func (w Wire) DecodeModelMsg(b []byte) (ModelMsg, error) {
+	d := dec{b: b, v2: w.v2()}
+	m := ModelMsg{Version: d.i64()}
+	if !d.v2 {
+		m.Model = d.blob()
+	} else if rawLen := d.uv(); d.err == nil && rawLen > 0 {
+		if rawLen > maxWireList {
+			d.fail(fmt.Errorf("%w: declared model size %d exceeds cap %d", ErrBadMessage, rawLen, maxWireList))
+		} else {
+			compLen := d.uv()
+			if d.err == nil && compLen > uint64(len(d.b)-d.off) {
+				d.fail(ErrTruncated)
+			}
+			comp := d.take(int(compLen))
+			if d.err == nil {
+				model, err := inflateExact(comp, int(rawLen))
+				if err != nil {
+					d.fail(err)
+				} else if !bytes.Equal(appendFlate(nil, model, blobFlateLevel), comp) {
+					d.fail(fmt.Errorf("%w: non-canonical model compression", ErrBadMessage))
+				} else {
+					m.Model = model
+				}
+			}
+		}
+	}
 	if m.Version <= 0 && d.err == nil {
 		d.fail(fmt.Errorf("%w: model push version %d", ErrBadMessage, m.Version))
 	}
 	return m, d.finish()
 }
+
+// EncodeAssign serializes an Assign message in the v1 wire format.
+func EncodeAssign(a Assign) []byte { return WireV1.AppendAssign(nil, a) }
+
+// DecodeAssign parses a v1 Assign message.
+func DecodeAssign(b []byte) (Assign, error) { return WireV1.DecodeAssign(b) }
+
+// EncodeEpoch serializes an EpochMsg in the v1 wire format.
+func EncodeEpoch(m EpochMsg) []byte { return WireV1.AppendEpoch(nil, m) }
+
+// DecodeEpoch parses a v1 EpochMsg.
+func DecodeEpoch(b []byte) (EpochMsg, error) { return WireV1.DecodeEpoch(b) }
+
+// EncodeDelta serializes a DeltaMsg in the v1 wire format.
+func EncodeDelta(m DeltaMsg) []byte { return WireV1.AppendDelta(nil, m) }
+
+// DecodeDelta parses a v1 DeltaMsg.
+func DecodeDelta(b []byte) (DeltaMsg, error) { return WireV1.DecodeDelta(b) }
+
+// EncodeRestore serializes a RestoreMsg in the v1 wire format.
+func EncodeRestore(m RestoreMsg) []byte { return WireV1.AppendRestore(nil, m) }
+
+// DecodeRestore parses a v1 RestoreMsg.
+func DecodeRestore(b []byte) (RestoreMsg, error) { return WireV1.DecodeRestore(b) }
+
+// EncodeFinal serializes a FinalMsg in the v1 wire format.
+func EncodeFinal(m FinalMsg) []byte { return WireV1.AppendFinal(nil, m) }
+
+// DecodeFinal parses a v1 FinalMsg.
+func DecodeFinal(b []byte) (FinalMsg, error) { return WireV1.DecodeFinal(b) }
+
+// EncodeModelMsg serializes a ModelMsg in the v1 wire format.
+func EncodeModelMsg(m ModelMsg) []byte { return WireV1.AppendModelMsg(nil, m) }
+
+// DecodeModelMsg parses a v1 ModelMsg.
+func DecodeModelMsg(b []byte) (ModelMsg, error) { return WireV1.DecodeModelMsg(b) }
 
 // EncodeErr serializes an ErrMsg.
 func EncodeErr(m ErrMsg) []byte {

@@ -16,7 +16,18 @@ import (
 	"github.com/repro/snowplow/internal/kernel"
 	"github.com/repro/snowplow/internal/obs"
 	"github.com/repro/snowplow/internal/prog"
+	"github.com/repro/snowplow/internal/trace"
 )
+
+// fixtureCover builds the sparse encoding of a cover holding exactly n
+// edges, for checkpoint fixtures whose TotalEdges must match their Cover.
+func fixtureCover(n int) []byte {
+	cov := trace.NewCover()
+	for i := 0; i < n; i++ {
+		cov.Add(trace.MakeEdge(kernel.BlockID(i/7), kernel.BlockID(100+i)))
+	}
+	return cov.AppendSparse(nil)
+}
 
 // fixtureSpec is a fully populated spec exercising every field.
 func fixtureSpec() CampaignSpec {
@@ -89,9 +100,20 @@ func fixtureDelta() fuzzer.VMDelta {
 
 // TestWireRoundTrips pins decode(encode(m)) == m for every message kind.
 func TestWireRoundTrips(t *testing.T) {
-	hello := Hello{Proto: protoVersion}
+	hello := Hello{Proto: protoVersion, Wire: uint32(wireMax), MaxLevel: maxFlateLevel}
 	if got, err := DecodeHello(EncodeHello(hello)); err != nil || got != hello {
 		t.Fatalf("hello round trip: %+v, %v", got, err)
+	}
+	// A legacy hello normalizes to wire v1, no compression.
+	legacy := Hello{Proto: protoVersion}
+	if got, err := DecodeHello(EncodeHello(legacy)); err != nil ||
+		got != (Hello{Proto: protoVersion, Wire: 1}) {
+		t.Fatalf("legacy hello round trip: %+v, %v", got, err)
+	}
+
+	wm := WireMsg{Wire: uint32(WireV2), Level: 6}
+	if got, err := DecodeWireMsg(EncodeWireMsg(wm)); err != nil || got != wm {
+		t.Fatalf("wire msg round trip: %+v, %v", got, err)
 	}
 
 	assign := Assign{
@@ -184,6 +206,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		Series:      []fuzzer.Point{{Cost: 10_000, Edges: 120}, {Cost: 20_000, Edges: 150}},
 		Entries:     []fuzzer.Accepted{{VM: -1, Seeded: true, Text: "prog-a", Traces: [][]kernel.BlockID{{1, 2}}}},
 		TotalEdges:  150,
+		Cover:       fixtureCover(150),
 		States:      []fuzzer.VMState{fixtureVMState()},
 		PendingSeed: []obs.Event{{Kind: obs.EventSeed, Value: 10}},
 		JournalCap:  8192,
@@ -248,7 +271,7 @@ func TestWireEncodingStable(t *testing.T) {
 // TestWriteCheckpointFileAtomic exercises the temp+rename path.
 func TestWriteCheckpointFileAtomic(t *testing.T) {
 	path := t.TempDir() + "/camp.ckpt"
-	ck := &Checkpoint{Spec: fixtureSpec(), Epoch: 1, JournalCap: 1}
+	ck := &Checkpoint{Spec: fixtureSpec(), Epoch: 1, JournalCap: 1, Cover: fixtureCover(0)}
 	if err := WriteCheckpointFile(path, ck.Encode()); err != nil {
 		t.Fatal(err)
 	}

@@ -37,6 +37,12 @@ type WorkerOptions struct {
 	// Fused serves through the fused inference kernels (bit-identical to
 	// the unfused path, so workers may mix freely).
 	Fused bool
+	// LegacyWire makes the worker speak the v1 wire protocol only: it
+	// sends the legacy fixed-size Hello and never negotiates compression,
+	// exactly like a worker built before the v2 wire shipped. Mixed fleets
+	// (legacy and current workers on one coordinator) merge identically,
+	// which this option exists to test.
+	LegacyWire bool
 	// IOTimeout bounds every network operation (default 60s).
 	IOTimeout time.Duration
 	// Logf, when set, receives worker progress lines.
@@ -65,13 +71,22 @@ func RunWorker(addr string, opts WorkerOptions) error {
 		return fmt.Errorf("cluster: dialing coordinator: %w", err)
 	}
 	defer conn.Close()
+	// fr holds the connection's negotiated wire settings and pooled frame
+	// buffers; its zero value is the v1 uncompressed protocol, upgraded
+	// below once the coordinator answers the extended Hello. encBuf is the
+	// worker's reusable payload scratch, so the per-epoch delta encode
+	// allocates nothing in steady state.
+	var fr framer
+	var encBuf []byte
 	send := func(typ byte, payload []byte) error {
 		conn.SetWriteDeadline(time.Now().Add(timeout))
-		return serve.WriteFrame(conn, typ, payload)
+		_, err := fr.writeFrame(conn, typ, payload)
+		return err
 	}
 	recv := func() (byte, []byte, error) {
 		conn.SetReadDeadline(time.Now().Add(timeout))
-		return serve.ReadFrame(conn, serve.MaxFramePayload)
+		typ, payload, _, err := fr.readFrame(conn)
+		return typ, payload, err
 	}
 	// sendErr reports a local failure to the coordinator before bailing, so
 	// it reads a reason instead of a bare connection reset.
@@ -80,13 +95,36 @@ func RunWorker(addr string, opts WorkerOptions) error {
 		return err
 	}
 
-	if err := send(frameHello, EncodeHello(Hello{Proto: protoVersion})); err != nil {
+	hello := Hello{Proto: protoVersion}
+	if !opts.LegacyWire {
+		hello.Wire = uint32(wireMax)
+		hello.MaxLevel = maxFlateLevel
+	}
+	if err := send(frameHello, EncodeHello(hello)); err != nil {
 		return err
 	}
 	typ, payload, err := recv()
 	if err != nil {
 		return err
 	}
+	if typ == frameWire {
+		// The coordinator answered the extended Hello: adopt the settings
+		// before the next frame. A v1 coordinator never sends this and
+		// proceeds straight to Assign below.
+		wm, err := DecodeWireMsg(payload)
+		if err != nil {
+			return err
+		}
+		if opts.LegacyWire || Wire(wm.Wire) > wireMax {
+			return fmt.Errorf("%w: unnegotiated wire v%d", ErrBadMessage, wm.Wire)
+		}
+		fr.wire, fr.level = Wire(wm.Wire), int(wm.Level)
+		logf("negotiated wire v%d, flate level %d", wm.Wire, wm.Level)
+		if typ, payload, err = recv(); err != nil {
+			return err
+		}
+	}
+	wire := fr.msgWire()
 	if typ == frameErr {
 		em, _ := DecodeErr(payload)
 		return fmt.Errorf("cluster: coordinator rejected worker: %s", em.Msg)
@@ -94,7 +132,7 @@ func RunWorker(addr string, opts WorkerOptions) error {
 	if typ != frameAssign {
 		return fmt.Errorf("%w: frame 0x%02x, want assign", ErrBadMessage, typ)
 	}
-	a, err := DecodeAssign(payload)
+	a, err := wire.DecodeAssign(payload)
 	if err != nil {
 		return err
 	}
@@ -130,12 +168,40 @@ func RunWorker(addr string, opts WorkerOptions) error {
 	}
 	logf("assigned VMs %v from epoch %d", a.VMs, a.StartEpoch)
 
+	// crashKnown tracks, per VM, how many crash-table entries the
+	// coordinator already holds (every state it sent us, every delta we
+	// sent it). The table is append-only, so on v2 connections each
+	// outgoing delta elides that prefix and sends only its length
+	// (VMDelta.CrashBase); the coordinator re-prepends its stored copy.
+	crashKnown := map[int]int{}
+	for _, st := range a.States {
+		crashKnown[st.VM] = len(st.Crashes)
+	}
+	elideCrashes := func(deltas []fuzzer.VMDelta) {
+		for i := range deltas {
+			d := &deltas[i]
+			total := len(d.State.Crashes)
+			if wire.v2() {
+				base := crashKnown[d.VM]
+				if base > total {
+					base = total // unreachable while the table is append-only
+				}
+				d.CrashBase = base
+				d.State.Crashes = d.State.Crashes[base:]
+			}
+			crashKnown[d.VM] = total
+		}
+	}
+
 	if a.SeedPass {
 		delta, err := shard.SeedPass()
 		if err != nil {
 			return sendErr(err)
 		}
-		if err := send(frameDelta, EncodeDelta(DeltaMsg{Epoch: 0, Deltas: []fuzzer.VMDelta{*delta}})); err != nil {
+		deltas := []fuzzer.VMDelta{*delta}
+		elideCrashes(deltas)
+		encBuf = wire.AppendDelta(encBuf[:0], DeltaMsg{Epoch: 0, Deltas: deltas})
+		if err := send(frameDelta, encBuf); err != nil {
 			return err
 		}
 	}
@@ -152,7 +218,7 @@ func RunWorker(addr string, opts WorkerOptions) error {
 		}
 		switch typ {
 		case frameEpoch:
-			m, err := DecodeEpoch(payload)
+			m, err := wire.DecodeEpoch(payload)
 			if err != nil {
 				return sendErr(err)
 			}
@@ -168,11 +234,13 @@ func RunWorker(addr string, opts WorkerOptions) error {
 			if err != nil {
 				return sendErr(err)
 			}
-			if err := send(frameDelta, EncodeDelta(DeltaMsg{Epoch: m.Epoch, Deltas: deltas})); err != nil {
+			elideCrashes(deltas)
+			encBuf = wire.AppendDelta(encBuf[:0], DeltaMsg{Epoch: m.Epoch, Deltas: deltas})
+			if err := send(frameDelta, encBuf); err != nil {
 				return err
 			}
 		case frameRestore:
-			m, err := DecodeRestore(payload)
+			m, err := wire.DecodeRestore(payload)
 			if err != nil {
 				return sendErr(err)
 			}
@@ -182,17 +250,20 @@ func RunWorker(addr string, opts WorkerOptions) error {
 			vms := make([]int, 0, len(m.States))
 			for _, st := range m.States {
 				vms = append(vms, st.VM)
+				crashKnown[st.VM] = len(st.Crashes)
 			}
 			logf("adopting VMs %v for epoch %d", vms, m.Epoch)
 			deltas, err := shard.RunEpoch(m.Epoch, vms)
 			if err != nil {
 				return sendErr(err)
 			}
-			if err := send(frameDelta, EncodeDelta(DeltaMsg{Epoch: m.Epoch, Deltas: deltas})); err != nil {
+			elideCrashes(deltas)
+			encBuf = wire.AppendDelta(encBuf[:0], DeltaMsg{Epoch: m.Epoch, Deltas: deltas})
+			if err := send(frameDelta, encBuf); err != nil {
 				return err
 			}
 		case frameModelPrep:
-			m, err := DecodeModelMsg(payload)
+			m, err := wire.DecodeModelMsg(payload)
 			if err != nil {
 				return sendErr(err)
 			}
@@ -213,7 +284,7 @@ func RunWorker(addr string, opts WorkerOptions) error {
 				return err
 			}
 		case frameModelCommit:
-			m, err := DecodeModelMsg(payload)
+			m, err := wire.DecodeModelMsg(payload)
 			if err != nil {
 				return sendErr(err)
 			}
@@ -233,7 +304,7 @@ func RunWorker(addr string, opts WorkerOptions) error {
 			}
 		case frameDone:
 			states := shard.FinalDrain()
-			return send(frameFinal, EncodeFinal(FinalMsg{States: states}))
+			return send(frameFinal, wire.AppendFinal(nil, FinalMsg{States: states}))
 		case frameErr:
 			em, _ := DecodeErr(payload)
 			return fmt.Errorf("cluster: coordinator failed: %s", em.Msg)

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/repro/snowplow/internal/cluster"
+	"github.com/repro/snowplow/internal/faultinject"
+	"github.com/repro/snowplow/internal/fuzzer"
+	"github.com/repro/snowplow/internal/obs"
+)
+
+// WirePoint is one worker-count measurement of the WAN-wire experiment.
+type WirePoint struct {
+	Workers int
+	// Epochs is the number of merged barriers, the unit the per-epoch
+	// byte costs below are amortized over.
+	Epochs int64
+	// V1Bytes is the coordinator's total on-the-wire traffic (tx+rx,
+	// headers included) for an all-legacy fleet: v1 fixed-width codec, no
+	// compression — the pre-upgrade baseline.
+	V1Bytes int64
+	// RawBytes is the v2 fleet's pre-compression payload traffic: the
+	// sparse varint codec alone, before the flate stage.
+	RawBytes int64
+	// WireBytes is the v2 fleet's actual on-the-wire traffic with frame
+	// compression negotiated on.
+	WireBytes int64
+	// Reduction is V1Bytes/WireBytes — how much cheaper one epoch's
+	// coordinator traffic got end to end.
+	Reduction float64
+	// Matched reports the v2 compressed campaign's digests are
+	// byte-identical to the single-host campaign's.
+	Matched bool
+	// ShapedV1WallMs and ShapedV2WallMs are the wall-clock times of the
+	// legacy and compressed campaigns over a bandwidth/latency-shaped
+	// worker link — the WAN stand-in where the byte reduction becomes a
+	// time win.
+	ShapedV1WallMs int64
+	ShapedV2WallMs int64
+}
+
+// WireResult is the WAN-scale wire experiment (BENCH_wire.json): per-epoch
+// coordinator bandwidth for the v1 fixed-width protocol vs the v2
+// sparse+flate protocol, plus wall-clock on a shaped link, at 1, 2 and 4
+// workers. Determinism is asserted throughout — compression must change
+// bytes, never bits.
+type WireResult struct {
+	VMs    int
+	Budget int64
+	// BandwidthBytesPerSec and LatencyUs describe the shaped link (per
+	// worker, outbound).
+	BandwidthBytesPerSec int64
+	LatencyUs            int64
+	CorpusDigest         string
+	Points               []WirePoint
+}
+
+// shapedWorkerDial wraps every worker's connection in a bandwidth-shaped
+// fault link (worker-side writes: the delta traffic that dominates
+// coordinator ingress).
+func shapedWorkerDial(bandwidth int64, latency time.Duration) func(string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return faultinject.NewLink(conn, faultinject.LinkOptions{Bandwidth: bandwidth, Latency: latency}), nil
+	}
+}
+
+// Wire measures what the v2 wire protocol saves: for each worker count it
+// runs an all-legacy baseline fleet and a compressed v2 fleet (both must
+// reproduce the single-host digests), prices coordinator bytes per epoch
+// for each, then reruns both over a link shaped to a fraction of the
+// baseline's measured traffic so the byte reduction shows up as wall-clock.
+func Wire(h *Harness, workerCounts []int) WireResult {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	opts := h.Opts
+	k := h.Kernel("6.8")
+	an := h.Analysis("6.8")
+	const vms = 4
+	cfg := fuzzer.Config{
+		Mode: fuzzer.ModeSyzkaller, Kernel: k, An: an,
+		Seed: opts.Seed, Budget: opts.FuzzBudget,
+		SeedCorpus: seedPrograms(h, "6.8", opts.Seed), VMs: vms,
+	}
+
+	h.logf("wire: single-host baseline...\n")
+	jn := obs.NewJournal(0)
+	single := cfg
+	single.Journal = jn
+	f := fuzzer.New(single)
+	mustRun(f)
+	res := WireResult{
+		VMs:          vms,
+		Budget:       opts.FuzzBudget,
+		CorpusDigest: cluster.CorpusDigest(f.Corpus()),
+	}
+	wantCover := cluster.CoverDigest(f.Corpus())
+	wantJournal := cluster.JournalDigest(jn.Events())
+	matches := func(got *cluster.Result) bool {
+		return got.CorpusDigest == res.CorpusDigest &&
+			got.CoverDigest == wantCover && got.JournalDigest == wantJournal
+	}
+	spec := cluster.SpecFromConfig(single, nil)
+	legacyFleet := func(workers int, dial func(string) (net.Conn, error)) []cluster.WorkerOptions {
+		per := make([]cluster.WorkerOptions, workers)
+		for i := range per {
+			per[i] = cluster.WorkerOptions{LegacyWire: true, Dial: dial}
+		}
+		return per
+	}
+	v2Fleet := func(workers int, dial func(string) (net.Conn, error)) []cluster.WorkerOptions {
+		per := make([]cluster.WorkerOptions, workers)
+		for i := range per {
+			per[i] = cluster.WorkerOptions{Dial: dial}
+		}
+		return per
+	}
+
+	for _, workers := range workerCounts {
+		h.logf("wire: %d worker(s), v1 baseline...\n", workers)
+		v1, err := cluster.RunLocalOpts(cluster.Config{Spec: spec}, legacyFleet(workers, nil))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: wire v1 campaign (%d workers): %v", workers, err))
+		}
+		if !matches(v1) {
+			panic(fmt.Sprintf("experiments: wire v1 campaign (%d workers) diverged from single host", workers))
+		}
+		h.logf("wire: %d worker(s), v2+flate...\n", workers)
+		v2, err := cluster.RunLocalOpts(cluster.Config{Spec: spec, Compress: 6}, v2Fleet(workers, nil))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: wire v2 campaign (%d workers): %v", workers, err))
+		}
+		pt := WirePoint{
+			Workers:   workers,
+			Epochs:    v2.Wire.Epochs,
+			V1Bytes:   v1.Wire.TxWireBytes + v1.Wire.RxWireBytes,
+			RawBytes:  v2.Wire.TxRawBytes + v2.Wire.RxRawBytes,
+			WireBytes: v2.Wire.TxWireBytes + v2.Wire.RxWireBytes,
+			Matched:   matches(v2),
+		}
+		if pt.WireBytes > 0 {
+			pt.Reduction = float64(pt.V1Bytes) / float64(pt.WireBytes)
+		}
+
+		// Shape the worker links to a quarter of the baseline's ingress per
+		// second: the legacy fleet spends ~4s of aggregate serialization
+		// stall, the compressed fleet proportionally less.
+		if res.BandwidthBytesPerSec == 0 {
+			res.BandwidthBytesPerSec = v1.Wire.RxWireBytes / 4
+			if res.BandwidthBytesPerSec < 64<<10 {
+				res.BandwidthBytesPerSec = 64 << 10
+			}
+			res.LatencyUs = 200
+		}
+		latency := time.Duration(res.LatencyUs) * time.Microsecond
+		dial := shapedWorkerDial(res.BandwidthBytesPerSec, latency)
+		h.logf("wire: %d worker(s), shaped link (%d B/s)...\n", workers, res.BandwidthBytesPerSec)
+		start := time.Now()
+		sv1, err := cluster.RunLocalOpts(cluster.Config{Spec: spec}, legacyFleet(workers, dial))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: wire shaped v1 campaign (%d workers): %v", workers, err))
+		}
+		pt.ShapedV1WallMs = time.Since(start).Milliseconds()
+		start = time.Now()
+		sv2, err := cluster.RunLocalOpts(cluster.Config{Spec: spec, Compress: 6}, v2Fleet(workers, dial))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: wire shaped v2 campaign (%d workers): %v", workers, err))
+		}
+		pt.ShapedV2WallMs = time.Since(start).Milliseconds()
+		pt.Matched = pt.Matched && matches(sv1) && matches(sv2)
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Render prints the WAN-wire bandwidth/wall-clock table.
+func (r WireResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== WAN wire: v1 fixed-width vs v2 sparse+flate (VMs=%d, budget=%d, link %dB/s+%dµs) ==\n",
+		r.VMs, r.Budget, r.BandwidthBytesPerSec, r.LatencyUs)
+	fmt.Fprintf(w, "%8s %8s %12s %12s %12s %6s %10s %11s %11s\n",
+		"workers", "epochs", "v1 B/epoch", "raw B/epoch", "wire B/epoch", "gain", "identical", "shaped-v1", "shaped-v2")
+	for _, p := range r.Points {
+		ep := p.Epochs
+		if ep == 0 {
+			ep = 1
+		}
+		fmt.Fprintf(w, "%8d %8d %12d %12d %12d %5.1fx %10v %9dms %9dms\n",
+			p.Workers, p.Epochs, p.V1Bytes/ep, p.RawBytes/ep, p.WireBytes/ep,
+			p.Reduction, p.Matched, p.ShapedV1WallMs, p.ShapedV2WallMs)
+	}
+	fmt.Fprintf(w, "(gain = v1 bytes / v2 wire bytes; identical = all fleets reproduced the single-host digests)\n")
+}

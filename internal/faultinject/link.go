@@ -22,6 +22,17 @@ type LinkOptions struct {
 	SeverAfterReads int
 	// WriteDelay stalls every write, simulating a slow or congested link.
 	WriteDelay time.Duration
+	// Bandwidth, when positive, shapes outbound throughput to the given
+	// bytes per second: each write stalls for len(b)·second/Bandwidth
+	// before hitting the wire. The stall is a pure function of the byte
+	// count, so a shaped campaign is exactly as reproducible as an
+	// unshaped one — the bytes (and hence the delays) are deterministic,
+	// only wall-clock moves. Composes with Latency and WriteDelay.
+	Bandwidth int64
+	// Latency adds a fixed per-write stall, simulating propagation delay
+	// on a WAN path. The cluster protocol writes one frame per Write call,
+	// so this charges every protocol message one round of latency.
+	Latency time.Duration
 }
 
 // Link wraps a network connection with deterministic transport faults for
@@ -52,11 +63,21 @@ func (l *Link) sever() {
 	}
 }
 
+// shapeDelay is the deterministic stall charged to an n-byte write: fixed
+// WriteDelay and Latency plus the Bandwidth serialization time.
+func (l *Link) shapeDelay(n int) time.Duration {
+	d := l.opts.WriteDelay + l.opts.Latency
+	if l.opts.Bandwidth > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / l.opts.Bandwidth)
+	}
+	return d
+}
+
 // Write counts one outbound message, severing when the write budget is
 // exhausted (the message is lost, as a mid-flight partition would lose it).
 func (l *Link) Write(b []byte) (int, error) {
-	if l.opts.WriteDelay > 0 {
-		time.Sleep(l.opts.WriteDelay)
+	if d := l.shapeDelay(len(b)); d > 0 {
+		time.Sleep(d)
 	}
 	l.mu.Lock()
 	if l.severed {

@@ -1,0 +1,53 @@
+package faultinject
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestShapeDelayDeterministic pins the shaped stall as a pure function of
+// the byte count: bandwidth serialization plus fixed latency, no jitter.
+func TestShapeDelayDeterministic(t *testing.T) {
+	l := &Link{opts: LinkOptions{Bandwidth: 1 << 20, Latency: 3 * time.Millisecond}}
+	for _, tc := range []struct {
+		n    int
+		want time.Duration
+	}{
+		{0, 3 * time.Millisecond},
+		{1 << 20, time.Second + 3*time.Millisecond},
+		{1 << 10, time.Second/1024 + 3*time.Millisecond},
+	} {
+		if got := l.shapeDelay(tc.n); got != tc.want {
+			t.Errorf("shapeDelay(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+	unshaped := &Link{}
+	if got := unshaped.shapeDelay(1 << 20); got != 0 {
+		t.Errorf("unshaped link delays %v", got)
+	}
+}
+
+// TestLinkBandwidthStallsWrites checks the shaped link actually slows the
+// wire: pushing 50 KiB through a 100 KiB/s link must take at least ~500ms.
+func TestLinkBandwidthStallsWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed test")
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+	l := NewLink(a, LinkOptions{Bandwidth: 100 << 10})
+	start := time.Now()
+	buf := make([]byte, 10<<10)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 450*time.Millisecond {
+		t.Fatalf("50 KiB crossed a 100 KiB/s link in %v", elapsed)
+	}
+}

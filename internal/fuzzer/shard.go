@@ -124,6 +124,14 @@ type VMDelta struct {
 	Locals []Local
 	Events []obs.Event
 	State  VMState
+	// CrashBase is a wire-level transfer optimization: the number of
+	// leading State.Crashes entries elided because the receiver already
+	// holds them from the previous barrier (the per-VM crash table is
+	// append-only, so the prior table is always an exact prefix). Zero
+	// everywhere outside the cluster wire path; the cluster coordinator
+	// re-prepends the elided prefix on receipt, so merged state never
+	// sees a trimmed table.
+	CrashBase int
 }
 
 // Accepted is one merge-accepted corpus entry in broadcast order. VM is the

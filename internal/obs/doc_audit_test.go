@@ -63,11 +63,13 @@ func TestPackageDocAudit(t *testing.T) {
 }
 
 // TestExportedTypeDocAudit requires a doc comment on every exported type in
-// the packages listed — currently the continual-learning package, whose
-// exported surface (Controller, Swap, Config, Params) is the hot-swap
-// contract both campaign engines program against.
+// the packages listed — the continual-learning package, whose exported
+// surface (Controller, Swap, Config, Params) is the hot-swap contract both
+// campaign engines program against, and the cluster package, whose exported
+// surface (wire messages, negotiation types, checkpoint format) is the
+// cross-version compatibility contract between coordinator and workers.
 func TestExportedTypeDocAudit(t *testing.T) {
-	for _, dir := range []string{"../online"} {
+	for _, dir := range []string{"../online", "../cluster"} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
 		if err != nil {

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/repro/snowplow/internal/rng"
+)
+
+func sparseFixture() *Cover {
+	c := NewCover()
+	r := rng.New(99)
+	// A clustered distribution like real edge coverage: a few dense runs
+	// (producing saturated words) plus scattered singletons.
+	for base := uint64(0); base < 3; base++ {
+		start := base * 100_000
+		for e := start; e < start+192; e++ { // 3 fully saturated words
+			c.Add(Edge(e))
+		}
+	}
+	for i := 0; i < 500; i++ {
+		c.Add(Edge(r.Uint64() % (1 << 24)))
+	}
+	return c
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	for name, c := range map[string]*Cover{
+		"empty":  NewCover(),
+		"single": func() *Cover { c := NewCover(); c.Add(Edge(12345)); return c }(),
+		"fullpage": func() *Cover {
+			c := NewCover()
+			for e := uint64(512); e < 1024; e++ {
+				c.Add(Edge(e))
+			}
+			return c
+		}(),
+		"fixture": sparseFixture(),
+	} {
+		b := c.AppendSparse(nil)
+		got, err := CoverFromSparse(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got.Len() != c.Len() {
+			t.Fatalf("%s: len %d != %d", name, got.Len(), c.Len())
+		}
+		// Canonical: re-encode must reproduce the input bytes.
+		if again := got.AppendSparse(nil); !bytes.Equal(again, b) {
+			t.Fatalf("%s: re-encode differs", name)
+		}
+		for _, e := range c.Edges() {
+			if !got.Has(e) {
+				t.Fatalf("%s: edge %d lost", name, e)
+			}
+		}
+	}
+}
+
+func TestSparseResetPagesNotEncoded(t *testing.T) {
+	// A cover holding recycled-but-empty pages must encode identically to a
+	// fresh cover with the same edges (canonical form is state-independent).
+	c := NewCover()
+	for e := uint64(0); e < 4096; e += 7 {
+		c.Add(Edge(e))
+	}
+	c.Reset()
+	c.Add(Edge(1 << 20))
+	want := NewCover()
+	want.Add(Edge(1 << 20))
+	if !bytes.Equal(c.AppendSparse(nil), want.AppendSparse(nil)) {
+		t.Fatal("recycled pages leaked into the sparse encoding")
+	}
+}
+
+func TestSparseRejectsCorrupt(t *testing.T) {
+	valid := sparseFixture().AppendSparse(nil)
+	// Truncation at every prefix length must error, never panic.
+	for i := 0; i < len(valid); i++ {
+		if _, err := CoverFromSparse(valid[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		} else if !errors.Is(err, ErrBadSparse) {
+			t.Fatalf("truncation at %d: wrong error %v", i, err)
+		}
+	}
+	if _, err := CoverFromSparse(append(append([]byte(nil), valid...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Implausible page count must be rejected before allocation.
+	bomb := binary.AppendUvarint(nil, 1<<40)
+	if _, err := CoverFromSparse(bomb); !errors.Is(err, ErrBadSparse) {
+		t.Fatalf("page-count bomb: %v", err)
+	}
+	// Non-minimal varint page count.
+	if _, err := CoverFromSparse([]byte{0x80, 0x00}); !errors.Is(err, ErrBadSparse) {
+		t.Fatal("non-minimal varint accepted")
+	}
+	// Unsorted pages: second key delta of zero.
+	dup := binary.AppendUvarint(nil, 2)
+	dup = binary.AppendUvarint(dup, 5)
+	dup = append(dup, 0x01, 0x00)
+	dup = binary.LittleEndian.AppendUint64(dup, 3)
+	dup = binary.AppendUvarint(dup, 0) // same key again
+	dup = append(dup, 0x01, 0x00)
+	dup = binary.LittleEndian.AppendUint64(dup, 3)
+	if _, err := CoverFromSparse(dup); !errors.Is(err, ErrBadSparse) {
+		t.Fatalf("duplicate page key: %v", err)
+	}
+	// A full word spelled out as raw bytes (should be saturation-encoded).
+	raw := binary.AppendUvarint(nil, 1)
+	raw = binary.AppendUvarint(raw, 0)
+	raw = append(raw, 0x01, 0x00)
+	raw = binary.LittleEndian.AppendUint64(raw, ^uint64(0))
+	if _, err := CoverFromSparse(raw); !errors.Is(err, ErrBadSparse) {
+		t.Fatalf("non-canonical full word: %v", err)
+	}
+	// Saturation bit without the occupancy bit.
+	sat := binary.AppendUvarint(nil, 1)
+	sat = binary.AppendUvarint(sat, 0)
+	sat = append(sat, 0x01, 0x02)
+	sat = binary.LittleEndian.AppendUint64(sat, 3)
+	if _, err := CoverFromSparse(sat); !errors.Is(err, ErrBadSparse) {
+		t.Fatalf("saturation outside occupancy: %v", err)
+	}
+}
+
+func TestForEachWordSorted(t *testing.T) {
+	c := sparseFixture()
+	var prev uint64
+	first := true
+	n := 0
+	c.ForEachWordSorted(func(base, word uint64) {
+		if word == 0 {
+			t.Fatal("zero word visited")
+		}
+		if base&63 != 0 {
+			t.Fatalf("unaligned base %d", base)
+		}
+		if !first && base <= prev {
+			t.Fatalf("bases not ascending: %d after %d", base, prev)
+		}
+		first = false
+		prev = base
+		for i := uint64(0); i < 64; i++ {
+			if word&(1<<i) != 0 {
+				if !c.Has(Edge(base | i)) {
+					t.Fatalf("word bit %d at base %d not in cover", i, base)
+				}
+				n++
+			}
+		}
+	})
+	if n != c.Len() {
+		t.Fatalf("visited %d edges, cover has %d", n, c.Len())
+	}
+}
